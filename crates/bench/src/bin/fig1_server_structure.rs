@@ -1,0 +1,25 @@
+//! F1 — Figure 1: server-side structure, rendered from a live cell.
+
+use decorum_dfs::types::VolumeId;
+use decorum_dfs::Cell;
+
+fn main() {
+    let cell = Cell::builder().servers(1).build().expect("cell");
+    cell.create_volume(0, VolumeId(1), "root.cell").expect("volume");
+    // Touch the server from both sides so every component has state.
+    let c = cell.new_client();
+    let root = c.root(VolumeId(1)).unwrap();
+    let f = c.create(root, "x", 0o644).unwrap();
+    c.write(f.fid, 0, b"hi").unwrap();
+    let local = cell.server(0).local_volume(VolumeId(1)).unwrap();
+    use decorum_dfs::vfs::{Credentials, Vfs};
+    local.read(&Credentials::system(), f.fid, 0, 2).unwrap();
+
+    println!("{}", cell.render_server_structure());
+    let tm = cell.server(0).token_manager().stats();
+    println!("live token manager: {} grants, {} revocations, {} releases",
+        tm.grants, tm.revocations, tm.releases);
+    let hm = cell.server(0).host_model();
+    println!("host model knows clients: {:?}", hm.clients());
+    println!("server ops served: {}", cell.server(0).stats().ops);
+}

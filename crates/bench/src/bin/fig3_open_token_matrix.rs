@@ -1,0 +1,9 @@
+//! F3 — Figure 3: the open-token compatibility matrix, rendered from
+//! the same predicate the token manager uses at grant time.
+
+fn main() {
+    println!("{}", dfs_token::render_open_matrix());
+    println!("(yes = both opens may be held by different hosts; - = conflict)");
+    println!("Rows/columns: read, write, execute, shared-read, excl-write.");
+    println!("Note the UNIX rule: write vs execute conflict (ETXTBSY, §5.4).");
+}

@@ -1,0 +1,236 @@
+//! T11 (extension) — an Andrew-benchmark-style software-engineering
+//! workload across the three consistency models.
+//!
+//! The paper's lineage (AFS, Howard et al. 1988) evaluated file systems
+//! with the Andrew benchmark's phases: MakeDir, Copy, ScanDir, ReadAll,
+//! and Make. This extension runs an equivalent phase mix through the
+//! DEcorum cache manager and the NFS/AFS baselines on identical Episode
+//! substrates, measuring the network cost of a representative developer
+//! session — mostly-private working sets, exactly where callback/token
+//! caching pays.
+
+use dfs_baselines::{AfsClient, AfsServer, NfsClient, NfsServer};
+use dfs_bench::{header, row};
+use dfs_disk::{DiskConfig, SimDisk};
+use dfs_episode::{Episode, FormatParams};
+use dfs_rpc::Network;
+use dfs_types::{ClientId, Fid, ServerId, SimClock, VolumeId};
+use dfs_vfs::PhysicalFs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIRS: u32 = 8;
+const FILES_PER_DIR: u32 = 12;
+const FILE_BYTES: usize = 6 * 1024;
+const SCAN_PASSES: u32 = 3;
+const READ_PASSES: u32 = 2;
+const EDIT_ROUNDS: u32 = 40;
+
+/// Abstract client operations so one driver runs all three systems.
+trait Fs {
+    fn root(&self) -> Fid;
+    fn create(&self, dir: Fid, name: &str) -> Fid;
+    fn write(&self, f: Fid, offset: u64, data: &[u8]);
+    fn read(&self, f: Fid, offset: u64, len: usize) -> Vec<u8>;
+    fn lookup(&self, dir: Fid, name: &str) -> Fid;
+    fn getattr(&self, f: Fid);
+    fn settle(&self, f: Fid); // close/fsync equivalent
+}
+
+struct DfsFs(std::sync::Arc<dfs_client::CacheManager>);
+impl Fs for DfsFs {
+    fn root(&self) -> Fid {
+        self.0.root(VolumeId(1)).unwrap()
+    }
+    fn create(&self, dir: Fid, name: &str) -> Fid {
+        self.0.create(dir, name, 0o644).unwrap().fid
+    }
+    fn write(&self, f: Fid, offset: u64, data: &[u8]) {
+        self.0.write(f, offset, data).unwrap();
+    }
+    fn read(&self, f: Fid, offset: u64, len: usize) -> Vec<u8> {
+        self.0.read(f, offset, len).unwrap()
+    }
+    fn lookup(&self, dir: Fid, name: &str) -> Fid {
+        self.0.lookup(dir, name).unwrap().fid
+    }
+    fn getattr(&self, f: Fid) {
+        self.0.getattr(f).unwrap();
+    }
+    fn settle(&self, f: Fid) {
+        self.0.fsync(f).unwrap();
+    }
+}
+
+struct NfsFs(std::sync::Arc<NfsClient>);
+impl Fs for NfsFs {
+    fn root(&self) -> Fid {
+        self.0.root(VolumeId(1)).unwrap()
+    }
+    fn create(&self, dir: Fid, name: &str) -> Fid {
+        self.0.create(dir, name, 0o644).unwrap().fid
+    }
+    fn write(&self, f: Fid, offset: u64, data: &[u8]) {
+        self.0.write(f, offset, data).unwrap();
+    }
+    fn read(&self, f: Fid, offset: u64, len: usize) -> Vec<u8> {
+        self.0.read(f, offset, len).unwrap()
+    }
+    fn lookup(&self, dir: Fid, name: &str) -> Fid {
+        self.0.lookup(dir, name).unwrap().fid
+    }
+    fn getattr(&self, f: Fid) {
+        self.0.getattr(f).unwrap();
+    }
+    fn settle(&self, _f: Fid) {}
+}
+
+struct AfsFs(std::sync::Arc<AfsClient>);
+impl Fs for AfsFs {
+    fn root(&self) -> Fid {
+        self.0.root(VolumeId(1)).unwrap()
+    }
+    fn create(&self, dir: Fid, name: &str) -> Fid {
+        self.0.create(dir, name, 0o644).unwrap().fid
+    }
+    fn write(&self, f: Fid, offset: u64, data: &[u8]) {
+        self.0.write(f, offset, data).unwrap();
+    }
+    fn read(&self, f: Fid, offset: u64, len: usize) -> Vec<u8> {
+        self.0.read(f, offset, len).unwrap()
+    }
+    fn lookup(&self, dir: Fid, name: &str) -> Fid {
+        self.0.lookup(dir, name).unwrap().fid
+    }
+    fn getattr(&self, _f: Fid) {}
+    fn settle(&self, f: Fid) {
+        self.0.close(f).unwrap();
+    }
+}
+
+/// The five Andrew-style phases. Directories are flattened to composite
+/// names so the three baselines share one namespace shape.
+fn drive(fs: &dyn Fs, clock: &SimClock) -> Vec<Fid> {
+    let root = fs.root();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut files = Vec::new();
+    // Phase 1+2: MakeDir + Copy (create the tree, write the sources).
+    for d in 0..DIRS {
+        for i in 0..FILES_PER_DIR {
+            let f = fs.create(root, &format!("src{d}-file{i}.c"));
+            let body: Vec<u8> = (0..FILE_BYTES).map(|_| rng.gen::<u8>() | 1).collect();
+            fs.write(f, 0, &body);
+            fs.settle(f);
+            files.push(f);
+        }
+    }
+    clock.advance_secs(5);
+    // Phase 3: ScanDir (stat everything, several passes).
+    for _ in 0..SCAN_PASSES {
+        for d in 0..DIRS {
+            for i in 0..FILES_PER_DIR {
+                let f = fs.lookup(root, &format!("src{d}-file{i}.c"));
+                fs.getattr(f);
+            }
+        }
+        clock.advance_secs(2);
+    }
+    // Phase 4: ReadAll.
+    for _ in 0..READ_PASSES {
+        for &f in &files {
+            let mut off = 0u64;
+            while off < FILE_BYTES as u64 {
+                fs.read(f, off, 4096);
+                off += 4096;
+            }
+        }
+        clock.advance_secs(2);
+    }
+    // Phase 5: Make (edit a few hot files repeatedly, re-read others).
+    for round in 0..EDIT_ROUNDS {
+        let hot = files[(round as usize * 7) % files.len()];
+        fs.write(hot, (round as u64 * 97) % 4096, b"edited line of code\n");
+        fs.read(hot, 0, 4096);
+        let other = files[(round as usize * 13) % files.len()];
+        fs.read(other, 0, 4096);
+        if round % 8 == 7 {
+            fs.settle(hot);
+        }
+        clock.advance_millis(250);
+    }
+    files
+}
+
+fn episode_substrate(clock: &SimClock) -> std::sync::Arc<Episode> {
+    let disk = SimDisk::new(DiskConfig::with_blocks(64 * 1024));
+    let ep = Episode::format(disk, clock.clone(), FormatParams::default()).unwrap();
+    ep.create_volume(VolumeId(1), "v").unwrap();
+    ep
+}
+
+fn main() {
+    println!("T11 (extension): Andrew-style developer workload, one client");
+    println!(
+        "    {} files x {} KiB; scan x{}, read-all x{}, {} edit rounds\n",
+        DIRS * FILES_PER_DIR,
+        FILE_BYTES / 1024,
+        SCAN_PASSES,
+        READ_PASSES,
+        EDIT_ROUNDS
+    );
+    header(&["system", "RPCs", "KiB on wire", "RPCs/file-op"]);
+    let approx_ops: u64 = (DIRS * FILES_PER_DIR) as u64
+        * (1 + 1 + SCAN_PASSES as u64 * 2 + READ_PASSES as u64 * 2)
+        + EDIT_ROUNDS as u64 * 3;
+
+    // DFS.
+    {
+        let cell = dfs_core::Cell::builder().servers(1).disk_blocks(64 * 1024).build().unwrap();
+        cell.create_volume(0, VolumeId(1), "v").unwrap();
+        let cm = cell.new_client();
+        drive(&DfsFs(cm), cell.clock());
+        let s = cell.net().stats();
+        row(&[
+            &"dfs (tokens)",
+            &s.calls,
+            &(s.bytes / 1024),
+            &dfs_bench::f2(s.calls as f64 / approx_ops as f64),
+        ]);
+    }
+    // NFS.
+    {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        let ep = episode_substrate(&clock);
+        NfsServer::start(&net, ServerId(1), ep.mount(VolumeId(1)).unwrap());
+        let c = NfsClient::new(net.clone(), ClientId(1), ServerId(1));
+        drive(&NfsFs(c), &clock);
+        let s = net.stats();
+        row(&[
+            &"nfs (3s ttl)",
+            &s.calls,
+            &(s.bytes / 1024),
+            &dfs_bench::f2(s.calls as f64 / approx_ops as f64),
+        ]);
+    }
+    // AFS.
+    {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        let ep = episode_substrate(&clock);
+        AfsServer::start(&net, ServerId(1), ep.mount(VolumeId(1)).unwrap());
+        let c = AfsClient::start(net.clone(), ClientId(1), ServerId(1));
+        drive(&AfsFs(c), &clock);
+        let s = net.stats();
+        row(&[
+            &"afs (callbacks)",
+            &s.calls,
+            &(s.bytes / 1024),
+            &dfs_bench::f2(s.calls as f64 / approx_ops as f64),
+        ]);
+    }
+    println!("\nExpected shape: for a mostly-private working set both AFS and DFS");
+    println!("approach zero RPCs per operation after the copy phase, while NFS");
+    println!("keeps revalidating every TTL expiry; DFS additionally writes back");
+    println!("only on demand (no store-on-close of whole files).");
+}

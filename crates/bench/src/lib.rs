@@ -1,0 +1,41 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure or table of the
+//! paper's evaluation (see `DESIGN.md` §3 for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured records).
+
+use std::fmt::Display;
+
+/// Prints a table header row.
+pub fn header(cols: &[&str]) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(17 * cols.len()));
+}
+
+/// Prints one table row.
+pub fn row(cells: &[&dyn Display]) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Formats a float with two decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as `N.Nx`.
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.1}x", a / b.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(ratio(10.0, 2.0), "5.0x");
+    }
+}

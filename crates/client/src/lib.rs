@@ -1,0 +1,1319 @@
+//! The DEcorum client cache manager (§4, §6).
+//!
+//! A [`CacheManager`] implements the four layers of Figure 2:
+//!
+//! * **resource layer** (§4.1): authenticated connections (tickets from
+//!   the KDC) and a volume-location cache over the VLDB, with
+//!   re-lookup on `NoSuchVolume` so volume moves are transparent;
+//! * **cache layer** (§4.2): status and data caching guarded by typed
+//!   tokens; the data store is pluggable ([`DiskCache`] or the diskless
+//!   [`MemCache`]);
+//! * **directory layer** (§4.3): cached results of individual lookups,
+//!   valid while the directory's status/data tokens are held;
+//! * **vnode layer** (§4.4): the file-system API.
+//!
+//! Deadlock avoidance follows §6 exactly: each cached vnode carries
+//! **two locks** — a high-level lock held for the duration of a client
+//! operation, and a low-level lock that is *released across RPCs* and
+//! re-taken to merge results. Revocations from the server take only the
+//! low-level lock. Server responses and revocations are merged in
+//! serialization-stamp order (§6.2–6.4): newer status always wins and
+//! old status is never written over new. Revocations for tokens not yet
+//! known (the race of §6.3) are queued and processed when the in-flight
+//! RPC completes.
+
+pub mod cache;
+
+pub use cache::{DataCache, DiskCache, MemCache, PAGE_SIZE};
+
+use dfs_rpc::{
+    Addr, CallClass, CallContext, Network, PoolConfig, Request, Response, RpcService, Ticket,
+    TokenRequest,
+};
+use dfs_server::VldbHandle;
+use dfs_token::{Token, TokenTypes};
+use dfs_types::{
+    Acl, ByteRange, ClientId, DfsError, DfsResult, FileStatus, Fid, SerializationStamp, ServerId,
+    VolumeId,
+};
+use dfs_vfs::{DirEntry, SetAttrs};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Pages fetched per miss (read-ahead granularity).
+const FETCH_PAGES: u64 = 16;
+
+/// An open mode, mapped onto the open-token subtypes of Figure 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpenMode {
+    /// Normal reading.
+    Read,
+    /// Normal writing.
+    Write,
+    /// Executing (excludes writers — ETXTBSY).
+    Execute,
+    /// Shared reading (excludes writers).
+    SharedRead,
+    /// Exclusive writing (excludes everyone).
+    ExclusiveWrite,
+}
+
+impl OpenMode {
+    fn token(self) -> TokenTypes {
+        match self {
+            OpenMode::Read => TokenTypes::OPEN_READ,
+            OpenMode::Write => TokenTypes::OPEN_WRITE,
+            OpenMode::Execute => TokenTypes::OPEN_EXECUTE,
+            OpenMode::SharedRead => TokenTypes::OPEN_SHARED_READ,
+            OpenMode::ExclusiveWrite => TokenTypes::OPEN_EXCLUSIVE_WRITE,
+        }
+    }
+}
+
+/// Client-side statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Reads served entirely from the cache under a data token.
+    pub local_reads: u64,
+    /// Reads that needed a FetchData RPC.
+    pub remote_reads: u64,
+    /// Writes absorbed locally under a write token (no RPC at all).
+    pub local_writes: u64,
+    /// Writes that needed a token-acquisition RPC first.
+    pub write_token_fetches: u64,
+    /// Lookups served from the directory-layer cache.
+    pub lookup_hits: u64,
+    /// Lookups that went to the server.
+    pub lookup_misses: u64,
+    /// Revocations received.
+    pub revocations: u64,
+    /// Revocations answered "retained" (held locks/opens).
+    pub retained: u64,
+    /// Revocations queued for a not-yet-known token (§6.3 race).
+    pub queued_revocations: u64,
+    /// Dirty pages stored back from revocation handlers.
+    pub revocation_stores: u64,
+    /// Status merges ignored because the stamp was stale (§6.3).
+    pub stale_status_dropped: u64,
+    /// Retries while a volume was busy moving.
+    pub busy_retries: u64,
+}
+
+#[derive(Clone, Debug)]
+struct HeldLock {
+    range: ByteRange,
+    write: bool,
+    local: bool,
+}
+
+/// Low-level (per-vnode) state, guarded by the vnode's low lock.
+#[derive(Default)]
+struct VnState {
+    status: Option<FileStatus>,
+    /// Highest serialization stamp merged so far (§6.2).
+    stamp: SerializationStamp,
+    tokens: Vec<Token>,
+    /// Pages present in the data cache and covered by a token.
+    valid: BTreeSet<u64>,
+    /// Pages modified locally and not yet stored back.
+    dirty: BTreeSet<u64>,
+    /// Directory layer: name → status of individual lookups (§4.3).
+    names: HashMap<String, FileStatus>,
+    /// Cached full listing.
+    listing: Option<Vec<DirEntry>>,
+    /// Revocations that arrived for tokens we do not know yet (§6.3).
+    queued: Vec<(Token, TokenTypes, SerializationStamp)>,
+    /// Number of client-initiated RPCs in flight for this vnode.
+    in_flight: u32,
+    /// True when the cached status was updated locally under a
+    /// status-write token and not yet pushed back.
+    status_dirty: bool,
+    /// Local byte-range locks (token-backed or server-backed).
+    locks: Vec<HeldLock>,
+    /// Open modes currently held.
+    opens: Vec<TokenTypes>,
+}
+
+impl VnState {
+    fn find_token(&self, types: TokenTypes, range: &ByteRange) -> Option<&Token> {
+        self.tokens
+            .iter()
+            .find(|t| t.types.contains(types) && t.range.contains_range(range))
+    }
+
+    /// Returns true if the union of held tokens carrying any of `types`
+    /// covers every byte of `range`.
+    fn covered(&self, types: TokenTypes, range: &ByteRange) -> bool {
+        if range.is_empty() {
+            return true;
+        }
+        let mut spans: Vec<ByteRange> = self
+            .tokens
+            .iter()
+            .filter(|t| t.types.intersects(types))
+            .map(|t| t.range)
+            .collect();
+        spans.sort_by_key(|r| r.start);
+        let mut pos = range.start;
+        for s in spans {
+            if s.start > pos {
+                break;
+            }
+            pos = pos.max(s.end.min(range.end));
+            if pos >= range.end {
+                return true;
+            }
+        }
+        pos >= range.end
+    }
+
+    fn has_types(&self, types: TokenTypes) -> bool {
+        self.tokens.iter().any(|t| t.types.contains(types))
+    }
+
+
+    fn merge_status(&mut self, status: FileStatus, stamp: SerializationStamp) -> bool {
+        if stamp > self.stamp || self.status.is_none() {
+            self.stamp = self.stamp.max(stamp);
+            self.status = Some(status);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn status_trusted(&self) -> bool {
+        self.status.is_some()
+            && self
+                .tokens
+                .iter()
+                .any(|t| t.types.intersects(TokenTypes(
+                    TokenTypes::STATUS_READ.0 | TokenTypes::STATUS_WRITE.0,
+                )))
+    }
+
+    fn dir_trusted(&self) -> bool {
+        self.tokens.iter().any(|t| {
+            t.types.contains(TokenTypes::STATUS_READ) && t.types.contains(TokenTypes::DATA_READ)
+        })
+    }
+}
+
+struct CVnode {
+    fid: Fid,
+    /// High-level lock: serializes client operations on the file (§6.1).
+    hi: Mutex<()>,
+    /// Low-level lock: guards the cached state; released across RPCs.
+    lo: Mutex<VnState>,
+}
+
+/// The cache manager: the DEcorum client (§4).
+pub struct CacheManager {
+    id: ClientId,
+    addr: Addr,
+    net: Network,
+    vldb: VldbHandle,
+    data: Arc<dyn DataCache>,
+    ticket: Mutex<Option<Ticket>>,
+    vnodes: Mutex<HashMap<Fid, Arc<CVnode>>>,
+    locations: Mutex<HashMap<VolumeId, ServerId>>,
+    roots: Mutex<HashMap<VolumeId, Fid>>,
+    stats: Mutex<ClientStats>,
+}
+
+impl CacheManager {
+    /// Starts a cache manager, binding its callback service at
+    /// `Client(id)`.
+    ///
+    /// `data` chooses disk-backed or diskless caching (§4.2).
+    pub fn start(
+        net: Network,
+        id: ClientId,
+        vldb_replicas: Vec<Addr>,
+        data: Arc<dyn DataCache>,
+    ) -> Arc<CacheManager> {
+        let addr = Addr::Client(id);
+        let cm = Arc::new(CacheManager {
+            id,
+            addr,
+            net: net.clone(),
+            vldb: VldbHandle::new(net.clone(), addr, vldb_replicas),
+            data,
+            ticket: Mutex::new(None),
+            vnodes: Mutex::new(HashMap::new()),
+            locations: Mutex::new(HashMap::new()),
+            roots: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ClientStats::default()),
+        });
+        net.register(
+            addr,
+            cm.clone(),
+            PoolConfig { workers: 2, revocation_workers: 2, require_auth: false },
+        );
+        cm
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Client statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.lock().clone()
+    }
+
+    /// Authenticates as `user` via the KDC (§3.7, §4.1).
+    pub fn login(&self, user: u32, secret: u64) -> DfsResult<()> {
+        let resp = self
+            .net
+            .call(self.addr, Addr::Kdc, None, CallClass::Normal, Request::Login { user, secret })?;
+        match resp {
+            Response::TicketGranted(t) => {
+                *self.ticket.lock() = Some(t);
+                Ok(())
+            }
+            Response::Err(e) => Err(e),
+            _ => Err(DfsError::Internal("bad KDC response")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource layer (§4.1)
+    // ------------------------------------------------------------------
+
+    fn server_for(&self, volume: VolumeId) -> DfsResult<ServerId> {
+        if let Some(s) = self.locations.lock().get(&volume) {
+            return Ok(*s);
+        }
+        let s = self.vldb.lookup(volume)?;
+        self.locations.lock().insert(volume, s);
+        Ok(s)
+    }
+
+    /// Sends a file RPC, retrying transparently across volume moves
+    /// (re-consulting the VLDB) and brief volume-busy windows (§2.1).
+    fn file_rpc(&self, volume: VolumeId, req: Request) -> DfsResult<Response> {
+        let ticket = *self.ticket.lock();
+        for _attempt in 0..50 {
+            let server = self.server_for(volume)?;
+            let resp = self.net.call(
+                self.addr,
+                Addr::Server(server),
+                ticket,
+                CallClass::Normal,
+                req.clone(),
+            );
+            match resp {
+                Ok(Response::Err(DfsError::NoSuchVolume)) => {
+                    self.locations.lock().remove(&volume);
+                    // Force a fresh VLDB lookup next iteration.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Ok(Response::Err(DfsError::VolumeBusy)) => {
+                    self.stats.lock().busy_retries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Ok(other) => return Ok(other),
+                Err(DfsError::Unreachable) => {
+                    self.locations.lock().remove(&volume);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(DfsError::Timeout)
+    }
+
+    // ------------------------------------------------------------------
+    // Vnode table
+    // ------------------------------------------------------------------
+
+    fn vnode(&self, fid: Fid) -> Arc<CVnode> {
+        let mut vnodes = self.vnodes.lock();
+        vnodes
+            .entry(fid)
+            .or_insert_with(|| {
+                Arc::new(CVnode { fid, hi: Mutex::new(()), lo: Mutex::new(VnState::default()) })
+            })
+            .clone()
+    }
+
+    /// Merges an RPC response's tokens/status into the vnode and then
+    /// applies any queued revocations, all in stamp order (§6.3).
+    fn absorb(
+        &self,
+        vn: &CVnode,
+        lo: &mut VnState,
+        status: Option<(FileStatus, SerializationStamp)>,
+        tokens: Vec<Token>,
+    ) {
+        if let Some((status, stamp)) = status {
+            if !lo.merge_status(status, stamp) {
+                self.stats.lock().stale_status_dropped += 1;
+            }
+        }
+        for t in tokens {
+            lo.tokens.push(t);
+        }
+        let queued = std::mem::take(&mut lo.queued);
+        for (token, types, stamp) in queued {
+            self.apply_revocation(vn, lo, &token, types, stamp);
+        }
+    }
+
+    /// Processes one typed revocation against the low-level state.
+    ///
+    /// Only the `types` bits are taken; remaining bits of the token stay
+    /// held. Dirty pages (for data-write bits) or local status (for
+    /// status-write bits) are stored back first (§5.3). Returns false if
+    /// the bits are retained (held locks/opens, §5.3).
+    fn apply_revocation(
+        &self,
+        vn: &CVnode,
+        lo: &mut VnState,
+        token: &Token,
+        types: TokenTypes,
+        stamp: SerializationStamp,
+    ) -> bool {
+        let Some(pos) = lo.tokens.iter().position(|t| t.id == token.id) else {
+            return true; // Already gone (returned voluntarily).
+        };
+        let to_drop = TokenTypes(lo.tokens[pos].types.0 & types.0);
+        if to_drop.is_empty() {
+            return true;
+        }
+        let held_range = lo.tokens[pos].range;
+        // Lock and open tokens may be kept if still in use (§5.3).
+        if to_drop.intersects(TokenTypes(TokenTypes::LOCK_READ.0 | TokenTypes::LOCK_WRITE.0))
+            && lo.locks.iter().any(|l| l.local && l.range.overlaps(&held_range))
+        {
+            self.stats.lock().retained += 1;
+            return false;
+        }
+        if to_drop.intersects(TokenTypes::OPEN_MASK) && !lo.opens.is_empty() {
+            self.stats.lock().retained += 1;
+            return false;
+        }
+        // Store back what the revoked bits let us dirty (§5.3, §6.4):
+        // data-write bits flush dirty pages in the range; status-write
+        // bits push the locally-updated status (length and mtime — the
+        // data itself stays cached under the data token we still hold).
+        if to_drop.contains(TokenTypes::DATA_WRITE) {
+            let _ = self.store_dirty(vn, lo, Some(held_range), CallClass::Revocation);
+        } else if to_drop.contains(TokenTypes::STATUS_WRITE) && lo.status_dirty {
+            if let Some(st) = lo.status.clone() {
+                let ticket = *self.ticket.lock();
+                if let Ok(server) = self.server_for(vn.fid.volume) {
+                    let attrs = SetAttrs {
+                        length: Some(st.length),
+                        mtime: Some(st.mtime),
+                        ..SetAttrs::default()
+                    };
+                    let resp = self.net.call(
+                        self.addr,
+                        Addr::Server(server),
+                        ticket,
+                        CallClass::Revocation,
+                        Request::StoreStatus { fid: vn.fid, attrs },
+                    );
+                    if let Ok(Response::Status { status, stamp, .. }) = resp {
+                        lo.merge_status(status, stamp);
+                    }
+                    lo.status_dirty = false;
+                }
+            }
+        }
+        // Strip the bits; drop the token entirely when nothing is left.
+        lo.tokens[pos].types = lo.tokens[pos].types.minus(to_drop);
+        if lo.tokens[pos].types.is_empty() {
+            lo.tokens.remove(pos);
+        }
+        // Drop cache coverage no longer under any token.
+        let still_covered: Vec<ByteRange> = lo
+            .tokens
+            .iter()
+            .filter(|t| {
+                t.types
+                    .intersects(TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::DATA_WRITE.0))
+            })
+            .map(|t| t.range)
+            .collect();
+        if to_drop
+            .intersects(TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::DATA_WRITE.0))
+        {
+            let dropped: Vec<u64> = lo
+                .valid
+                .iter()
+                .copied()
+                .filter(|p| {
+                    let r = ByteRange::at(p * PAGE_SIZE as u64, PAGE_SIZE as u64);
+                    held_range.overlaps(&r) && !still_covered.iter().any(|c| c.contains_range(&r))
+                })
+                .collect();
+            for p in dropped {
+                lo.valid.remove(&p);
+                self.data.drop_page(vn.fid, p);
+            }
+            // Directory-content caches ride on the data token.
+            lo.names.clear();
+            lo.listing = None;
+        }
+        if to_drop
+            .intersects(TokenTypes(TokenTypes::STATUS_READ.0 | TokenTypes::STATUS_WRITE.0))
+        {
+            lo.names.clear();
+            lo.listing = None;
+        }
+        lo.stamp = lo.stamp.max(stamp);
+        true
+    }
+
+    /// Stores dirty pages (optionally only those in `range`) back to the
+    /// file server, merging the returned status by stamp (§6.3).
+    fn store_dirty(
+        &self,
+        vn: &CVnode,
+        lo: &mut VnState,
+        range: Option<ByteRange>,
+        class: CallClass,
+    ) -> DfsResult<()> {
+        let eof = lo.status.as_ref().map(|s| s.length).unwrap_or(u64::MAX);
+        let pages: Vec<u64> = lo
+            .dirty
+            .iter()
+            .copied()
+            .filter(|p| {
+                range.is_none_or(|r| {
+                    r.overlaps(&ByteRange::at(p * PAGE_SIZE as u64, PAGE_SIZE as u64))
+                })
+            })
+            .collect();
+        let ticket = *self.ticket.lock();
+        let server = self.server_for(vn.fid.volume)?;
+        for p in pages {
+            let Some(bytes) = self.data.read_page(vn.fid, p) else { continue };
+            let offset = p * PAGE_SIZE as u64;
+            let len = (PAGE_SIZE as u64).min(eof.saturating_sub(offset)) as usize;
+            if len == 0 {
+                lo.dirty.remove(&p);
+                continue;
+            }
+            let resp = self.net.call(
+                self.addr,
+                Addr::Server(server),
+                ticket,
+                class,
+                Request::StoreData { fid: vn.fid, offset, data: bytes[..len].to_vec() },
+            )?;
+            match resp {
+                Response::Status { status, stamp, .. } => {
+                    if !lo.merge_status(status, stamp) {
+                        self.stats.lock().stale_status_dropped += 1;
+                    }
+                }
+                Response::Err(e) => return Err(e),
+                _ => return Err(DfsError::Internal("bad StoreData response")),
+            }
+            lo.dirty.remove(&p);
+            if class == CallClass::Revocation {
+                self.stats.lock().revocation_stores += 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Vnode layer: the file API (§4.4)
+    // ------------------------------------------------------------------
+
+    /// Returns the root fid of a volume.
+    pub fn root(&self, volume: VolumeId) -> DfsResult<Fid> {
+        if let Some(f) = self.roots.lock().get(&volume) {
+            return Ok(*f);
+        }
+        match self.file_rpc(volume, Request::GetRoot { volume })?.into_result()? {
+            Response::FidIs(f) => {
+                self.roots.lock().insert(volume, f);
+                Ok(f)
+            }
+            _ => Err(DfsError::Internal("bad GetRoot response")),
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read(&self, fid: Fid, offset: u64, len: usize) -> DfsResult<Vec<u8>> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        for round in 0..256u32 {
+            // Fast path first, while the low-level lock is still held
+            // from the previous round's merge: a freshly-granted token
+            // cannot be revoked between absorb and this check.
+            if lo.status_trusted() {
+                let st = lo.status.clone().expect("trusted implies present");
+                let end = st.length.min(offset + len as u64);
+                if offset >= end {
+                    self.stats.lock().local_reads += 1;
+                    return Ok(Vec::new());
+                }
+                let want = ByteRange::new(offset, end);
+                let first = offset / PAGE_SIZE as u64;
+                let last = (end - 1) / PAGE_SIZE as u64;
+                let readable = TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::DATA_WRITE.0);
+                if lo.covered(readable, &want)
+                    && (first..=last).all(|p| lo.valid.contains(&p))
+                {
+                    let mut out = Vec::with_capacity((end - offset) as usize);
+                    for p in first..=last {
+                        let page =
+                            self.data.read_page(fid, p).unwrap_or_else(|| vec![0; PAGE_SIZE]);
+                        let ps = p * PAGE_SIZE as u64;
+                        let s = offset.max(ps) - ps;
+                        let e = (end - ps).min(PAGE_SIZE as u64);
+                        out.extend_from_slice(&page[s as usize..e as usize]);
+                    }
+                    self.stats.lock().local_reads += 1;
+                    return Ok(out);
+                }
+            }
+
+            if round > 4 {
+                // Contended token: back off outside the locks so another
+                // client can finish its handoff, then re-acquire.
+                drop(lo);
+                std::thread::sleep(std::time::Duration::from_micros(u64::from(round) * 100));
+                lo = vn.lo.lock();
+            }
+            // Miss: fetch a chunk with read tokens, releasing the low
+            // lock across the RPC (§6.1), then merge and retry.
+            let first = offset / PAGE_SIZE as u64;
+            let pages = (len as u64).div_ceil(PAGE_SIZE as u64).max(1).max(FETCH_PAGES);
+            let fetch_off = first * PAGE_SIZE as u64;
+            let fetch_len = (pages * PAGE_SIZE as u64) as u32;
+            let fetch_range = ByteRange::at(fetch_off, fetch_len as u64);
+            lo.in_flight += 1;
+            drop(lo);
+            let resp = self.file_rpc(
+                fid.volume,
+                Request::FetchData {
+                    fid,
+                    offset: fetch_off,
+                    len: fetch_len,
+                    want: TokenRequest::ranged(
+                        TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::STATUS_READ.0),
+                        fetch_range,
+                    ),
+                },
+            );
+            lo = vn.lo.lock();
+            lo.in_flight -= 1;
+            let (bytes, status, tokens, stamp) = match resp?.into_result()? {
+                Response::Data { bytes, status, tokens, stamp } => (bytes, status, tokens, stamp),
+                _ => return Err(DfsError::Internal("bad FetchData response")),
+            };
+            // Install fetched pages; locally-dirty pages are newer than
+            // anything the server returned (we hold the write token).
+            let whole_pages = bytes.len() / PAGE_SIZE;
+            for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+                let p = first + i as u64;
+                if !lo.dirty.contains(&p) {
+                    self.data.write_page(fid, p, chunk)?;
+                    if i < whole_pages || status.length <= fetch_off + bytes.len() as u64 {
+                        lo.valid.insert(p);
+                    }
+                }
+            }
+            self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
+            self.stats.lock().remote_reads += 1;
+        }
+        Err(DfsError::Timeout)
+    }
+
+    /// Writes `data` at `offset`; absorbed locally when a write token is
+    /// held ("update the data ... without storing the data back to the
+    /// server or even notifying the server", §5.2).
+    pub fn write(&self, fid: Fid, offset: u64, data: &[u8]) -> DfsResult<FileStatus> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        let want = ByteRange::at(offset, data.len() as u64);
+        let needed = TokenTypes(TokenTypes::DATA_WRITE.0 | TokenTypes::STATUS_WRITE.0);
+
+        for round in 0..256u32 {
+            if lo.covered(TokenTypes::DATA_WRITE, &want)
+                && lo.has_types(TokenTypes::STATUS_WRITE)
+                && lo.status.is_some()
+            {
+                // Partial first/last pages need their old contents.
+                let first = offset / PAGE_SIZE as u64;
+                let last = (offset + data.len() as u64 - 1) / PAGE_SIZE as u64;
+                let eof = lo.status.as_ref().map(|s| s.length).unwrap_or(0);
+                let mut need_fetch = Vec::new();
+                for p in [first, last] {
+                    let ps = p * PAGE_SIZE as u64;
+                    let full = offset <= ps && offset + data.len() as u64 >= ps + PAGE_SIZE as u64;
+                    if !full && !lo.valid.contains(&p) && ps < eof {
+                        need_fetch.push(p);
+                    }
+                }
+                need_fetch.dedup();
+                if !need_fetch.is_empty() {
+                    let need_fetch2 = need_fetch.clone();
+                    lo.in_flight += 1;
+                    drop(lo);
+                    for p in need_fetch {
+                        let resp = self.file_rpc(
+                            fid.volume,
+                            Request::FetchData {
+                                fid,
+                                offset: p * PAGE_SIZE as u64,
+                                len: PAGE_SIZE as u32,
+                                want: None,
+                            },
+                        );
+                        if let Ok(Response::Data { bytes, .. }) = resp {
+                            self.data.write_page(fid, p, &bytes)?;
+                        }
+                    }
+                    lo = vn.lo.lock();
+                    lo.in_flight -= 1;
+                    for p in need_fetch2 {
+                        lo.valid.insert(p);
+                    }
+                    // Tokens may have been revoked while fetching (§6.3):
+                    // drain the queue and re-check coverage.
+                    self.absorb(&vn, &mut lo, None, Vec::new());
+                    continue;
+                }
+                // Apply the write to cached pages.
+                let mut done = 0usize;
+                let mut pos = offset;
+                while done < data.len() {
+                    let p = pos / PAGE_SIZE as u64;
+                    let within = (pos % PAGE_SIZE as u64) as usize;
+                    let n = (PAGE_SIZE - within).min(data.len() - done);
+                    let mut page =
+                        self.data.read_page(fid, p).unwrap_or_else(|| vec![0; PAGE_SIZE]);
+                    page[within..within + n].copy_from_slice(&data[done..done + n]);
+                    self.data.write_page(fid, p, &page)?;
+                    lo.valid.insert(p);
+                    lo.dirty.insert(p);
+                    pos += n as u64;
+                    done += n;
+                }
+                let st = lo.status.as_mut().expect("checked above");
+                st.length = st.length.max(offset + data.len() as u64);
+                st.mtime = self.net.clock().now();
+                st.data_version += 1;
+                let out = st.clone();
+                lo.status_dirty = true;
+                self.stats.lock().local_writes += 1;
+                return Ok(out);
+            }
+
+            if round > 4 {
+                drop(lo);
+                std::thread::sleep(std::time::Duration::from_micros(u64::from(round) * 100));
+                lo = vn.lo.lock();
+            }
+            // Acquire data and status tokens in one combined grant over
+            // a page-aligned hull so nearby writes stay local; typed
+            // partial revocation means a later status conflict will not
+            // take the byte-range data bits with it (§5.2, §5.4).
+            let hull = ByteRange::new(
+                (offset / PAGE_SIZE as u64) * PAGE_SIZE as u64,
+                (offset + data.len() as u64).div_ceil(PAGE_SIZE as u64).max(FETCH_PAGES)
+                    * PAGE_SIZE as u64,
+            );
+            lo.in_flight += 1;
+            drop(lo);
+            let resp = self.file_rpc(
+                fid.volume,
+                Request::GetToken {
+                    fid,
+                    want: TokenRequest {
+                        types: TokenTypes(
+                            needed.0 | TokenTypes::DATA_READ.0 | TokenTypes::STATUS_READ.0,
+                        ),
+                        range: hull,
+                    },
+                },
+            );
+            lo = vn.lo.lock();
+            lo.in_flight -= 1;
+            match resp?.into_result()? {
+                Response::Status { status, tokens, stamp } => {
+                    self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
+                }
+                _ => return Err(DfsError::Internal("bad GetToken response")),
+            }
+            self.stats.lock().write_token_fetches += 1;
+        }
+        Err(DfsError::Timeout)
+    }
+
+    /// Prefetches data tokens over `range` so subsequent reads (and
+    /// writes, with `write = true`) in that range are served locally —
+    /// how a partitioned workload claims its byte range (§5.4).
+    pub fn acquire_data_token(&self, fid: Fid, range: ByteRange, write: bool) -> DfsResult<()> {
+        let types = if write {
+            TokenTypes(
+                TokenTypes::DATA_WRITE.0
+                    | TokenTypes::DATA_READ.0
+                    | TokenTypes::STATUS_WRITE.0
+                    | TokenTypes::STATUS_READ.0,
+            )
+        } else {
+            TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::STATUS_READ.0)
+        };
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self
+            .file_rpc(fid.volume, Request::GetToken { fid, want: TokenRequest { types, range } });
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result()? {
+            Response::Status { status, tokens, stamp } => {
+                self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
+                Ok(())
+            }
+            _ => Err(DfsError::Internal("bad GetToken response")),
+        }
+    }
+
+    /// Flushes dirty data and returns the file's status.
+    pub fn fsync(&self, fid: Fid) -> DfsResult<()> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        self.store_dirty(&vn, &mut lo, None, CallClass::Normal)
+    }
+
+    /// Looks up `name` in `dir`, consulting the directory layer first
+    /// (§4.3: "the client must in general cache the results of
+    /// individual lookups").
+    pub fn lookup(&self, dir: Fid, name: &str) -> DfsResult<FileStatus> {
+        let vn = self.vnode(dir);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        if lo.dir_trusted() {
+            if let Some(st) = lo.names.get(name) {
+                self.stats.lock().lookup_hits += 1;
+                return Ok(st.clone());
+            }
+            if lo.listing.is_some()
+                && !lo.listing.as_ref().unwrap().iter().any(|e| e.name == name)
+            {
+                self.stats.lock().lookup_hits += 1;
+                return Err(DfsError::NotFound);
+            }
+        }
+        lo.in_flight += 1;
+        drop(lo);
+        self.stats.lock().lookup_misses += 1;
+        let resp = self.file_rpc(
+            dir.volume,
+            Request::Lookup {
+                dir,
+                name: name.to_string(),
+                want: TokenRequest::whole(TokenTypes(
+                    TokenTypes::STATUS_READ.0 | TokenTypes::DATA_READ.0,
+                )),
+            },
+        );
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result() {
+            Ok(Response::Status { status, tokens, stamp }) => {
+                self.absorb(&vn, &mut lo, None, tokens);
+                lo.names.insert(name.to_string(), status.clone());
+                drop(lo);
+                // Seed the child vnode's status too.
+                let child = self.vnode(status.fid);
+                let mut clo = child.lo.lock();
+                if !clo.merge_status(status.clone(), stamp) {
+                    self.stats.lock().stale_status_dropped += 1;
+                }
+                Ok(status)
+            }
+            Ok(_) => Err(DfsError::Internal("bad Lookup response")),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Lists a directory, cached under the directory's data token.
+    pub fn readdir(&self, dir: Fid) -> DfsResult<Vec<DirEntry>> {
+        let vn = self.vnode(dir);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        if lo.dir_trusted() {
+            if let Some(l) = &lo.listing {
+                self.stats.lock().lookup_hits += 1;
+                return Ok(l.clone());
+            }
+        }
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self.file_rpc(dir.volume, Request::Readdir { dir });
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result()? {
+            Response::Entries(entries) => {
+                if lo.dir_trusted() {
+                    lo.listing = Some(entries.clone());
+                }
+                Ok(entries)
+            }
+            _ => Err(DfsError::Internal("bad Readdir response")),
+        }
+    }
+
+    fn namespace_rpc(&self, dir: Fid, req: Request) -> DfsResult<FileStatus> {
+        let vn = self.vnode(dir);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self.file_rpc(dir.volume, req);
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result() {
+            Ok(Response::Status { status, tokens, stamp }) => {
+                self.absorb(&vn, &mut lo, None, tokens);
+                // We made this change ourselves: our directory caches can
+                // be updated in place (the server did not revoke our own
+                // tokens, §5.2 same-host compatibility).
+                lo.listing = None;
+                drop(lo);
+                let child = self.vnode(status.fid);
+                let mut clo = child.lo.lock();
+                clo.merge_status(status.clone(), stamp);
+                Ok(status)
+            }
+            Ok(Response::Ok) => Ok(FileStatus::default()),
+            Ok(_) => Err(DfsError::Internal("bad namespace response")),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Creates a regular file.
+    pub fn create(&self, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus> {
+        let st =
+            self.namespace_rpc(dir, Request::Create { dir, name: name.into(), mode })?;
+        let vn = self.vnode(dir);
+        let mut lo = vn.lo.lock();
+        lo.names.insert(name.to_string(), st.clone());
+        Ok(st)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus> {
+        let st = self.namespace_rpc(dir, Request::Mkdir { dir, name: name.into(), mode })?;
+        let vn = self.vnode(dir);
+        vn.lo.lock().names.insert(name.to_string(), st.clone());
+        Ok(st)
+    }
+
+    /// Creates a symlink.
+    pub fn symlink(&self, dir: Fid, name: &str, target: &str) -> DfsResult<FileStatus> {
+        self.namespace_rpc(
+            dir,
+            Request::Symlink { dir, name: name.into(), target: target.into() },
+        )
+    }
+
+    /// Reads a symlink target.
+    pub fn readlink(&self, fid: Fid) -> DfsResult<String> {
+        match self.file_rpc(fid.volume, Request::Readlink { fid })?.into_result()? {
+            Response::Target(t) => Ok(t),
+            _ => Err(DfsError::Internal("bad Readlink response")),
+        }
+    }
+
+    /// Adds a hard link.
+    pub fn link(&self, dir: Fid, name: &str, target: Fid) -> DfsResult<FileStatus> {
+        self.namespace_rpc(dir, Request::Link { dir, name: name.into(), target })
+    }
+
+    /// Removes a file.
+    pub fn remove(&self, dir: Fid, name: &str) -> DfsResult<()> {
+        let st = self.namespace_rpc(dir, Request::Remove { dir, name: name.into() })?;
+        let vn = self.vnode(dir);
+        vn.lo.lock().names.remove(name);
+        // Invalidate the victim's cached state.
+        let victim = self.vnode(st.fid);
+        let mut vlo = victim.lo.lock();
+        vlo.status = None;
+        vlo.valid.clear();
+        vlo.dirty.clear();
+        self.data.evict_file(st.fid);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, dir: Fid, name: &str) -> DfsResult<()> {
+        let vn = self.vnode(dir);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self.file_rpc(dir.volume, Request::Rmdir { dir, name: name.into() });
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        resp?.into_result()?;
+        lo.names.remove(name);
+        lo.listing = None;
+        Ok(())
+    }
+
+    /// Renames an entry.
+    pub fn rename(
+        &self,
+        src_dir: Fid,
+        src_name: &str,
+        dst_dir: Fid,
+        dst_name: &str,
+    ) -> DfsResult<()> {
+        self.file_rpc(
+            src_dir.volume,
+            Request::Rename {
+                src_dir,
+                src_name: src_name.into(),
+                dst_dir,
+                dst_name: dst_name.into(),
+            },
+        )?
+        .into_result()?;
+        for (d, n) in [(src_dir, src_name), (dst_dir, dst_name)] {
+            let vn = self.vnode(d);
+            let mut lo = vn.lo.lock();
+            lo.names.remove(n);
+            lo.listing = None;
+        }
+        Ok(())
+    }
+
+    /// Returns the file's status, from cache when the token allows.
+    pub fn getattr(&self, fid: Fid) -> DfsResult<FileStatus> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        if lo.status_trusted() {
+            self.stats.lock().local_reads += 1;
+            return Ok(lo.status.clone().expect("trusted implies present"));
+        }
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self.file_rpc(
+            fid.volume,
+            Request::FetchStatus { fid, want: TokenRequest::whole(TokenTypes::STATUS_READ) },
+        );
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result()? {
+            Response::Status { status, tokens, stamp } => {
+                self.absorb(&vn, &mut lo, Some((status.clone(), stamp)), tokens);
+                Ok(lo.status.clone().unwrap_or(status))
+            }
+            _ => Err(DfsError::Internal("bad FetchStatus response")),
+        }
+    }
+
+    /// Changes attributes (truncation goes to the server).
+    pub fn setattr(&self, fid: Fid, attrs: &SetAttrs) -> DfsResult<FileStatus> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        // Push dirty data first so truncation happens after our writes.
+        self.store_dirty(&vn, &mut lo, None, CallClass::Normal)?;
+        lo.in_flight += 1;
+        drop(lo);
+        let resp =
+            self.file_rpc(fid.volume, Request::StoreStatus { fid, attrs: attrs.clone() });
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result()? {
+            Response::Status { status, tokens, stamp } => {
+                if let Some(len) = attrs.length {
+                    // Truncation invalidates cached pages past the end.
+                    let keep = len.div_ceil(PAGE_SIZE as u64);
+                    let dropped: Vec<u64> =
+                        lo.valid.iter().copied().filter(|p| *p >= keep).collect();
+                    for p in dropped {
+                        lo.valid.remove(&p);
+                        lo.dirty.remove(&p);
+                        self.data.drop_page(fid, p);
+                    }
+                }
+                self.absorb(&vn, &mut lo, Some((status.clone(), stamp)), tokens);
+                Ok(lo.status.clone().unwrap_or(status))
+            }
+            _ => Err(DfsError::Internal("bad StoreStatus response")),
+        }
+    }
+
+    /// Reads a file's ACL.
+    pub fn get_acl(&self, fid: Fid) -> DfsResult<Acl> {
+        match self.file_rpc(fid.volume, Request::GetAcl { fid })?.into_result()? {
+            Response::AclIs(a) => Ok(a),
+            _ => Err(DfsError::Internal("bad GetAcl response")),
+        }
+    }
+
+    /// Replaces a file's ACL.
+    pub fn set_acl(&self, fid: Fid, acl: &Acl) -> DfsResult<()> {
+        self.file_rpc(fid.volume, Request::SetAcl { fid, acl: acl.clone() })?
+            .into_result()?;
+        Ok(())
+    }
+
+    /// Opens the file in `mode`, obtaining the matching open token.
+    pub fn open(&self, fid: Fid, mode: OpenMode) -> DfsResult<()> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        let tok = mode.token();
+        if !lo.has_types(tok) {
+            lo.in_flight += 1;
+            drop(lo);
+            let resp = self.file_rpc(
+                fid.volume,
+                Request::GetToken {
+                    fid,
+                    want: TokenRequest { types: tok, range: ByteRange::WHOLE },
+                },
+            );
+            lo = vn.lo.lock();
+            lo.in_flight -= 1;
+            match resp?.into_result()? {
+                Response::Status { status, tokens, stamp } => {
+                    self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
+                }
+                _ => return Err(DfsError::Internal("bad GetToken response")),
+            }
+        }
+        lo.opens.push(tok);
+        Ok(())
+    }
+
+    /// Closes one open handle, storing dirty data back (AFS-compatible
+    /// behaviour; with tokens this is not required for consistency).
+    pub fn close(&self, fid: Fid, mode: OpenMode) -> DfsResult<()> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        let tok = mode.token();
+        if let Some(i) = lo.opens.iter().position(|t| *t == tok) {
+            lo.opens.remove(i);
+        }
+        self.store_dirty(&vn, &mut lo, None, CallClass::Normal)
+    }
+
+    /// Sets a byte-range lock, locally when a lock token is held (§5.2).
+    pub fn lock(&self, fid: Fid, range: ByteRange, write: bool) -> DfsResult<()> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        let needed = if write { TokenTypes::LOCK_WRITE } else { TokenTypes::LOCK_READ };
+        if lo.find_token(needed, &range).is_some() {
+            // Local conflict check among our own lockers.
+            if lo.locks.iter().any(|l| l.range.overlaps(&range) && (l.write || write)) {
+                return Err(DfsError::LockConflict);
+            }
+            lo.locks.push(HeldLock { range, write, local: true });
+            return Ok(());
+        }
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self.file_rpc(fid.volume, Request::SetLock { fid, range, write });
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        resp?.into_result()?;
+        lo.locks.push(HeldLock { range, write, local: false });
+        Ok(())
+    }
+
+    /// Tries to obtain a lock *token* so subsequent locks are local.
+    pub fn acquire_lock_token(&self, fid: Fid, range: ByteRange, write: bool) -> DfsResult<()> {
+        let types = if write { TokenTypes::LOCK_WRITE } else { TokenTypes::LOCK_READ };
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        lo.in_flight += 1;
+        drop(lo);
+        let resp = self
+            .file_rpc(fid.volume, Request::GetToken { fid, want: TokenRequest { types, range } });
+        let mut lo = vn.lo.lock();
+        lo.in_flight -= 1;
+        match resp?.into_result()? {
+            Response::Status { status, tokens, stamp } => {
+                self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
+                Ok(())
+            }
+            _ => Err(DfsError::Internal("bad GetToken response")),
+        }
+    }
+
+    /// Releases a byte-range lock.
+    pub fn unlock(&self, fid: Fid, range: ByteRange) -> DfsResult<()> {
+        let vn = self.vnode(fid);
+        let _hi = vn.hi.lock();
+        let mut lo = vn.lo.lock();
+        let mut was_remote = false;
+        lo.locks.retain(|l| {
+            if l.range.overlaps(&range) {
+                was_remote |= !l.local;
+                false
+            } else {
+                true
+            }
+        });
+        if was_remote {
+            lo.in_flight += 1;
+            drop(lo);
+            let resp = self.file_rpc(fid.volume, Request::ReleaseLock { fid, range });
+            let mut lo2 = vn.lo.lock();
+            lo2.in_flight -= 1;
+            resp?.into_result()?;
+        }
+        Ok(())
+    }
+
+    /// Returns tokens currently held on a fid (diagnostics/tests).
+    pub fn held_tokens(&self, fid: Fid) -> Vec<Token> {
+        self.vnode(fid).lo.lock().tokens.clone()
+    }
+
+    /// Returns the number of dirty (unstored) pages for a fid.
+    pub fn dirty_pages(&self, fid: Fid) -> usize {
+        self.vnode(fid).lo.lock().dirty.len()
+    }
+
+}
+
+impl RpcService for CacheManager {
+    fn dispatch(&self, _ctx: CallContext, req: Request) -> Response {
+        match req {
+            Request::RevokeToken { token, types, stamp } => {
+                self.stats.lock().revocations += 1;
+                let vn = {
+                    let vnodes = self.vnodes.lock();
+                    vnodes.get(&token.fid).cloned()
+                };
+                let Some(vn) = vn else {
+                    return Response::RevokeAck { returned: true };
+                };
+                // Revocations take ONLY the low-level lock (§6.1): the
+                // high-level lock may be held by one of our own
+                // operations blocked on this very server.
+                let mut lo = vn.lo.lock();
+                let known = lo.tokens.iter().any(|t| t.id == token.id);
+                if !known {
+                    if lo.in_flight > 0 {
+                        // §6.3: the call that returns this token is still
+                        // in flight; queue the revocation for processing
+                        // when the reply arrives.
+                        lo.queued.push((token, types, stamp));
+                        self.stats.lock().queued_revocations += 1;
+                    }
+                    return Response::RevokeAck { returned: true };
+                }
+                let returned = self.apply_revocation(&vn, &mut lo, &token, types, stamp);
+                Response::RevokeAck { returned }
+            }
+            Request::Ping => Response::Ok,
+            _ => Response::Err(DfsError::InvalidArgument),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_token::TokenId;
+    use dfs_types::{VnodeId, VolumeId};
+
+    fn tok(id: u64, types: TokenTypes, range: ByteRange) -> Token {
+        Token {
+            id: TokenId(id),
+            fid: Fid::new(VolumeId(1), VnodeId(1), 1),
+            types,
+            range,
+        }
+    }
+
+    #[test]
+    fn coverage_union_of_tokens() {
+        let mut st = VnState::default();
+        st.tokens.push(tok(1, TokenTypes::DATA_READ, ByteRange::new(0, 100)));
+        st.tokens.push(tok(2, TokenTypes::DATA_READ, ByteRange::new(100, 200)));
+        assert!(st.covered(TokenTypes::DATA_READ, &ByteRange::new(0, 200)));
+        assert!(st.covered(TokenTypes::DATA_READ, &ByteRange::new(50, 150)));
+        assert!(!st.covered(TokenTypes::DATA_READ, &ByteRange::new(150, 250)));
+        assert!(!st.covered(TokenTypes::DATA_WRITE, &ByteRange::new(0, 10)));
+        assert!(st.covered(TokenTypes::DATA_READ, &ByteRange::new(5, 5)), "empty range");
+    }
+
+    #[test]
+    fn coverage_with_gap_fails() {
+        let mut st = VnState::default();
+        st.tokens.push(tok(1, TokenTypes::DATA_WRITE, ByteRange::new(0, 100)));
+        st.tokens.push(tok(2, TokenTypes::DATA_WRITE, ByteRange::new(150, 300)));
+        assert!(!st.covered(TokenTypes::DATA_WRITE, &ByteRange::new(0, 300)));
+        assert!(st.covered(TokenTypes::DATA_WRITE, &ByteRange::new(160, 290)));
+    }
+
+    #[test]
+    fn merge_status_is_monotone_in_stamps() {
+        let mut st = VnState::default();
+        let mut s5 = FileStatus::default();
+        s5.length = 5;
+        assert!(st.merge_status(s5.clone(), SerializationStamp(5)));
+        let mut s3 = FileStatus::default();
+        s3.length = 3;
+        assert!(!st.merge_status(s3, SerializationStamp(3)), "older stamp rejected (§6.3)");
+        assert_eq!(st.status.as_ref().unwrap().length, 5);
+        let mut s9 = FileStatus::default();
+        s9.length = 9;
+        assert!(st.merge_status(s9, SerializationStamp(9)));
+        assert_eq!(st.status.as_ref().unwrap().length, 9);
+        assert_eq!(st.stamp, SerializationStamp(9));
+    }
+
+    #[test]
+    fn status_trust_requires_token() {
+        let mut st = VnState::default();
+        st.merge_status(FileStatus::default(), SerializationStamp(1));
+        assert!(!st.status_trusted(), "status without a token is untrusted");
+        st.tokens.push(tok(1, TokenTypes::STATUS_READ, ByteRange::WHOLE));
+        assert!(st.status_trusted());
+        assert!(!st.dir_trusted(), "dir trust needs data+status read");
+        st.tokens.push(tok(2, TokenTypes(TokenTypes::STATUS_READ.0 | TokenTypes::DATA_READ.0), ByteRange::WHOLE));
+        assert!(st.dir_trusted());
+    }
+
+    #[test]
+    fn open_mode_token_mapping() {
+        assert_eq!(OpenMode::Read.token(), TokenTypes::OPEN_READ);
+        assert_eq!(OpenMode::Write.token(), TokenTypes::OPEN_WRITE);
+        assert_eq!(OpenMode::Execute.token(), TokenTypes::OPEN_EXECUTE);
+        assert_eq!(OpenMode::SharedRead.token(), TokenTypes::OPEN_SHARED_READ);
+        assert_eq!(OpenMode::ExclusiveWrite.token(), TokenTypes::OPEN_EXCLUSIVE_WRITE);
+    }
+
+    #[test]
+    fn find_token_requires_full_containment() {
+        let mut st = VnState::default();
+        st.tokens.push(tok(1, TokenTypes::LOCK_WRITE, ByteRange::new(10, 20)));
+        assert!(st.find_token(TokenTypes::LOCK_WRITE, &ByteRange::new(12, 18)).is_some());
+        assert!(st.find_token(TokenTypes::LOCK_WRITE, &ByteRange::new(5, 18)).is_none());
+        assert!(st.find_token(TokenTypes::LOCK_READ, &ByteRange::new(12, 18)).is_none());
+        assert!(st.has_types(TokenTypes::LOCK_WRITE));
+        assert!(!st.has_types(TokenTypes::OPEN_READ));
+    }
+}

@@ -1,0 +1,695 @@
+//! The anode layer: open-ended disk containers (§2.4).
+//!
+//! An anode provides "an open-ended address space of disk storage and
+//! nothing more". This module implements:
+//!
+//! * the anode table (allocation and persistence of descriptors),
+//! * block mapping (direct, single- and double-indirect pointers),
+//! * the block refcount table — anode 2 — which doubles as the free map
+//!   (refcount zero means free) and carries the sharing counts that make
+//!   volume cloning copy-on-write (§2.1),
+//! * reading, writing (logged for metadata, unlogged for user data), and
+//!   chunked truncation ("truncation of a file may be broken up to
+//!   truncate only one block or a few blocks at a time", §2.2).
+
+use crate::layout::{
+    Anode, AnodeKind, ANODE_SIZE, FIRST_FREE_ANODE, NDIRECT, PTRS_PER_BLOCK, REFCOUNT_ANODE,
+};
+use crate::Episode;
+use dfs_disk::BLOCK_SIZE;
+use dfs_journal::TxnId;
+use dfs_types::{DfsError, DfsResult};
+
+/// Maximum blocks freed per transaction during chunked truncation.
+pub const TRUNCATE_CHUNK: usize = 64;
+
+/// Where a block pointer lives: in the anode or in an indirect block.
+enum Slot {
+    /// `direct[i]` of the anode itself.
+    Direct(usize),
+    /// Byte offset within an indirect block.
+    Indirect { block: u32, offset: usize },
+}
+
+impl Episode {
+    // ------------------------------------------------------------------
+    // Anode table
+    // ------------------------------------------------------------------
+
+    /// Reads anode `idx` from the table.
+    pub fn read_anode(&self, idx: u32) -> DfsResult<Anode> {
+        if idx == 0 || idx >= self.sb.anode_count() {
+            return Err(DfsError::Internal("anode index out of range"));
+        }
+        let (block, offset) = self.sb.anode_location(idx);
+        let buf = self.jn.get(block)?;
+        Anode::decode(&buf.read_at(offset, ANODE_SIZE))
+    }
+
+    /// Writes anode `idx` back to the table (logged).
+    pub(crate) fn write_anode(&self, txn: TxnId, idx: u32, a: &Anode) -> DfsResult<()> {
+        let (block, offset) = self.sb.anode_location(idx);
+        let buf = self.jn.get(block)?;
+        self.jn.update(txn, &buf, offset, &a.encode())
+    }
+
+    /// Allocates a fresh anode slot of the given kind.
+    ///
+    /// The slot's uniquifier is incremented so stale fids referring to a
+    /// previous use of the slot are detectable.
+    pub(crate) fn alloc_anode(
+        &self,
+        txn: TxnId,
+        kind: AnodeKind,
+        volume: u64,
+        mode: u16,
+        owner: u32,
+        group: u32,
+    ) -> DfsResult<(u32, Anode)> {
+        let count = self.sb.anode_count();
+        let span = count - FIRST_FREE_ANODE;
+        let start = self.alloc.lock().anode_rotor.clamp(FIRST_FREE_ANODE, count - 1);
+        for step in 0..span {
+            let idx = FIRST_FREE_ANODE + (start - FIRST_FREE_ANODE + step) % span;
+            let old = self.read_anode(idx)?;
+            if old.kind == AnodeKind::Free {
+                let now = self.clock.now().as_micros();
+                let mut a = Anode::free();
+                a.kind = kind;
+                a.uniq = old.uniq.wrapping_add(1).max(1);
+                a.mode = mode;
+                a.owner = owner;
+                a.group = group;
+                a.nlink = 1;
+                a.mtime = now;
+                a.ctime = now;
+                a.volume = volume;
+                self.write_anode(txn, idx, &a)?;
+                self.alloc.lock().anode_rotor = idx + 1;
+                return Ok((idx, a));
+            }
+        }
+        Err(DfsError::NoSpace)
+    }
+
+    /// Marks anode `idx` free, preserving its uniquifier.
+    pub(crate) fn free_anode_slot(&self, txn: TxnId, idx: u32) -> DfsResult<()> {
+        let old = self.read_anode(idx)?;
+        let mut a = Anode::free();
+        a.uniq = old.uniq;
+        self.write_anode(txn, idx, &a)
+    }
+
+    // ------------------------------------------------------------------
+    // Block refcount table (anode 2)
+    // ------------------------------------------------------------------
+
+    /// Returns the physical block holding refcount entry for block `b`,
+    /// plus the byte offset within it.
+    fn rc_location(&self, b: u32) -> DfsResult<(u32, usize)> {
+        let rc_anode = self.read_anode(REFCOUNT_ANODE)?;
+        let byte = 2 * b as u64;
+        let fblk = byte / BLOCK_SIZE as u64;
+        let phys = self.map_block(&rc_anode, fblk)?;
+        if phys == 0 {
+            return Err(DfsError::Internal("refcount table hole"));
+        }
+        Ok((phys, (byte % BLOCK_SIZE as u64) as usize))
+    }
+
+    /// Returns the reference count of block `b` (0 = free).
+    pub fn block_refcount(&self, b: u32) -> DfsResult<u16> {
+        let (phys, off) = self.rc_location(b)?;
+        Ok(self.jn.get(phys)?.u16_at(off))
+    }
+
+    fn set_refcount(&self, txn: TxnId, b: u32, v: u16) -> DfsResult<()> {
+        let (phys, off) = self.rc_location(b)?;
+        let buf = self.jn.get(phys)?;
+        self.jn.update(txn, &buf, off, &v.to_le_bytes())
+    }
+
+    /// Increments the refcount of `b` (volume cloning shares blocks).
+    pub(crate) fn incref_block(&self, txn: TxnId, b: u32) -> DfsResult<u16> {
+        let cur = self.block_refcount(b)?;
+        let next = cur.checked_add(1).ok_or(DfsError::Internal("refcount overflow"))?;
+        self.set_refcount(txn, b, next)?;
+        Ok(next)
+    }
+
+    /// Decrements the refcount of `b`; at zero the block is free.
+    pub(crate) fn decref_block(&self, txn: TxnId, b: u32) -> DfsResult<u16> {
+        let cur = self.block_refcount(b)?;
+        if cur == 0 {
+            return Err(DfsError::Internal("double free of block"));
+        }
+        self.set_refcount(txn, b, cur - 1)?;
+        Ok(cur - 1)
+    }
+
+    /// Allocates one free block (refcount 0 → 1).
+    pub(crate) fn alloc_block(&self, txn: TxnId) -> DfsResult<u32> {
+        let total = self.sb.total_blocks;
+        let data_start = self.sb.data_start();
+        let span = total - data_start;
+        let mut alloc = self.alloc.lock();
+        let start = alloc.block_rotor.clamp(data_start, total - 1);
+        for step in 0..span {
+            let b = data_start + (start - data_start + step) % span;
+            if self.block_refcount(b)? == 0 {
+                self.set_refcount(txn, b, 1)?;
+                alloc.block_rotor = if b + 1 >= total { data_start } else { b + 1 };
+                return Ok(b);
+            }
+        }
+        Err(DfsError::NoSpace)
+    }
+
+    // ------------------------------------------------------------------
+    // Block mapping
+    // ------------------------------------------------------------------
+
+    /// Maps file block `fblk` of `a` to a physical block (0 = hole).
+    pub fn map_block(&self, a: &Anode, fblk: u64) -> DfsResult<u32> {
+        let per = PTRS_PER_BLOCK as u64;
+        if fblk < NDIRECT as u64 {
+            return Ok(a.direct[fblk as usize]);
+        }
+        let fblk = fblk - NDIRECT as u64;
+        if fblk < per {
+            if a.indirect == 0 {
+                return Ok(0);
+            }
+            return Ok(self.jn.get(a.indirect)?.u32_at(4 * fblk as usize));
+        }
+        let fblk = fblk - per;
+        if fblk >= per * per {
+            return Err(DfsError::InvalidArgument);
+        }
+        if a.dindirect == 0 {
+            return Ok(0);
+        }
+        let l1 = self.jn.get(a.dindirect)?.u32_at(4 * (fblk / per) as usize);
+        if l1 == 0 {
+            return Ok(0);
+        }
+        Ok(self.jn.get(l1)?.u32_at(4 * (fblk % per) as usize))
+    }
+
+    /// Allocates and zeroes a metadata block (logged).
+    fn alloc_meta_block(&self, txn: TxnId) -> DfsResult<u32> {
+        let b = self.alloc_block(txn)?;
+        let buf = self.jn.get(b)?;
+        self.jn.update_fill(txn, &buf, 0, BLOCK_SIZE, 0)?;
+        Ok(b)
+    }
+
+    /// Copy-on-writes a shared *metadata* block, returning the writable
+    /// block (the input if it was exclusively owned).
+    fn cow_meta_block(&self, txn: TxnId, b: u32) -> DfsResult<u32> {
+        if self.block_refcount(b)? <= 1 {
+            return Ok(b);
+        }
+        let nb = self.alloc_block(txn)?;
+        let old = self.jn.get(b)?.read_at(0, BLOCK_SIZE);
+        let nbuf = self.jn.get(nb)?;
+        self.jn.update(txn, &nbuf, 0, &old)?;
+        self.decref_block(txn, b)?;
+        Ok(nb)
+    }
+
+    /// Resolves (allocating and copy-on-writing indirect blocks as
+    /// needed) the pointer slot for file block `fblk` of anode `idx`.
+    ///
+    /// Any change to `a`'s own pointer fields is made in memory; the
+    /// caller must persist `a` with [`Episode::write_anode`].
+    fn prepare_slot(&self, txn: TxnId, a: &mut Anode, fblk: u64) -> DfsResult<Slot> {
+        let per = PTRS_PER_BLOCK as u64;
+        if fblk < NDIRECT as u64 {
+            return Ok(Slot::Direct(fblk as usize));
+        }
+        let rel = fblk - NDIRECT as u64;
+        if rel < per {
+            if a.indirect == 0 {
+                a.indirect = self.alloc_meta_block(txn)?;
+            } else {
+                a.indirect = self.cow_meta_block(txn, a.indirect)?;
+            }
+            return Ok(Slot::Indirect { block: a.indirect, offset: 4 * rel as usize });
+        }
+        let rel = rel - per;
+        if rel >= per * per {
+            return Err(DfsError::InvalidArgument);
+        }
+        if a.dindirect == 0 {
+            a.dindirect = self.alloc_meta_block(txn)?;
+        } else {
+            a.dindirect = self.cow_meta_block(txn, a.dindirect)?;
+        }
+        let dbuf = self.jn.get(a.dindirect)?;
+        let l1_off = 4 * (rel / per) as usize;
+        let mut l1 = dbuf.u32_at(l1_off);
+        if l1 == 0 {
+            l1 = self.alloc_meta_block(txn)?;
+            self.jn.update(txn, &dbuf, l1_off, &l1.to_le_bytes())?;
+        } else {
+            let cowed = self.cow_meta_block(txn, l1)?;
+            if cowed != l1 {
+                self.jn.update(txn, &dbuf, l1_off, &cowed.to_le_bytes())?;
+                l1 = cowed;
+            }
+        }
+        Ok(Slot::Indirect { block: l1, offset: 4 * (rel % per) as usize })
+    }
+
+    fn read_slot(&self, a: &Anode, slot: &Slot) -> DfsResult<u32> {
+        match slot {
+            Slot::Direct(i) => Ok(a.direct[*i]),
+            Slot::Indirect { block, offset } => Ok(self.jn.get(*block)?.u32_at(*offset)),
+        }
+    }
+
+    fn write_slot(&self, txn: TxnId, a: &mut Anode, slot: &Slot, ptr: u32) -> DfsResult<()> {
+        match slot {
+            Slot::Direct(i) => {
+                a.direct[*i] = ptr;
+                Ok(())
+            }
+            Slot::Indirect { block, offset } => {
+                let buf = self.jn.get(*block)?;
+                self.jn.update(txn, &buf, *offset, &ptr.to_le_bytes())
+            }
+        }
+    }
+
+    /// Returns a writable physical block for file block `fblk`,
+    /// allocating holes and breaking copy-on-write sharing.
+    ///
+    /// `logged_copy` controls whether the content copy of a shared block
+    /// goes through the log (metadata) or not (user data).
+    pub(crate) fn block_for_write(
+        &self,
+        txn: TxnId,
+        a: &mut Anode,
+        fblk: u64,
+        logged_copy: bool,
+    ) -> DfsResult<u32> {
+        let slot = self.prepare_slot(txn, a, fblk)?;
+        let cur = self.read_slot(a, &slot)?;
+        if cur == 0 {
+            let b = self.alloc_block(txn)?;
+            self.write_slot(txn, a, &slot, b)?;
+            return Ok(b);
+        }
+        if self.block_refcount(cur)? <= 1 {
+            return Ok(cur);
+        }
+        // Shared with a clone: copy before write (§2.1).
+        let nb = self.alloc_block(txn)?;
+        let old = self.jn.get(cur)?.read_at(0, BLOCK_SIZE);
+        let nbuf = self.jn.get(nb)?;
+        if logged_copy {
+            self.jn.update(txn, &nbuf, 0, &old)?;
+        } else {
+            self.jn.write_data(&nbuf, 0, &old)?;
+        }
+        self.decref_block(txn, cur)?;
+        self.write_slot(txn, a, &slot, nb)?;
+        Ok(nb)
+    }
+
+    // ------------------------------------------------------------------
+    // Container read/write/truncate
+    // ------------------------------------------------------------------
+
+    /// Reads `len` bytes at `offset` from the container, zero-filling
+    /// holes and clamping at the container length.
+    pub fn anode_read(&self, a: &Anode, offset: u64, len: usize) -> DfsResult<Vec<u8>> {
+        if offset >= a.length {
+            return Ok(Vec::new());
+        }
+        let len = len.min((a.length - offset) as usize);
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while out.len() < len {
+            let fblk = pos / BLOCK_SIZE as u64;
+            let within = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - within).min(len - out.len());
+            let phys = self.map_block(a, fblk)?;
+            if phys == 0 {
+                out.extend(std::iter::repeat_n(0, n));
+            } else {
+                out.extend_from_slice(&self.jn.get(phys)?.read_at(within, n));
+            }
+            pos += n as u64;
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at `offset` in the container, extending it and
+    /// updating `a.length` in memory (caller persists the anode).
+    ///
+    /// `logged` must be true for metadata containers (directories, ACLs,
+    /// volume headers) and false for user file data (§2.2).
+    pub(crate) fn anode_write(
+        &self,
+        txn: TxnId,
+        a: &mut Anode,
+        offset: u64,
+        data: &[u8],
+        logged: bool,
+    ) -> DfsResult<()> {
+        let mut pos = offset;
+        let mut done = 0usize;
+        while done < data.len() {
+            let fblk = pos / BLOCK_SIZE as u64;
+            let within = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - within).min(data.len() - done);
+            let phys = self.block_for_write(txn, a, fblk, logged)?;
+            let buf = self.jn.get(phys)?;
+            if logged {
+                self.jn.update(txn, &buf, within, &data[done..done + n])?;
+            } else {
+                self.jn.write_data(&buf, within, &data[done..done + n])?;
+            }
+            pos += n as u64;
+            done += n;
+        }
+        a.length = a.length.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Truncates (or extends) container `idx` to `new_len` using a
+    /// sequence of short transactions, each leaving the file system
+    /// consistent (§2.2).
+    ///
+    /// Indirect skeleton blocks are freed only when their whole range is
+    /// truncated; a partially-truncated file may keep empty indirect
+    /// blocks, which the salvager accounts as live.
+    pub(crate) fn anode_truncate(&self, idx: u32, new_len: u64) -> DfsResult<()> {
+        let per = PTRS_PER_BLOCK as u64;
+        loop {
+            let txn = self.jn.begin();
+            let mut a = self.read_anode(idx)?;
+            if new_len >= a.length {
+                a.length = new_len;
+                a.mtime = self.clock.now().as_micros();
+                a.data_version += 1;
+                self.write_anode(txn, idx, &a)?;
+                self.jn.commit(txn)?;
+                return Ok(());
+            }
+            let keep = new_len.div_ceil(BLOCK_SIZE as u64);
+            let old_blocks = a.length.div_ceil(BLOCK_SIZE as u64);
+            let first = old_blocks.saturating_sub(TRUNCATE_CHUNK as u64).max(keep);
+            for fblk in (first..old_blocks).rev() {
+                let phys = self.map_block(&a, fblk)?;
+                if phys != 0 {
+                    self.decref_block(txn, phys)?;
+                    let slot = self.prepare_slot(txn, &mut a, fblk)?;
+                    self.write_slot(txn, &mut a, &slot, 0)?;
+                }
+            }
+            let done = first == keep;
+            if done {
+                // POSIX: bytes between the new end and the old end must
+                // read as zero if the file is later extended. Zero the
+                // kept final block's tail (user data: unlogged).
+                let tail = new_len % BLOCK_SIZE as u64;
+                if tail != 0 && new_len < a.length {
+                    let fblk = new_len / BLOCK_SIZE as u64;
+                    if self.map_block(&a, fblk)? != 0 {
+                        let phys = self.block_for_write(txn, &mut a, fblk, false)?;
+                        let buf = self.jn.get(phys)?;
+                        self.jn.write_data(
+                            &buf,
+                            tail as usize,
+                            &vec![0u8; BLOCK_SIZE - tail as usize],
+                        )?;
+                    }
+                }
+                // Free indirect skeletons whose whole range is gone.
+                if keep <= NDIRECT as u64 + per && a.dindirect != 0 {
+                    let dbuf = self.jn.get(a.dindirect)?;
+                    for i in 0..PTRS_PER_BLOCK {
+                        let l1 = dbuf.u32_at(4 * i);
+                        if l1 != 0 {
+                            self.decref_block(txn, l1)?;
+                        }
+                    }
+                    self.decref_block(txn, a.dindirect)?;
+                    a.dindirect = 0;
+                }
+                if keep <= NDIRECT as u64 && a.indirect != 0 {
+                    self.decref_block(txn, a.indirect)?;
+                    a.indirect = 0;
+                }
+                a.length = new_len;
+                a.mtime = self.clock.now().as_micros();
+                a.data_version += 1;
+            } else {
+                a.length = first * BLOCK_SIZE as u64;
+            }
+            self.write_anode(txn, idx, &a)?;
+            self.jn.commit(txn)?;
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Frees all storage of anode `idx` (data, indirect blocks, its ACL
+    /// container) and releases the slot.
+    pub(crate) fn destroy_anode(&self, idx: u32) -> DfsResult<()> {
+        let a = self.read_anode(idx)?;
+        if a.acl_anode != 0 {
+            self.anode_truncate(a.acl_anode, 0)?;
+            let txn = self.jn.begin();
+            self.free_anode_slot(txn, a.acl_anode)?;
+            self.jn.commit(txn)?;
+        }
+        self.anode_truncate(idx, 0)?;
+        let txn = self.jn.begin();
+        self.free_anode_slot(txn, idx)?;
+        self.jn.commit(txn)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::fresh;
+
+    #[test]
+    fn alloc_and_free_anode_bumps_uniq() {
+        let ep = fresh(8192);
+        let txn = ep.jn.begin();
+        let (idx, a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 10, 20).unwrap();
+        assert_eq!(a.uniq, 1);
+        ep.jn.commit(txn).unwrap();
+
+        let txn = ep.jn.begin();
+        ep.free_anode_slot(txn, idx).unwrap();
+        ep.jn.commit(txn).unwrap();
+        assert_eq!(ep.read_anode(idx).unwrap().kind, AnodeKind::Free);
+
+        // Force the rotor back around to reuse the same slot.
+        ep.alloc.lock().anode_rotor = idx;
+        let txn = ep.jn.begin();
+        let (idx2, a2) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 10, 20).unwrap();
+        ep.jn.commit(txn).unwrap();
+        assert_eq!(idx2, idx);
+        assert_eq!(a2.uniq, 2, "slot reuse must bump the uniquifier");
+    }
+
+    #[test]
+    fn block_alloc_and_refcounts() {
+        let ep = fresh(8192);
+        let txn = ep.jn.begin();
+        let b = ep.alloc_block(txn).unwrap();
+        assert_eq!(ep.block_refcount(b).unwrap(), 1);
+        assert_eq!(ep.incref_block(txn, b).unwrap(), 2);
+        assert_eq!(ep.decref_block(txn, b).unwrap(), 1);
+        assert_eq!(ep.decref_block(txn, b).unwrap(), 0);
+        ep.jn.commit(txn).unwrap();
+        // Freed block is allocatable again.
+        ep.alloc.lock().block_rotor = b;
+        let txn = ep.jn.begin();
+        assert_eq!(ep.alloc_block(txn).unwrap(), b);
+        ep.jn.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let ep = fresh(8192);
+        let txn = ep.jn.begin();
+        let b = ep.alloc_block(txn).unwrap();
+        ep.decref_block(txn, b).unwrap();
+        assert!(ep.decref_block(txn, b).is_err());
+        ep.jn.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn write_read_small() {
+        let ep = fresh(8192);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        ep.anode_write(txn, &mut a, 0, b"hello world", false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        let a = ep.read_anode(idx).unwrap();
+        assert_eq!(a.length, 11);
+        assert_eq!(ep.anode_read(&a, 0, 64).unwrap(), b"hello world");
+        assert_eq!(ep.anode_read(&a, 6, 5).unwrap(), b"world");
+    }
+
+    #[test]
+    fn write_read_spanning_indirect_blocks() {
+        let ep = fresh(16384);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        // 60 blocks: crosses direct (8) into single indirect range.
+        let data: Vec<u8> = (0..60 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
+        ep.anode_write(txn, &mut a, 0, &data, false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        let a = ep.read_anode(idx).unwrap();
+        assert!(a.indirect != 0);
+        let back = ep.anode_read(&a, 0, data.len()).unwrap();
+        assert_eq!(back, data);
+        // Unaligned read across a block boundary.
+        let off = 5 * BLOCK_SIZE as u64 - 100;
+        assert_eq!(ep.anode_read(&a, off, 200).unwrap(), data[off as usize..off as usize + 200]);
+    }
+
+    #[test]
+    fn sparse_holes_read_as_zeros() {
+        let ep = fresh(16384);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        ep.anode_write(txn, &mut a, 20 * BLOCK_SIZE as u64, b"tail", false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        let a = ep.read_anode(idx).unwrap();
+        assert_eq!(ep.anode_read(&a, 0, 16).unwrap(), vec![0; 16]);
+        assert_eq!(ep.anode_read(&a, 20 * BLOCK_SIZE as u64, 4).unwrap(), b"tail");
+        assert_eq!(ep.map_block(&a, 3).unwrap(), 0, "hole has no block");
+    }
+
+    #[test]
+    fn double_indirect_mapping() {
+        let ep = fresh(16384);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        // Block index beyond 8 + 1024 needs the double-indirect tree.
+        let fblk = (NDIRECT + PTRS_PER_BLOCK + 5) as u64;
+        ep.anode_write(txn, &mut a, fblk * BLOCK_SIZE as u64, b"deep", false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        let a = ep.read_anode(idx).unwrap();
+        assert!(a.dindirect != 0);
+        assert_eq!(ep.anode_read(&a, fblk * BLOCK_SIZE as u64, 4).unwrap(), b"deep");
+    }
+
+    #[test]
+    fn truncate_frees_blocks_in_chunks() {
+        let ep = fresh(16384);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        let data = vec![7u8; 200 * BLOCK_SIZE];
+        ep.anode_write(txn, &mut a, 0, &data, false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        let before = ep.jn.stats().txns_begun;
+        ep.anode_truncate(idx, 0).unwrap();
+        let txns_used = ep.jn.stats().txns_begun - before;
+        assert!(txns_used >= 3, "200-block truncate must split transactions, used {txns_used}");
+        let a = ep.read_anode(idx).unwrap();
+        assert_eq!(a.length, 0);
+        assert_eq!(a.indirect, 0);
+        // All data blocks are free again.
+        let free_again = (0..10u64).all(|f| ep.map_block(&a, f).unwrap() == 0);
+        assert!(free_again);
+    }
+
+    #[test]
+    fn truncate_partial_keeps_prefix() {
+        let ep = fresh(16384);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        let data: Vec<u8> = (0..20 * BLOCK_SIZE).map(|i| (i / BLOCK_SIZE) as u8).collect();
+        ep.anode_write(txn, &mut a, 0, &data, false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        ep.anode_truncate(idx, 5 * BLOCK_SIZE as u64 + 10).unwrap();
+        let a = ep.read_anode(idx).unwrap();
+        assert_eq!(a.length, 5 * BLOCK_SIZE as u64 + 10);
+        let back = ep.anode_read(&a, 0, 6 * BLOCK_SIZE).unwrap();
+        assert_eq!(back.len(), 5 * BLOCK_SIZE + 10);
+        assert_eq!(back[5 * BLOCK_SIZE], 5, "kept data intact");
+        assert_eq!(ep.map_block(&a, 10).unwrap(), 0, "tail blocks freed");
+    }
+
+    #[test]
+    fn extend_via_truncate_grows_length_without_blocks() {
+        let ep = fresh(8192);
+        let txn = ep.jn.begin();
+        let (idx, a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        ep.anode_truncate(idx, 10_000).unwrap();
+        let a = ep.read_anode(idx).unwrap();
+        assert_eq!(a.length, 10_000);
+        assert_eq!(ep.map_block(&a, 0).unwrap(), 0, "extension allocates nothing");
+        assert_eq!(ep.anode_read(&a, 0, 16).unwrap(), vec![0; 16]);
+    }
+
+    #[test]
+    fn destroy_anode_releases_everything() {
+        let ep = fresh(16384);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        ep.anode_write(txn, &mut a, 0, &vec![1u8; 30 * BLOCK_SIZE], false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+        let b0 = ep.map_block(&ep.read_anode(idx).unwrap(), 0).unwrap();
+        ep.destroy_anode(idx).unwrap();
+        assert_eq!(ep.read_anode(idx).unwrap().kind, AnodeKind::Free);
+        assert_eq!(ep.block_refcount(b0).unwrap(), 0, "data blocks freed");
+    }
+
+    #[test]
+    fn cow_write_copies_shared_block() {
+        let ep = fresh(8192);
+        let txn = ep.jn.begin();
+        let (idx, mut a) = ep.alloc_anode(txn, AnodeKind::File, 1, 0o644, 0, 0).unwrap();
+        ep.anode_write(txn, &mut a, 0, b"original", false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        let shared = ep.map_block(&a, 0).unwrap();
+        // Simulate a clone: bump the block's refcount.
+        ep.incref_block(txn, shared).unwrap();
+        ep.jn.commit(txn).unwrap();
+
+        let txn = ep.jn.begin();
+        let mut a = ep.read_anode(idx).unwrap();
+        ep.anode_write(txn, &mut a, 0, b"MUTATED!", false).unwrap();
+        ep.write_anode(txn, idx, &a).unwrap();
+        ep.jn.commit(txn).unwrap();
+
+        let a = ep.read_anode(idx).unwrap();
+        let nb = ep.map_block(&a, 0).unwrap();
+        assert_ne!(nb, shared, "write must copy the shared block");
+        assert_eq!(ep.block_refcount(shared).unwrap(), 1, "snapshot keeps the original");
+        assert_eq!(ep.anode_read(&a, 0, 8).unwrap(), b"MUTATED!");
+        // The original block still holds the old content.
+        assert_eq!(&ep.jn.get(shared).unwrap().read_at(0, 8), b"original");
+    }
+
+    #[test]
+    fn anode_out_of_range_rejected() {
+        let ep = fresh(8192);
+        assert!(ep.read_anode(0).is_err());
+        assert!(ep.read_anode(u32::MAX).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Episode: the fast-restarting physical file system of DEcorum (§2).
+//!
+//! Episode implements the [`dfs_vfs`] VFS+ interface on a simulated disk,
+//! with the capabilities the paper calls out as missing from vendor file
+//! systems:
+//!
+//! * **logical volumes**: many mountable volumes per aggregate, movable
+//!   and cloneable ([`crate::volume`], §2.1);
+//! * **access control lists** on any file or directory ([`crate::aclstore`],
+//!   §2.3);
+//! * **fast crash recovery** via the [`dfs_journal`] write-ahead log —
+//!   metadata changes are transactions, user data is unlogged, and
+//!   restart replays only the active log (§2.2);
+//! * **anodes**: a uniform open-ended container abstraction used for
+//!   files, directories, ACLs, volume headers, the volume table, and the
+//!   block refcount table itself ([`crate::anode`], §2.4).
+//!
+//! An [`Episode`] value manages one aggregate; mounting (via
+//! [`dfs_vfs::PhysicalFs::mount`]) returns per-volume
+//! [`dfs_vfs::VfsPlus`] views.
+
+pub mod aclstore;
+pub mod anode;
+pub mod dir;
+pub mod layout;
+pub mod salvage;
+pub mod vfs_impl;
+pub mod volume;
+
+pub use layout::{Anode, AnodeKind, SuperBlock};
+pub use vfs_impl::EpisodeVolume;
+
+use dfs_disk::{SimDisk, BLOCK_SIZE};
+use dfs_journal::{Journal, LogRegion, RecoveryReport};
+use dfs_types::{AggregateId, DfsError, DfsResult, SimClock};
+use layout::{ANODES_PER_BLOCK, REFCOUNT_ANODE, VOLTABLE_ANODE};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parameters for formatting a fresh aggregate.
+#[derive(Clone, Copy, Debug)]
+pub struct FormatParams {
+    /// Aggregate id to stamp into the superblock.
+    pub aggregate: AggregateId,
+    /// Blocks reserved for the transaction log (including its
+    /// superblock); fixed at initialization, as the paper requires.
+    pub log_blocks: u32,
+    /// Number of anode slots to provision.
+    pub anodes: u32,
+}
+
+impl Default for FormatParams {
+    fn default() -> Self {
+        FormatParams { aggregate: AggregateId(0), log_blocks: 256, anodes: 4096 }
+    }
+}
+
+struct AllocState {
+    /// Next anode slot to consider.
+    anode_rotor: u32,
+    /// Next data block to consider.
+    block_rotor: u32,
+}
+
+/// One Episode aggregate: anode table, refcount table, volumes, and log.
+///
+/// All methods are internally synchronized. Fine-grained locking follows
+/// the paper's requirement ("designed with finely grained locking, and as
+/// few points of global contention as possible", §2): each anode has its
+/// own lock, and the allocator and volume table have their own.
+pub struct Episode {
+    pub(crate) disk: SimDisk,
+    pub(crate) jn: Arc<Journal>,
+    pub(crate) sb: SuperBlock,
+    pub(crate) clock: SimClock,
+    pub(crate) alloc: Mutex<AllocState>,
+    /// Per-anode locks, created on demand.
+    pub(crate) anode_locks: Mutex<HashMap<u32, Arc<RwLock<()>>>>,
+    /// Serializes volume-table operations (create/delete/clone/mount).
+    pub(crate) vol_lock: Mutex<()>,
+    /// Weak self-reference so `&self` methods can hand out `Arc<Episode>`.
+    me: Mutex<std::sync::Weak<Episode>>,
+}
+
+impl Episode {
+    /// Formats `disk` as a fresh Episode aggregate.
+    ///
+    /// Layout: superblock, log region, anode table, data region. The
+    /// volume table (anode 1) and the block refcount table (anode 2) are
+    /// provisioned here; the refcount table doubles as the allocation
+    /// bitmap (refcount zero means free).
+    pub fn format(
+        disk: SimDisk,
+        clock: SimClock,
+        params: FormatParams,
+    ) -> DfsResult<Arc<Episode>> {
+        let total = disk.blocks();
+        let anode_table_blocks = params.anodes.div_ceil(ANODES_PER_BLOCK as u32);
+        let sb = SuperBlock {
+            aggregate: params.aggregate.0,
+            total_blocks: total,
+            log_first: 1,
+            log_blocks: params.log_blocks,
+            anode_table_start: 1 + params.log_blocks,
+            anode_table_blocks,
+        };
+        let data_start = sb.data_start();
+        if data_start + 16 > total {
+            return Err(DfsError::NoSpace);
+        }
+
+        // Provision the refcount table: 2 bytes per block, preallocated
+        // contiguously at the start of the data region.
+        let rc_bytes = 2 * total as usize;
+        let rc_blocks = rc_bytes.div_ceil(BLOCK_SIZE) as u32;
+        let ptrs_per = layout::PTRS_PER_BLOCK as u32;
+        if rc_blocks > layout::NDIRECT as u32 + ptrs_per {
+            return Err(DfsError::InvalidArgument); // Aggregate too large.
+        }
+        let needs_indirect = rc_blocks > layout::NDIRECT as u32;
+        let rc_data_first = data_start;
+        let indirect_block = if needs_indirect { Some(rc_data_first + rc_blocks) } else { None };
+        let reserved_end = rc_data_first + rc_blocks + u32::from(needs_indirect);
+        if reserved_end >= total {
+            return Err(DfsError::NoSpace);
+        }
+
+        // Superblock.
+        disk.write(0, &sb.encode())?;
+
+        // Refcount table contents: 1 for every reserved block.
+        let mut rc = vec![0u8; rc_blocks as usize * BLOCK_SIZE];
+        for b in 0..reserved_end {
+            rc[2 * b as usize..2 * b as usize + 2].copy_from_slice(&1u16.to_le_bytes());
+        }
+        for (i, chunk) in rc.chunks(BLOCK_SIZE).enumerate() {
+            let mut block = [0u8; BLOCK_SIZE];
+            block.copy_from_slice(chunk);
+            disk.write(rc_data_first + i as u32, &block)?;
+        }
+
+        // The refcount anode's indirect block, if needed.
+        if let Some(ib) = indirect_block {
+            let mut block = [0u8; BLOCK_SIZE];
+            for i in layout::NDIRECT as u32..rc_blocks {
+                let ptr = rc_data_first + i;
+                let slot = (i - layout::NDIRECT as u32) as usize * 4;
+                block[slot..slot + 4].copy_from_slice(&ptr.to_le_bytes());
+            }
+            disk.write(ib, &block)?;
+        }
+
+        // Anode table: all zero (free) except the two reserved anodes.
+        let mut voltable = Anode::free();
+        voltable.kind = AnodeKind::Meta;
+        voltable.uniq = 1;
+        let mut rc_anode = Anode::free();
+        rc_anode.kind = AnodeKind::Meta;
+        rc_anode.uniq = 1;
+        rc_anode.length = rc_bytes as u64;
+        for i in 0..layout::NDIRECT.min(rc_blocks as usize) {
+            rc_anode.direct[i] = rc_data_first + i as u32;
+        }
+        if let Some(ib) = indirect_block {
+            rc_anode.indirect = ib;
+        }
+        let (blk1, off1) = sb.anode_location(VOLTABLE_ANODE);
+        let (blk2, off2) = sb.anode_location(REFCOUNT_ANODE);
+        debug_assert_eq!(blk1, blk2, "reserved anodes share the first table block");
+        let mut table = [0u8; BLOCK_SIZE];
+        table[off1..off1 + layout::ANODE_SIZE].copy_from_slice(&voltable.encode());
+        table[off2..off2 + layout::ANODE_SIZE].copy_from_slice(&rc_anode.encode());
+        disk.write(blk1, &table)?;
+        disk.flush()?;
+
+        let jn = Journal::format(
+            disk.clone(),
+            LogRegion { first_block: sb.log_first, blocks: sb.log_blocks },
+        )?;
+        Ok(Episode::assemble(disk, jn, sb, clock))
+    }
+
+    /// Opens an existing aggregate, running log recovery if required.
+    ///
+    /// This is the fast restart the paper promises: the time spent is
+    /// proportional to the active portion of the log, not the size of
+    /// the file system (§2.2). The [`RecoveryReport`] says what replay
+    /// did.
+    pub fn open(disk: SimDisk, clock: SimClock) -> DfsResult<(Arc<Episode>, RecoveryReport)> {
+        let sb = SuperBlock::decode(&*disk.read(0)?)?;
+        let (jn, report) = Journal::open(
+            disk.clone(),
+            LogRegion { first_block: sb.log_first, blocks: sb.log_blocks },
+        )?;
+        Ok((Episode::assemble(disk, jn, sb, clock), report))
+    }
+
+    fn assemble(disk: SimDisk, jn: Arc<Journal>, sb: SuperBlock, clock: SimClock) -> Arc<Episode> {
+        let ep = Arc::new(Episode {
+            disk,
+            jn,
+            clock,
+            alloc: Mutex::new(AllocState {
+                anode_rotor: layout::FIRST_FREE_ANODE,
+                block_rotor: sb.data_start(),
+            }),
+            anode_locks: Mutex::new(HashMap::new()),
+            vol_lock: Mutex::new(()),
+            me: Mutex::new(std::sync::Weak::new()),
+            sb,
+        });
+        *ep.me.lock() = Arc::downgrade(&ep);
+        ep
+    }
+
+    /// Returns a strong reference to this aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during destruction (never happens in practice:
+    /// mounts hold strong references).
+    pub(crate) fn self_arc(&self) -> Arc<Episode> {
+        self.me.lock().upgrade().expect("Episode used after drop")
+    }
+
+    /// Returns the aggregate id.
+    pub fn aggregate(&self) -> AggregateId {
+        AggregateId(self.sb.aggregate)
+    }
+
+    /// Returns the aggregate superblock (static geometry).
+    pub fn superblock(&self) -> SuperBlock {
+        self.sb
+    }
+
+    /// Returns the journal, for statistics and explicit sync control.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.jn
+    }
+
+    /// Returns the underlying disk, for statistics and crash injection.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// Returns the simulated clock used for timestamps.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Forces the log and all dirty buffers to stable storage.
+    pub fn sync_all(&self) -> DfsResult<()> {
+        self.jn.flush_all()
+    }
+
+    /// Group commit: makes all buffered commit records durable without
+    /// writing back data buffers (the cheap periodic sync of §2.2).
+    pub fn sync_log(&self) -> DfsResult<()> {
+        self.jn.sync()
+    }
+
+    /// Returns the per-anode lock for `idx`, creating it on demand.
+    pub(crate) fn anode_lock(&self, idx: u32) -> Arc<RwLock<()>> {
+        let mut locks = self.anode_locks.lock();
+        locks.entry(idx).or_insert_with(|| Arc::new(RwLock::new(()))).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_disk::DiskConfig;
+
+    pub(crate) fn fresh(blocks: u32) -> Arc<Episode> {
+        let disk = SimDisk::new(DiskConfig::with_blocks(blocks));
+        Episode::format(disk, SimClock::new(), FormatParams::default()).unwrap()
+    }
+
+    #[test]
+    fn format_and_reopen() {
+        let disk = SimDisk::new(DiskConfig::with_blocks(8192));
+        let ep = Episode::format(disk.clone(), SimClock::new(), FormatParams::default()).unwrap();
+        let sb = ep.superblock();
+        assert_eq!(sb.total_blocks, 8192);
+        drop(ep);
+        let (ep2, report) = Episode::open(disk, SimClock::new()).unwrap();
+        assert!(!report.formatted, "journal was formatted, reopen is clean");
+        assert_eq!(ep2.superblock(), sb);
+    }
+
+    #[test]
+    fn format_reserves_refcounts_for_metadata() {
+        let ep = fresh(8192);
+        // Block 0 (superblock) and the log and anode table are reserved.
+        assert_eq!(ep.block_refcount(0).unwrap(), 1);
+        assert_eq!(ep.block_refcount(ep.sb.log_first).unwrap(), 1);
+        assert_eq!(ep.block_refcount(ep.sb.anode_table_start).unwrap(), 1);
+        // A block far into the data region is free.
+        assert_eq!(ep.block_refcount(8000).unwrap(), 0);
+    }
+
+    #[test]
+    fn format_too_small_disk_fails() {
+        let disk = SimDisk::new(DiskConfig::with_blocks(128));
+        match Episode::format(disk, SimClock::new(), FormatParams::default()) {
+            Err(e) => assert_eq!(e, DfsError::NoSpace),
+            Ok(_) => panic!("format of a too-small disk must fail"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_unformatted_disk() {
+        let disk = SimDisk::new(DiskConfig::with_blocks(1024));
+        assert!(Episode::open(disk, SimClock::new()).is_err());
+    }
+}

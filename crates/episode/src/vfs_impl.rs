@@ -1,0 +1,914 @@
+//! Episode's implementation of the VFS+ and PhysicalFs interfaces.
+//!
+//! Each mounted volume is an [`EpisodeVolume`] implementing
+//! [`dfs_vfs::Vfs`] and [`dfs_vfs::VfsPlus`]; the aggregate itself
+//! implements [`dfs_vfs::PhysicalFs`]. Operations use per-anode
+//! reader/writer locks (Episode "is designed with finely grained locking",
+//! §2), short transactions, and ACL-based permission checks (§2.3).
+
+use crate::dir::RawDirEntry;
+use crate::layout::{check_name, Anode, AnodeKind};
+use crate::Episode;
+use dfs_types::{Acl, DfsError, DfsResult, FileStatus, Fid, Rights, VnodeId, VolumeId};
+use dfs_vfs::{
+    Credentials, DirEntry, PhysicalFs, SalvageReport, SetAttrs, Vfs, VfsPlus, VolumeDump,
+    VolumeInfo,
+};
+use std::sync::Arc;
+
+/// A mounted Episode volume: the "VFS is a mounted volume" of §2.1.
+pub struct EpisodeVolume {
+    ep: Arc<Episode>,
+    vol: VolumeId,
+    header: u32,
+    read_only: bool,
+    root_vnode: u32,
+}
+
+impl EpisodeVolume {
+    /// Resolves a fid to its anode slot and contents, checking staleness.
+    fn resolve(&self, fid: Fid) -> DfsResult<(u32, Anode)> {
+        if fid.volume != self.vol {
+            return Err(DfsError::NoSuchVolume);
+        }
+        let slot = self.ep.vnode_get(self.header, fid.vnode.0)?;
+        if slot == 0 {
+            return Err(DfsError::StaleFid);
+        }
+        let a = self.ep.read_anode(slot)?;
+        if a.uniq != fid.uniq {
+            return Err(DfsError::StaleFid);
+        }
+        Ok((slot, a))
+    }
+
+    /// Computes the caller's rights on an anode: the ACL if present,
+    /// otherwise rights synthesized from the UNIX mode bits.
+    fn rights_on(&self, cred: &Credentials, a: &Anode) -> DfsResult<Rights> {
+        if cred.is_system() {
+            return Ok(Rights::ALL);
+        }
+        if a.acl_anode != 0 {
+            let acl = self.ep.read_acl(a.acl_anode)?;
+            return Ok(acl.rights_for(cred.user, &cred.groups, a.owner));
+        }
+        let bits = if cred.user == a.owner {
+            (a.mode >> 6) & 7
+        } else if cred.groups.contains(&a.group) {
+            (a.mode >> 3) & 7
+        } else {
+            a.mode & 7
+        };
+        let mut r = Rights::NONE;
+        if bits & 4 != 0 {
+            r |= Rights::READ;
+        }
+        if bits & 2 != 0 {
+            r |= Rights::WRITE | Rights::INSERT | Rights::DELETE;
+        }
+        if bits & 1 != 0 {
+            r |= Rights::EXECUTE;
+        }
+        if cred.user == a.owner {
+            r |= Rights::CONTROL;
+        }
+        Ok(r)
+    }
+
+    fn check(&self, cred: &Credentials, a: &Anode, needed: Rights) -> DfsResult<()> {
+        if self.rights_on(cred, a)?.allows(needed) {
+            Ok(())
+        } else {
+            Err(DfsError::PermissionDenied)
+        }
+    }
+
+    fn check_writable(&self) -> DfsResult<()> {
+        if self.read_only {
+            Err(DfsError::ReadOnlyVolume)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn status_of_entry(&self, e: &RawDirEntry) -> DfsResult<FileStatus> {
+        let fid = Fid::new(self.vol, VnodeId(e.vnode), e.uniq);
+        let (_, a) = self.resolve(fid)?;
+        Ok(self.ep.status_from_anode(fid, &a))
+    }
+
+    /// Creates a file/directory/symlink entry; shared by create paths.
+    fn make_node(
+        &self,
+        cred: &Credentials,
+        dir: Fid,
+        name: &str,
+        kind: AnodeKind,
+        mode: u16,
+        symlink_target: Option<&str>,
+    ) -> DfsResult<FileStatus> {
+        self.check_writable()?;
+        check_name(name)?;
+        let (dslot, _) = self.resolve(dir)?;
+        let lock = self.ep.anode_lock(dslot);
+        let _g = lock.write();
+        let mut d = self.ep.read_anode(dslot)?;
+        if d.kind != AnodeKind::Directory {
+            return Err(DfsError::NotDirectory);
+        }
+        self.check(cred, &d, Rights::INSERT)?;
+        if self.ep.dir_lookup(&d, name)?.is_some() {
+            return Err(DfsError::Exists);
+        }
+        let txn = self.ep.jn.begin();
+        let (slot, mut a) =
+            self.ep.alloc_anode(txn, kind, self.vol.0, mode, cred.user, 0)?;
+        a.uniq = self.ep.next_uniq(txn, self.header)?;
+        if kind == AnodeKind::Directory {
+            a.nlink = 2;
+        }
+        if let Some(target) = symlink_target {
+            self.ep.anode_write(txn, &mut a, 0, target.as_bytes(), true)?;
+        }
+        self.ep.write_anode(txn, slot, &a)?;
+        let v = self.ep.vnode_alloc(txn, self.header, slot)?;
+        self.ep.dir_insert(
+            txn,
+            &mut d,
+            &RawDirEntry { name: name.into(), vnode: v, uniq: a.uniq, kind: kind.to_byte() },
+        )?;
+        d.mtime = self.ep.clock.now().as_micros();
+        d.data_version = self.ep.bump_volume_version(txn, self.header)?;
+        if kind == AnodeKind::Directory {
+            d.nlink += 1;
+        }
+        self.ep.write_anode(txn, dslot, &d)?;
+        self.ep.jn.commit(txn)?;
+        let fid = Fid::new(self.vol, VnodeId(v), a.uniq);
+        Ok(self.ep.status_from_anode(fid, &a))
+    }
+}
+
+impl Vfs for EpisodeVolume {
+    fn volume_id(&self) -> VolumeId {
+        self.vol
+    }
+
+    fn root(&self) -> DfsResult<Fid> {
+        let slot = self.ep.vnode_get(self.header, self.root_vnode)?;
+        let a = self.ep.read_anode(slot)?;
+        Ok(Fid::new(self.vol, VnodeId(self.root_vnode), a.uniq))
+    }
+
+    fn lookup(&self, cred: &Credentials, dir: Fid, name: &str) -> DfsResult<FileStatus> {
+        let (dslot, _) = self.resolve(dir)?;
+        let lock = self.ep.anode_lock(dslot);
+        let _g = lock.read();
+        let d = self.ep.read_anode(dslot)?;
+        if d.kind != AnodeKind::Directory {
+            return Err(DfsError::NotDirectory);
+        }
+        self.check(cred, &d, Rights::EXECUTE)?;
+        let e = self.ep.dir_lookup(&d, name)?.ok_or(DfsError::NotFound)?;
+        self.status_of_entry(&e)
+    }
+
+    fn create(&self, cred: &Credentials, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus> {
+        self.make_node(cred, dir, name, AnodeKind::File, mode, None)
+    }
+
+    fn mkdir(&self, cred: &Credentials, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus> {
+        self.make_node(cred, dir, name, AnodeKind::Directory, mode, None)
+    }
+
+    fn symlink(
+        &self,
+        cred: &Credentials,
+        dir: Fid,
+        name: &str,
+        target: &str,
+    ) -> DfsResult<FileStatus> {
+        self.make_node(cred, dir, name, AnodeKind::Symlink, 0o777, Some(target))
+    }
+
+    fn link(&self, cred: &Credentials, dir: Fid, name: &str, target: Fid) -> DfsResult<FileStatus> {
+        self.check_writable()?;
+        check_name(name)?;
+        let (dslot, _) = self.resolve(dir)?;
+        let (tslot, _) = self.resolve(target)?;
+        if dslot == tslot {
+            return Err(DfsError::InvalidArgument);
+        }
+        // Lock in slot order to avoid deadlock with concurrent links.
+        let (first, second) = if dslot < tslot { (dslot, tslot) } else { (tslot, dslot) };
+        let l1 = self.ep.anode_lock(first);
+        let l2 = self.ep.anode_lock(second);
+        let _g1 = l1.write();
+        let _g2 = l2.write();
+        let mut d = self.ep.read_anode(dslot)?;
+        let mut t = self.ep.read_anode(tslot)?;
+        if d.kind != AnodeKind::Directory {
+            return Err(DfsError::NotDirectory);
+        }
+        if t.kind == AnodeKind::Directory {
+            return Err(DfsError::IsDirectory);
+        }
+        self.check(cred, &d, Rights::INSERT)?;
+        if self.ep.dir_lookup(&d, name)?.is_some() {
+            return Err(DfsError::Exists);
+        }
+        let txn = self.ep.jn.begin();
+        t.nlink += 1;
+        t.ctime = self.ep.clock.now().as_micros();
+        self.ep.write_anode(txn, tslot, &t)?;
+        self.ep.dir_insert(
+            txn,
+            &mut d,
+            &RawDirEntry {
+                name: name.into(),
+                vnode: target.vnode.0,
+                uniq: target.uniq,
+                kind: t.kind.to_byte(),
+            },
+        )?;
+        d.mtime = self.ep.clock.now().as_micros();
+        d.data_version = self.ep.bump_volume_version(txn, self.header)?;
+        self.ep.write_anode(txn, dslot, &d)?;
+        self.ep.jn.commit(txn)?;
+        Ok(self.ep.status_from_anode(target, &t))
+    }
+
+    fn remove(&self, cred: &Credentials, dir: Fid, name: &str) -> DfsResult<FileStatus> {
+        self.check_writable()?;
+        let (dslot, _) = self.resolve(dir)?;
+        let lock = self.ep.anode_lock(dslot);
+        let _g = lock.write();
+        let mut d = self.ep.read_anode(dslot)?;
+        if d.kind != AnodeKind::Directory {
+            return Err(DfsError::NotDirectory);
+        }
+        self.check(cred, &d, Rights::DELETE)?;
+        let e = self.ep.dir_lookup(&d, name)?.ok_or(DfsError::NotFound)?;
+        if e.kind == AnodeKind::Directory.to_byte() {
+            return Err(DfsError::IsDirectory);
+        }
+        let tslot = self.ep.vnode_get(self.header, e.vnode)?;
+        let mut t = self.ep.read_anode(tslot)?;
+        let txn = self.ep.jn.begin();
+        self.ep.dir_remove(txn, &mut d, name)?;
+        d.mtime = self.ep.clock.now().as_micros();
+        d.data_version = self.ep.bump_volume_version(txn, self.header)?;
+        self.ep.write_anode(txn, dslot, &d)?;
+        t.nlink = t.nlink.saturating_sub(1);
+        t.ctime = self.ep.clock.now().as_micros();
+        self.ep.write_anode(txn, tslot, &t)?;
+        self.ep.jn.commit(txn)?;
+        let fid = Fid::new(self.vol, VnodeId(e.vnode), e.uniq);
+        let status = self.ep.status_from_anode(fid, &t);
+        if t.nlink == 0 {
+            // Storage reclamation runs as its own chunked transactions;
+            // a crash in between leaves an orphan the salvager repairs.
+            self.ep.destroy_anode(tslot)?;
+            let txn = self.ep.jn.begin();
+            self.ep.vnode_set(txn, self.header, e.vnode, 0)?;
+            self.ep.jn.commit(txn)?;
+        }
+        Ok(status)
+    }
+
+    fn rmdir(&self, cred: &Credentials, dir: Fid, name: &str) -> DfsResult<()> {
+        self.check_writable()?;
+        let (dslot, _) = self.resolve(dir)?;
+        let lock = self.ep.anode_lock(dslot);
+        let _g = lock.write();
+        let mut d = self.ep.read_anode(dslot)?;
+        if d.kind != AnodeKind::Directory {
+            return Err(DfsError::NotDirectory);
+        }
+        self.check(cred, &d, Rights::DELETE)?;
+        let e = self.ep.dir_lookup(&d, name)?.ok_or(DfsError::NotFound)?;
+        if e.kind != AnodeKind::Directory.to_byte() {
+            return Err(DfsError::NotDirectory);
+        }
+        let tslot = self.ep.vnode_get(self.header, e.vnode)?;
+        let t = self.ep.read_anode(tslot)?;
+        if !self.ep.dir_is_empty(&t)? {
+            return Err(DfsError::NotEmpty);
+        }
+        let txn = self.ep.jn.begin();
+        self.ep.dir_remove(txn, &mut d, name)?;
+        d.mtime = self.ep.clock.now().as_micros();
+        d.data_version = self.ep.bump_volume_version(txn, self.header)?;
+        d.nlink = d.nlink.saturating_sub(1);
+        self.ep.write_anode(txn, dslot, &d)?;
+        self.ep.jn.commit(txn)?;
+        self.ep.destroy_anode(tslot)?;
+        let txn = self.ep.jn.begin();
+        self.ep.vnode_set(txn, self.header, e.vnode, 0)?;
+        self.ep.jn.commit(txn)
+    }
+
+    fn rename(
+        &self,
+        cred: &Credentials,
+        src_dir: Fid,
+        src_name: &str,
+        dst_dir: Fid,
+        dst_name: &str,
+    ) -> DfsResult<()> {
+        self.check_writable()?;
+        check_name(src_name)?;
+        check_name(dst_name)?;
+        let (sslot, _) = self.resolve(src_dir)?;
+        let (dslot, _) = self.resolve(dst_dir)?;
+        // Lock directories in slot order (equal fids lock once).
+        let (first, second) = if sslot <= dslot { (sslot, dslot) } else { (dslot, sslot) };
+        let l1 = self.ep.anode_lock(first);
+        let l2 = self.ep.anode_lock(second);
+        let _g1 = l1.write();
+        let _g2 = if second != first { Some(l2.write()) } else { None };
+        let mut sd = self.ep.read_anode(sslot)?;
+        self.check(cred, &sd, Rights::DELETE)?;
+        let e = self.ep.dir_lookup(&sd, src_name)?.ok_or(DfsError::NotFound)?;
+
+        let txn = self.ep.jn.begin();
+        let mut destroy_slot = None;
+        if sslot == dslot {
+            if let Some(old) = self.ep.dir_lookup(&sd, dst_name)? {
+                if old.vnode != e.vnode {
+                    let oslot = self.ep.vnode_get(self.header, old.vnode)?;
+                    let mut o = self.ep.read_anode(oslot)?;
+                    if o.kind == AnodeKind::Directory
+                        && !self.ep.dir_is_empty(&o)? {
+                            return Err(DfsError::NotEmpty);
+                        }
+                    o.nlink = o.nlink.saturating_sub(if o.kind == AnodeKind::Directory {
+                        2
+                    } else {
+                        1
+                    });
+                    self.ep.write_anode(txn, oslot, &o)?;
+                    self.ep.dir_remove(txn, &mut sd, dst_name)?;
+                    if o.nlink == 0 {
+                        destroy_slot = Some((oslot, old.vnode));
+                    }
+                }
+            }
+            self.ep.dir_remove(txn, &mut sd, src_name)?;
+            self.ep.dir_insert(
+                txn,
+                &mut sd,
+                &RawDirEntry {
+                    name: dst_name.into(),
+                    vnode: e.vnode,
+                    uniq: e.uniq,
+                    kind: e.kind,
+                },
+            )?;
+            sd.mtime = self.ep.clock.now().as_micros();
+            sd.data_version = self.ep.bump_volume_version(txn, self.header)?;
+            self.ep.write_anode(txn, sslot, &sd)?;
+        } else {
+            let mut dd = self.ep.read_anode(dslot)?;
+            self.check(cred, &dd, Rights::INSERT)?;
+            if let Some(old) = self.ep.dir_lookup(&dd, dst_name)? {
+                let oslot = self.ep.vnode_get(self.header, old.vnode)?;
+                let mut o = self.ep.read_anode(oslot)?;
+                if o.kind == AnodeKind::Directory && !self.ep.dir_is_empty(&o)? {
+                    return Err(DfsError::NotEmpty);
+                }
+                o.nlink = o
+                    .nlink
+                    .saturating_sub(if o.kind == AnodeKind::Directory { 2 } else { 1 });
+                self.ep.write_anode(txn, oslot, &o)?;
+                self.ep.dir_remove(txn, &mut dd, dst_name)?;
+                if o.nlink == 0 {
+                    destroy_slot = Some((oslot, old.vnode));
+                }
+            }
+            self.ep.dir_remove(txn, &mut sd, src_name)?;
+            self.ep.dir_insert(
+                txn,
+                &mut dd,
+                &RawDirEntry {
+                    name: dst_name.into(),
+                    vnode: e.vnode,
+                    uniq: e.uniq,
+                    kind: e.kind,
+                },
+            )?;
+            let now = self.ep.clock.now().as_micros();
+            sd.mtime = now;
+            sd.data_version = self.ep.bump_volume_version(txn, self.header)?;
+            dd.mtime = now;
+            dd.data_version = self.ep.bump_volume_version(txn, self.header)?;
+            if e.kind == AnodeKind::Directory.to_byte() {
+                sd.nlink = sd.nlink.saturating_sub(1);
+                dd.nlink += 1;
+            }
+            self.ep.write_anode(txn, sslot, &sd)?;
+            self.ep.write_anode(txn, dslot, &dd)?;
+        }
+        self.ep.jn.commit(txn)?;
+        if let Some((oslot, ovnode)) = destroy_slot {
+            self.ep.destroy_anode(oslot)?;
+            let txn = self.ep.jn.begin();
+            self.ep.vnode_set(txn, self.header, ovnode, 0)?;
+            self.ep.jn.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    fn readdir(&self, cred: &Credentials, dir: Fid) -> DfsResult<Vec<DirEntry>> {
+        let (dslot, _) = self.resolve(dir)?;
+        let lock = self.ep.anode_lock(dslot);
+        let _g = lock.read();
+        let d = self.ep.read_anode(dslot)?;
+        if d.kind != AnodeKind::Directory {
+            return Err(DfsError::NotDirectory);
+        }
+        self.check(cred, &d, Rights::READ)?;
+        Ok(self
+            .ep
+            .dir_list(&d)?
+            .into_iter()
+            .map(|e| DirEntry {
+                name: e.name,
+                fid: Fid::new(self.vol, VnodeId(e.vnode), e.uniq),
+            })
+            .collect())
+    }
+
+    fn read(&self, cred: &Credentials, file: Fid, offset: u64, len: usize) -> DfsResult<Vec<u8>> {
+        let (slot, _) = self.resolve(file)?;
+        let lock = self.ep.anode_lock(slot);
+        let _g = lock.read();
+        let a = self.ep.read_anode(slot)?;
+        if a.kind == AnodeKind::Directory {
+            return Err(DfsError::IsDirectory);
+        }
+        self.check(cred, &a, Rights::READ)?;
+        self.ep.anode_read(&a, offset, len)
+    }
+
+    fn write(
+        &self,
+        cred: &Credentials,
+        file: Fid,
+        offset: u64,
+        data: &[u8],
+    ) -> DfsResult<FileStatus> {
+        self.check_writable()?;
+        let (slot, _) = self.resolve(file)?;
+        let lock = self.ep.anode_lock(slot);
+        let _g = lock.write();
+        let mut a = self.ep.read_anode(slot)?;
+        if a.kind == AnodeKind::Directory {
+            return Err(DfsError::IsDirectory);
+        }
+        self.check(cred, &a, Rights::WRITE)?;
+        let txn = self.ep.jn.begin();
+        self.ep.anode_write(txn, &mut a, offset, data, false)?;
+        a.mtime = self.ep.clock.now().as_micros();
+        a.data_version = self.ep.bump_volume_version(txn, self.header)?;
+        self.ep.write_anode(txn, slot, &a)?;
+        self.ep.jn.commit(txn)?;
+        Ok(self.ep.status_from_anode(file, &a))
+    }
+
+    fn getattr(&self, _cred: &Credentials, file: Fid) -> DfsResult<FileStatus> {
+        let (_, a) = self.resolve(file)?;
+        Ok(self.ep.status_from_anode(file, &a))
+    }
+
+    fn setattr(&self, cred: &Credentials, file: Fid, attrs: &SetAttrs) -> DfsResult<FileStatus> {
+        self.check_writable()?;
+        let (slot, _) = self.resolve(file)?;
+        let lock = self.ep.anode_lock(slot);
+        let _g = lock.write();
+        let a = self.ep.read_anode(slot)?;
+        if attrs.mode.is_some() || attrs.owner.is_some() || attrs.group.is_some() {
+            self.check(cred, &a, Rights::CONTROL)?;
+        }
+        if let Some(len) = attrs.length {
+            if a.kind == AnodeKind::Directory {
+                return Err(DfsError::IsDirectory);
+            }
+            self.check(cred, &a, Rights::WRITE)?;
+            // Truncation runs as its own sequence of short transactions.
+            self.ep.anode_truncate(slot, len)?;
+        }
+        let txn = self.ep.jn.begin();
+        let mut a = self.ep.read_anode(slot)?;
+        if attrs.length.is_some() {
+            a.data_version = self.ep.bump_volume_version(txn, self.header)?;
+        }
+        if let Some(m) = attrs.mode {
+            a.mode = m;
+        }
+        if let Some(o) = attrs.owner {
+            a.owner = o;
+        }
+        if let Some(g) = attrs.group {
+            a.group = g;
+        }
+        if let Some(t) = attrs.mtime {
+            a.mtime = t.as_micros();
+        }
+        a.ctime = self.ep.clock.now().as_micros();
+        self.ep.write_anode(txn, slot, &a)?;
+        self.ep.jn.commit(txn)?;
+        Ok(self.ep.status_from_anode(file, &a))
+    }
+
+    fn readlink(&self, cred: &Credentials, file: Fid) -> DfsResult<String> {
+        let (slot, a) = self.resolve(file)?;
+        let lock = self.ep.anode_lock(slot);
+        let _g = lock.read();
+        if a.kind != AnodeKind::Symlink {
+            return Err(DfsError::InvalidArgument);
+        }
+        self.check(cred, &a, Rights::READ)?;
+        let bytes = self.ep.anode_read(&a, 0, a.length as usize)?;
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    fn fsync(&self, _cred: &Credentials, file: Fid) -> DfsResult<()> {
+        self.resolve(file)?;
+        // Group-commit the log and force buffers home (§2.2 fsync).
+        self.ep.jn.flush_all()
+    }
+
+    fn sync(&self) -> DfsResult<()> {
+        self.ep.jn.flush_all()
+    }
+}
+
+impl VfsPlus for EpisodeVolume {
+    fn get_acl(&self, _cred: &Credentials, file: Fid) -> DfsResult<Acl> {
+        let (_, a) = self.resolve(file)?;
+        if a.acl_anode == 0 {
+            return Ok(Acl::new());
+        }
+        self.ep.read_acl(a.acl_anode)
+    }
+
+    fn set_acl(&self, cred: &Credentials, file: Fid, acl: &Acl) -> DfsResult<()> {
+        self.check_writable()?;
+        let (slot, _) = self.resolve(file)?;
+        let lock = self.ep.anode_lock(slot);
+        let _g = lock.write();
+        let mut a = self.ep.read_anode(slot)?;
+        self.check(cred, &a, Rights::CONTROL)?;
+        let txn = self.ep.jn.begin();
+        self.ep.write_acl(txn, &mut a, acl)?;
+        a.ctime = self.ep.clock.now().as_micros();
+        self.ep.write_anode(txn, slot, &a)?;
+        self.ep.jn.commit(txn)
+    }
+}
+
+impl PhysicalFs for Episode {
+    fn aggregate_id(&self) -> dfs_types::AggregateId {
+        self.aggregate()
+    }
+
+    fn list_volumes(&self) -> DfsResult<Vec<VolumeInfo>> {
+        self.voltable_list()?
+            .into_iter()
+            .map(|(id, _)| self.volume_info_inner(id))
+            .collect()
+    }
+
+    fn volume_info(&self, vol: VolumeId) -> DfsResult<VolumeInfo> {
+        self.volume_info_inner(vol)
+    }
+
+    fn create_volume(&self, id: VolumeId, name: &str) -> DfsResult<()> {
+        Episode::create_volume(self, id, name)
+    }
+
+    fn delete_volume(&self, vol: VolumeId) -> DfsResult<()> {
+        Episode::delete_volume(self, vol)
+    }
+
+    fn clone_volume(&self, src: VolumeId, clone_id: VolumeId, name: &str) -> DfsResult<()> {
+        Episode::clone_volume(self, src, clone_id, name)
+    }
+
+    fn mount(&self, vol: VolumeId) -> DfsResult<Arc<dyn VfsPlus>> {
+        let (_, header) = self.voltable_find(vol)?.ok_or(DfsError::NoSuchVolume)?;
+        let vh = self.read_volume_header(header)?;
+        // SAFETY of the self-clone: Episode is always used behind Arc;
+        // mount is only reachable through Arc<Episode> receivers.
+        let ep = self.self_arc();
+        Ok(Arc::new(EpisodeVolume {
+            ep,
+            vol,
+            header,
+            read_only: vh.read_only(),
+            root_vnode: vh.root_vnode,
+        }))
+    }
+
+    fn dump_volume(&self, vol: VolumeId, since_version: u64) -> DfsResult<VolumeDump> {
+        self.dump_volume_inner(vol, since_version)
+    }
+
+    fn restore_volume(&self, dump: &VolumeDump, read_only: bool) -> DfsResult<()> {
+        self.restore_volume_inner(dump, read_only)
+    }
+
+    fn salvage(&self) -> DfsResult<SalvageReport> {
+        crate::salvage::salvage(self)
+    }
+
+    fn sync_aggregate(&self) -> DfsResult<()> {
+        self.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::fresh;
+
+    pub(crate) fn mounted() -> (Arc<Episode>, Arc<dyn VfsPlus>) {
+        let ep = fresh(16384);
+        ep.create_volume(VolumeId(1), "test").unwrap();
+        let vol = PhysicalFs::mount(&*ep, VolumeId(1)).unwrap();
+        (ep, vol)
+    }
+
+    fn cred() -> Credentials {
+        Credentials::system()
+    }
+
+    #[test]
+    fn create_lookup_read_write() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "hello.txt", 0o644).unwrap();
+        assert_eq!(f.length, 0);
+        let st = v.write(&cred(), f.fid, 0, b"hello episode").unwrap();
+        assert_eq!(st.length, 13);
+        assert!(st.data_version > f.data_version);
+        let found = v.lookup(&cred(), root, "hello.txt").unwrap();
+        assert_eq!(found.fid, f.fid);
+        assert_eq!(v.read(&cred(), f.fid, 0, 64).unwrap(), b"hello episode");
+        assert_eq!(v.read(&cred(), f.fid, 6, 7).unwrap(), b"episode");
+    }
+
+    #[test]
+    fn mkdir_and_nested_paths() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let d1 = v.mkdir(&cred(), root, "a", 0o755).unwrap();
+        let d2 = v.mkdir(&cred(), d1.fid, "b", 0o755).unwrap();
+        let f = v.create(&cred(), d2.fid, "deep.txt", 0o644).unwrap();
+        let hit = v.lookup(&cred(), d1.fid, "b").unwrap();
+        assert_eq!(hit.fid, d2.fid);
+        assert!(hit.is_dir());
+        let hit = v.lookup(&cred(), d2.fid, "deep.txt").unwrap();
+        assert_eq!(hit.fid, f.fid);
+        // Parent nlink grew for the subdirectory.
+        let rst = v.getattr(&cred(), root).unwrap();
+        assert_eq!(rst.nlink, 3);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        v.create(&cred(), root, "x", 0o644).unwrap();
+        assert_eq!(v.create(&cred(), root, "x", 0o644).unwrap_err(), DfsError::Exists);
+        assert_eq!(v.mkdir(&cred(), root, "x", 0o755).unwrap_err(), DfsError::Exists);
+    }
+
+    #[test]
+    fn remove_frees_and_stales_fid() {
+        let (ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "gone", 0o644).unwrap();
+        v.write(&cred(), f.fid, 0, &vec![1u8; 10000]).unwrap();
+        let st = v.remove(&cred(), root, "gone").unwrap();
+        assert_eq!(st.nlink, 0);
+        assert_eq!(v.lookup(&cred(), root, "gone").unwrap_err(), DfsError::NotFound);
+        assert_eq!(v.getattr(&cred(), f.fid).unwrap_err(), DfsError::StaleFid);
+        // Blocks were reclaimed.
+        let report = ep.salvage().unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+    }
+
+    #[test]
+    fn hard_links_share_data() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "orig", 0o644).unwrap();
+        v.write(&cred(), f.fid, 0, b"shared").unwrap();
+        let linked = v.link(&cred(), root, "alias", f.fid).unwrap();
+        assert_eq!(linked.nlink, 2);
+        assert_eq!(v.read(&cred(), f.fid, 0, 16).unwrap(), b"shared");
+        let via_alias = v.lookup(&cred(), root, "alias").unwrap();
+        assert_eq!(via_alias.fid, f.fid);
+        // Removing one name keeps the file alive.
+        v.remove(&cred(), root, "orig").unwrap();
+        assert_eq!(v.read(&cred(), f.fid, 0, 16).unwrap(), b"shared");
+        v.remove(&cred(), root, "alias").unwrap();
+        assert_eq!(v.getattr(&cred(), f.fid).unwrap_err(), DfsError::StaleFid);
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let d = v.mkdir(&cred(), root, "dir", 0o755).unwrap();
+        v.create(&cred(), d.fid, "child", 0o644).unwrap();
+        assert_eq!(v.rmdir(&cred(), root, "dir").unwrap_err(), DfsError::NotEmpty);
+        v.remove(&cred(), d.fid, "child").unwrap();
+        v.rmdir(&cred(), root, "dir").unwrap();
+        assert_eq!(v.lookup(&cred(), root, "dir").unwrap_err(), DfsError::NotFound);
+    }
+
+    #[test]
+    fn rename_within_and_across_directories() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let d = v.mkdir(&cred(), root, "sub", 0o755).unwrap();
+        let f = v.create(&cred(), root, "a", 0o644).unwrap();
+        v.write(&cred(), f.fid, 0, b"content").unwrap();
+        // Same-directory rename.
+        v.rename(&cred(), root, "a", root, "b").unwrap();
+        assert_eq!(v.lookup(&cred(), root, "b").unwrap().fid, f.fid);
+        assert!(v.lookup(&cred(), root, "a").is_err());
+        // Cross-directory rename.
+        v.rename(&cred(), root, "b", d.fid, "c").unwrap();
+        assert_eq!(v.lookup(&cred(), d.fid, "c").unwrap().fid, f.fid);
+        assert_eq!(v.read(&cred(), f.fid, 0, 16).unwrap(), b"content");
+    }
+
+    #[test]
+    fn rename_replaces_existing_target() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let a = v.create(&cred(), root, "a", 0o644).unwrap();
+        let b = v.create(&cred(), root, "b", 0o644).unwrap();
+        v.write(&cred(), a.fid, 0, b"AAA").unwrap();
+        v.write(&cred(), b.fid, 0, b"BBB").unwrap();
+        v.rename(&cred(), root, "a", root, "b").unwrap();
+        let now_b = v.lookup(&cred(), root, "b").unwrap();
+        assert_eq!(now_b.fid, a.fid, "a took over the name b");
+        assert_eq!(v.getattr(&cred(), b.fid).unwrap_err(), DfsError::StaleFid);
+        assert_eq!(v.readdir(&cred(), root).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn readdir_lists_entries() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        for name in ["one", "two", "three"] {
+            v.create(&cred(), root, name, 0o644).unwrap();
+        }
+        let mut names: Vec<String> =
+            v.readdir(&cred(), root).unwrap().into_iter().map(|e| e.name).collect();
+        names.sort();
+        assert_eq!(names, vec!["one", "three", "two"]);
+    }
+
+    #[test]
+    fn symlink_round_trip() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let s = v.symlink(&cred(), root, "ln", "/target/path").unwrap();
+        assert_eq!(v.readlink(&cred(), s.fid).unwrap(), "/target/path");
+        let st = v.lookup(&cred(), root, "ln").unwrap();
+        assert_eq!(st.ftype, dfs_types::FileType::Symlink);
+    }
+
+    #[test]
+    fn setattr_truncate_and_chmod() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "t", 0o644).unwrap();
+        v.write(&cred(), f.fid, 0, &vec![9u8; 50_000]).unwrap();
+        let st = v.setattr(&cred(), f.fid, &SetAttrs::truncate(100)).unwrap();
+        assert_eq!(st.length, 100);
+        assert_eq!(v.read(&cred(), f.fid, 0, 200).unwrap(), vec![9u8; 100]);
+        let st = v
+            .setattr(
+                &cred(),
+                f.fid,
+                &SetAttrs { mode: Some(0o600), owner: Some(5), ..SetAttrs::default() },
+            )
+            .unwrap();
+        assert_eq!(st.mode, 0o600);
+        assert_eq!(st.owner, 5);
+    }
+
+    #[test]
+    fn permissions_mode_bits() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let owner = Credentials::user(100);
+        let other = Credentials::user(200);
+        // Root dir is 0o755 owned by system; the owner can't insert.
+        assert_eq!(
+            v.create(&owner, root, "denied", 0o644).unwrap_err(),
+            DfsError::PermissionDenied
+        );
+        // Open up the root for this test.
+        v.setattr(&cred(), root, &SetAttrs { mode: Some(0o777), ..SetAttrs::default() })
+            .unwrap();
+        let f = v.create(&owner, root, "mine", 0o640).unwrap();
+        assert_eq!(f.owner, 100);
+        v.write(&owner, f.fid, 0, b"secret").unwrap();
+        assert_eq!(
+            v.read(&other, f.fid, 0, 10).unwrap_err(),
+            DfsError::PermissionDenied
+        );
+        assert_eq!(
+            v.write(&other, f.fid, 0, b"x").unwrap_err(),
+            DfsError::PermissionDenied
+        );
+        // Group member may read (mode 0o640).
+        let mut teammate = Credentials::user(300);
+        teammate.groups.push(0);
+        assert_eq!(v.read(&teammate, f.fid, 0, 6).unwrap(), b"secret");
+    }
+
+    #[test]
+    fn acl_overrides_mode_bits() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "guarded", 0o777).unwrap();
+        let mut acl = Acl::new();
+        acl.push(dfs_types::AclEntry::allow(
+            dfs_types::Principal::User(7),
+            Rights::READ | Rights::WRITE,
+        ));
+        v.set_acl(&cred(), f.fid, &acl).unwrap();
+        assert_eq!(v.get_acl(&cred(), f.fid).unwrap(), acl);
+        let seven = Credentials::user(7);
+        let eight = Credentials::user(8);
+        v.write(&seven, f.fid, 0, b"ok").unwrap();
+        assert_eq!(
+            v.read(&eight, f.fid, 0, 2).unwrap_err(),
+            DfsError::PermissionDenied,
+            "mode bits said 0o777 but the ACL is authoritative"
+        );
+    }
+
+    #[test]
+    fn write_to_read_only_clone_fails() {
+        let (ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "base", 0o644).unwrap();
+        v.write(&cred(), f.fid, 0, b"v1").unwrap();
+        Episode::clone_volume(&ep, VolumeId(1), VolumeId(2), "test.backup").unwrap();
+        let snap = PhysicalFs::mount(&*ep, VolumeId(2)).unwrap();
+        let sroot = snap.root().unwrap();
+        let sf = snap.lookup(&cred(), sroot, "base").unwrap();
+        assert_eq!(snap.read(&cred(), sf.fid, 0, 10).unwrap(), b"v1");
+        assert_eq!(
+            snap.write(&cred(), sf.fid, 0, b"nope").unwrap_err(),
+            DfsError::ReadOnlyVolume
+        );
+        assert_eq!(
+            snap.create(&cred(), sroot, "new", 0o644).unwrap_err(),
+            DfsError::ReadOnlyVolume
+        );
+    }
+
+    #[test]
+    fn clone_preserves_snapshot_while_original_diverges() {
+        let (ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "doc", 0o644).unwrap();
+        v.write(&cred(), f.fid, 0, b"original contents").unwrap();
+        Episode::clone_volume(&ep, VolumeId(1), VolumeId(2), "snap").unwrap();
+        // Mutate the original after the clone.
+        v.write(&cred(), f.fid, 0, b"MUTATED~~contents").unwrap();
+        v.create(&cred(), root, "newfile", 0o644).unwrap();
+
+        let snap = PhysicalFs::mount(&*ep, VolumeId(2)).unwrap();
+        let sroot = snap.root().unwrap();
+        let sf = snap.lookup(&cred(), sroot, "doc").unwrap();
+        assert_eq!(snap.read(&cred(), sf.fid, 0, 32).unwrap(), b"original contents");
+        assert!(snap.lookup(&cred(), sroot, "newfile").is_err(), "snapshot is frozen");
+        assert_eq!(v.read(&cred(), f.fid, 0, 32).unwrap(), b"MUTATED~~contents");
+        let report = ep.salvage().unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+    }
+
+    #[test]
+    fn stale_fid_after_recreate() {
+        let (_ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f1 = v.create(&cred(), root, "f", 0o644).unwrap();
+        v.remove(&cred(), root, "f").unwrap();
+        let f2 = v.create(&cred(), root, "f", 0o644).unwrap();
+        assert_ne!(f1.fid, f2.fid, "uniquifier must differ on reuse");
+        assert_eq!(v.getattr(&cred(), f1.fid).unwrap_err(), DfsError::StaleFid);
+        assert!(v.getattr(&cred(), f2.fid).is_ok());
+    }
+}

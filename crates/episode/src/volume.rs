@@ -1,0 +1,677 @@
+//! Volumes and the volume/aggregate distinction (§2.1).
+//!
+//! A *volume* is a mountable subtree; an *aggregate* is the unit of disk
+//! storage. "Administration of networks of thousands of users is not
+//! practical without this distinction": volumes can be created, deleted,
+//! **cloned** (read-only copy-on-write snapshots sharing data blocks with
+//! the original), **dumped** (fully or incrementally, for motion between
+//! servers and for lazy replication), and **restored**.
+//!
+//! On disk, the volume table is anode 1; each volume has a header anode
+//! whose container holds the volume's identity and its vnode map — the
+//! per-volume translation from vnode index (the fid component that
+//! survives volume moves) to anode slot.
+
+use crate::layout::{Anode, AnodeKind};
+use crate::Episode;
+use dfs_journal::TxnId;
+use dfs_types::{DfsError, DfsResult, FileStatus, FileType, Fid, VnodeId, VolumeId};
+use dfs_vfs::{DirEntry, DumpFile, VolumeDump, VolumeInfo};
+
+/// Byte size of a volume-table entry: volume id + header anode + flags.
+const VT_ENTRY: usize = 16;
+
+/// Volume header layout within the header anode's container: id at 0
+/// (u64), flags at 8 (u32), root vnode at 12 (u32), parent volume at 16
+/// (u64), base data-version at 24 (u64), next uniquifier at 32 (u32),
+/// then the name.
+const VH_NAME: u64 = 36;
+/// Per-volume version counter: every mutation gets the next value and
+/// stamps it into the changed file's `data_version`, so "changed since
+/// version V" is a meaningful per-volume question (used by incremental
+/// dumps, §3.8).
+const VH_VERSION: u64 = 68;
+/// First byte of the vnode map; each entry is a u32 anode index.
+const VH_MAP: u64 = 76;
+
+/// Read-only flag bit in the header flags word.
+const VF_READONLY: u32 = 1;
+
+/// Decoded volume header (fixed part).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VolumeHeader {
+    /// The volume's cell-wide id.
+    pub id: u64,
+    /// Flags word (bit 0: read-only).
+    pub flags: u32,
+    /// Vnode index of the root directory.
+    pub root_vnode: u32,
+    /// Parent volume id for clones (0 = none).
+    pub parent: u64,
+    /// Data-version base recorded at restore time (replica bookkeeping).
+    pub base_dv: u64,
+    /// Next fid uniquifier to hand out.
+    pub next_uniq: u32,
+    /// Per-volume mutation version counter.
+    pub version: u64,
+    /// Volume name.
+    pub name: String,
+}
+
+impl VolumeHeader {
+    /// Returns true if the volume is a read-only clone or replica.
+    pub fn read_only(&self) -> bool {
+        self.flags & VF_READONLY != 0
+    }
+}
+
+impl Episode {
+    // ------------------------------------------------------------------
+    // Volume table (anode 1)
+    // ------------------------------------------------------------------
+
+    /// Finds a volume's table slot, returning (entry offset, header anode).
+    pub(crate) fn voltable_find(&self, vol: VolumeId) -> DfsResult<Option<(u64, u32)>> {
+        let vt = self.read_anode(crate::layout::VOLTABLE_ANODE)?;
+        let data = self.anode_read(&vt, 0, vt.length as usize)?;
+        for (i, chunk) in data.chunks_exact(VT_ENTRY).enumerate() {
+            let id = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+            if id == vol.0 {
+                let header = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+                return Ok(Some(((i * VT_ENTRY) as u64, header)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn voltable_insert(&self, txn: TxnId, vol: VolumeId, header: u32) -> DfsResult<()> {
+        let mut vt = self.read_anode(crate::layout::VOLTABLE_ANODE)?;
+        let data = self.anode_read(&vt, 0, vt.length as usize)?;
+        let mut entry = [0u8; VT_ENTRY];
+        entry[0..8].copy_from_slice(&vol.0.to_le_bytes());
+        entry[8..12].copy_from_slice(&header.to_le_bytes());
+        // Reuse a free slot if one exists, else append.
+        let offset = data
+            .chunks_exact(VT_ENTRY)
+            .position(|c| u64::from_le_bytes(c[0..8].try_into().unwrap()) == 0)
+            .map(|i| (i * VT_ENTRY) as u64)
+            .unwrap_or(vt.length);
+        self.anode_write(txn, &mut vt, offset, &entry, true)?;
+        self.write_anode(txn, crate::layout::VOLTABLE_ANODE, &vt)
+    }
+
+    fn voltable_clear(&self, txn: TxnId, offset: u64) -> DfsResult<()> {
+        let mut vt = self.read_anode(crate::layout::VOLTABLE_ANODE)?;
+        self.anode_write(txn, &mut vt, offset, &[0u8; VT_ENTRY], true)?;
+        self.write_anode(txn, crate::layout::VOLTABLE_ANODE, &vt)
+    }
+
+    /// Lists (volume id, header anode) of every volume on the aggregate.
+    pub(crate) fn voltable_list(&self) -> DfsResult<Vec<(VolumeId, u32)>> {
+        let vt = self.read_anode(crate::layout::VOLTABLE_ANODE)?;
+        let data = self.anode_read(&vt, 0, vt.length as usize)?;
+        Ok(data
+            .chunks_exact(VT_ENTRY)
+            .filter_map(|c| {
+                let id = u64::from_le_bytes(c[0..8].try_into().unwrap());
+                if id == 0 {
+                    return None;
+                }
+                let header = u32::from_le_bytes(c[8..12].try_into().unwrap());
+                Some((VolumeId(id), header))
+            })
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Volume headers and vnode maps
+    // ------------------------------------------------------------------
+
+    /// Reads and decodes a volume header.
+    pub(crate) fn read_volume_header(&self, header_anode: u32) -> DfsResult<VolumeHeader> {
+        let a = self.read_anode(header_anode)?;
+        let fixed = self.anode_read(&a, 0, VH_MAP as usize)?;
+        if fixed.len() < VH_MAP as usize {
+            return Err(DfsError::Internal("short volume header"));
+        }
+        let name_len = fixed[VH_NAME as usize] as usize;
+        let name = String::from_utf8_lossy(
+            &fixed[VH_NAME as usize + 1..VH_NAME as usize + 1 + name_len.min(31)],
+        )
+        .into_owned();
+        Ok(VolumeHeader {
+            id: u64::from_le_bytes(fixed[0..8].try_into().unwrap()),
+            flags: u32::from_le_bytes(fixed[8..12].try_into().unwrap()),
+            root_vnode: u32::from_le_bytes(fixed[12..16].try_into().unwrap()),
+            parent: u64::from_le_bytes(fixed[16..24].try_into().unwrap()),
+            base_dv: u64::from_le_bytes(fixed[24..32].try_into().unwrap()),
+            next_uniq: u32::from_le_bytes(fixed[32..36].try_into().unwrap()),
+            version: u64::from_le_bytes(
+                fixed[VH_VERSION as usize..VH_VERSION as usize + 8].try_into().unwrap(),
+            ),
+            name,
+        })
+    }
+
+    fn write_volume_header_fixed(
+        &self,
+        txn: TxnId,
+        header_anode: u32,
+        vh: &VolumeHeader,
+    ) -> DfsResult<()> {
+        let mut fixed = vec![0u8; VH_MAP as usize];
+        fixed[0..8].copy_from_slice(&vh.id.to_le_bytes());
+        fixed[8..12].copy_from_slice(&vh.flags.to_le_bytes());
+        fixed[12..16].copy_from_slice(&vh.root_vnode.to_le_bytes());
+        fixed[16..24].copy_from_slice(&vh.parent.to_le_bytes());
+        fixed[24..32].copy_from_slice(&vh.base_dv.to_le_bytes());
+        fixed[32..36].copy_from_slice(&vh.next_uniq.to_le_bytes());
+        let name = vh.name.as_bytes();
+        let n = name.len().min(31);
+        fixed[VH_NAME as usize] = n as u8;
+        fixed[VH_NAME as usize + 1..VH_NAME as usize + 1 + n].copy_from_slice(&name[..n]);
+        fixed[VH_VERSION as usize..VH_VERSION as usize + 8]
+            .copy_from_slice(&vh.version.to_le_bytes());
+        let mut a = self.read_anode(header_anode)?;
+        self.anode_write(txn, &mut a, 0, &fixed, true)?;
+        self.write_anode(txn, header_anode, &a)
+    }
+
+    /// Returns the anode slot mapped to vnode `v` (0 = free).
+    pub(crate) fn vnode_get(&self, header_anode: u32, v: u32) -> DfsResult<u32> {
+        let a = self.read_anode(header_anode)?;
+        let off = VH_MAP + 4 * v as u64;
+        if off + 4 > a.length {
+            return Ok(0);
+        }
+        let bytes = self.anode_read(&a, off, 4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Sets vnode `v`'s anode slot (0 frees the vnode index).
+    pub(crate) fn vnode_set(&self, txn: TxnId, header_anode: u32, v: u32, slot: u32) -> DfsResult<()> {
+        let mut a = self.read_anode(header_anode)?;
+        let off = VH_MAP + 4 * v as u64;
+        self.anode_write(txn, &mut a, off, &slot.to_le_bytes(), true)?;
+        self.write_anode(txn, header_anode, &a)
+    }
+
+    /// Allocates the lowest free vnode index and maps it to `slot`.
+    pub(crate) fn vnode_alloc(&self, txn: TxnId, header_anode: u32, slot: u32) -> DfsResult<u32> {
+        let a = self.read_anode(header_anode)?;
+        let map_len = (a.length.saturating_sub(VH_MAP)) as usize / 4;
+        let map = self.anode_read(&a, VH_MAP, map_len * 4)?;
+        let hole = (1..map_len)
+            .find(|&i| u32::from_le_bytes(map[4 * i..4 * i + 4].try_into().unwrap()) == 0);
+        let v = hole.unwrap_or(map_len.max(1)) as u32;
+        self.vnode_set(txn, header_anode, v, slot)?;
+        Ok(v)
+    }
+
+    /// Lists every live (vnode index, anode slot) pair of a volume.
+    pub(crate) fn vnode_list(&self, header_anode: u32) -> DfsResult<Vec<(u32, u32)>> {
+        let a = self.read_anode(header_anode)?;
+        if a.length <= VH_MAP {
+            return Ok(Vec::new());
+        }
+        let map = self.anode_read(&a, VH_MAP, (a.length - VH_MAP) as usize)?;
+        Ok(map
+            .chunks_exact(4)
+            .enumerate()
+            .skip(1)
+            .filter_map(|(i, c)| {
+                let slot = u32::from_le_bytes(c.try_into().unwrap());
+                (slot != 0).then_some((i as u32, slot))
+            })
+            .collect())
+    }
+
+    /// Allocates the next fid uniquifier for the volume.
+    pub(crate) fn next_uniq(&self, txn: TxnId, header_anode: u32) -> DfsResult<u32> {
+        let mut vh = self.read_volume_header(header_anode)?;
+        vh.next_uniq += 1;
+        let u = vh.next_uniq;
+        self.write_volume_header_fixed(txn, header_anode, &vh)?;
+        Ok(u)
+    }
+
+    /// Bumps and returns the per-volume mutation version.
+    ///
+    /// Mutating operations stamp the result into the changed file's
+    /// `data_version`, making versions comparable volume-wide.
+    pub(crate) fn bump_volume_version(&self, txn: TxnId, header_anode: u32) -> DfsResult<u64> {
+        let mut vh = self.read_volume_header(header_anode)?;
+        vh.version += 1;
+        let v = vh.version;
+        self.write_volume_header_fixed(txn, header_anode, &vh)?;
+        Ok(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Volume operations
+    // ------------------------------------------------------------------
+
+    /// Creates an empty read-write volume with a root directory.
+    pub fn create_volume(&self, id: VolumeId, name: &str) -> DfsResult<()> {
+        if id.0 == 0 {
+            return Err(DfsError::InvalidArgument);
+        }
+        let _guard = self.vol_lock.lock();
+        if self.voltable_find(id)?.is_some() {
+            return Err(DfsError::Exists);
+        }
+        let txn = self.jn.begin();
+        let (header, _) = self.alloc_anode(txn, AnodeKind::Meta, id.0, 0, 0, 0)?;
+        let vh = VolumeHeader {
+            id: id.0,
+            flags: 0,
+            root_vnode: 1,
+            parent: 0,
+            base_dv: 0,
+            next_uniq: 1,
+            version: 0,
+            name: name.to_string(),
+        };
+        self.write_volume_header_fixed(txn, header, &vh)?;
+        // Root directory: vnode 1, uniq 1.
+        let (root_slot, mut root) =
+            self.alloc_anode(txn, AnodeKind::Directory, id.0, 0o755, 0, 0)?;
+        root.uniq = 1;
+        root.nlink = 2;
+        self.write_anode(txn, root_slot, &root)?;
+        self.vnode_set(txn, header, 1, root_slot)?;
+        self.voltable_insert(txn, id, header)?;
+        self.jn.commit(txn)?;
+        // Volume creation is an administrative operation: make it durable.
+        self.jn.sync()
+    }
+
+    /// Deletes a volume, freeing all of its storage.
+    pub fn delete_volume(&self, id: VolumeId) -> DfsResult<()> {
+        let _guard = self.vol_lock.lock();
+        let (offset, header) = self.voltable_find(id)?.ok_or(DfsError::NoSuchVolume)?;
+        for (_, slot) in self.vnode_list(header)? {
+            self.destroy_anode(slot)?;
+        }
+        self.destroy_anode(header)?;
+        let txn = self.jn.begin();
+        self.voltable_clear(txn, offset)?;
+        self.jn.commit(txn)?;
+        self.jn.sync()
+    }
+
+    /// Clones `src` into a read-only snapshot `clone_id` (§2.1).
+    ///
+    /// "A copy-on-write duplicate of a file can be created, in which,
+    /// instead of data blocks and indirect blocks, there are pointers to
+    /// the corresponding blocks of the original." Every block referenced
+    /// by the source has its refcount raised; the clone's anodes are
+    /// fresh descriptors sharing those blocks. Cost is proportional to
+    /// metadata, not data.
+    pub fn clone_volume(&self, src: VolumeId, clone_id: VolumeId, name: &str) -> DfsResult<()> {
+        if clone_id.0 == 0 || clone_id == src {
+            return Err(DfsError::InvalidArgument);
+        }
+        let _guard = self.vol_lock.lock();
+        let (_, src_header) = self.voltable_find(src)?.ok_or(DfsError::NoSuchVolume)?;
+        if self.voltable_find(clone_id)?.is_some() {
+            return Err(DfsError::Exists);
+        }
+        let src_vh = self.read_volume_header(src_header)?;
+
+        let txn = self.jn.begin();
+        let (header, _) = self.alloc_anode(txn, AnodeKind::Meta, clone_id.0, 0, 0, 0)?;
+        let vh = VolumeHeader {
+            id: clone_id.0,
+            flags: VF_READONLY,
+            root_vnode: src_vh.root_vnode,
+            parent: src.0,
+            base_dv: 0,
+            next_uniq: src_vh.next_uniq,
+            version: src_vh.version,
+            name: name.to_string(),
+        };
+        self.write_volume_header_fixed(txn, header, &vh)?;
+        self.voltable_insert(txn, clone_id, header)?;
+        self.jn.commit(txn)?;
+
+        // One short transaction per vnode keeps transactions small.
+        for (v, src_slot) in self.vnode_list(src_header)? {
+            let txn = self.jn.begin();
+            let src_anode = self.read_anode(src_slot)?;
+            let mut copy = src_anode.clone();
+            copy.volume = clone_id.0;
+            // Clone the ACL container descriptor too, sharing its blocks.
+            if src_anode.acl_anode != 0 {
+                let acl_src = self.read_anode(src_anode.acl_anode)?;
+                let mut acl_copy = acl_src.clone();
+                acl_copy.volume = clone_id.0;
+                let (acl_slot, _) =
+                    self.alloc_anode(txn, AnodeKind::Meta, clone_id.0, 0, 0, 0)?;
+                self.write_anode(txn, acl_slot, &acl_copy)?;
+                self.incref_anode_blocks(txn, &acl_src)?;
+                copy.acl_anode = acl_slot;
+            }
+            let (slot, _) = self.alloc_anode(txn, AnodeKind::Meta, clone_id.0, 0, 0, 0)?;
+            self.write_anode(txn, slot, &copy)?;
+            self.incref_anode_blocks(txn, &src_anode)?;
+            self.vnode_set(txn, header, v, slot)?;
+            self.jn.commit(txn)?;
+        }
+        self.jn.sync()
+    }
+
+    /// Raises the refcount of every block an anode references: data
+    /// blocks, indirect blocks, and the double-indirect tree.
+    fn incref_anode_blocks(&self, txn: TxnId, a: &Anode) -> DfsResult<()> {
+        for &d in &a.direct {
+            if d != 0 {
+                self.incref_block(txn, d)?;
+            }
+        }
+        if a.indirect != 0 {
+            self.incref_block(txn, a.indirect)?;
+            let buf = self.jn.get(a.indirect)?;
+            for i in 0..crate::layout::PTRS_PER_BLOCK {
+                let p = buf.u32_at(4 * i);
+                if p != 0 {
+                    self.incref_block(txn, p)?;
+                }
+            }
+        }
+        if a.dindirect != 0 {
+            self.incref_block(txn, a.dindirect)?;
+            let dbuf = self.jn.get(a.dindirect)?;
+            for i in 0..crate::layout::PTRS_PER_BLOCK {
+                let l1 = dbuf.u32_at(4 * i);
+                if l1 == 0 {
+                    continue;
+                }
+                self.incref_block(txn, l1)?;
+                let l1buf = self.jn.get(l1)?;
+                for j in 0..crate::layout::PTRS_PER_BLOCK {
+                    let p = l1buf.u32_at(4 * j);
+                    if p != 0 {
+                        self.incref_block(txn, p)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a [`VolumeInfo`] for one volume.
+    pub fn volume_info_inner(&self, id: VolumeId) -> DfsResult<VolumeInfo> {
+        let (_, header) = self.voltable_find(id)?.ok_or(DfsError::NoSuchVolume)?;
+        let vh = self.read_volume_header(header)?;
+        let vnodes = self.vnode_list(header)?;
+        let mut blocks = 0u64;
+        let mut max_dv = 0u64;
+        for (_, slot) in &vnodes {
+            let a = self.read_anode(*slot)?;
+            blocks += a.length.div_ceil(dfs_disk::BLOCK_SIZE as u64);
+            max_dv = max_dv.max(a.data_version);
+        }
+        Ok(VolumeInfo {
+            id,
+            name: vh.name.clone(),
+            read_only: vh.read_only(),
+            parent: (vh.parent != 0).then_some(VolumeId(vh.parent)),
+            files: vnodes.len() as u64,
+            blocks_used: blocks,
+            max_data_version: max_dv,
+        })
+    }
+
+    /// Serializes a volume (fully or incrementally) for motion (§3.6)
+    /// or replication (§3.8).
+    pub fn dump_volume_inner(&self, id: VolumeId, since_version: u64) -> DfsResult<VolumeDump> {
+        let _guard = self.vol_lock.lock();
+        let (_, header) = self.voltable_find(id)?.ok_or(DfsError::NoSuchVolume)?;
+        let vh = self.read_volume_header(header)?;
+        let mut files = Vec::new();
+        let mut live = Vec::new();
+        let max_dv = vh.version;
+        for (v, slot) in self.vnode_list(header)? {
+            let a = self.read_anode(slot)?;
+            let fid = Fid::new(id, VnodeId(v), a.uniq);
+            live.push(fid);
+            if a.data_version <= since_version && since_version > 0 {
+                continue;
+            }
+            let status = self.status_from_anode(fid, &a);
+            let acl =
+                if a.acl_anode != 0 { Some(self.read_acl(a.acl_anode)?) } else { None };
+            let (data, entries) = match a.kind {
+                AnodeKind::Directory => {
+                    let entries = self
+                        .dir_list(&a)?
+                        .into_iter()
+                        .map(|e| DirEntry {
+                            name: e.name,
+                            fid: Fid::new(id, VnodeId(e.vnode), e.uniq),
+                        })
+                        .collect();
+                    (Vec::new(), entries)
+                }
+                _ => (self.anode_read(&a, 0, a.length as usize)?, Vec::new()),
+            };
+            files.push(DumpFile { status, acl, data, entries });
+        }
+        Ok(VolumeDump {
+            volume: id,
+            name: vh.name.clone(),
+            since_version,
+            max_data_version: max_dv,
+            root: Fid::new(id, VnodeId(vh.root_vnode), 1),
+            files,
+            live,
+        })
+    }
+
+    /// Materializes a dump on this aggregate (full or incremental).
+    pub fn restore_volume_inner(&self, dump: &VolumeDump, read_only: bool) -> DfsResult<()> {
+        let id = dump.volume;
+        let header = match self.voltable_find(id)? {
+            Some((_, h)) => {
+                if dump.since_version == 0 {
+                    return Err(DfsError::Exists);
+                }
+                h
+            }
+            None => {
+                if dump.since_version != 0 {
+                    return Err(DfsError::NoSuchVolume);
+                }
+                let _guard = self.vol_lock.lock();
+                let txn = self.jn.begin();
+                let (h, _) = self.alloc_anode(txn, AnodeKind::Meta, id.0, 0, 0, 0)?;
+                let vh = VolumeHeader {
+                    id: id.0,
+                    flags: if read_only { VF_READONLY } else { 0 },
+                    root_vnode: dump.root.vnode.0,
+                    parent: 0,
+                    base_dv: dump.max_data_version,
+                    next_uniq: 1,
+                    version: dump.max_data_version,
+                    name: dump.name.clone(),
+                };
+                self.write_volume_header_fixed(txn, h, &vh)?;
+                self.voltable_insert(txn, id, h)?;
+                self.jn.commit(txn)?;
+                h
+            }
+        };
+
+        // Delete vnodes that no longer exist in the source.
+        let live: std::collections::HashSet<u32> =
+            dump.live.iter().map(|f| f.vnode.0).collect();
+        for (v, slot) in self.vnode_list(header)? {
+            if !live.contains(&v) {
+                self.destroy_anode(slot)?;
+                let txn = self.jn.begin();
+                self.vnode_set(txn, header, v, 0)?;
+                self.jn.commit(txn)?;
+            }
+        }
+
+        // Apply each dumped file, preserving vnode index and uniquifier.
+        for f in &dump.files {
+            let v = f.status.fid.vnode.0;
+            let existing = self.vnode_get(header, v)?;
+            if existing != 0 {
+                self.destroy_anode(existing)?;
+            }
+            let txn = self.jn.begin();
+            let kind = match f.status.ftype {
+                FileType::Regular => AnodeKind::File,
+                FileType::Directory => AnodeKind::Directory,
+                FileType::Symlink => AnodeKind::Symlink,
+            };
+            let (slot, mut a) =
+                self.alloc_anode(txn, kind, id.0, f.status.mode, f.status.owner, f.status.group)?;
+            a.uniq = f.status.fid.uniq;
+            a.nlink = f.status.nlink as u16;
+            a.mtime = f.status.mtime.as_micros();
+            a.ctime = f.status.ctime.as_micros();
+            a.data_version = f.status.data_version;
+            if kind == AnodeKind::Directory {
+                for e in &f.entries {
+                    let ekind = match self.dump_kind_of(dump, e.fid) {
+                        Some(k) => k,
+                        None => AnodeKind::File,
+                    };
+                    self.dir_insert(
+                        txn,
+                        &mut a,
+                        &crate::dir::RawDirEntry {
+                            name: e.name.clone(),
+                            vnode: e.fid.vnode.0,
+                            uniq: e.fid.uniq,
+                            kind: ekind.to_byte(),
+                        },
+                    )?;
+                }
+            } else {
+                self.anode_write(txn, &mut a, 0, &f.data, false)?;
+                a.length = f.status.length;
+            }
+            if let Some(acl) = &f.acl {
+                self.write_acl(txn, &mut a, acl)?;
+            }
+            self.write_anode(txn, slot, &a)?;
+            self.vnode_set(txn, header, v, slot)?;
+            self.jn.commit(txn)?;
+        }
+
+        // Record the restore point and keep next_uniq ahead of everything.
+        let txn = self.jn.begin();
+        let mut vh = self.read_volume_header(header)?;
+        vh.base_dv = dump.max_data_version;
+        vh.version = vh.version.max(dump.max_data_version);
+        vh.flags = if read_only { VF_READONLY } else { 0 };
+        vh.next_uniq =
+            vh.next_uniq.max(dump.live.iter().map(|f| f.uniq).max().unwrap_or(0) + 1);
+        self.write_volume_header_fixed(txn, header, &vh)?;
+        self.jn.commit(txn)?;
+        self.jn.sync()
+    }
+
+    fn dump_kind_of(&self, dump: &VolumeDump, fid: Fid) -> Option<AnodeKind> {
+        dump.files.iter().find(|f| f.status.fid == fid).map(|f| match f.status.ftype {
+            FileType::Regular => AnodeKind::File,
+            FileType::Directory => AnodeKind::Directory,
+            FileType::Symlink => AnodeKind::Symlink,
+        })
+    }
+
+    /// Builds a [`FileStatus`] from an anode.
+    pub(crate) fn status_from_anode(&self, fid: Fid, a: &Anode) -> FileStatus {
+        FileStatus {
+            fid,
+            ftype: match a.kind {
+                AnodeKind::Directory => FileType::Directory,
+                AnodeKind::Symlink => FileType::Symlink,
+                _ => FileType::Regular,
+            },
+            length: a.length,
+            owner: a.owner,
+            group: a.group,
+            mode: a.mode,
+            nlink: a.nlink as u32,
+            mtime: dfs_types::Timestamp(a.mtime),
+            ctime: dfs_types::Timestamp(a.ctime),
+            data_version: a.data_version,
+            stamp: dfs_types::SerializationStamp(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::fresh;
+
+    #[test]
+    fn create_and_list_volumes() {
+        let ep = fresh(8192);
+        ep.create_volume(VolumeId(10), "user.jane").unwrap();
+        ep.create_volume(VolumeId(11), "user.bob").unwrap();
+        let vols = ep.voltable_list().unwrap();
+        assert_eq!(vols.len(), 2);
+        let info = ep.volume_info_inner(VolumeId(10)).unwrap();
+        assert_eq!(info.name, "user.jane");
+        assert!(!info.read_only);
+        assert_eq!(info.files, 1, "fresh volume has just the root dir");
+    }
+
+    #[test]
+    fn duplicate_volume_id_rejected() {
+        let ep = fresh(8192);
+        ep.create_volume(VolumeId(10), "a").unwrap();
+        assert_eq!(ep.create_volume(VolumeId(10), "b").unwrap_err(), DfsError::Exists);
+        assert_eq!(ep.create_volume(VolumeId(0), "z").unwrap_err(), DfsError::InvalidArgument);
+    }
+
+    #[test]
+    fn delete_volume_frees_slots() {
+        let ep = fresh(8192);
+        ep.create_volume(VolumeId(10), "v").unwrap();
+        ep.delete_volume(VolumeId(10)).unwrap();
+        assert_eq!(ep.voltable_list().unwrap().len(), 0);
+        assert_eq!(
+            ep.volume_info_inner(VolumeId(10)).unwrap_err(),
+            DfsError::NoSuchVolume
+        );
+        // Id is reusable afterwards.
+        ep.create_volume(VolumeId(10), "v2").unwrap();
+    }
+
+    #[test]
+    fn vnode_alloc_reuses_holes() {
+        let ep = fresh(8192);
+        ep.create_volume(VolumeId(5), "v").unwrap();
+        let (_, header) = ep.voltable_find(VolumeId(5)).unwrap().unwrap();
+        let txn = ep.jn.begin();
+        let v2 = ep.vnode_alloc(txn, header, 100).unwrap();
+        let v3 = ep.vnode_alloc(txn, header, 101).unwrap();
+        ep.vnode_set(txn, header, v2, 0).unwrap();
+        let v4 = ep.vnode_alloc(txn, header, 102).unwrap();
+        ep.jn.commit(txn).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(v3, 3);
+        assert_eq!(v4, 2, "freed vnode index is reused");
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let ep = fresh(8192);
+        ep.create_volume(VolumeId(77), "home.volume").unwrap();
+        let (_, header) = ep.voltable_find(VolumeId(77)).unwrap().unwrap();
+        let vh = ep.read_volume_header(header).unwrap();
+        assert_eq!(vh.id, 77);
+        assert_eq!(vh.name, "home.volume");
+        assert_eq!(vh.root_vnode, 1);
+        assert!(!vh.read_only());
+    }
+}

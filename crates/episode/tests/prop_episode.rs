@@ -1,0 +1,176 @@
+//! Property-based tests for Episode against simple in-memory models.
+
+use dfs_disk::{DiskConfig, SimDisk};
+use dfs_episode::{Episode, FormatParams};
+use dfs_types::{SimClock, VolumeId};
+use dfs_vfs::{Credentials, PhysicalFs, SetAttrs, Vfs, VfsPlus};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fresh() -> (Arc<Episode>, Arc<dyn VfsPlus>) {
+    let disk = SimDisk::new(DiskConfig::with_blocks(32 * 1024));
+    let ep = Episode::format(disk, SimClock::new(), FormatParams::default()).unwrap();
+    ep.create_volume(VolumeId(1), "prop").unwrap();
+    let v = PhysicalFs::mount(&*ep, VolumeId(1)).unwrap();
+    (ep, v)
+}
+
+#[derive(Clone, Debug)]
+enum FileOp {
+    Write { offset: u64, len: usize, byte: u8 },
+    Truncate { len: u64 },
+    Read { offset: u64, len: usize },
+}
+
+fn file_op() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        4 => (0u64..200_000, 1usize..30_000, any::<u8>())
+            .prop_map(|(offset, len, byte)| FileOp::Write { offset, len, byte }),
+        2 => (0u64..250_000).prop_map(|len| FileOp::Truncate { len }),
+        3 => (0u64..250_000, 1usize..40_000).prop_map(|(offset, len)| FileOp::Read { offset, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// File contents behave exactly like a sparse byte vector.
+    #[test]
+    fn file_matches_vec_model(ops in proptest::collection::vec(file_op(), 1..25)) {
+        let (ep, v) = fresh();
+        let cred = Credentials::system();
+        let root = v.root().unwrap();
+        let f = v.create(&cred, root, "model", 0o644).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+
+        for op in ops {
+            match op {
+                FileOp::Write { offset, len, byte } => {
+                    let bytes = vec![byte; len];
+                    v.write(&cred, f.fid, offset, &bytes).unwrap();
+                    if model.len() < (offset as usize + len) {
+                        model.resize(offset as usize + len, 0);
+                    }
+                    model[offset as usize..offset as usize + len].copy_from_slice(&bytes);
+                }
+                FileOp::Truncate { len } => {
+                    v.setattr(&cred, f.fid, &SetAttrs::truncate(len)).unwrap();
+                    model.resize(len as usize, 0);
+                }
+                FileOp::Read { offset, len } => {
+                    let got = v.read(&cred, f.fid, offset, len).unwrap();
+                    let end = model.len().min(offset as usize + len);
+                    let want: &[u8] =
+                        if offset as usize >= model.len() { &[] } else { &model[offset as usize..end] };
+                    prop_assert_eq!(&got[..], want);
+                }
+            }
+            let st = v.getattr(&cred, f.fid).unwrap();
+            prop_assert_eq!(st.length, model.len() as u64);
+        }
+        // The aggregate stays structurally consistent throughout.
+        let report = ep.salvage().unwrap();
+        prop_assert!(report.is_clean(), "{:?}", report.problems);
+    }
+
+    /// Directory operations behave exactly like a name → fid map.
+    #[test]
+    fn directory_matches_map_model(
+        script in proptest::collection::vec((0u8..4, 0u8..12), 1..60)
+    ) {
+        let (ep, v) = fresh();
+        let cred = Credentials::system();
+        let root = v.root().unwrap();
+        let mut model: HashMap<String, dfs_types::Fid> = HashMap::new();
+
+        for (action, name_idx) in script {
+            let name = format!("name-{name_idx}");
+            match action {
+                0 => {
+                    // Create.
+                    let r = v.create(&cred, root, &name, 0o644);
+                    if model.contains_key(&name) {
+                        prop_assert!(r.is_err(), "duplicate create must fail");
+                    } else {
+                        model.insert(name.clone(), r.unwrap().fid);
+                    }
+                }
+                1 => {
+                    // Remove.
+                    let r = v.remove(&cred, root, &name);
+                    if model.contains_key(&name) {
+                        r.unwrap();
+                        model.remove(&name);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                2 => {
+                    // Lookup.
+                    let r = v.lookup(&cred, root, &name);
+                    match model.get(&name) {
+                        Some(fid) => prop_assert_eq!(r.unwrap().fid, *fid),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                _ => {
+                    // Rename to a shifted name.
+                    let to = format!("name-{}", (name_idx + 1) % 12);
+                    let r = v.rename(&cred, root, &name, root, &to);
+                    if let Some(fid) = model.get(&name).copied() {
+                        if name == to {
+                            // Same-name rename: a no-op that must succeed.
+                            r.unwrap();
+                        } else {
+                            r.unwrap();
+                            model.remove(&name);
+                            model.insert(to, fid);
+                        }
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+            }
+            // Listing matches the model exactly.
+            let mut listed: Vec<String> =
+                v.readdir(&cred, root).unwrap().into_iter().map(|e| e.name).collect();
+            listed.sort();
+            let mut want: Vec<String> = model.keys().cloned().collect();
+            want.sort();
+            prop_assert_eq!(listed, want);
+        }
+        let report = ep.salvage().unwrap();
+        prop_assert!(report.is_clean(), "{:?}", report.problems);
+    }
+
+    /// Any prefix of work, crashed and recovered, salvages clean.
+    #[test]
+    fn random_crash_points_salvage_clean(
+        n_ops in 1usize..30,
+        sync_every in 1usize..8,
+    ) {
+        let disk = SimDisk::new(DiskConfig::with_blocks(32 * 1024));
+        let clock = SimClock::new();
+        let ep = Episode::format(disk.clone(), clock.clone(), FormatParams::default()).unwrap();
+        ep.create_volume(VolumeId(1), "v").unwrap();
+        let v = PhysicalFs::mount(&*ep, VolumeId(1)).unwrap();
+        let cred = Credentials::system();
+        let root = v.root().unwrap();
+        for i in 0..n_ops {
+            let f = v.create(&cred, root, &format!("f{i}"), 0o644).unwrap();
+            v.write(&cred, f.fid, 0, &vec![i as u8; 3000]).unwrap();
+            if i % 3 == 2 {
+                v.remove(&cred, root, &format!("f{}", i - 1)).unwrap();
+            }
+            if i % sync_every == 0 {
+                ep.sync_log().unwrap();
+            }
+        }
+        disk.crash(None);
+        disk.power_on();
+        let (ep2, _) = Episode::open(disk, clock).unwrap();
+        let report = ep2.salvage().unwrap();
+        prop_assert!(report.is_clean(), "{:?}", report.problems);
+    }
+}

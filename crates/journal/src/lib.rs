@@ -1,0 +1,1107 @@
+//! Buffer package and write-ahead logging system for Episode (§2.2).
+//!
+//! "The logging system is intricately entwined with the disk buffer
+//! cache" — so this crate implements both as one [`Journal`] object:
+//!
+//! * a **buffer cache** whose frames can only be modified through logging
+//!   primitives ([`Journal::update`]), never directly;
+//! * a **write-ahead log**: byte-level old/new value records grouped into
+//!   transactions, with commit records, group commit ([`Journal::sync`]),
+//!   and a fixed-size circular on-disk log;
+//! * **equivalence classes**: transactions that modify the same buffer
+//!   are merged and commit atomically, which is how serializability of
+//!   "A used data modified by B" (§2.2) is guaranteed;
+//! * **recovery** that replays the active portion of the log — redoing
+//!   committed transactions and undoing uncommitted ones — in time
+//!   proportional to the active log, not the file-system size.
+//!
+//! User data is *not* logged (§2.2): Episode writes file data blocks to
+//! the disk directly, and only metadata flows through the journal.
+
+pub mod frame;
+pub mod logfmt;
+pub mod stats;
+
+pub use frame::BufHandle;
+pub use logfmt::{Lsn, Record};
+pub use stats::{JournalStats, RecoveryReport};
+
+use dfs_disk::{Block, SimDisk, BLOCK_SIZE};
+use dfs_types::{DfsError, DfsResult};
+use frame::{Frame, FrameCell};
+use logfmt::{decode_block, encode_block, LOG_PAYLOAD};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Largest number of bytes a single update record may change.
+///
+/// Larger updates are transparently chunked by [`Journal::update`].
+pub const MAX_UPDATE: usize = 2048;
+
+/// The region of a disk occupied by a journal log.
+///
+/// `first_block` holds the log superblock; the remaining `blocks - 1`
+/// blocks form the circular record stream. The paper notes the log "is
+/// an area of disk, not necessarily contiguous, whose size is fixed at
+/// aggregate initialization"; we use a contiguous range for simplicity —
+/// nothing in the design depends on contiguity.
+#[derive(Clone, Copy, Debug)]
+pub struct LogRegion {
+    /// Block number of the log superblock.
+    pub first_block: u32,
+    /// Total blocks including the superblock; must be at least 8.
+    pub blocks: u32,
+}
+
+impl LogRegion {
+    /// Returns the number of stream (non-superblock) blocks.
+    pub fn stream_blocks(&self) -> u32 {
+        self.blocks - 1
+    }
+
+    /// Maps a stream block index to its physical block number.
+    pub fn physical(&self, stream_index: u64) -> u32 {
+        self.first_block + 1 + (stream_index % self.stream_blocks() as u64) as u32
+    }
+
+    /// Usable capacity of the circular log in stream bytes.
+    ///
+    /// Two blocks of headroom keep the head from catching the tail.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.stream_blocks().saturating_sub(2)) as u64 * LOG_PAYLOAD as u64
+    }
+}
+
+const SUPER_MAGIC: u32 = 0xEF150DE5;
+
+/// A transaction identifier.
+pub type TxnId = u64;
+
+/// One parsed update record during recovery:
+/// (transaction, block, offset, old bytes, new bytes).
+type UpdateRec = (TxnId, u32, u16, Vec<u8>, Vec<u8>);
+
+struct TxnState {
+    /// Union-find parent for equivalence classes.
+    parent: TxnId,
+    first_lsn: Option<Lsn>,
+    /// Updates made by this transaction, for CLR-style abort.
+    undo: Vec<(u32, u16, Vec<u8>, Vec<u8>)>,
+    /// Set once the owner has requested commit or abort.
+    resolved: bool,
+}
+
+struct LogState {
+    /// Next stream position to be assigned.
+    head: Lsn,
+    /// Stream position up to which the log is durable on disk.
+    durable: Lsn,
+    /// Oldest stream position recovery would need.
+    tail: Lsn,
+    /// Encoded records not yet written to disk (head - durable bytes).
+    pending: Vec<u8>,
+}
+
+struct CacheState {
+    frames: HashMap<u32, Arc<FrameCell>>,
+    lru_clock: u64,
+    capacity: usize,
+}
+
+struct TxnTable {
+    next_id: TxnId,
+    active: HashMap<TxnId, TxnState>,
+}
+
+impl TxnTable {
+    fn find(&mut self, id: TxnId) -> Option<TxnId> {
+        let mut root = id;
+        loop {
+            let p = self.active.get(&root)?.parent;
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Path compression.
+        let mut cur = id;
+        while cur != root {
+            let st = self.active.get_mut(&cur).expect("walked above");
+            let next = st.parent;
+            st.parent = root;
+            cur = next;
+        }
+        Some(root)
+    }
+
+    fn members_of(&mut self, root: TxnId) -> Vec<TxnId> {
+        let ids: Vec<TxnId> = self.active.keys().copied().collect();
+        ids.into_iter().filter(|&t| self.find(t) == Some(root)).collect()
+    }
+}
+
+/// The combined buffer package and logging system.
+///
+/// A `Journal` owns a region of a [`SimDisk`] for its log and caches data
+/// blocks from anywhere on that disk. It is internally synchronized;
+/// share it with `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use dfs_disk::{SimDisk, DiskConfig};
+/// use dfs_journal::{Journal, LogRegion};
+///
+/// let disk = SimDisk::new(DiskConfig::with_blocks(1024));
+/// let region = LogRegion { first_block: 1, blocks: 64 };
+/// let journal = Journal::format(disk.clone(), region).unwrap();
+///
+/// let txn = journal.begin();
+/// let buf = journal.get(100).unwrap();
+/// journal.update(txn, &buf, 0, &[1, 2, 3]).unwrap();
+/// journal.commit(txn).unwrap();
+/// journal.sync().unwrap();
+/// assert_eq!(buf.read_at(0, 3), vec![1, 2, 3]);
+/// ```
+pub struct Journal {
+    disk: SimDisk,
+    region: LogRegion,
+    log: Mutex<LogState>,
+    cache: Mutex<CacheState>,
+    txns: Mutex<TxnTable>,
+    stats: Mutex<JournalStats>,
+}
+
+impl Journal {
+    /// Formats a fresh, empty log in `region` and returns the journal.
+    pub fn format(disk: SimDisk, region: LogRegion) -> DfsResult<Arc<Journal>> {
+        assert!(region.blocks >= 8, "log region must have at least 8 blocks");
+        let jn = Journal::with_state(disk, region, Lsn(0));
+        jn.persist_superblock(Lsn(0))?;
+        Ok(jn)
+    }
+
+    /// Opens a journal from disk, running crash recovery if needed.
+    ///
+    /// If the superblock is not a valid journal superblock, the region is
+    /// formatted fresh (the report says so). Otherwise the active log is
+    /// replayed: committed transactions are redone, uncommitted ones
+    /// undone, and the data region is flushed before the journal returns.
+    pub fn open(disk: SimDisk, region: LogRegion) -> DfsResult<(Arc<Journal>, RecoveryReport)> {
+        assert!(region.blocks >= 8, "log region must have at least 8 blocks");
+        let busy_before = disk.stats().busy_us;
+        let tail = match Self::read_superblock(&disk, region)? {
+            Some(tail) => tail,
+            None => {
+                let jn = Journal::format(disk, region)?;
+                let report = RecoveryReport { formatted: true, ..Default::default() };
+                return Ok((jn, report));
+            }
+        };
+        let mut report = RecoveryReport::default();
+
+        // Phase 1: scan the stream from the tail, collecting records.
+        let mut stream = Vec::new();
+        let mut index = tail.block_index();
+        let mut scanned = 0u64;
+        loop {
+            let phys = region.physical(index);
+            let data = disk.read(phys)?;
+            match decode_block(&data) {
+                Some((seq, payload)) if seq == index => {
+                    stream.extend_from_slice(payload);
+                    scanned += 1;
+                    index += 1;
+                    if scanned >= region.stream_blocks() as u64 {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        report.scanned_blocks = scanned;
+
+        // Parse records starting at the tail's offset within its block.
+        let mut pos = tail.block_offset();
+        let mut updates: Vec<UpdateRec> = Vec::new();
+        let mut committed: HashSet<TxnId> = HashSet::new();
+        let mut all_txns: HashSet<TxnId> = HashSet::new();
+        let mut parsed_end = pos;
+        while pos < stream.len() {
+            match Record::decode(&stream, pos) {
+                Some((rec, next)) => {
+                    report.records += 1;
+                    match rec {
+                        Record::Update { txid, block, offset, old, new } => {
+                            all_txns.insert(txid);
+                            updates.push((txid, block, offset, old, new));
+                        }
+                        Record::Commit { txids } => {
+                            committed.extend(txids);
+                        }
+                        Record::Pad { .. } | Record::Checkpoint { .. } => {}
+                    }
+                    pos = next;
+                    parsed_end = next;
+                }
+                None => break, // Ragged end: a record cut off by the crash.
+            }
+        }
+
+        // Phase 2: redo every update in log order (values are absolute,
+        // so this is idempotent), then undo uncommitted ones in reverse.
+        let mut blocks: BTreeMap<u32, Block> = BTreeMap::new();
+        let load =
+            |disk: &SimDisk, blocks: &mut BTreeMap<u32, Block>, b: u32| -> DfsResult<()> {
+                if let std::collections::btree_map::Entry::Vacant(e) = blocks.entry(b) {
+                    e.insert(disk.read(b)?);
+                }
+                Ok(())
+            };
+        for (_, block, offset, _, new) in &updates {
+            load(&disk, &mut blocks, *block)?;
+            let frame = blocks.get_mut(block).expect("loaded");
+            frame[*offset as usize..*offset as usize + new.len()].copy_from_slice(new);
+            report.updates_redone += 1;
+        }
+        for (txid, block, offset, old, _) in updates.iter().rev() {
+            if committed.contains(txid) {
+                continue;
+            }
+            load(&disk, &mut blocks, *block)?;
+            let frame = blocks.get_mut(block).expect("loaded");
+            frame[*offset as usize..*offset as usize + old.len()].copy_from_slice(old);
+            report.updates_undone += 1;
+        }
+        for (b, data) in &blocks {
+            disk.write(*b, data)?;
+        }
+        disk.flush()?;
+        report.committed_txns = committed.len() as u64;
+        report.uncommitted_txns = all_txns.difference(&committed).count() as u64;
+
+        // Phase 3: seal the ragged end with padding so future appends and
+        // scans see a clean block-aligned stream head.
+        let stream_base = tail.block_index() * LOG_PAYLOAD as u64;
+        let mut head = Lsn(stream_base + parsed_end as u64);
+        if head.block_offset() != 0 {
+            let pad = LOG_PAYLOAD - head.block_offset();
+            let start = parsed_end - head.block_offset();
+            let mut payload = stream[start..parsed_end].to_vec();
+            Record::Pad { len: pad as u32 }.encode(&mut payload);
+            payload.resize(LOG_PAYLOAD, 0);
+            let phys = region.physical(head.block_index());
+            let block = encode_block(head.block_index(), &payload);
+            disk.write_sync(phys, &block)?;
+            head = Lsn(head.0 + pad as u64);
+        }
+
+        let jn = Journal::with_state(disk, region, head);
+        jn.persist_superblock(head)?;
+        report.disk_busy_us = jn.disk.stats().busy_us - busy_before;
+        Ok((jn, report))
+    }
+
+    fn with_state(disk: SimDisk, region: LogRegion, head: Lsn) -> Arc<Journal> {
+        Arc::new(Journal {
+            disk,
+            region,
+            log: Mutex::new(LogState { head, durable: head, tail: head, pending: Vec::new() }),
+            cache: Mutex::new(CacheState { frames: HashMap::new(), lru_clock: 0, capacity: 1024 }),
+            txns: Mutex::new(TxnTable { next_id: 1, active: HashMap::new() }),
+            stats: Mutex::new(JournalStats::default()),
+        })
+    }
+
+    /// Sets the buffer-cache capacity in frames (default 1024).
+    pub fn set_cache_capacity(&self, frames: usize) {
+        self.cache.lock().capacity = frames.max(8);
+    }
+
+    /// Returns the underlying disk handle.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// Returns the log region this journal occupies.
+    pub fn region(&self) -> LogRegion {
+        self.region
+    }
+
+    /// Returns a snapshot of the journal statistics.
+    pub fn stats(&self) -> JournalStats {
+        self.stats.lock().clone()
+    }
+
+    fn read_superblock(disk: &SimDisk, region: LogRegion) -> DfsResult<Option<Lsn>> {
+        let data = disk.read(region.first_block)?;
+        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        if magic != SUPER_MAGIC {
+            return Ok(None);
+        }
+        let tail = u64::from_le_bytes(data[4..12].try_into().unwrap());
+        let sum = u32::from_le_bytes(data[12..16].try_into().unwrap());
+        if logfmt::checksum(tail, &data[0..12]) != sum {
+            return Ok(None);
+        }
+        Ok(Some(Lsn(tail)))
+    }
+
+    fn persist_superblock(&self, tail: Lsn) -> DfsResult<()> {
+        let mut data = [0u8; BLOCK_SIZE];
+        data[0..4].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
+        data[4..12].copy_from_slice(&tail.0.to_le_bytes());
+        let sum = logfmt::checksum(tail.0, &data[0..12]);
+        data[12..16].copy_from_slice(&sum.to_le_bytes());
+        self.disk.write_sync(self.region.first_block, &data)
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer cache
+    // ------------------------------------------------------------------
+
+    /// Returns a pinned handle to `block`, reading it if not cached.
+    pub fn get(&self, block: u32) -> DfsResult<BufHandle> {
+        let mut cache = self.cache.lock();
+        cache.lru_clock += 1;
+        let clock = cache.lru_clock;
+        if let Some(cell) = cache.frames.get(&block) {
+            let cell = cell.clone();
+            cell.state.lock().last_use = clock;
+            self.stats.lock().cache_hits += 1;
+            return Ok(BufHandle { cell });
+        }
+        self.stats.lock().cache_misses += 1;
+        // Evict if at capacity; only unpinned frames are candidates.
+        while cache.frames.len() >= cache.capacity {
+            let victim = cache
+                .frames
+                .values()
+                .filter(|c| Arc::strong_count(c) == 1)
+                .min_by_key(|c| c.state.lock().last_use)
+                .cloned();
+            match victim {
+                Some(cell) => {
+                    self.writeback(&cell)?;
+                    cache.frames.remove(&cell.block);
+                }
+                None => break, // Everything pinned; allow overshoot.
+            }
+        }
+        let data = self.disk.read(block)?;
+        let cell = Arc::new(FrameCell {
+            block,
+            state: Mutex::new(Frame {
+                data,
+                dirty: false,
+                first_lsn: None,
+                last_lsn: Lsn(0),
+                writer_class: None,
+                last_use: clock,
+            }),
+        });
+        cache.frames.insert(block, cell.clone());
+        Ok(BufHandle { cell })
+    }
+
+    /// Writes one dirty frame home, honouring the WAL rule.
+    fn writeback(&self, cell: &Arc<FrameCell>) -> DfsResult<()> {
+        let (dirty, last_lsn, data) = {
+            let st = cell.state.lock();
+            (st.dirty, st.last_lsn, st.data.clone())
+        };
+        if !dirty {
+            return Ok(());
+        }
+        self.ensure_durable(last_lsn)?;
+        self.disk.write(cell.block, &data)?;
+        self.disk.flush_range(cell.block, cell.block + 1)?;
+        let mut st = cell.state.lock();
+        st.dirty = false;
+        st.first_lsn = None;
+        self.stats.lock().writebacks += 1;
+        Ok(())
+    }
+
+    /// Modifies a buffer *without* logging — for user data only.
+    ///
+    /// The paper's rule (§2.2) is that changes to user data are not
+    /// logged; only metadata goes through [`Journal::update`]. Data
+    /// written this way is durable only after the frame is written back
+    /// (eviction, [`Journal::writeback_handle`], or a checkpoint).
+    pub fn write_data(&self, buf: &BufHandle, offset: usize, data: &[u8]) -> DfsResult<()> {
+        if offset + data.len() > BLOCK_SIZE {
+            return Err(DfsError::InvalidArgument);
+        }
+        let mut st = buf.cell.state.lock();
+        st.data[offset..offset + data.len()].copy_from_slice(data);
+        st.dirty = true;
+        Ok(())
+    }
+
+    /// Forces one buffer home (used by `fsync` paths).
+    pub fn writeback_handle(&self, buf: &BufHandle) -> DfsResult<()> {
+        self.writeback(&buf.cell)
+    }
+
+    /// Makes the log durable at least up to `lsn`.
+    fn ensure_durable(&self, lsn: Lsn) -> DfsResult<()> {
+        if self.log.lock().durable >= lsn {
+            return Ok(());
+        }
+        self.sync()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a new transaction and returns its id.
+    pub fn begin(&self) -> TxnId {
+        let mut txns = self.txns.lock();
+        let id = txns.next_id;
+        txns.next_id += 1;
+        txns.active.insert(
+            id,
+            TxnState { parent: id, first_lsn: None, undo: Vec::new(), resolved: false },
+        );
+        self.stats.lock().txns_begun += 1;
+        id
+    }
+
+    /// Applies a logged change of `new` bytes at `offset` in `buf`.
+    ///
+    /// The old value is captured from the buffer, an update record with
+    /// both values is appended to the log, and the buffer is modified —
+    /// the only way buffers are ever modified. Changes larger than
+    /// [`MAX_UPDATE`] are chunked into several records.
+    pub fn update(&self, txn: TxnId, buf: &BufHandle, offset: usize, new: &[u8]) -> DfsResult<()> {
+        if offset + new.len() > BLOCK_SIZE {
+            return Err(DfsError::InvalidArgument);
+        }
+        let mut done = 0;
+        while done < new.len() {
+            let n = (new.len() - done).min(MAX_UPDATE);
+            self.update_chunk(txn, buf, offset + done, &new[done..done + n])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn update_chunk(
+        &self,
+        txn: TxnId,
+        buf: &BufHandle,
+        offset: usize,
+        new: &[u8],
+    ) -> DfsResult<()> {
+        // Reserve log space before taking any locks: reservation may
+        // checkpoint, which needs the cache, frame, and txn locks itself.
+        self.reserve((1 + 8 + 4 + 2 + 2 + 2 * new.len()) as u64)?;
+        let mut txns = self.txns.lock();
+        if !txns.active.contains_key(&txn) {
+            return Err(DfsError::Internal("update on inactive transaction"));
+        }
+        let root = txns.find(txn).expect("checked active");
+
+        let mut st = buf.cell.state.lock();
+        // Merge equivalence classes when two active transactions touch
+        // the same buffer (§2.2 serializability).
+        if let Some(prev) = st.writer_class {
+            if let Some(prev_root) = txns.find(prev) {
+                if prev_root != root {
+                    let pr = txns.active.get_mut(&prev_root).expect("active root");
+                    pr.parent = root;
+                    self.stats.lock().class_merges += 1;
+                }
+            }
+        }
+        st.writer_class = Some(root);
+
+        let old = st.data[offset..offset + new.len()].to_vec();
+        let record = Record::Update {
+            txid: txn,
+            block: buf.cell.block,
+            offset: offset as u16,
+            old: old.clone(),
+            new: new.to_vec(),
+        };
+        let lsn = self.append(&record)?;
+        let end = Lsn(lsn.0 + record.encoded_len() as u64);
+
+        st.data[offset..offset + new.len()].copy_from_slice(new);
+        st.dirty = true;
+        st.first_lsn.get_or_insert(lsn);
+        st.last_lsn = end;
+        drop(st);
+
+        let t = txns.active.get_mut(&txn).expect("checked active");
+        t.first_lsn.get_or_insert(lsn);
+        t.undo.push((buf.cell.block, offset as u16, old, new.to_vec()));
+        self.stats.lock().update_records += 1;
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `offset` in `buf` with `byte`, logged.
+    pub fn update_fill(
+        &self,
+        txn: TxnId,
+        buf: &BufHandle,
+        offset: usize,
+        len: usize,
+        byte: u8,
+    ) -> DfsResult<()> {
+        self.update(txn, buf, offset, &vec![byte; len])
+    }
+
+    /// Requests commit of `txn`.
+    ///
+    /// If the transaction shares an equivalence class with other active
+    /// transactions, the commit record is deferred until every member has
+    /// resolved; the class then commits atomically. The commit record is
+    /// buffered — durability requires [`Journal::sync`] (group commit).
+    pub fn commit(&self, txn: TxnId) -> DfsResult<()> {
+        self.resolve(txn, false)
+    }
+
+    /// Aborts `txn`, rolling back its changes.
+    ///
+    /// Rollback is CLR-style: each update is reversed by a new logged
+    /// update, so recovery only ever replays forward. The class still
+    /// commits (the aborted member's net effect is nothing).
+    pub fn abort(&self, txn: TxnId) -> DfsResult<()> {
+        // Reverse this transaction's updates with compensating records.
+        let undo = {
+            let mut txns = self.txns.lock();
+            let t = txns
+                .active
+                .get_mut(&txn)
+                .ok_or(DfsError::Internal("abort on inactive transaction"))?;
+            std::mem::take(&mut t.undo)
+        };
+        for (block, offset, old, _new) in undo.into_iter().rev() {
+            let buf = self.get(block)?;
+            self.update_chunk(txn, &buf, offset as usize, &old)?;
+        }
+        self.stats.lock().txns_aborted += 1;
+        self.resolve(txn, true)
+    }
+
+    fn resolve(&self, txn: TxnId, aborted: bool) -> DfsResult<()> {
+        // Reserve room for a worst-case commit record up front, while no
+        // locks are held (reservation may checkpoint).
+        self.reserve(1 + 2 + 8 * 64)?;
+        let mut txns = self.txns.lock();
+        let root = match txns.find(txn) {
+            Some(r) => r,
+            None => return Err(DfsError::Internal("resolve on inactive transaction")),
+        };
+        {
+            let t = txns.active.get_mut(&txn).expect("found root implies active");
+            if t.resolved {
+                return Err(DfsError::Internal("transaction resolved twice"));
+            }
+            t.resolved = true;
+        }
+        let members = txns.members_of(root);
+        if members.iter().all(|m| txns.active[m].resolved) {
+            let record = Record::Commit { txids: members.clone() };
+            drop(txns);
+            self.append(&record)?;
+            let mut txns = self.txns.lock();
+            for m in &members {
+                txns.active.remove(m);
+            }
+            let mut stats = self.stats.lock();
+            stats.commit_records += 1;
+            stats.txns_committed += members.len() as u64 - u64::from(aborted);
+        }
+        Ok(())
+    }
+
+    /// Returns the number of currently active (unresolved) transactions.
+    pub fn active_txns(&self) -> usize {
+        self.txns.lock().active.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Log management
+    // ------------------------------------------------------------------
+
+    /// Ensures at least `need` bytes of log space are available.
+    ///
+    /// Must be called with *no* journal locks held: it may checkpoint,
+    /// which takes the cache, frame, and transaction locks.
+    fn reserve(&self, need: u64) -> DfsResult<()> {
+        {
+            let log = self.log.lock();
+            if (log.head.0 - log.tail.0) + need <= self.region.capacity_bytes() {
+                return Ok(());
+            }
+        }
+        // Out of space: checkpoint to advance the tail, then re-check.
+        self.checkpoint()?;
+        let log = self.log.lock();
+        if (log.head.0 - log.tail.0) + need > self.region.capacity_bytes() {
+            return Err(DfsError::LogFull);
+        }
+        Ok(())
+    }
+
+    /// Appends a record to the in-memory log, returning its LSN.
+    ///
+    /// Space must have been reserved by [`Journal::reserve`].
+    fn append(&self, record: &Record) -> DfsResult<Lsn> {
+        let log = self.log.lock();
+        Ok(self.append_unchecked(record, log))
+    }
+
+    fn append_unchecked(
+        &self,
+        record: &Record,
+        mut log: parking_lot::MutexGuard<'_, LogState>,
+    ) -> Lsn {
+        let lsn = log.head;
+        record.encode(&mut log.pending);
+        log.head = Lsn(lsn.0 + record.encoded_len() as u64);
+        drop(log);
+        self.stats.lock().log_bytes += record.encoded_len() as u64;
+        lsn
+    }
+
+    /// Group commit: forces the log to disk (§2.2 batch commit).
+    ///
+    /// The pending record stream is padded to a block boundary and
+    /// written sequentially to the circular log region, then flushed.
+    /// All buffered commit records become durable.
+    pub fn sync(&self) -> DfsResult<()> {
+        let mut log = self.log.lock();
+        if log.pending.is_empty() {
+            return Ok(());
+        }
+        // Pad to a block boundary so every flushed block is complete.
+        let ragged = (log.head.0 % LOG_PAYLOAD as u64) as usize;
+        if ragged != 0 {
+            let pad = LOG_PAYLOAD - ragged;
+            let rec = Record::Pad { len: pad as u32 };
+            rec.encode(&mut log.pending);
+            log.head = Lsn(log.head.0 + pad as u64);
+            self.stats.lock().pad_bytes += pad as u64;
+        }
+        debug_assert_eq!(log.head.0 % LOG_PAYLOAD as u64, 0);
+        debug_assert_eq!(log.durable.0 % LOG_PAYLOAD as u64, 0);
+        let first_index = log.durable.block_index();
+        let pending = std::mem::take(&mut log.pending);
+        let mut blocks_written = 0u64;
+        for (i, chunk) in pending.chunks(LOG_PAYLOAD).enumerate() {
+            let index = first_index + i as u64;
+            let block = encode_block(index, chunk);
+            self.disk.write(self.region.physical(index), &block)?;
+            blocks_written += 1;
+        }
+        self.disk
+            .flush_range(self.region.first_block, self.region.first_block + self.region.blocks)?;
+        log.durable = log.head;
+        drop(log);
+        let mut stats = self.stats.lock();
+        stats.syncs += 1;
+        stats.log_block_writes += blocks_written;
+        Ok(())
+    }
+
+    /// Checkpoints the journal: all dirty frames are written home and the
+    /// log tail advances past everything now reflected on disk.
+    pub fn checkpoint(&self) -> DfsResult<()> {
+        self.sync()?;
+        let cells: Vec<Arc<FrameCell>> = self.cache.lock().frames.values().cloned().collect();
+        for cell in &cells {
+            self.writeback(cell)?;
+        }
+        self.disk.flush()?;
+        // New tail: oldest LSN still needed by an active transaction,
+        // else the durable head.
+        let mut tail = self.log.lock().durable;
+        {
+            let txns = self.txns.lock();
+            for t in txns.active.values() {
+                if let Some(f) = t.first_lsn {
+                    tail = tail.min(f);
+                }
+            }
+        }
+        let new_tail = {
+            let mut log = self.log.lock();
+            log.tail = log.tail.max(tail);
+            log.tail
+        };
+        self.persist_superblock(new_tail)?;
+        self.stats.lock().checkpoints += 1;
+        Ok(())
+    }
+
+    /// Returns (tail, durable, head) LSNs, for diagnostics and tests.
+    pub fn log_positions(&self) -> (Lsn, Lsn, Lsn) {
+        let log = self.log.lock();
+        (log.tail, log.durable, log.head)
+    }
+
+    /// Returns bytes of log space currently in use (head minus tail).
+    pub fn log_used_bytes(&self) -> u64 {
+        let log = self.log.lock();
+        log.head.0 - log.tail.0
+    }
+
+    /// Flushes everything: log, dirty buffers, and the disk cache.
+    ///
+    /// Used at unmount and by `fsync`-style operations.
+    pub fn flush_all(&self) -> DfsResult<()> {
+        self.checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_disk::DiskConfig;
+
+    fn setup() -> (SimDisk, Arc<Journal>) {
+        let disk = SimDisk::new(DiskConfig::with_blocks(4096));
+        let region = LogRegion { first_block: 1, blocks: 128 };
+        let jn = Journal::format(disk.clone(), region).unwrap();
+        (disk, jn)
+    }
+
+    #[test]
+    fn update_modifies_buffer_and_survives_sync() {
+        let (_, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(500).unwrap();
+        jn.update(t, &b, 10, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(b.read_at(10, 4), vec![1, 2, 3, 4]);
+        jn.commit(t).unwrap();
+        jn.sync().unwrap();
+        assert_eq!(jn.active_txns(), 0);
+    }
+
+    #[test]
+    fn committed_transaction_survives_crash() {
+        let (disk, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(500).unwrap();
+        jn.update(t, &b, 0, &[0xAB; 16]).unwrap();
+        jn.commit(t).unwrap();
+        jn.sync().unwrap();
+        // Dirty frame never written back; crash loses the disk cache.
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
+        assert!(!report.formatted);
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.uncommitted_txns, 0);
+        assert!(report.updates_redone >= 1);
+        let b = jn2.get(500).unwrap();
+        assert_eq!(b.read_at(0, 16), vec![0xAB; 16]);
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_undone() {
+        let (disk, jn) = setup();
+        // Committed baseline value.
+        let t0 = jn.begin();
+        let b = jn.get(600).unwrap();
+        jn.update(t0, &b, 0, &[7; 8]).unwrap();
+        jn.commit(t0).unwrap();
+        // Uncommitted overwrite, forced durable by sync.
+        let t1 = jn.begin();
+        jn.update(t1, &b, 0, &[9; 8]).unwrap();
+        jn.sync().unwrap();
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
+        assert_eq!(report.uncommitted_txns, 1);
+        assert!(report.updates_undone >= 1);
+        let b = jn2.get(600).unwrap();
+        assert_eq!(b.read_at(0, 8), vec![7; 8], "uncommitted change rolled back");
+    }
+
+    #[test]
+    fn unsynced_commit_is_lost_but_consistent() {
+        let (disk, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(700).unwrap();
+        jn.update(t, &b, 0, &[5; 4]).unwrap();
+        jn.commit(t).unwrap();
+        // No sync: commit record never reaches disk.
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, _) = Journal::open(disk, jn.region()).unwrap();
+        let b = jn2.get(700).unwrap();
+        assert_eq!(b.read_at(0, 4), vec![0; 4], "lost commit leaves old state");
+    }
+
+    #[test]
+    fn abort_rolls_back_in_memory_and_after_crash() {
+        let (disk, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(800).unwrap();
+        jn.update(t, &b, 4, &[1, 1]).unwrap();
+        jn.update(t, &b, 8, &[2, 2]).unwrap();
+        jn.abort(t).unwrap();
+        assert_eq!(b.read_at(4, 6), vec![0, 0, 0, 0, 0, 0]);
+        jn.sync().unwrap();
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, _) = Journal::open(disk, jn.region()).unwrap();
+        let b = jn2.get(800).unwrap();
+        assert_eq!(b.read_at(4, 6), vec![0; 6]);
+    }
+
+    #[test]
+    fn shared_buffer_merges_equivalence_classes() {
+        let (disk, jn) = setup();
+        let a = jn.begin();
+        let b_txn = jn.begin();
+        let buf = jn.get(900).unwrap();
+        jn.update(a, &buf, 0, &[1]).unwrap();
+        jn.update(b_txn, &buf, 1, &[2]).unwrap();
+        // A commits, but the class must wait for B.
+        jn.commit(a).unwrap();
+        assert_eq!(jn.active_txns(), 2, "class not committed until B resolves");
+        jn.sync().unwrap();
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, report) = Journal::open(disk.clone(), jn.region()).unwrap();
+        // Neither A nor B committed: both undone.
+        assert_eq!(report.committed_txns, 0);
+        let buf = jn2.get(900).unwrap();
+        assert_eq!(buf.read_at(0, 2), vec![0, 0], "A must not commit without B");
+    }
+
+    #[test]
+    fn class_commits_when_all_members_resolve() {
+        let (disk, jn) = setup();
+        let a = jn.begin();
+        let b_txn = jn.begin();
+        let buf = jn.get(901).unwrap();
+        jn.update(a, &buf, 0, &[1]).unwrap();
+        jn.update(b_txn, &buf, 1, &[2]).unwrap();
+        jn.commit(a).unwrap();
+        jn.commit(b_txn).unwrap();
+        assert_eq!(jn.active_txns(), 0);
+        jn.sync().unwrap();
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
+        assert_eq!(report.committed_txns, 2);
+        let buf = jn2.get(901).unwrap();
+        assert_eq!(buf.read_at(0, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn torn_log_write_is_detected() {
+        let (disk, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(1000).unwrap();
+        // 1500 changed bytes -> a ~3 KB record, so the torn (half-block)
+        // write cuts through real record content, not just padding.
+        jn.update(t, &b, 0, &[3; 1500]).unwrap();
+        jn.commit(t).unwrap();
+        // Build the log block by hand into the volatile cache, then crash
+        // tearing it; the checksum must reject the half-written block.
+        let log_block = jn.region().physical(0);
+        {
+            let mut log = jn.log.lock();
+            let mut padded = std::mem::take(&mut log.pending);
+            let ragged = (log.head.0 % LOG_PAYLOAD as u64) as usize;
+            if ragged != 0 {
+                Record::Pad { len: (LOG_PAYLOAD - ragged) as u32 }.encode(&mut padded);
+            }
+            padded.resize(LOG_PAYLOAD, 0);
+            disk.write(log_block, &encode_block(0, &padded)).unwrap();
+        }
+        disk.crash(Some(log_block));
+        disk.power_on();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
+        assert_eq!(report.records, 0, "torn block fails checksum, scan stops");
+        let b = jn2.get(1000).unwrap();
+        assert_eq!(b.read_at(0, 1500), vec![0; 1500]);
+    }
+
+    #[test]
+    fn checkpoint_advances_tail_and_bounds_log() {
+        let (_, jn) = setup();
+        for round in 0..50u32 {
+            let t = jn.begin();
+            let b = jn.get(2000 + round % 7).unwrap();
+            jn.update(t, &b, 0, &[round as u8; 64]).unwrap();
+            jn.commit(t).unwrap();
+        }
+        jn.checkpoint().unwrap();
+        assert_eq!(jn.log_used_bytes(), 0, "checkpoint reclaims the whole log");
+    }
+
+    #[test]
+    fn log_wraps_around_circularly() {
+        let (_, jn) = setup();
+        // Capacity is (128-1-2)*4080 ≈ 510 KB; push more than that through.
+        for round in 0..4000u32 {
+            let t = jn.begin();
+            let b = jn.get(2100 + (round % 13)).unwrap();
+            jn.update(t, &b, (round % 16) as usize * 200, &[round as u8; 200]).unwrap();
+            jn.commit(t).unwrap();
+            if round % 50 == 0 {
+                jn.sync().unwrap();
+            }
+        }
+        jn.checkpoint().unwrap();
+        let (tail, _, head) = jn.log_positions();
+        assert!(head.0 > jn.region().capacity_bytes(), "stream wrapped at least once");
+        assert_eq!(tail, head);
+    }
+
+    #[test]
+    fn recovery_after_wrap_reads_only_active_region() {
+        let (disk, jn) = setup();
+        for round in 0..3000u32 {
+            let t = jn.begin();
+            let b = jn.get(2200 + (round % 5)).unwrap();
+            jn.update(t, &b, 0, &[round as u8; 100]).unwrap();
+            jn.commit(t).unwrap();
+            if round % 100 == 0 {
+                jn.checkpoint().unwrap();
+            }
+        }
+        let t = jn.begin();
+        let b = jn.get(2300).unwrap();
+        jn.update(t, &b, 0, &[0xCD; 32]).unwrap();
+        jn.commit(t).unwrap();
+        jn.sync().unwrap();
+        disk.crash(None);
+        disk.power_on();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
+        assert!(
+            report.scanned_blocks < 128,
+            "recovery must scan only the active log, scanned {}",
+            report.scanned_blocks
+        );
+        let b = jn2.get(2300).unwrap();
+        assert_eq!(b.read_at(0, 32), vec![0xCD; 32]);
+    }
+
+    #[test]
+    fn single_transaction_larger_than_log_fails() {
+        let disk = SimDisk::new(DiskConfig::with_blocks(4096));
+        let region = LogRegion { first_block: 1, blocks: 8 };
+        let jn = Journal::format(disk, region).unwrap();
+        let t = jn.begin();
+        let mut failed = false;
+        'outer: for block in 0..64u32 {
+            let b = jn.get(1000 + block).unwrap();
+            for off in 0..2 {
+                if jn.update(t, &b, off * 2048, &[1; 2048]).is_err() {
+                    failed = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(failed, "a transaction exceeding log capacity must fail");
+    }
+
+    #[test]
+    fn large_update_is_chunked() {
+        let (_, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(3000).unwrap();
+        jn.update(t, &b, 0, &[0x55; BLOCK_SIZE]).unwrap();
+        jn.commit(t).unwrap();
+        assert_eq!(b.read_at(0, BLOCK_SIZE), vec![0x55; BLOCK_SIZE]);
+        assert!(jn.stats().update_records >= 2, "full-block update chunks");
+    }
+
+    #[test]
+    fn cache_eviction_writes_back_dirty_frames() {
+        let (disk, jn) = setup();
+        jn.set_cache_capacity(8);
+        for i in 0..64u32 {
+            let t = jn.begin();
+            let b = jn.get(3100 + i).unwrap();
+            jn.update(t, &b, 0, &[i as u8; 8]).unwrap();
+            jn.commit(t).unwrap();
+        }
+        // Early frames were evicted; their contents must be on disk.
+        assert!(jn.stats().writebacks > 0);
+        let b = disk.read(3105).unwrap();
+        assert_eq!(&b[0..8], &[5u8; 8]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (_, jn) = setup();
+        let before = jn.stats();
+        let t = jn.begin();
+        let b = jn.get(3200).unwrap();
+        jn.update(t, &b, 0, &[1]).unwrap();
+        jn.commit(t).unwrap();
+        jn.sync().unwrap();
+        let d = jn.stats().since(&before);
+        assert_eq!(d.txns_begun, 1);
+        assert_eq!(d.txns_committed, 1);
+        assert_eq!(d.update_records, 1);
+        assert_eq!(d.commit_records, 1);
+        assert_eq!(d.syncs, 1);
+        assert!(d.log_block_writes >= 1);
+    }
+
+    #[test]
+    fn fresh_open_formats() {
+        let disk = SimDisk::new(DiskConfig::with_blocks(512));
+        let (jn, report) = Journal::open(disk, LogRegion { first_block: 0, blocks: 16 }).unwrap();
+        assert!(report.formatted);
+        assert_eq!(jn.log_used_bytes(), 0);
+    }
+
+    #[test]
+    fn reopen_without_crash_is_clean() {
+        let (disk, jn) = setup();
+        let t = jn.begin();
+        let b = jn.get(3300).unwrap();
+        jn.update(t, &b, 0, &[9; 4]).unwrap();
+        jn.commit(t).unwrap();
+        jn.flush_all().unwrap();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
+        assert!(!report.formatted);
+        assert_eq!(report.updates_redone, 0, "clean shutdown replays nothing");
+        let b = jn2.get(3300).unwrap();
+        assert_eq!(b.read_at(0, 4), vec![9; 4]);
+    }
+
+    #[test]
+    fn metadata_burst_costs_less_disk_time_than_sync_writes() {
+        // The germ of experiment T1: many small metadata updates through
+        // the log cost (sequential log writes) far less than the same
+        // updates written synchronously in place.
+        let (disk, jn) = setup();
+        disk.reset_stats();
+        for i in 0..200u32 {
+            let t = jn.begin();
+            let b = jn.get(3400 + (i % 40)).unwrap();
+            jn.update(t, &b, (i as usize % 32) * 16, &[i as u8; 16]).unwrap();
+            jn.commit(t).unwrap();
+        }
+        jn.sync().unwrap();
+        let logged = disk.stats().busy_us;
+
+        let disk2 = SimDisk::new(DiskConfig::with_blocks(4096));
+        for i in 0..200u32 {
+            let mut block = [0u8; BLOCK_SIZE];
+            block[0] = i as u8;
+            disk2.write_sync(3400 + (i % 40), &block).unwrap();
+        }
+        let synced = disk2.stats().busy_us;
+        assert!(
+            logged * 2 < synced,
+            "logging ({logged} us) should beat sync writes ({synced} us) by 2x+"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! On-disk log format: records and log-block framing.
+//!
+//! The log is a byte *stream* of records, packed into fixed-size log
+//! blocks. Each block carries a header with a monotone sequence number
+//! and a checksum; recovery reads blocks in sequence order, validates
+//! checksums (so torn writes terminate the scan), and re-assembles the
+//! stream. Records may span block boundaries.
+//!
+//! Record vocabulary (§2.2 of the paper): an *update* carries the old and
+//! new values for all data bytes in the change plus the identity of its
+//! transaction; a *commit* notes when a transaction (or an equivalence
+//! class of transactions that shared buffers) commits; *pad* records fill
+//! the tail of a block at group-commit time so every flushed block is
+//! complete.
+
+use dfs_disk::BLOCK_SIZE;
+
+/// Magic number identifying a DEcorum log block.
+pub const LOG_BLOCK_MAGIC: u32 = 0xDF5_106;
+
+/// Bytes of record stream carried by each log block.
+pub const LOG_PAYLOAD: usize = BLOCK_SIZE - LOG_HEADER;
+
+/// Size of the per-block header: magic, sequence, checksum.
+pub const LOG_HEADER: usize = 4 + 8 + 4;
+
+/// A log sequence number: byte offset within the record stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// Returns the stream block index containing this LSN.
+    pub fn block_index(self) -> u64 {
+        self.0 / LOG_PAYLOAD as u64
+    }
+
+    /// Returns the byte offset of this LSN within its stream block.
+    pub fn block_offset(self) -> usize {
+        (self.0 % LOG_PAYLOAD as u64) as usize
+    }
+}
+
+/// A parsed log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Record {
+    /// A metadata change: old and new values of `len` bytes at
+    /// (`block`, `offset`), made by transaction `txid`.
+    Update { txid: u64, block: u32, offset: u16, old: Vec<u8>, new: Vec<u8> },
+    /// Commit of an equivalence class of transactions.
+    Commit { txids: Vec<u64> },
+    /// Padding to the end of a block; `len` is the total record size.
+    Pad { len: u32 },
+    /// A checkpoint marker recording the tail at the time it was written.
+    Checkpoint { tail: Lsn },
+}
+
+const TAG_BYTE_SKIP: u8 = 0;
+const TAG_UPDATE: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_PAD: u8 = 3;
+const TAG_CHECKPOINT: u8 = 4;
+
+impl Record {
+    /// Serializes the record, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Record::Update { txid, block, offset, old, new } => {
+                assert_eq!(old.len(), new.len(), "update old/new length mismatch");
+                let len = u16::try_from(old.len()).expect("update too large");
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&txid.to_le_bytes());
+                out.extend_from_slice(&block.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(old);
+                out.extend_from_slice(new);
+            }
+            Record::Commit { txids } => {
+                let n = u16::try_from(txids.len()).expect("commit class too large");
+                out.push(TAG_COMMIT);
+                out.extend_from_slice(&n.to_le_bytes());
+                for t in txids {
+                    out.extend_from_slice(&t.to_le_bytes());
+                }
+            }
+            Record::Pad { len } => {
+                if *len < 5 {
+                    // Too small for a pad header; emit skip bytes.
+                    for _ in 0..*len {
+                        out.push(TAG_BYTE_SKIP);
+                    }
+                } else {
+                    out.push(TAG_PAD);
+                    out.extend_from_slice(&len.to_le_bytes());
+                    out.resize(out.len() + (*len as usize - 5), 0);
+                }
+            }
+            Record::Checkpoint { tail } => {
+                out.push(TAG_CHECKPOINT);
+                out.extend_from_slice(&tail.0.to_le_bytes());
+            }
+        }
+    }
+
+    /// Returns the encoded size of the record in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Record::Update { old, .. } => 1 + 8 + 4 + 2 + 2 + 2 * old.len(),
+            Record::Commit { txids } => 1 + 2 + 8 * txids.len(),
+            Record::Pad { len } => *len as usize,
+            Record::Checkpoint { .. } => 1 + 8,
+        }
+    }
+
+    /// Parses one record from `buf` starting at `pos`.
+    ///
+    /// Returns the record and the position just past it, or `None` if the
+    /// buffer ends mid-record (the stream's ragged end after a crash).
+    pub fn decode(buf: &[u8], pos: usize) -> Option<(Record, usize)> {
+        let tag = *buf.get(pos)?;
+        let mut p = pos + 1;
+        let take = |p: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = buf.get(*p..*p + n)?;
+            *p += n;
+            Some(s)
+        };
+        match tag {
+            TAG_BYTE_SKIP => Some((Record::Pad { len: 1 }, p)),
+            TAG_UPDATE => {
+                let txid = u64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap());
+                let block = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap());
+                let offset = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap());
+                let len = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap()) as usize;
+                let old = take(&mut p, len)?.to_vec();
+                let new = take(&mut p, len)?.to_vec();
+                Some((Record::Update { txid, block, offset, old, new }, p))
+            }
+            TAG_COMMIT => {
+                let n = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap()) as usize;
+                let mut txids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    txids.push(u64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap()));
+                }
+                Some((Record::Commit { txids }, p))
+            }
+            TAG_PAD => {
+                let len = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                let body = len.checked_sub(5)?;
+                take(&mut p, body)?;
+                Some((Record::Pad { len: len as u32 }, p))
+            }
+            TAG_CHECKPOINT => {
+                let tail = u64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap());
+                Some((Record::Checkpoint { tail: Lsn(tail) }, p))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Computes the checksum over a log block's payload.
+///
+/// FNV-1a: cheap, and any torn write (the disk tears at the half-block
+/// boundary) changes it with overwhelming probability.
+pub fn checksum(seq: u64, payload: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in seq.to_le_bytes().iter().chain(payload.iter()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Encodes a full log block: header plus exactly [`LOG_PAYLOAD`] bytes.
+pub fn encode_block(seq: u64, payload: &[u8]) -> [u8; BLOCK_SIZE] {
+    assert_eq!(payload.len(), LOG_PAYLOAD, "log blocks are always full");
+    let mut out = [0u8; BLOCK_SIZE];
+    out[0..4].copy_from_slice(&LOG_BLOCK_MAGIC.to_le_bytes());
+    out[4..12].copy_from_slice(&seq.to_le_bytes());
+    out[12..16].copy_from_slice(&checksum(seq, payload).to_le_bytes());
+    out[16..].copy_from_slice(payload);
+    out
+}
+
+/// Decodes a log block, returning its sequence number and payload.
+///
+/// Returns `None` for blocks that are not valid log blocks (wrong magic
+/// or failed checksum — e.g. never-written space or a torn write).
+pub fn decode_block(data: &[u8; BLOCK_SIZE]) -> Option<(u64, &[u8])> {
+    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    if magic != LOG_BLOCK_MAGIC {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[4..12].try_into().unwrap());
+    let sum = u32::from_le_bytes(data[12..16].try_into().unwrap());
+    let payload = &data[16..];
+    if checksum(seq, payload) != sum {
+        return None;
+    }
+    Some((seq, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_round_trip() {
+        let r = Record::Update {
+            txid: 42,
+            block: 7,
+            offset: 100,
+            old: vec![1, 2, 3],
+            new: vec![4, 5, 6],
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), r.encoded_len());
+        let (parsed, end) = Record::decode(&buf, 0).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn commit_round_trip() {
+        let r = Record::Commit { txids: vec![1, 2, 3, 99] };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (parsed, _) = Record::decode(&buf, 0).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let r = Record::Checkpoint { tail: Lsn(123456) };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (parsed, _) = Record::decode(&buf, 0).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn pad_round_trip_and_tiny_pads() {
+        for len in [1u32, 2, 4, 5, 6, 100] {
+            let r = Record::Pad { len };
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            assert_eq!(buf.len(), len as usize, "pad of {len} wrong size");
+            // Tiny pads decode as a run of 1-byte skips.
+            let mut pos = 0;
+            while pos < buf.len() {
+                let (_, next) = Record::decode(&buf, pos).unwrap();
+                assert!(next > pos);
+                pos = next;
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_record_decodes_as_none() {
+        let r = Record::Update { txid: 1, block: 2, offset: 3, old: vec![9; 40], new: vec![8; 40] };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        for cut in [1, 5, 10, buf.len() - 1] {
+            assert!(Record::decode(&buf[..cut], 0).is_none(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn block_round_trip_and_torn_detection() {
+        let payload = vec![0xABu8; LOG_PAYLOAD];
+        let mut block = encode_block(9, &payload);
+        let (seq, p) = decode_block(&block).unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(p, &payload[..]);
+        // Corrupt one payload byte: checksum must fail.
+        block[BLOCK_SIZE - 1] ^= 0xFF;
+        assert!(decode_block(&block).is_none());
+        // A zeroed (never-written) block is not a log block.
+        assert!(decode_block(&[0u8; BLOCK_SIZE]).is_none());
+    }
+
+    #[test]
+    fn lsn_block_mapping() {
+        let lsn = Lsn(LOG_PAYLOAD as u64 * 3 + 17);
+        assert_eq!(lsn.block_index(), 3);
+        assert_eq!(lsn.block_offset(), 17);
+    }
+
+    #[test]
+    fn multiple_records_parse_sequentially() {
+        let mut buf = Vec::new();
+        let records = vec![
+            Record::Update { txid: 1, block: 1, offset: 0, old: vec![0], new: vec![1] },
+            Record::Commit { txids: vec![1] },
+            Record::Checkpoint { tail: Lsn(0) },
+        ];
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let mut parsed = Vec::new();
+        while pos < buf.len() {
+            let (r, next) = Record::decode(&buf, pos).unwrap();
+            parsed.push(r);
+            pos = next;
+        }
+        assert_eq!(parsed, records);
+    }
+}

@@ -1,0 +1,516 @@
+//! Simulated NCS-2.0-style RPC substrate (§1, §3.7 and footnote 2).
+//!
+//! The paper's DCE file system rides on Hewlett-Packard's NCS 2.0 RPC
+//! with authentication and connection-oriented transport. This crate
+//! provides the equivalent substrate for the reproduction:
+//!
+//! * an in-process [`Network`] connecting named nodes;
+//! * **two-way** calls: clients call servers, and servers call clients
+//!   to revoke tokens (§5.3);
+//! * **bounded thread pools** per node, with an optional dedicated pool
+//!   for calls issued from token-revocation code — exactly the resource
+//!   §6.4 says must be reserved to avoid deadlock (ablated in T10);
+//! * **per-message accounting** (count and bytes by label) for the
+//!   network-load experiments;
+//! * **Kerberos-style authentication** (§3.7): a registry issues
+//!   tickets, and every authenticated RPC is verified before dispatch.
+
+pub mod auth;
+pub mod proto;
+
+pub use auth::{AuthRegistry, KdcService};
+pub use proto::{Request, Response, Ticket, TokenRequest};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dfs_types::{ClientId, DfsError, DfsResult, ServerId, SimClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A network address: who can be called.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Addr {
+    /// A file server (protocol exporter + volume + replication server).
+    Server(ServerId),
+    /// A client cache manager (callable for revocations).
+    Client(ClientId),
+    /// A volume location database replica.
+    Vldb(u32),
+    /// The authentication (Kerberos-style) server.
+    Kdc,
+}
+
+/// Which pool a call is dispatched on at the receiver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CallClass {
+    /// Ordinary traffic.
+    Normal,
+    /// A call issued from inside token-revocation code; served by the
+    /// dedicated threads of §6.4 so revocation can always make progress.
+    Revocation,
+}
+
+/// Per-call context handed to the service.
+#[derive(Clone, Debug)]
+pub struct CallContext {
+    /// Who is calling.
+    pub caller: Addr,
+    /// Authenticated user, if a valid ticket accompanied the call.
+    pub principal: Option<u32>,
+    /// Dispatch class.
+    pub class: CallClass,
+}
+
+/// A service bound to an address.
+pub trait RpcService: Send + Sync {
+    /// Handles one request. Runs on the node's pool threads; may itself
+    /// issue calls over the network (e.g. revocations).
+    fn dispatch(&self, ctx: CallContext, req: Request) -> Response;
+}
+
+/// Thread-pool sizing for a node.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker threads for normal traffic.
+    pub workers: usize,
+    /// Dedicated workers for revocation-class traffic (0 = share the
+    /// normal pool, the ablated configuration of T10).
+    pub revocation_workers: usize,
+    /// Whether calls must carry a valid ticket.
+    pub require_auth: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { workers: 4, revocation_workers: 2, require_auth: false }
+    }
+}
+
+/// Network-wide statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Total calls completed.
+    pub calls: u64,
+    /// Total bytes (requests + responses).
+    pub bytes: u64,
+    /// Simulated network time charged (latency × calls).
+    pub latency_us: u64,
+    /// Calls by request label.
+    pub by_label: HashMap<&'static str, u64>,
+    /// Bytes by request label.
+    pub bytes_by_label: HashMap<&'static str, u64>,
+    /// Calls that timed out waiting for a worker or a response.
+    pub timeouts: u64,
+}
+
+impl NetStats {
+    /// Returns `self - earlier` for the scalar counters; label maps are
+    /// diffed per key.
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let mut by_label = HashMap::new();
+        for (k, v) in &self.by_label {
+            let d = v - earlier.by_label.get(k).copied().unwrap_or(0);
+            if d > 0 {
+                by_label.insert(*k, d);
+            }
+        }
+        let mut bytes_by_label = HashMap::new();
+        for (k, v) in &self.bytes_by_label {
+            let d = v - earlier.bytes_by_label.get(k).copied().unwrap_or(0);
+            if d > 0 {
+                bytes_by_label.insert(*k, d);
+            }
+        }
+        NetStats {
+            calls: self.calls - earlier.calls,
+            bytes: self.bytes - earlier.bytes,
+            latency_us: self.latency_us - earlier.latency_us,
+            by_label,
+            bytes_by_label,
+            timeouts: self.timeouts - earlier.timeouts,
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Pool {
+    tx: Sender<Job>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            });
+        }
+        Pool { tx }
+    }
+}
+
+struct Node {
+    service: Arc<dyn RpcService>,
+    normal: Pool,
+    revocation: Option<Pool>,
+    require_auth: bool,
+    crashed: bool,
+}
+
+struct NetInner {
+    nodes: HashMap<Addr, Arc<Node>>,
+    stats: NetStats,
+}
+
+/// The simulated network.
+///
+/// Cheaply cloneable; every node and client holds a handle. Latency is
+/// charged to statistics (and the shared [`SimClock`] is *not* advanced:
+/// experiments control simulated time explicitly).
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Mutex<NetInner>>,
+    auth: Arc<AuthRegistry>,
+    clock: SimClock,
+    latency_us: u64,
+    call_timeout: Duration,
+}
+
+impl Network {
+    /// Creates a network with the given per-call latency (microseconds).
+    pub fn new(clock: SimClock, latency_us: u64) -> Network {
+        Network {
+            inner: Arc::new(Mutex::new(NetInner { nodes: HashMap::new(), stats: NetStats::default() })),
+            auth: Arc::new(AuthRegistry::new(clock.clone())),
+            clock,
+            latency_us,
+            call_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Returns the authentication registry shared by KDC and services.
+    pub fn auth(&self) -> &Arc<AuthRegistry> {
+        &self.auth
+    }
+
+    /// Returns the simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Sets the real-time timeout used to detect stalls (tests of the
+    /// §6.4 deadlock use a short timeout).
+    pub fn set_call_timeout(&mut self, timeout: Duration) {
+        self.call_timeout = timeout;
+    }
+
+    /// Binds `service` at `addr` with the given pool configuration.
+    pub fn register(&self, addr: Addr, service: Arc<dyn RpcService>, cfg: PoolConfig) {
+        let node = Node {
+            service,
+            normal: Pool::new(cfg.workers),
+            revocation: (cfg.revocation_workers > 0)
+                .then(|| Pool::new(cfg.revocation_workers)),
+            require_auth: cfg.require_auth,
+            crashed: false,
+        };
+        self.inner.lock().nodes.insert(addr, Arc::new(node));
+    }
+
+    /// Removes a node from the network.
+    pub fn unregister(&self, addr: Addr) {
+        self.inner.lock().nodes.remove(&addr);
+    }
+
+    /// Marks a node crashed (calls fail) or restores it.
+    pub fn set_crashed(&self, addr: Addr, crashed: bool) {
+        let mut inner = self.inner.lock();
+        if let Some(node) = inner.nodes.get(&addr) {
+            let node = Arc::new(Node {
+                service: node.service.clone(),
+                normal: Pool { tx: node.normal.tx.clone() },
+                revocation: node.revocation.as_ref().map(|p| Pool { tx: p.tx.clone() }),
+                require_auth: node.require_auth,
+                crashed,
+            });
+            inner.nodes.insert(addr, node);
+        }
+    }
+
+    /// Performs a synchronous RPC from `from` to `to`.
+    ///
+    /// The request is dispatched on the callee's pool (the revocation
+    /// pool for [`CallClass::Revocation`] if configured); the caller
+    /// blocks for the response. Latency and bytes are charged to the
+    /// network statistics.
+    pub fn call(
+        &self,
+        from: Addr,
+        to: Addr,
+        ticket: Option<Ticket>,
+        class: CallClass,
+        req: Request,
+    ) -> DfsResult<Response> {
+        let node = {
+            let inner = self.inner.lock();
+            inner.nodes.get(&to).cloned().ok_or(DfsError::Unreachable)?
+        };
+        if node.crashed {
+            return Err(DfsError::Unreachable);
+        }
+        let label = req.label();
+        let req_bytes = req.wire_size();
+
+        // Authentication check (§3.7: "All RPC's are authenticated").
+        let principal = match ticket {
+            Some(t) => self.auth.verify(&t),
+            None => None,
+        };
+        if node.require_auth && principal.is_none() {
+            // Account the rejected call too; it did cross the network.
+            self.charge(label, req_bytes + 48);
+            return Ok(Response::Err(DfsError::AuthenticationFailed));
+        }
+
+        let (reply_tx, reply_rx) = bounded::<Response>(1);
+        let service = node.service.clone();
+        let ctx = CallContext { caller: from, principal, class };
+        let job: Job = Box::new(move || {
+            let resp = service.dispatch(ctx, req);
+            let _ = reply_tx.send(resp);
+        });
+        let pool = match class {
+            CallClass::Revocation => node.revocation.as_ref().unwrap_or(&node.normal),
+            CallClass::Normal => &node.normal,
+        };
+        pool.tx.send(job).map_err(|_| DfsError::Unreachable)?;
+
+        match reply_rx.recv_timeout(self.call_timeout) {
+            Ok(resp) => {
+                self.charge(label, req_bytes + resp.wire_size());
+                Ok(resp)
+            }
+            Err(_) => {
+                let mut inner = self.inner.lock();
+                inner.stats.timeouts += 1;
+                Err(DfsError::Timeout)
+            }
+        }
+    }
+
+    fn charge(&self, label: &'static str, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.stats.calls += 1;
+        inner.stats.bytes += bytes;
+        inner.stats.latency_us += self.latency_us;
+        *inner.stats.by_label.entry(label).or_insert(0) += 1;
+        *inner.stats.bytes_by_label.entry(label).or_insert(0) += bytes;
+    }
+
+    /// Returns a snapshot of the network statistics.
+    pub fn stats(&self) -> NetStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Echo;
+    impl RpcService for Echo {
+        fn dispatch(&self, _ctx: CallContext, req: Request) -> Response {
+            match req {
+                Request::Ping => Response::Ok,
+                _ => Response::Err(DfsError::InvalidArgument),
+            }
+        }
+    }
+
+    fn client(n: u32) -> Addr {
+        Addr::Client(ClientId(n))
+    }
+
+    fn server(n: u32) -> Addr {
+        Addr::Server(ServerId(n))
+    }
+
+    #[test]
+    fn basic_call_and_stats() {
+        let net = Network::new(SimClock::new(), 1000);
+        net.register(server(1), Arc::new(Echo), PoolConfig::default());
+        let r = net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap();
+        assert_eq!(r, Response::Ok);
+        let s = net.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.by_label["Ping"], 1);
+        assert_eq!(s.latency_us, 1000);
+        assert!(s.bytes >= 64 + 48);
+    }
+
+    #[test]
+    fn unknown_node_is_unreachable() {
+        let net = Network::new(SimClock::new(), 0);
+        let err =
+            net.call(client(1), server(9), None, CallClass::Normal, Request::Ping).unwrap_err();
+        assert_eq!(err, DfsError::Unreachable);
+    }
+
+    #[test]
+    fn crashed_node_refuses_calls() {
+        let net = Network::new(SimClock::new(), 0);
+        net.register(server(1), Arc::new(Echo), PoolConfig::default());
+        net.set_crashed(server(1), true);
+        assert_eq!(
+            net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap_err(),
+            DfsError::Unreachable
+        );
+        net.set_crashed(server(1), false);
+        assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+    }
+
+    #[test]
+    fn auth_required_rejects_unauthenticated() {
+        let net = Network::new(SimClock::new(), 0);
+        net.register(
+            server(1),
+            Arc::new(Echo),
+            PoolConfig { require_auth: true, ..PoolConfig::default() },
+        );
+        let r = net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap();
+        assert_eq!(r, Response::Err(DfsError::AuthenticationFailed));
+        // With a valid ticket the call goes through.
+        net.auth().add_user(7, 1234);
+        let ticket = net.auth().login(7, 1234).unwrap();
+        let r = net
+            .call(client(1), server(1), Some(ticket), CallClass::Normal, Request::Ping)
+            .unwrap();
+        assert_eq!(r, Response::Ok);
+    }
+
+    #[test]
+    fn forged_ticket_is_rejected() {
+        let net = Network::new(SimClock::new(), 0);
+        net.register(
+            server(1),
+            Arc::new(Echo),
+            PoolConfig { require_auth: true, ..PoolConfig::default() },
+        );
+        let forged = Ticket { user: 0, session: 42, expires: dfs_types::Timestamp(u64::MAX) };
+        let r = net
+            .call(client(1), server(1), Some(forged), CallClass::Normal, Request::Ping)
+            .unwrap();
+        assert_eq!(r, Response::Err(DfsError::AuthenticationFailed));
+    }
+
+    /// A service that, on the first call, synchronously calls back into
+    /// itself (as a revocation-triggered store does, §6.4).
+    struct Reentrant {
+        net: Network,
+        addr: Addr,
+        depth: AtomicUsize,
+    }
+    impl RpcService for Reentrant {
+        fn dispatch(&self, ctx: CallContext, req: Request) -> Response {
+            match req {
+                Request::Ping if ctx.class == CallClass::Normal => {
+                    self.depth.fetch_add(1, Ordering::SeqCst);
+                    // Call back into ourselves on the revocation class.
+                    match self.net.call(
+                        self.addr,
+                        self.addr,
+                        None,
+                        CallClass::Revocation,
+                        Request::Ping,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => Response::Err(e),
+                    }
+                }
+                _ => Response::Ok,
+            }
+        }
+    }
+
+    #[test]
+    fn dedicated_revocation_pool_avoids_exhaustion_deadlock() {
+        // One normal worker: the outer call occupies it; the inner call
+        // must run on the dedicated pool or the node deadlocks (§6.4).
+        let mut net = Network::new(SimClock::new(), 0);
+        net.set_call_timeout(Duration::from_millis(500));
+        let addr = server(1);
+        let svc = Arc::new(Reentrant { net: net.clone(), addr, depth: AtomicUsize::new(0) });
+        net.register(
+            addr,
+            svc,
+            PoolConfig { workers: 1, revocation_workers: 1, require_auth: false },
+        );
+        let r = net.call(client(1), addr, None, CallClass::Normal, Request::Ping).unwrap();
+        assert_eq!(r, Response::Ok, "dedicated pool lets the inner call proceed");
+    }
+
+    #[test]
+    fn shared_pool_exhaustion_stalls() {
+        // The ablation: no dedicated revocation workers. The inner call
+        // queues behind the outer one forever; the timeout fires.
+        let mut net = Network::new(SimClock::new(), 0);
+        net.set_call_timeout(Duration::from_millis(300));
+        let addr = server(1);
+        let svc = Arc::new(Reentrant { net: net.clone(), addr, depth: AtomicUsize::new(0) });
+        net.register(
+            addr,
+            svc,
+            PoolConfig { workers: 1, revocation_workers: 0, require_auth: false },
+        );
+        let r = net.call(client(1), addr, None, CallClass::Normal, Request::Ping);
+        assert!(
+            matches!(r, Err(DfsError::Timeout) | Ok(Response::Err(DfsError::Timeout))),
+            "shared pool must deadlock and time out, got {r:?}"
+        );
+        assert!(net.stats().timeouts >= 1);
+    }
+
+    #[test]
+    fn concurrent_calls_through_the_pool() {
+        let net = Network::new(SimClock::new(), 0);
+        net.register(server(1), Arc::new(Echo), PoolConfig::default());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        net.call(client(i), server(1), None, CallClass::Normal, Request::Ping)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(net.stats().calls, 200);
+    }
+
+    #[test]
+    fn stats_since_diffs() {
+        let net = Network::new(SimClock::new(), 10);
+        net.register(server(1), Arc::new(Echo), PoolConfig::default());
+        net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap();
+        let mid = net.stats();
+        net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap();
+        let d = net.stats().since(&mid);
+        assert_eq!(d.calls, 1);
+        assert_eq!(d.by_label["Ping"], 1);
+    }
+}

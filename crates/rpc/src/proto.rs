@@ -1,0 +1,329 @@
+//! The DEcorum wire protocol: every RPC exchanged in the system.
+//!
+//! One enum covers the protocol exporter's file interface (§3.5), the
+//! volume server (§3.6), the volume location database (§3.4), the
+//! authentication service (§3.7), the replication server (§3.8), and the
+//! server→client revocation callbacks (§5.3). Keeping them in one place
+//! gives the network layer exact per-message accounting, which the
+//! consistency/network-load experiments (T3, T4) depend on.
+
+use dfs_token::{Token, TokenId, TokenTypes};
+use dfs_types::{
+    Acl, ByteRange, DfsError, FileStatus, Fid, SerializationStamp, ServerId, Timestamp, VolumeId,
+};
+use dfs_vfs::{DirEntry, SetAttrs, VolumeDump, VolumeInfo};
+
+/// Token types (and byte range) a client asks for alongside an
+/// operation, so one RPC both performs the call and returns guarantees.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TokenRequest {
+    /// Types wanted.
+    pub types: TokenTypes,
+    /// Byte range for data/lock types.
+    pub range: ByteRange,
+}
+
+impl TokenRequest {
+    /// Requests nothing.
+    pub fn none() -> Option<TokenRequest> {
+        None
+    }
+
+    /// Requests `types` over the whole file.
+    pub fn whole(types: TokenTypes) -> Option<TokenRequest> {
+        Some(TokenRequest { types, range: ByteRange::WHOLE })
+    }
+
+    /// Requests `types` over `range`.
+    pub fn ranged(types: TokenTypes, range: ByteRange) -> Option<TokenRequest> {
+        Some(TokenRequest { types, range })
+    }
+}
+
+/// A Kerberos-style ticket (§3.7), issued by the authentication server.
+///
+/// Simulation of the trust handshake only — the "session key" is a
+/// random identifier the services validate against the registry, not
+/// cryptographic material.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ticket {
+    /// Authenticated user.
+    pub user: u32,
+    /// Opaque session identifier standing in for the session key.
+    pub session: u64,
+    /// Expiry time.
+    pub expires: Timestamp,
+}
+
+/// Every request in the DEcorum protocol family.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    // ---- Authentication service (§3.7) ----
+    /// Obtain a ticket; `secret` stands in for the password proof.
+    Login { user: u32, secret: u64 },
+
+    // ---- Volume location database (§3.4) ----
+    /// Which server hosts this volume?
+    VlLookup { volume: VolumeId },
+    /// Register/move a volume's location.
+    VlRegister { volume: VolumeId, server: ServerId },
+    /// Remove a volume's location entry.
+    VlUnregister { volume: VolumeId },
+    /// Enumerate all known volumes.
+    VlList,
+
+    // ---- Protocol exporter: file access (§3.5, §5) ----
+    /// Fid of a volume's root directory.
+    GetRoot { volume: VolumeId },
+    /// Fetch status, optionally with tokens.
+    FetchStatus { fid: Fid, want: Option<TokenRequest> },
+    /// Fetch data (and status), optionally with tokens.
+    FetchData { fid: Fid, offset: u64, len: u32, want: Option<TokenRequest> },
+    /// Store data back (used both by normal writes and by the special
+    /// store issued from token-revocation code, §6.3).
+    StoreData { fid: Fid, offset: u64, data: Vec<u8> },
+    /// Store status changes back.
+    StoreStatus { fid: Fid, attrs: SetAttrs },
+    /// Obtain tokens without other work.
+    GetToken { fid: Fid, want: TokenRequest },
+    /// Return a token after revocation or voluntarily (§5.3).
+    ReturnToken { fid: Fid, token: TokenId },
+    /// Directory lookup, optionally granting tokens on the result.
+    Lookup { dir: Fid, name: String, want: Option<TokenRequest> },
+    /// Create a regular file.
+    Create { dir: Fid, name: String, mode: u16 },
+    /// Create a directory.
+    Mkdir { dir: Fid, name: String, mode: u16 },
+    /// Create a symlink.
+    Symlink { dir: Fid, name: String, target: String },
+    /// Add a hard link.
+    Link { dir: Fid, name: String, target: Fid },
+    /// Remove a file entry.
+    Remove { dir: Fid, name: String },
+    /// Remove an empty directory.
+    Rmdir { dir: Fid, name: String },
+    /// Rename within the volume.
+    Rename { src_dir: Fid, src_name: String, dst_dir: Fid, dst_name: String },
+    /// List a directory.
+    Readdir { dir: Fid },
+    /// Read a symlink target.
+    Readlink { fid: Fid },
+    /// Read an ACL (§2.3).
+    GetAcl { fid: Fid },
+    /// Replace an ACL.
+    SetAcl { fid: Fid, acl: Acl },
+    /// Set or clear a byte-range file lock at the server (used when the
+    /// client holds no lock token).
+    SetLock { fid: Fid, range: ByteRange, write: bool },
+    /// Release a server-side file lock.
+    ReleaseLock { fid: Fid, range: ByteRange },
+
+    // ---- Volume server (§3.6) ----
+    /// Create an empty volume on this server.
+    VolCreate { volume: VolumeId, name: String },
+    /// Delete a volume.
+    VolDelete { volume: VolumeId },
+    /// Clone a volume into a read-only snapshot (§2.1).
+    VolClone { src: VolumeId, clone: VolumeId, name: String },
+    /// Dump a volume (full or incremental).
+    VolDump { volume: VolumeId, since_version: u64 },
+    /// Restore a dumped volume.
+    VolRestore { dump: VolumeDump, read_only: bool },
+    /// Info for one volume.
+    VolInfo { volume: VolumeId },
+    /// All volumes on this server.
+    VolList,
+    /// Move a volume to another server (driven by the source's volume
+    /// server; updates the VLDB when complete).
+    VolMove { volume: VolumeId, target: ServerId },
+
+    // ---- Replication server (§3.8) ----
+    /// Start lazily replicating `volume` from `source` with the given
+    /// maximum staleness.
+    ReplAdd { volume: VolumeId, source: ServerId, max_staleness_us: u64 },
+    /// Run one replica-refresh pass now (driven by the simulation
+    /// clock; a daemon thread in production).
+    ReplTick,
+
+    // ---- Server → client callbacks (§5.3) ----
+    /// Revoke the given type bits of a token; the client must store
+    /// dirty data/status covered by those bits first.
+    RevokeToken { token: Token, types: TokenTypes, stamp: SerializationStamp },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Every response in the protocol family.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Success with no payload.
+    Ok,
+    /// Failure.
+    Err(DfsError),
+    /// A ticket from the authentication server.
+    TicketGranted(Ticket),
+    /// A volume's location.
+    Location(ServerId),
+    /// All volume locations.
+    Locations(Vec<(VolumeId, ServerId)>),
+    /// A fid (root lookups).
+    FidIs(Fid),
+    /// Status plus any granted tokens and the serialization stamp of
+    /// this reference (§6.2: "time stamps must appear in return
+    /// parameters from calls that read or write status information").
+    Status { status: FileStatus, tokens: Vec<Token>, stamp: SerializationStamp },
+    /// Data plus status, tokens, and stamp.
+    Data { bytes: Vec<u8>, status: FileStatus, tokens: Vec<Token>, stamp: SerializationStamp },
+    /// Directory listing.
+    Entries(Vec<DirEntry>),
+    /// Symlink target.
+    Target(String),
+    /// An ACL.
+    AclIs(Acl),
+    /// A volume dump.
+    Dump(VolumeDump),
+    /// Volume info.
+    VolumeIs(VolumeInfo),
+    /// Volume list.
+    Volumes(Vec<VolumeInfo>),
+    /// Client's answer to a revocation: true = returned, false = kept.
+    RevokeAck { returned: bool },
+}
+
+impl Request {
+    /// Short label for per-message statistics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Login { .. } => "Login",
+            Request::VlLookup { .. } => "VlLookup",
+            Request::VlRegister { .. } => "VlRegister",
+            Request::VlUnregister { .. } => "VlUnregister",
+            Request::VlList => "VlList",
+            Request::GetRoot { .. } => "GetRoot",
+            Request::FetchStatus { .. } => "FetchStatus",
+            Request::FetchData { .. } => "FetchData",
+            Request::StoreData { .. } => "StoreData",
+            Request::StoreStatus { .. } => "StoreStatus",
+            Request::GetToken { .. } => "GetToken",
+            Request::ReturnToken { .. } => "ReturnToken",
+            Request::Lookup { .. } => "Lookup",
+            Request::Create { .. } => "Create",
+            Request::Mkdir { .. } => "Mkdir",
+            Request::Symlink { .. } => "Symlink",
+            Request::Link { .. } => "Link",
+            Request::Remove { .. } => "Remove",
+            Request::Rmdir { .. } => "Rmdir",
+            Request::Rename { .. } => "Rename",
+            Request::Readdir { .. } => "Readdir",
+            Request::Readlink { .. } => "Readlink",
+            Request::GetAcl { .. } => "GetAcl",
+            Request::SetAcl { .. } => "SetAcl",
+            Request::SetLock { .. } => "SetLock",
+            Request::ReleaseLock { .. } => "ReleaseLock",
+            Request::VolCreate { .. } => "VolCreate",
+            Request::VolDelete { .. } => "VolDelete",
+            Request::VolClone { .. } => "VolClone",
+            Request::VolDump { .. } => "VolDump",
+            Request::VolRestore { .. } => "VolRestore",
+            Request::VolInfo { .. } => "VolInfo",
+            Request::VolList => "VolList",
+            Request::VolMove { .. } => "VolMove",
+            Request::ReplAdd { .. } => "ReplAdd",
+            Request::ReplTick => "ReplTick",
+            Request::RevokeToken { .. } => "RevokeToken",
+            Request::Ping => "Ping",
+        }
+    }
+
+    /// Approximate bytes on the wire (headers plus payload).
+    pub fn wire_size(&self) -> u64 {
+        const HDR: u64 = 64; // RPC header, fid, auth verifier.
+        HDR + match self {
+            Request::StoreData { data, .. } => data.len() as u64,
+            Request::Lookup { name, .. }
+            | Request::Create { name, .. }
+            | Request::Mkdir { name, .. }
+            | Request::Remove { name, .. }
+            | Request::Rmdir { name, .. } => name.len() as u64,
+            Request::Symlink { name, target, .. } => (name.len() + target.len()) as u64,
+            Request::Rename { src_name, dst_name, .. } => {
+                (src_name.len() + dst_name.len()) as u64
+            }
+            Request::SetAcl { acl, .. } => 7 * acl.len() as u64,
+            Request::VolRestore { dump, .. } => dump.payload_bytes(),
+            _ => 0,
+        }
+    }
+}
+
+impl Response {
+    /// Approximate bytes on the wire.
+    pub fn wire_size(&self) -> u64 {
+        const HDR: u64 = 48;
+        HDR + match self {
+            Response::Data { bytes, .. } => bytes.len() as u64 + 96,
+            Response::Status { .. } => 96,
+            Response::Entries(es) => {
+                es.iter().map(|e| e.name.len() as u64 + 20).sum::<u64>()
+            }
+            Response::Dump(d) => d.payload_bytes(),
+            Response::AclIs(acl) => 7 * acl.len() as u64,
+            Response::Volumes(vs) => 64 * vs.len() as u64,
+            Response::Target(t) => t.len() as u64,
+            Response::Locations(ls) => 12 * ls.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Unwraps an error response into a `DfsResult`.
+    pub fn into_result(self) -> Result<Response, DfsError> {
+        match self {
+            Response::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_counts_payload() {
+        let small = Request::Ping;
+        let big = Request::StoreData {
+            fid: Fid::default(),
+            offset: 0,
+            data: vec![0; 10_000],
+        };
+        assert!(big.wire_size() > small.wire_size() + 9_000);
+    }
+
+    #[test]
+    fn response_into_result() {
+        assert!(Response::Ok.into_result().is_ok());
+        assert_eq!(
+            Response::Err(DfsError::NotFound).into_result().unwrap_err(),
+            DfsError::NotFound
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Request::Ping.label(), "Ping");
+        assert_eq!(Request::VlList.label(), "VlList");
+        assert_eq!(
+            Request::FetchStatus { fid: Fid::default(), want: TokenRequest::none() }.label(),
+            "FetchStatus"
+        );
+    }
+
+    #[test]
+    fn token_request_builders() {
+        let w = TokenRequest::whole(TokenTypes::DATA_READ).unwrap();
+        assert_eq!(w.range, ByteRange::WHOLE);
+        let r = TokenRequest::ranged(TokenTypes::DATA_WRITE, ByteRange::new(0, 10)).unwrap();
+        assert_eq!(r.range.len(), 10);
+        assert!(TokenRequest::none().is_none());
+    }
+}

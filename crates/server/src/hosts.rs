@@ -1,0 +1,200 @@
+//! The host model (§3.2) and the remote-client token-host proxy.
+//!
+//! The host model "maintains structures describing authenticated
+//! individuals that have made RPC's to it, and the client managers from
+//! which the RPC's originated" — including whether revocation messages
+//! have all been delivered.
+
+use dfs_rpc::{Addr, CallClass, Network, Request, Response};
+use dfs_token::{RevokeResult, Token, TokenHost, TokenTypes};
+use dfs_types::{ClientId, HostId, SerializationStamp, Timestamp};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-client state kept by a file server.
+#[derive(Clone, Debug, Default)]
+pub struct HostRecord {
+    /// Last authenticated principal seen from this client.
+    pub principal: Option<u32>,
+    /// RPCs received from this client.
+    pub calls: u64,
+    /// Revocations sent to this client.
+    pub revocations_sent: u64,
+    /// Revocations acknowledged.
+    pub revocations_acked: u64,
+    /// Last time we heard from the client.
+    pub last_seen: Timestamp,
+}
+
+/// The server's registry of known clients.
+#[derive(Default)]
+pub struct HostModel {
+    records: Mutex<HashMap<ClientId, HostRecord>>,
+}
+
+impl HostModel {
+    /// Creates an empty host model.
+    pub fn new() -> HostModel {
+        HostModel::default()
+    }
+
+    /// Notes an incoming call from `client`.
+    pub fn saw_call(&self, client: ClientId, principal: Option<u32>, now: Timestamp) {
+        let mut recs = self.records.lock();
+        let r = recs.entry(client).or_default();
+        r.calls += 1;
+        if principal.is_some() {
+            r.principal = principal;
+        }
+        r.last_seen = now;
+    }
+
+    /// Notes a revocation sent to / acknowledged by `client`.
+    pub fn saw_revocation(&self, client: ClientId, acked: bool) {
+        let mut recs = self.records.lock();
+        let r = recs.entry(client).or_default();
+        r.revocations_sent += 1;
+        if acked {
+            r.revocations_acked += 1;
+        }
+    }
+
+    /// Returns true if every revocation sent to `client` was delivered.
+    pub fn revocations_quiesced(&self, client: ClientId) -> bool {
+        let recs = self.records.lock();
+        recs.get(&client).is_none_or(|r| r.revocations_sent == r.revocations_acked)
+    }
+
+    /// Returns a snapshot of one client's record.
+    pub fn record(&self, client: ClientId) -> Option<HostRecord> {
+        self.records.lock().get(&client).cloned()
+    }
+
+    /// Lists all known clients.
+    pub fn clients(&self) -> Vec<ClientId> {
+        self.records.lock().keys().copied().collect()
+    }
+}
+
+/// Token-manager host proxy for a remote token holder — a cache manager
+/// or a replication server on another file server. Revocations become
+/// server→peer RPCs (§5.3).
+pub struct RemoteHost {
+    net: Network,
+    server_addr: Addr,
+    peer: Addr,
+    host_id: HostId,
+    model: Arc<HostModel>,
+}
+
+impl RemoteHost {
+    /// Creates the proxy for cache manager `client`.
+    pub fn client(
+        net: Network,
+        server_addr: Addr,
+        client: ClientId,
+        model: Arc<HostModel>,
+    ) -> Arc<RemoteHost> {
+        Arc::new(RemoteHost {
+            net,
+            server_addr,
+            peer: Addr::Client(client),
+            host_id: HostId::Client(client),
+            model,
+        })
+    }
+
+    /// Creates the proxy for a replication server on `server` (§3.8).
+    pub fn replicator(
+        net: Network,
+        server_addr: Addr,
+        server: dfs_types::ServerId,
+        model: Arc<HostModel>,
+    ) -> Arc<RemoteHost> {
+        Arc::new(RemoteHost {
+            net,
+            server_addr,
+            peer: Addr::Server(server),
+            host_id: HostId::Replicator(server.0),
+            model,
+        })
+    }
+}
+
+impl TokenHost for RemoteHost {
+    fn host_id(&self) -> HostId {
+        self.host_id
+    }
+
+    fn revoke(
+        &self,
+        token: &Token,
+        types: TokenTypes,
+        stamp: SerializationStamp,
+    ) -> RevokeResult {
+        // Server→peer revocation RPC; dispatched on the peer's
+        // revocation pool so a busy peer can always serve it (§6.4).
+        let resp = self.net.call(
+            self.server_addr,
+            self.peer,
+            None,
+            CallClass::Revocation,
+            Request::RevokeToken { token: token.clone(), types, stamp },
+        );
+        let client = match self.peer {
+            Addr::Client(c) => Some(c),
+            _ => None,
+        };
+        match resp {
+            Ok(Response::RevokeAck { returned }) => {
+                if let Some(c) = client {
+                    self.model.saw_revocation(c, true);
+                }
+                if returned {
+                    RevokeResult::Returned
+                } else {
+                    RevokeResult::Retained
+                }
+            }
+            _ => {
+                // Unreachable peer: treat its tokens as returned (a
+                // production server would also mark the client dead).
+                if let Some(c) = client {
+                    self.model.saw_revocation(c, false);
+                }
+                RevokeResult::Returned
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_model_tracks_calls_and_revocations() {
+        let m = HostModel::new();
+        let c = ClientId(1);
+        m.saw_call(c, Some(42), Timestamp(10));
+        m.saw_call(c, None, Timestamp(20));
+        let r = m.record(c).unwrap();
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.principal, Some(42), "principal sticks");
+        assert_eq!(r.last_seen, Timestamp(20));
+
+        assert!(m.revocations_quiesced(c));
+        m.saw_revocation(c, true);
+        assert!(m.revocations_quiesced(c));
+        m.saw_revocation(c, false);
+        assert!(!m.revocations_quiesced(c));
+    }
+
+    #[test]
+    fn unknown_client_is_quiesced() {
+        let m = HostModel::new();
+        assert!(m.revocations_quiesced(ClientId(99)));
+        assert!(m.record(ClientId(99)).is_none());
+    }
+}

@@ -1,0 +1,1183 @@
+//! The DEcorum file server: protocol exporter and related servers (§3).
+//!
+//! A [`FileServer`] assembles, per the paper's Figure 1:
+//!
+//! * the **token manager** (§3.1) from [`dfs_token`];
+//! * the **host model** (§3.2) — per-client state and revocation
+//!   delivery tracking;
+//! * the **vnode glue layer** (§3.3) — local access that synchronizes
+//!   with remote guarantees, usable over *any* [`dfs_vfs::PhysicalFs`]
+//!   (Episode or the FFS baseline: the interoperability goal of §1);
+//! * the **volume registry** (local) and the replicated **VLDB** (§3.4);
+//! * the **server procedures** (§3.5) — the RPC dispatch;
+//! * the **volume server** (§3.6) — on-line volume motion;
+//! * the **replication server** (§3.8) — lazy, bounded-staleness
+//!   replicas driven by whole-volume tokens and incremental dumps.
+//!
+//! Authentication (§3.7) is enforced by the RPC substrate against the
+//! shared Kerberos-style registry.
+
+pub mod glue;
+pub mod hosts;
+pub mod locks;
+pub mod vldb;
+
+pub use glue::{Glue, LocalHost};
+pub use hosts::{HostModel, HostRecord, RemoteHost};
+pub use locks::LockTable;
+pub use vldb::{VldbHandle, VldbReplica};
+
+use dfs_rpc::{
+    Addr, CallClass, CallContext, Network, PoolConfig, Request, Response, RpcService,
+    TokenRequest,
+};
+use dfs_token::{Token, TokenManager, TokenTypes};
+use dfs_types::{
+    ByteRange, DfsError, DfsResult, Fid, HostId, ServerId, Timestamp, VnodeId, VolumeId,
+};
+use dfs_vfs::{Credentials, PhysicalFs, VfsPlus};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Read tokens a client wants to cache directory contents.
+pub const DIR_READ: TokenTypes = TokenTypes(TokenTypes::STATUS_READ.0 | TokenTypes::DATA_READ.0);
+/// Write tokens the server takes while mutating a directory.
+pub const DIR_WRITE: TokenTypes =
+    TokenTypes(TokenTypes::STATUS_WRITE.0 | TokenTypes::DATA_WRITE.0);
+
+/// Server operation statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// File RPCs served.
+    pub ops: u64,
+    /// Calls refused because the volume was being moved.
+    pub busy_rejections: u64,
+    /// Volume moves completed.
+    pub moves: u64,
+    /// Replica refresh passes that shipped data.
+    pub replica_refreshes: u64,
+}
+
+struct ReplJob {
+    volume: VolumeId,
+    source: ServerId,
+    max_staleness_us: u64,
+    last_refresh: Timestamp,
+    base_version: u64,
+    dirty: bool,
+}
+
+/// A DEcorum file server node.
+pub struct FileServer {
+    id: ServerId,
+    addr: Addr,
+    net: Network,
+    physical: Arc<dyn PhysicalFs>,
+    tm: Arc<TokenManager>,
+    local_host: Arc<LocalHost>,
+    hosts: Arc<HostModel>,
+    locks: LockTable,
+    vldb: VldbHandle,
+    mounts: Mutex<HashMap<VolumeId, Arc<dyn VfsPlus>>>,
+    busy: Mutex<HashSet<VolumeId>>,
+    repl: Mutex<Vec<ReplJob>>,
+    known_hosts: Mutex<HashSet<HostId>>,
+    stats: Mutex<ServerStats>,
+}
+
+impl FileServer {
+    /// Builds a server over `physical`, binds it at `Server(id)`, and
+    /// registers its existing volumes in the VLDB.
+    pub fn start(
+        net: Network,
+        id: ServerId,
+        physical: Arc<dyn PhysicalFs>,
+        vldb_replicas: Vec<Addr>,
+        pool: PoolConfig,
+    ) -> DfsResult<Arc<FileServer>> {
+        let addr = Addr::Server(id);
+        let vldb = VldbHandle::new(net.clone(), addr, vldb_replicas);
+        let srv = Arc::new(FileServer {
+            id,
+            addr,
+            net: net.clone(),
+            physical,
+            tm: Arc::new(TokenManager::new()),
+            local_host: LocalHost::new(HostId::Local(id.0)),
+            hosts: Arc::new(HostModel::new()),
+            locks: LockTable::new(),
+            vldb,
+            mounts: Mutex::new(HashMap::new()),
+            busy: Mutex::new(HashSet::new()),
+            repl: Mutex::new(Vec::new()),
+            known_hosts: Mutex::new(HashSet::new()),
+            stats: Mutex::new(ServerStats::default()),
+        });
+        srv.tm.register_host(srv.local_host.clone());
+        for vol in srv.physical.list_volumes()? {
+            srv.vldb.register(vol.id, id)?;
+        }
+        net.register(addr, srv.clone(), pool);
+        Ok(srv)
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The token manager (diagnostics and tests).
+    pub fn token_manager(&self) -> &Arc<TokenManager> {
+        &self.tm
+    }
+
+    /// The host model (diagnostics).
+    pub fn host_model(&self) -> &Arc<HostModel> {
+        &self.hosts
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.lock().clone()
+    }
+
+    /// Returns a glue-wrapped VFS for *local* access to a volume on this
+    /// server — the path a local user's system calls take (Figure 1).
+    ///
+    /// Local operations acquire tokens exactly like remote clients, so
+    /// they synchronize correctly with exported guarantees (§5.1, §5.5).
+    pub fn local_volume(&self, vol: VolumeId) -> DfsResult<Arc<Glue>> {
+        let fs = self.mount(vol)?;
+        Ok(Arc::new(Glue::new(fs, self.tm.clone(), self.local_host.clone())))
+    }
+
+    fn mount(&self, vol: VolumeId) -> DfsResult<Arc<dyn VfsPlus>> {
+        // Busy-volume gating happens in `dispatch` (so revocation-class
+        // store-backs can land while a move is quiescing the volume).
+        let mut mounts = self.mounts.lock();
+        if let Some(v) = mounts.get(&vol) {
+            return Ok(v.clone());
+        }
+        let mounted = self.physical.mount(vol)?;
+        mounts.insert(vol, mounted.clone());
+        Ok(mounted)
+    }
+
+    fn unmount(&self, vol: VolumeId) {
+        self.mounts.lock().remove(&vol);
+    }
+
+    /// Maps the RPC caller to a token-manager host, registering the
+    /// remote proxy on first contact (§5.1 host registration).
+    fn host_for(&self, caller: Addr) -> DfsResult<HostId> {
+        let host = match caller {
+            Addr::Client(c) => HostId::Client(c),
+            Addr::Server(s) => HostId::Replicator(s.0),
+            _ => return Err(DfsError::InvalidArgument),
+        };
+        let mut known = self.known_hosts.lock();
+        if known.insert(host) {
+            match caller {
+                Addr::Client(c) => self.tm.register_host(RemoteHost::client(
+                    self.net.clone(),
+                    self.addr,
+                    c,
+                    self.hosts.clone(),
+                )),
+                Addr::Server(s) => self.tm.register_host(RemoteHost::replicator(
+                    self.net.clone(),
+                    self.addr,
+                    s,
+                    self.hosts.clone(),
+                )),
+                _ => unreachable!(),
+            }
+        }
+        Ok(host)
+    }
+
+    /// Builds credentials from the authenticated principal.
+    fn cred_for(&self, ctx: &CallContext) -> Credentials {
+        match ctx.principal {
+            Some(user) => {
+                Credentials { user, groups: self.net.auth().groups_of(user) }
+            }
+            // Unauthenticated calls run as the system principal; cells
+            // that care configure `require_auth` on the node.
+            None => Credentials::system(),
+        }
+    }
+
+    /// Grants `base ∪ want` to `host` on `fid`, runs `f`, and either
+    /// hands the token to the caller (if `want` was given) or releases
+    /// it. Returns `f`'s result, the tokens to ship, and the stamp.
+    fn with_grant<R>(
+        &self,
+        host: HostId,
+        fid: Fid,
+        base: TokenTypes,
+        range: ByteRange,
+        want: Option<TokenRequest>,
+        f: impl FnOnce() -> DfsResult<R>,
+    ) -> DfsResult<(R, Vec<Token>, dfs_types::SerializationStamp)> {
+        let (types, range) = match &want {
+            Some(w) => (base.union(w.types), range.union_hull(&w.range)),
+            None => (base, range),
+        };
+        let (token, stamp) = self.tm.grant(host, fid, types, range)?;
+        let result = f();
+        let keep = want.is_some() && result.is_ok();
+        if !keep {
+            self.tm.release(host, token.id);
+        }
+        match result {
+            Ok(r) => Ok((r, if keep { vec![token] } else { Vec::new() }, stamp)),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn volume_of(&self, fid: Fid) -> DfsResult<Arc<dyn VfsPlus>> {
+        self.mount(fid.volume)
+    }
+
+    // ------------------------------------------------------------------
+    // Volume motion (§3.6) and replication (§3.8)
+    // ------------------------------------------------------------------
+
+    /// Pulls back every outstanding guarantee on a volume: dirty data
+    /// and status at clients are stored back before this returns.
+    fn quiesce_volume(&self, volume: VolumeId) -> DfsResult<()> {
+        let vol_fid = Fid::new(volume, VnodeId(0), 0);
+        let (t, _) =
+            self.tm.grant(HostId::Local(self.id.0), vol_fid, DIR_WRITE, ByteRange::WHOLE)?;
+        self.tm.release(HostId::Local(self.id.0), t.id);
+        Ok(())
+    }
+
+    /// Moves a volume to `target`, blocking access only for the duration
+    /// of the transfer (§2.1: applications "are blocked for a short
+    /// time").
+    fn move_volume(&self, volume: VolumeId, target: ServerId) -> DfsResult<()> {
+        if target == self.id {
+            return Err(DfsError::InvalidArgument);
+        }
+        self.busy.lock().insert(volume);
+        let result = (|| {
+            self.quiesce_volume(volume)?;
+
+            let dump = self.physical.dump_volume(volume, 0)?;
+            let resp = self.net.call(
+                self.addr,
+                Addr::Server(target),
+                None,
+                CallClass::Normal,
+                Request::VolRestore { dump, read_only: false },
+            )?;
+            resp.into_result()?;
+            self.vldb.register(volume, target)?;
+            self.unmount(volume);
+            self.physical.delete_volume(volume)?;
+            Ok(())
+        })();
+        self.busy.lock().remove(&volume);
+        if result.is_ok() {
+            self.stats.lock().moves += 1;
+        }
+        result
+    }
+
+    /// Starts lazily replicating `volume` from `source` onto this
+    /// server, with the given maximum staleness (§3.8).
+    fn replica_add(&self, volume: VolumeId, source: ServerId, max_staleness_us: u64) -> DfsResult<()> {
+        // Initial full fetch.
+        let resp = self.net.call(
+            self.addr,
+            Addr::Server(source),
+            None,
+            CallClass::Normal,
+            Request::VolDump { volume, since_version: 0 },
+        )?;
+        let dump = match resp.into_result()? {
+            Response::Dump(d) => d,
+            _ => return Err(DfsError::Internal("bad dump response")),
+        };
+        let base = dump.max_data_version;
+        self.physical.restore_volume(&dump, true)?;
+        self.unmount(volume);
+        // Whole-volume token: the guarantee that the replica may be used
+        // until the master changes (§3.8).
+        let _ = self.net.call(
+            self.addr,
+            Addr::Server(source),
+            None,
+            CallClass::Normal,
+            Request::GetToken {
+                fid: Fid::new(volume, VnodeId(0), 0),
+                want: TokenRequest {
+                    types: DIR_READ,
+                    range: ByteRange::WHOLE,
+                },
+            },
+        );
+        self.repl.lock().push(ReplJob {
+            volume,
+            source,
+            max_staleness_us,
+            last_refresh: self.net.clock().now(),
+            base_version: base,
+            dirty: false,
+        });
+        Ok(())
+    }
+
+    /// One replication pass: refreshes any replica past its staleness
+    /// bound (or known-dirty via token revocation). Driven explicitly by
+    /// `ReplTick` so experiments control simulated time.
+    fn replica_tick(&self) -> DfsResult<()> {
+        let now = self.net.clock().now();
+        let due: Vec<(VolumeId, ServerId, u64)> = {
+            let jobs = self.repl.lock();
+            jobs.iter()
+                .filter(|j| {
+                    // Lazy: refresh only when the master is known to have
+                    // changed (our whole-volume token was revoked) AND
+                    // the staleness budget has been spent. An unchanged
+                    // master costs no refresh traffic at all (§3.8).
+                    j.dirty && now.micros_since(j.last_refresh) >= j.max_staleness_us
+                })
+                .map(|j| (j.volume, j.source, j.base_version))
+                .collect()
+        };
+        for (volume, source, base) in due {
+            let resp = self.net.call(
+                self.addr,
+                Addr::Server(source),
+                None,
+                CallClass::Normal,
+                Request::VolDump { volume, since_version: base },
+            )?;
+            let dump = match resp.into_result()? {
+                Response::Dump(d) => d,
+                _ => continue,
+            };
+            let new_base = dump.max_data_version;
+            let shipped = !dump.files.is_empty();
+            if shipped {
+                // The client of the replica "is guaranteed to always see
+                // a consistent snapshot": swap-in happens under the
+                // volume mount lock via restore.
+                self.unmount(volume);
+                self.physical.restore_volume(&dump, true)?;
+            }
+            // Re-arm the whole-volume token.
+            let _ = self.net.call(
+                self.addr,
+                Addr::Server(source),
+                None,
+                CallClass::Normal,
+                Request::GetToken {
+                    fid: Fid::new(volume, VnodeId(0), 0),
+                    want: TokenRequest { types: DIR_READ, range: ByteRange::WHOLE },
+                },
+            );
+            let mut jobs = self.repl.lock();
+            if let Some(j) = jobs.iter_mut().find(|j| j.volume == volume) {
+                j.last_refresh = now;
+                j.base_version = new_base;
+                j.dirty = false;
+            }
+            if shipped {
+                self.stats.lock().replica_refreshes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The server procedures (§3.5)
+    // ------------------------------------------------------------------
+
+    fn handle(&self, ctx: &CallContext, req: Request) -> DfsResult<Response> {
+        use Request as Q;
+        use Response as P;
+        let cred = self.cred_for(ctx);
+        match req {
+            Q::Ping => Ok(P::Ok),
+
+            Q::GetRoot { volume } => {
+                let fs = self.mount(volume)?;
+                Ok(P::FidIs(fs.root()?))
+            }
+
+            Q::FetchStatus { fid, want } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(fid)?;
+                let (status, tokens, stamp) = self.with_grant(
+                    host,
+                    fid,
+                    TokenTypes::STATUS_READ,
+                    ByteRange::WHOLE,
+                    want,
+                    || fs.getattr(&cred, fid),
+                )?;
+                Ok(P::Status { status, tokens, stamp })
+            }
+
+            Q::FetchData { fid, offset, len, want } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(fid)?;
+                let range = ByteRange::at(offset, len as u64);
+                let ((bytes, status), tokens, stamp) = self.with_grant(
+                    host,
+                    fid,
+                    TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::STATUS_READ.0),
+                    range,
+                    want,
+                    || {
+                        let bytes = fs.read(&cred, fid, offset, len as usize)?;
+                        let status = fs.getattr(&cred, fid)?;
+                        Ok((bytes, status))
+                    },
+                )?;
+                Ok(P::Data { bytes, status, tokens, stamp })
+            }
+
+            Q::StoreData { fid, offset, data } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(fid)?;
+                // Stores issued from token-revocation code (§6.3) run
+                // without further token acquisition: the storing client
+                // holds the write token being revoked, and granting here
+                // could nest revocation chains past any pool bound.
+                if ctx.class == CallClass::Revocation {
+                    let status = fs.write(&cred, fid, offset, &data)?;
+                    let stamp = self.tm.stamp(fid);
+                    return Ok(P::Status { status, tokens: Vec::new(), stamp });
+                }
+                let range = ByteRange::at(offset, data.len() as u64);
+                let (status, _tokens, stamp) = self.with_grant(
+                    host,
+                    fid,
+                    TokenTypes(TokenTypes::DATA_WRITE.0 | TokenTypes::STATUS_WRITE.0),
+                    range,
+                    None,
+                    || fs.write(&cred, fid, offset, &data),
+                )?;
+                Ok(P::Status { status, tokens: Vec::new(), stamp })
+            }
+
+            Q::StoreStatus { fid, attrs } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(fid)?;
+                if ctx.class == CallClass::Revocation {
+                    // Status pushed back from revocation code: grant-free
+                    // (the storing client holds the status-write token).
+                    let status = fs.setattr(&cred, fid, &attrs)?;
+                    let stamp = self.tm.stamp(fid);
+                    return Ok(P::Status { status, tokens: Vec::new(), stamp });
+                }
+                let types = if attrs.length.is_some() { DIR_WRITE } else { TokenTypes::STATUS_WRITE };
+                let (status, _t, stamp) = self.with_grant(
+                    host,
+                    fid,
+                    types,
+                    ByteRange::WHOLE,
+                    None,
+                    || fs.setattr(&cred, fid, &attrs),
+                )?;
+                Ok(P::Status { status, tokens: Vec::new(), stamp })
+            }
+
+            Q::GetToken { fid, want } => {
+                let host = self.host_for(ctx.caller)?;
+                // Whole-volume tokens (vnode 0) have no status to fetch.
+                if fid.vnode.0 == 0 {
+                    let (token, stamp) = self.tm.grant(host, fid, want.types, want.range)?;
+                    return Ok(P::Status {
+                        status: dfs_types::FileStatus { fid, stamp, ..Default::default() },
+                        tokens: vec![token],
+                        stamp,
+                    });
+                }
+                let fs = self.volume_of(fid)?;
+                let (status, tokens, stamp) = self.with_grant(
+                    host,
+                    fid,
+                    TokenTypes::NONE,
+                    want.range,
+                    Some(want),
+                    || fs.getattr(&cred, fid),
+                )?;
+                Ok(P::Status { status, tokens, stamp })
+            }
+
+            Q::ReturnToken { fid, token } => {
+                let host = self.host_for(ctx.caller)?;
+                let _ = fid;
+                self.tm.release(host, token);
+                Ok(P::Ok)
+            }
+
+            Q::Lookup { dir, name, want } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(dir)?;
+                let (status, tokens, _stamp) = self.with_grant(
+                    host,
+                    dir,
+                    DIR_READ,
+                    ByteRange::WHOLE,
+                    want,
+                    || fs.lookup(&cred, dir, &name),
+                )?;
+                let stamp = self.tm.stamp(status.fid);
+                Ok(P::Status { status, tokens, stamp })
+            }
+
+            Q::Create { dir, name, mode } => self.namespace_op(ctx, dir, |fs| {
+                fs.create(&cred, dir, &name, mode)
+            }),
+            Q::Mkdir { dir, name, mode } => self.namespace_op(ctx, dir, |fs| {
+                fs.mkdir(&cred, dir, &name, mode)
+            }),
+            Q::Symlink { dir, name, target } => self.namespace_op(ctx, dir, |fs| {
+                fs.symlink(&cred, dir, &name, &target)
+            }),
+            Q::Link { dir, name, target } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(dir)?;
+                let (t2, _) =
+                    self.tm.grant(host, target, TokenTypes::STATUS_WRITE, ByteRange::WHOLE)?;
+                let result = self.with_grant(host, dir, DIR_WRITE, ByteRange::WHOLE, None, || {
+                    fs.link(&cred, dir, &name, target)
+                });
+                self.tm.release(host, t2.id);
+                let (status, _t, stamp) = result?;
+                Ok(P::Status { status, tokens: Vec::new(), stamp })
+            }
+
+            Q::Remove { dir, name } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(dir)?;
+                // Assure no remote users of the victim (§5.4): take an
+                // exclusive-write open token plus write tokens on it.
+                let victim = fs.lookup(&cred, dir, &name)?;
+                let (vt, _) = self.tm.grant(
+                    host,
+                    victim.fid,
+                    TokenTypes(
+                        TokenTypes::OPEN_EXCLUSIVE_WRITE.0
+                            | TokenTypes::STATUS_WRITE.0
+                            | TokenTypes::DATA_WRITE.0,
+                    ),
+                    ByteRange::WHOLE,
+                )?;
+                let result = self.with_grant(host, dir, DIR_WRITE, ByteRange::WHOLE, None, || {
+                    fs.remove(&cred, dir, &name)
+                });
+                self.tm.release(host, vt.id);
+                let (status, _t, stamp) = result?;
+                Ok(P::Status { status, tokens: Vec::new(), stamp })
+            }
+
+            Q::Rmdir { dir, name } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(dir)?;
+                let victim = fs.lookup(&cred, dir, &name)?;
+                let (vt, _) = self.tm.grant(
+                    host,
+                    victim.fid,
+                    TokenTypes(TokenTypes::STATUS_WRITE.0 | TokenTypes::DATA_WRITE.0),
+                    ByteRange::WHOLE,
+                )?;
+                let result = self.with_grant(host, dir, DIR_WRITE, ByteRange::WHOLE, None, || {
+                    fs.rmdir(&cred, dir, &name)
+                });
+                self.tm.release(host, vt.id);
+                result?;
+                Ok(P::Ok)
+            }
+
+            Q::Rename { src_dir, src_name, dst_dir, dst_name } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(src_dir)?;
+                // Grant on both directories in fid order (deadlock
+                // avoidance between concurrent server operations).
+                let (a, b) = if src_dir <= dst_dir { (src_dir, dst_dir) } else { (dst_dir, src_dir) };
+                let (t1, _) = self.tm.grant(host, a, DIR_WRITE, ByteRange::WHOLE)?;
+                let t2 = if b != a {
+                    Some(self.tm.grant(host, b, DIR_WRITE, ByteRange::WHOLE)?.0)
+                } else {
+                    None
+                };
+                let result = fs.rename(&cred, src_dir, &src_name, dst_dir, &dst_name);
+                if let Some(t) = t2 {
+                    self.tm.release(host, t.id);
+                }
+                self.tm.release(host, t1.id);
+                result?;
+                Ok(P::Ok)
+            }
+
+            Q::Readdir { dir } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(dir)?;
+                let (entries, _t, _s) = self.with_grant(
+                    host,
+                    dir,
+                    DIR_READ,
+                    ByteRange::WHOLE,
+                    None,
+                    || fs.readdir(&cred, dir),
+                )?;
+                Ok(P::Entries(entries))
+            }
+
+            Q::Readlink { fid } => {
+                let fs = self.volume_of(fid)?;
+                Ok(P::Target(fs.readlink(&cred, fid)?))
+            }
+
+            Q::GetAcl { fid } => {
+                let fs = self.volume_of(fid)?;
+                Ok(P::AclIs(fs.get_acl(&cred, fid)?))
+            }
+
+            Q::SetAcl { fid, acl } => {
+                let host = self.host_for(ctx.caller)?;
+                let fs = self.volume_of(fid)?;
+                let (_r, _t, _s) = self.with_grant(
+                    host,
+                    fid,
+                    TokenTypes::STATUS_WRITE,
+                    ByteRange::WHOLE,
+                    None,
+                    || fs.set_acl(&cred, fid, &acl),
+                )?;
+                Ok(P::Ok)
+            }
+
+            Q::SetLock { fid, range, write } => {
+                let host = self.host_for(ctx.caller)?;
+                self.volume_of(fid)?;
+                // A server-mediated lock must first pull back conflicting
+                // lock *tokens*: holders with active locks retain them,
+                // which correctly refuses this lock (§5.3).
+                let types =
+                    if write { TokenTypes::LOCK_WRITE } else { TokenTypes::LOCK_READ };
+                let (t, _) = self.tm.grant(host, fid, types, range)?;
+                let result = self.locks.set(host, fid, range, write);
+                self.tm.release(host, t.id);
+                result?;
+                Ok(P::Ok)
+            }
+
+            Q::ReleaseLock { fid, range } => {
+                let host = self.host_for(ctx.caller)?;
+                self.locks.release(host, fid, range);
+                Ok(P::Ok)
+            }
+
+            Q::VolCreate { volume, name } => {
+                self.physical.create_volume(volume, &name)?;
+                self.vldb.register(volume, self.id)?;
+                Ok(P::Ok)
+            }
+            Q::VolDelete { volume } => {
+                self.unmount(volume);
+                self.physical.delete_volume(volume)?;
+                self.vldb.unregister(volume)?;
+                Ok(P::Ok)
+            }
+            Q::VolClone { src, clone, name } => {
+                // Snapshot what clients have written, not just what has
+                // been stored back: revoke outstanding write tokens.
+                self.quiesce_volume(src)?;
+                self.physical.clone_volume(src, clone, &name)?;
+                self.vldb.register(clone, self.id)?;
+                Ok(P::Ok)
+            }
+            Q::VolDump { volume, since_version } => {
+                self.quiesce_volume(volume)?;
+                Ok(P::Dump(self.physical.dump_volume(volume, since_version)?))
+            }
+            Q::VolRestore { dump, read_only } => {
+                let vol = dump.volume;
+                self.physical.restore_volume(&dump, read_only)?;
+                self.unmount(vol);
+                Ok(P::Ok)
+            }
+            Q::VolInfo { volume } => Ok(P::VolumeIs(self.physical.volume_info(volume)?)),
+            Q::VolList => Ok(P::Volumes(self.physical.list_volumes()?)),
+            Q::VolMove { volume, target } => {
+                self.move_volume(volume, target)?;
+                Ok(P::Ok)
+            }
+
+            Q::ReplAdd { volume, source, max_staleness_us } => {
+                self.replica_add(volume, source, max_staleness_us)?;
+                Ok(P::Ok)
+            }
+            Q::ReplTick => {
+                self.replica_tick()?;
+                Ok(P::Ok)
+            }
+
+            Q::RevokeToken { token, types: _, stamp: _ } => {
+                // We hold whole-volume replica tokens only: mark the
+                // replica dirty and return the token (§3.8).
+                let mut jobs = self.repl.lock();
+                if let Some(j) = jobs.iter_mut().find(|j| j.volume == token.fid.volume) {
+                    j.dirty = true;
+                }
+                Ok(P::RevokeAck { returned: true })
+            }
+
+            Q::Login { .. } | Q::VlLookup { .. } | Q::VlRegister { .. }
+            | Q::VlUnregister { .. } | Q::VlList => Err(DfsError::InvalidArgument),
+        }
+    }
+
+    fn namespace_op(
+        &self,
+        ctx: &CallContext,
+        dir: Fid,
+        f: impl FnOnce(&Arc<dyn VfsPlus>) -> DfsResult<dfs_types::FileStatus>,
+    ) -> DfsResult<Response> {
+        let host = self.host_for(ctx.caller)?;
+        let fs = self.volume_of(dir)?;
+        let (status, _t, _s) =
+            self.with_grant(host, dir, DIR_WRITE, ByteRange::WHOLE, None, || f(&fs))?;
+        let stamp = self.tm.stamp(status.fid);
+        Ok(Response::Status { status, tokens: Vec::new(), stamp })
+    }
+
+    fn fid_of(req: &Request) -> Option<Fid> {
+        match req {
+            Request::FetchStatus { fid, .. }
+            | Request::FetchData { fid, .. }
+            | Request::StoreData { fid, .. }
+            | Request::StoreStatus { fid, .. }
+            | Request::GetToken { fid, .. }
+            | Request::ReturnToken { fid, .. }
+            | Request::Readlink { fid }
+            | Request::GetAcl { fid }
+            | Request::SetAcl { fid, .. }
+            | Request::SetLock { fid, .. }
+            | Request::ReleaseLock { fid, .. } => Some(*fid),
+            Request::Lookup { dir, .. }
+            | Request::Create { dir, .. }
+            | Request::Mkdir { dir, .. }
+            | Request::Symlink { dir, .. }
+            | Request::Link { dir, .. }
+            | Request::Remove { dir, .. }
+            | Request::Rmdir { dir, .. }
+            | Request::Readdir { dir } => Some(*dir),
+            Request::Rename { src_dir, .. } => Some(*src_dir),
+            _ => None,
+        }
+    }
+}
+
+impl RpcService for FileServer {
+    fn dispatch(&self, ctx: CallContext, req: Request) -> Response {
+        if let Addr::Client(c) = ctx.caller {
+            self.hosts.saw_call(c, ctx.principal, self.net.clock().now());
+        }
+        // Volume motion blocks file access briefly (§2.1) — except for
+        // revocation-triggered store-backs, which the move's own
+        // quiescing is waiting on.
+        if ctx.class != CallClass::Revocation {
+            if let Some(fid) = Self::fid_of(&req) {
+                if self.busy.lock().contains(&fid.volume) {
+                    self.stats.lock().busy_rejections += 1;
+                    return Response::Err(DfsError::VolumeBusy);
+                }
+            }
+        }
+        self.stats.lock().ops += 1;
+        match self.handle(&ctx, req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_disk::{DiskConfig, SimDisk};
+    use dfs_episode::{Episode, FormatParams};
+    use dfs_types::{ClientId, SimClock};
+
+    fn cell() -> (Network, Arc<FileServer>) {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+        let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+        let ep = Episode::format(disk, clock, FormatParams::default()).unwrap();
+        ep.create_volume(VolumeId(1), "root.cell").unwrap();
+        let srv = FileServer::start(
+            net.clone(),
+            ServerId(1),
+            ep,
+            vec![Addr::Vldb(0)],
+            PoolConfig::default(),
+        )
+        .unwrap();
+        (net, srv)
+    }
+
+    fn call(net: &Network, req: Request) -> Response {
+        net.call(Addr::Client(ClientId(7)), Addr::Server(ServerId(1)), None, CallClass::Normal, req)
+            .unwrap()
+    }
+
+    #[test]
+    fn get_root_and_create_and_fetch() {
+        let (net, _srv) = cell();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let created = match call(
+            &net,
+            Request::Create { dir: root, name: "hello".into(), mode: 0o644 },
+        ) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        match call(
+            &net,
+            Request::StoreData { fid: created.fid, offset: 0, data: b"remote!".to_vec() },
+        ) {
+            Response::Status { status, .. } => assert_eq!(status.length, 7),
+            other => panic!("{other:?}"),
+        }
+        match call(
+            &net,
+            Request::FetchData { fid: created.fid, offset: 0, len: 32, want: None },
+        ) {
+            Response::Data { bytes, status, .. } => {
+                assert_eq!(bytes, b"remote!");
+                assert_eq!(status.length, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stamps_increase_per_file() {
+        let (net, _srv) = cell();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let s1 = match call(&net, Request::FetchStatus { fid: root, want: None }) {
+            Response::Status { stamp, .. } => stamp,
+            other => panic!("{other:?}"),
+        };
+        let s2 = match call(&net, Request::FetchStatus { fid: root, want: None }) {
+            Response::Status { stamp, .. } => stamp,
+            other => panic!("{other:?}"),
+        };
+        assert!(s2 > s1, "per-file serialization stamps must increase (§6.2)");
+    }
+
+    #[test]
+    fn vldb_learns_server_volumes_on_start() {
+        let (net, srv) = cell();
+        let vldb = VldbHandle::new(net, Addr::Client(ClientId(9)), vec![Addr::Vldb(0)]);
+        assert_eq!(vldb.lookup(VolumeId(1)).unwrap(), srv.id());
+    }
+
+    #[test]
+    fn local_and_remote_access_synchronize() {
+        // The §5.5 example in miniature: a local user and a remote user
+        // write the same file; token conflicts force serialization.
+        let (net, srv) = cell();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let f = match call(&net, Request::Create { dir: root, name: "x".into(), mode: 0o666 }) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        // Remote client writes via RPC.
+        call(&net, Request::StoreData { fid: f.fid, offset: 0, data: b"remote".to_vec() });
+        // Local user reads through the glue layer.
+        let local = srv.local_volume(VolumeId(1)).unwrap();
+        let cred = Credentials::system();
+        use dfs_vfs::Vfs;
+        assert_eq!(local.read(&cred, f.fid, 0, 16).unwrap(), b"remote");
+        // Local write, then remote read.
+        local.write(&cred, f.fid, 0, b"local!").unwrap();
+        match call(&net, Request::FetchData { fid: f.fid, offset: 0, len: 16, want: None }) {
+            Response::Data { bytes, .. } => assert_eq!(bytes, b"local!"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespace_round_trip() {
+        let (net, _srv) = cell();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        call(&net, Request::Mkdir { dir: root, name: "d".into(), mode: 0o755 });
+        let d = match call(&net, Request::Lookup { dir: root, name: "d".into(), want: None }) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        assert!(d.is_dir());
+        call(&net, Request::Create { dir: d.fid, name: "f".into(), mode: 0o644 });
+        let entries = match call(&net, Request::Readdir { dir: d.fid }) {
+            Response::Entries(e) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(entries.len(), 1);
+        call(&net, Request::Rename {
+            src_dir: d.fid,
+            src_name: "f".into(),
+            dst_dir: root,
+            dst_name: "g".into(),
+        });
+        assert!(matches!(
+            call(&net, Request::Lookup { dir: root, name: "g".into(), want: None }),
+            Response::Status { .. }
+        ));
+        call(&net, Request::Remove { dir: root, name: "g".into() });
+        assert!(matches!(
+            call(&net, Request::Lookup { dir: root, name: "g".into(), want: None }),
+            Response::Err(DfsError::NotFound)
+        ));
+        call(&net, Request::Rmdir { dir: root, name: "d".into() });
+        assert!(matches!(
+            call(&net, Request::Lookup { dir: root, name: "d".into(), want: None }),
+            Response::Err(DfsError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn server_side_locks() {
+        let (net, _srv) = cell();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let f = match call(&net, Request::Create { dir: root, name: "l".into(), mode: 0o666 }) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        let lock = |c: u32, write: bool| {
+            net.call(
+                Addr::Client(ClientId(c)),
+                Addr::Server(ServerId(1)),
+                None,
+                CallClass::Normal,
+                Request::SetLock { fid: f.fid, range: ByteRange::new(0, 100), write },
+            )
+            .unwrap()
+        };
+        assert_eq!(lock(1, true), Response::Ok);
+        assert_eq!(lock(2, true), Response::Err(DfsError::LockConflict));
+        net.call(
+            Addr::Client(ClientId(1)),
+            Addr::Server(ServerId(1)),
+            None,
+            CallClass::Normal,
+            Request::ReleaseLock { fid: f.fid, range: ByteRange::new(0, 100) },
+        )
+        .unwrap();
+        assert_eq!(lock(2, true), Response::Ok);
+    }
+
+    #[test]
+    fn volume_move_between_servers() {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+        let mk = |n: u32| {
+            let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+            let ep = Episode::format(disk, clock.clone(), FormatParams::default()).unwrap();
+            FileServer::start(
+                net.clone(),
+                ServerId(n),
+                ep,
+                vec![Addr::Vldb(0)],
+                PoolConfig::default(),
+            )
+            .unwrap()
+        };
+        let s1 = mk(1);
+        let s2 = mk(2);
+        // Create a volume with content on s1.
+        let c = Addr::Client(ClientId(1));
+        let send = |to: ServerId, req: Request| {
+            net.call(c, Addr::Server(to), None, CallClass::Normal, req).unwrap()
+        };
+        send(ServerId(1), Request::VolCreate { volume: VolumeId(7), name: "proj".into() });
+        let root = match send(ServerId(1), Request::GetRoot { volume: VolumeId(7) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let f = match send(
+            ServerId(1),
+            Request::Create { dir: root, name: "file".into(), mode: 0o644 },
+        ) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        send(ServerId(1), Request::StoreData { fid: f.fid, offset: 0, data: b"movable".to_vec() });
+
+        // Move it.
+        assert_eq!(
+            send(ServerId(1), Request::VolMove { volume: VolumeId(7), target: ServerId(2) }),
+            Response::Ok
+        );
+        assert_eq!(s1.stats().moves, 1);
+
+        // VLDB points at s2; fids still resolve; data survived.
+        let vldb = VldbHandle::new(net.clone(), c, vec![Addr::Vldb(0)]);
+        assert_eq!(vldb.lookup(VolumeId(7)).unwrap(), ServerId(2));
+        match send(ServerId(2), Request::FetchData { fid: f.fid, offset: 0, len: 16, want: None }) {
+            Response::Data { bytes, .. } => assert_eq!(bytes, b"movable"),
+            other => panic!("{other:?}"),
+        }
+        // The old server no longer has it.
+        assert!(matches!(
+            send(ServerId(1), Request::FetchStatus { fid: f.fid, want: None }),
+            Response::Err(_)
+        ));
+        let _ = s2;
+    }
+
+    #[test]
+    fn lazy_replication_ships_increments() {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+        let mk = |n: u32| {
+            let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+            let ep = Episode::format(disk, clock.clone(), FormatParams::default()).unwrap();
+            FileServer::start(
+                net.clone(),
+                ServerId(n),
+                ep,
+                vec![Addr::Vldb(0)],
+                PoolConfig::default(),
+            )
+            .unwrap()
+        };
+        let _s1 = mk(1);
+        let s2 = mk(2);
+        let c = Addr::Client(ClientId(1));
+        let send = |to: ServerId, req: Request| {
+            net.call(c, Addr::Server(to), None, CallClass::Normal, req).unwrap()
+        };
+        send(ServerId(1), Request::VolCreate { volume: VolumeId(7), name: "src".into() });
+        let root = match send(ServerId(1), Request::GetRoot { volume: VolumeId(7) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let f = match send(
+            ServerId(1),
+            Request::Create { dir: root, name: "data".into(), mode: 0o644 },
+        ) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        send(ServerId(1), Request::StoreData { fid: f.fid, offset: 0, data: b"v1".to_vec() });
+
+        // Replicate onto s2 with a 10-minute staleness bound.
+        let ten_min = 600 * 1_000_000;
+        assert_eq!(
+            send(
+                ServerId(2),
+                Request::ReplAdd { volume: VolumeId(7), source: ServerId(1), max_staleness_us: ten_min },
+            ),
+            Response::Ok
+        );
+        // Replica serves v1 (read-only).
+        match send(ServerId(2), Request::FetchData { fid: f.fid, offset: 0, len: 8, want: None }) {
+            Response::Data { bytes, .. } => assert_eq!(bytes, b"v1"),
+            other => panic!("{other:?}"),
+        }
+        // Master changes; replica stays at v1 until the bound expires.
+        send(ServerId(1), Request::StoreData { fid: f.fid, offset: 0, data: b"v2".to_vec() });
+        send(ServerId(2), Request::ReplTick);
+        match send(ServerId(2), Request::FetchData { fid: f.fid, offset: 0, len: 8, want: None }) {
+            Response::Data { bytes, .. } => {
+                // The write revoked the whole-volume token, marking the
+                // replica dirty: the next tick refreshes regardless of
+                // the staleness clock. Both v1 and v2 are acceptable
+                // here; the guarantee is only "no more than ten minutes
+                // stale", and never regressing.
+                assert!(bytes == b"v2" || bytes == b"v1");
+            }
+            other => panic!("{other:?}"),
+        }
+        clock.advance_micros(ten_min + 1);
+        send(ServerId(2), Request::ReplTick);
+        match send(ServerId(2), Request::FetchData { fid: f.fid, offset: 0, len: 8, want: None }) {
+            Response::Data { bytes, .. } => assert_eq!(bytes, b"v2", "bound expired: must refresh"),
+            other => panic!("{other:?}"),
+        }
+        assert!(s2.stats().replica_refreshes >= 1);
+    }
+
+    #[test]
+    fn authenticated_permissions_flow_through() {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 0);
+        net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+        let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+        let ep = Episode::format(disk, clock, FormatParams::default()).unwrap();
+        ep.create_volume(VolumeId(1), "v").unwrap();
+        let _srv = FileServer::start(
+            net.clone(),
+            ServerId(1),
+            ep,
+            vec![Addr::Vldb(0)],
+            PoolConfig { require_auth: true, ..PoolConfig::default() },
+        )
+        .unwrap();
+        net.auth().add_user(100, 42);
+        let ticket = net.auth().login(100, 42).unwrap();
+        let c = Addr::Client(ClientId(1));
+
+        // Unauthenticated call is refused.
+        let r = net
+            .call(c, Addr::Server(ServerId(1)), None, CallClass::Normal, Request::VolList)
+            .unwrap();
+        assert_eq!(r, Response::Err(DfsError::AuthenticationFailed));
+
+        // Authenticated call succeeds, and the cred is user 100 — who
+        // cannot write the system-owned root (mode 0755).
+        let root = match net
+            .call(
+                c,
+                Addr::Server(ServerId(1)),
+                Some(ticket),
+                CallClass::Normal,
+                Request::GetRoot { volume: VolumeId(1) },
+            )
+            .unwrap()
+        {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let r = net
+            .call(
+                c,
+                Addr::Server(ServerId(1)),
+                Some(ticket),
+                CallClass::Normal,
+                Request::Create { dir: root, name: "nope".into(), mode: 0o644 },
+            )
+            .unwrap();
+        assert_eq!(r, Response::Err(DfsError::PermissionDenied));
+    }
+}

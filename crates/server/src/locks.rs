@@ -1,0 +1,123 @@
+//! Server-side byte-range file locks.
+//!
+//! "Without holding a lock token, a client must call the server to set a
+//! file lock" (§5.2). This table is where those server-mediated locks
+//! live; clients holding lock tokens manage equivalent state locally.
+
+use dfs_types::{ByteRange, DfsError, DfsResult, Fid, HostId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One held lock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct HeldLock {
+    owner: HostId,
+    range: ByteRange,
+    write: bool,
+}
+
+/// A per-server table of byte-range file locks.
+#[derive(Default)]
+pub struct LockTable {
+    locks: Mutex<HashMap<Fid, Vec<HeldLock>>>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Sets a read or write lock, failing on conflict.
+    ///
+    /// Two read locks may overlap; a write lock conflicts with any
+    /// overlapping lock held by another owner.
+    pub fn set(&self, owner: HostId, fid: Fid, range: ByteRange, write: bool) -> DfsResult<()> {
+        let mut locks = self.locks.lock();
+        let held = locks.entry(fid).or_default();
+        for l in held.iter() {
+            if l.owner != owner && l.range.overlaps(&range) && (l.write || write) {
+                return Err(DfsError::LockConflict);
+            }
+        }
+        held.push(HeldLock { owner, range, write });
+        Ok(())
+    }
+
+    /// Releases any lock by `owner` overlapping `range`.
+    pub fn release(&self, owner: HostId, fid: Fid, range: ByteRange) {
+        let mut locks = self.locks.lock();
+        if let Some(held) = locks.get_mut(&fid) {
+            held.retain(|l| !(l.owner == owner && l.range.overlaps(&range)));
+            if held.is_empty() {
+                locks.remove(&fid);
+            }
+        }
+    }
+
+    /// Releases everything held by `owner` (client death).
+    pub fn release_owner(&self, owner: HostId) {
+        let mut locks = self.locks.lock();
+        for held in locks.values_mut() {
+            held.retain(|l| l.owner != owner);
+        }
+        locks.retain(|_, v| !v.is_empty());
+    }
+
+    /// Returns the number of locks held on `fid`.
+    pub fn count(&self, fid: Fid) -> usize {
+        self.locks.lock().get(&fid).map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_types::{ClientId, VnodeId, VolumeId};
+
+    fn fid() -> Fid {
+        Fid::new(VolumeId(1), VnodeId(1), 1)
+    }
+
+    fn host(n: u32) -> HostId {
+        HostId::Client(ClientId(n))
+    }
+
+    #[test]
+    fn read_locks_share_write_locks_exclude() {
+        let t = LockTable::new();
+        t.set(host(1), fid(), ByteRange::new(0, 10), false).unwrap();
+        t.set(host(2), fid(), ByteRange::new(5, 15), false).unwrap();
+        assert_eq!(
+            t.set(host(3), fid(), ByteRange::new(0, 5), true).unwrap_err(),
+            DfsError::LockConflict
+        );
+        t.set(host(3), fid(), ByteRange::new(20, 30), true).unwrap();
+    }
+
+    #[test]
+    fn same_owner_may_overlap_itself() {
+        let t = LockTable::new();
+        t.set(host(1), fid(), ByteRange::new(0, 10), true).unwrap();
+        t.set(host(1), fid(), ByteRange::new(5, 15), true).unwrap();
+    }
+
+    #[test]
+    fn release_unblocks() {
+        let t = LockTable::new();
+        t.set(host(1), fid(), ByteRange::new(0, 10), true).unwrap();
+        assert!(t.set(host(2), fid(), ByteRange::new(0, 10), false).is_err());
+        t.release(host(1), fid(), ByteRange::new(0, 10));
+        t.set(host(2), fid(), ByteRange::new(0, 10), false).unwrap();
+    }
+
+    #[test]
+    fn release_owner_drops_everything() {
+        let t = LockTable::new();
+        t.set(host(1), fid(), ByteRange::new(0, 10), true).unwrap();
+        t.set(host(1), Fid::new(VolumeId(1), VnodeId(2), 1), ByteRange::WHOLE, true).unwrap();
+        t.release_owner(host(1));
+        assert_eq!(t.count(fid()), 0);
+        t.set(host(2), fid(), ByteRange::new(0, 10), true).unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! The volume location database (§3.4).
+//!
+//! "A global replicated database describing which volumes are on which
+//! servers, provides service to remote clients." Each [`VldbReplica`] is
+//! an independent RPC service; writers update every replica, readers may
+//! consult any one — the classic read-one/write-all scheme appropriate
+//! for a slowly-changing administrative database.
+
+use dfs_rpc::{Addr, CallClass, CallContext, Network, Request, Response, RpcService};
+use dfs_types::{DfsError, DfsResult, ServerId, VolumeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One replica of the volume location database.
+pub struct VldbReplica {
+    map: Mutex<HashMap<VolumeId, ServerId>>,
+}
+
+impl VldbReplica {
+    /// Creates an empty replica.
+    pub fn new() -> Arc<VldbReplica> {
+        Arc::new(VldbReplica { map: Mutex::new(HashMap::new()) })
+    }
+
+    /// Number of entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Returns true if the replica holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+impl RpcService for VldbReplica {
+    fn dispatch(&self, _ctx: CallContext, req: Request) -> Response {
+        match req {
+            Request::VlLookup { volume } => match self.map.lock().get(&volume) {
+                Some(s) => Response::Location(*s),
+                None => Response::Err(DfsError::NoSuchVolume),
+            },
+            Request::VlRegister { volume, server } => {
+                self.map.lock().insert(volume, server);
+                Response::Ok
+            }
+            Request::VlUnregister { volume } => {
+                self.map.lock().remove(&volume);
+                Response::Ok
+            }
+            Request::VlList => {
+                let entries = self.map.lock().iter().map(|(v, s)| (*v, *s)).collect();
+                Response::Locations(entries)
+            }
+            _ => Response::Err(DfsError::InvalidArgument),
+        }
+    }
+}
+
+/// Client-side handle to the replicated VLDB.
+///
+/// Reads try replicas in order (failing over past crashed ones); writes
+/// go to every reachable replica.
+#[derive(Clone)]
+pub struct VldbHandle {
+    net: Network,
+    from: Addr,
+    replicas: Vec<Addr>,
+}
+
+impl VldbHandle {
+    /// Creates a handle used by `from` against the given replicas.
+    pub fn new(net: Network, from: Addr, replicas: Vec<Addr>) -> VldbHandle {
+        VldbHandle { net, from, replicas }
+    }
+
+    /// Looks up the server hosting `volume`.
+    pub fn lookup(&self, volume: VolumeId) -> DfsResult<ServerId> {
+        let mut last = DfsError::Unreachable;
+        for &r in &self.replicas {
+            match self.net.call(self.from, r, None, CallClass::Normal, Request::VlLookup { volume })
+            {
+                Ok(Response::Location(s)) => return Ok(s),
+                Ok(Response::Err(e)) => return Err(e),
+                Ok(_) => return Err(DfsError::Internal("bad VLDB response")),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Registers (or moves) `volume` at `server` on every replica.
+    pub fn register(&self, volume: VolumeId, server: ServerId) -> DfsResult<()> {
+        let mut any = false;
+        for &r in &self.replicas {
+            if self
+                .net
+                .call(self.from, r, None, CallClass::Normal, Request::VlRegister { volume, server })
+                .is_ok()
+            {
+                any = true;
+            }
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(DfsError::Unreachable)
+        }
+    }
+
+    /// Removes `volume` from every replica.
+    pub fn unregister(&self, volume: VolumeId) -> DfsResult<()> {
+        for &r in &self.replicas {
+            let _ = self
+                .net
+                .call(self.from, r, None, CallClass::Normal, Request::VlUnregister { volume });
+        }
+        Ok(())
+    }
+
+    /// Lists every entry (from the first reachable replica).
+    pub fn list(&self) -> DfsResult<Vec<(VolumeId, ServerId)>> {
+        for &r in &self.replicas {
+            if let Ok(Response::Locations(l)) =
+                self.net.call(self.from, r, None, CallClass::Normal, Request::VlList)
+            {
+                return Ok(l);
+            }
+        }
+        Err(DfsError::Unreachable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_rpc::PoolConfig;
+    use dfs_types::{ClientId, SimClock};
+
+    fn setup(n: u32) -> (Network, VldbHandle) {
+        let net = Network::new(SimClock::new(), 0);
+        let mut replicas = Vec::new();
+        for i in 0..n {
+            let addr = Addr::Vldb(i);
+            net.register(addr, VldbReplica::new(), PoolConfig::default());
+            replicas.push(addr);
+        }
+        let handle = VldbHandle::new(net.clone(), Addr::Client(ClientId(1)), replicas);
+        (net, handle)
+    }
+
+    #[test]
+    fn register_lookup_cycle() {
+        let (_, vldb) = setup(3);
+        vldb.register(VolumeId(5), ServerId(2)).unwrap();
+        assert_eq!(vldb.lookup(VolumeId(5)).unwrap(), ServerId(2));
+        assert_eq!(vldb.lookup(VolumeId(6)).unwrap_err(), DfsError::NoSuchVolume);
+    }
+
+    #[test]
+    fn lookup_survives_replica_crash() {
+        let (net, vldb) = setup(3);
+        vldb.register(VolumeId(5), ServerId(2)).unwrap();
+        net.set_crashed(Addr::Vldb(0), true);
+        assert_eq!(vldb.lookup(VolumeId(5)).unwrap(), ServerId(2), "fails over to replica 1");
+    }
+
+    #[test]
+    fn move_updates_location() {
+        let (_, vldb) = setup(2);
+        vldb.register(VolumeId(5), ServerId(1)).unwrap();
+        vldb.register(VolumeId(5), ServerId(9)).unwrap();
+        assert_eq!(vldb.lookup(VolumeId(5)).unwrap(), ServerId(9));
+        vldb.unregister(VolumeId(5)).unwrap();
+        assert!(vldb.lookup(VolumeId(5)).is_err());
+    }
+
+    #[test]
+    fn list_enumerates() {
+        let (_, vldb) = setup(1);
+        vldb.register(VolumeId(1), ServerId(1)).unwrap();
+        vldb.register(VolumeId(2), ServerId(2)).unwrap();
+        let mut l = vldb.list().unwrap();
+        l.sort();
+        assert_eq!(l, vec![(VolumeId(1), ServerId(1)), (VolumeId(2), ServerId(2))]);
+    }
+}

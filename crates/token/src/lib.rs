@@ -1,0 +1,520 @@
+//! The token manager (§3.1, §5): typed guarantees with revocation.
+//!
+//! "Each server includes a token manager, which keeps track of who is
+//! referencing files, what they are doing to the files, and what
+//! guarantees they require about what others may do to the files."
+//!
+//! Hosts (remote cache managers, the local glue layer, replication
+//! servers) register with a *virtual revoke procedure* (§5.1): when a
+//! new grant conflicts with tokens held by other hosts, the manager
+//! calls each conflicting host's [`TokenHost::revoke`] — outside its own
+//! locks, because a revocation may trigger RPCs that call back into the
+//! server (§6.4) — and waits for the token to be returned.
+//!
+//! The manager also issues the per-file **serialization stamps** of
+//! §6.2: every reference to a file gets a stamp, strictly increasing in
+//! the server's serialization order, which clients use to merge
+//! concurrently-returned status information correctly.
+
+pub mod types;
+
+pub use types::{compatible, conflict_bits, open_compatible, render_open_matrix, Token, TokenId, TokenTypes};
+
+use dfs_types::{ByteRange, DfsError, DfsResult, Fid, HostId, SerializationStamp, VolumeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The answer a host gives to a revocation request (§5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RevokeResult {
+    /// The token was returned (dirty data/status stored back first).
+    Returned,
+    /// The host elected to keep the token — the normal action for lock
+    /// and open tokens covering files it still has locked or open.
+    Retained,
+}
+
+/// A consumer of tokens, registered with the token manager (§5.1).
+///
+/// "It passes in an object of type afs_host, having a virtual revoke
+/// procedure. The revoke procedure is called whenever the token manager
+/// needs to revoke the token."
+pub trait TokenHost: Send + Sync {
+    /// This host's identity.
+    fn host_id(&self) -> HostId;
+
+    /// Asks the host to give up the `types` bits of `token` (typed
+    /// partial revocation). The host must first store back any data or
+    /// status those bits let it dirty (which may involve calls back to
+    /// the file server, §6.4). `stamp` serializes the revocation against
+    /// other references to the file (§6.2).
+    fn revoke(&self, token: &Token, types: TokenTypes, stamp: SerializationStamp)
+        -> RevokeResult;
+}
+
+/// Statistics kept by a [`TokenManager`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TokenStats {
+    /// Tokens granted.
+    pub grants: u64,
+    /// Grants satisfied without revoking anything.
+    pub quiet_grants: u64,
+    /// Revocation callbacks issued.
+    pub revocations: u64,
+    /// Revocations where the host retained the token.
+    pub retained: u64,
+    /// Grants refused because a retained token conflicted.
+    pub refused: u64,
+    /// Tokens returned voluntarily.
+    pub releases: u64,
+}
+
+struct Grant {
+    host: HostId,
+    token: Token,
+}
+
+struct ManagerInner {
+    /// All live grants, keyed by volume then vnode (vnode 0 holds
+    /// whole-volume tokens).
+    grants: HashMap<VolumeId, HashMap<u32, Vec<Grant>>>,
+    /// Per-file serialization counters (§6.2).
+    stamps: HashMap<Fid, SerializationStamp>,
+    hosts: HashMap<HostId, Arc<dyn TokenHost>>,
+    next_id: u64,
+    stats: TokenStats,
+}
+
+/// The token manager of one file server.
+pub struct TokenManager {
+    inner: Mutex<ManagerInner>,
+}
+
+impl Default for TokenManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenManager {
+    /// Creates an empty token manager.
+    pub fn new() -> TokenManager {
+        TokenManager {
+            inner: Mutex::new(ManagerInner {
+                grants: HashMap::new(),
+                stamps: HashMap::new(),
+                hosts: HashMap::new(),
+                next_id: 1,
+                stats: TokenStats::default(),
+            }),
+        }
+    }
+
+    /// Registers a host and its revoke procedure (§5.1).
+    pub fn register_host(&self, host: Arc<dyn TokenHost>) {
+        self.inner.lock().hosts.insert(host.host_id(), host);
+    }
+
+    /// Removes a host, dropping all its grants (client death/eviction).
+    pub fn unregister_host(&self, host: HostId) {
+        let mut inner = self.inner.lock();
+        inner.hosts.remove(&host);
+        for by_vnode in inner.grants.values_mut() {
+            for grants in by_vnode.values_mut() {
+                grants.retain(|g| g.host != host);
+            }
+        }
+    }
+
+    /// Issues the next serialization stamp for `fid` (§6.2).
+    ///
+    /// Every reference to a file — grants, revocations, status reads —
+    /// is stamped, and stamps are strictly increasing in serialization
+    /// order.
+    pub fn stamp(&self, fid: Fid) -> SerializationStamp {
+        let mut inner = self.inner.lock();
+        let s = inner.stamps.entry(fid).or_default();
+        *s = s.next();
+        *s
+    }
+
+    /// Returns the current (last-issued) stamp for `fid`.
+    pub fn current_stamp(&self, fid: Fid) -> SerializationStamp {
+        self.inner.lock().stamps.get(&fid).copied().unwrap_or_default()
+    }
+
+    /// Grants `types` over `range` of `fid` to `host`, revoking
+    /// incompatible tokens held by other hosts first.
+    ///
+    /// Returns the new token and the serialization stamp of the grant.
+    /// Fails with [`DfsError::LockConflict`]/[`DfsError::OpenConflict`]
+    /// if a conflicting host retained a lock/open token (§5.3).
+    pub fn grant(
+        &self,
+        host: HostId,
+        fid: Fid,
+        types: TokenTypes,
+        range: ByteRange,
+    ) -> DfsResult<(Token, SerializationStamp)> {
+        if fid.volume.0 == 0 {
+            return Err(DfsError::InvalidArgument);
+        }
+        let wanted = Token { id: TokenId(0), fid, types, range };
+        let mut quiet = true;
+        for _round in 0..64 {
+            // Collect conflicting grants under the lock.
+            let conflicts: Vec<(Arc<dyn TokenHost>, Token, TokenTypes)> = {
+                let mut inner = self.inner.lock();
+                let conflicts = self.conflicting(&inner, host, &wanted);
+                if conflicts.is_empty() {
+                    // Grant immediately while still holding the lock.
+                    let id = TokenId(inner.next_id);
+                    inner.next_id += 1;
+                    let token = Token { id, fid, types, range };
+                    inner
+                        .grants
+                        .entry(fid.volume)
+                        .or_default()
+                        .entry(fid.vnode.0)
+                        .or_default()
+                        .push(Grant { host, token: token.clone() });
+                    inner.stats.grants += 1;
+                    if quiet {
+                        inner.stats.quiet_grants += 1;
+                    }
+                    let s = inner.stamps.entry(fid).or_default();
+                    *s = s.next();
+                    let stamp = *s;
+                    return Ok((token, stamp));
+                }
+                quiet = false;
+                conflicts
+                    .into_iter()
+                    .filter_map(|(host, token, bits)| {
+                        inner.hosts.get(&host).cloned().map(|h| (h, token, bits))
+                    })
+                    .collect()
+            };
+            // Revoke outside the lock: the host's revoke procedure may
+            // call back into the file server (§6.4). Only the
+            // conflicting type bits are revoked.
+            for (h, token, bits) in conflicts {
+                let stamp = self.stamp(token.fid);
+                let result = h.revoke(&token, bits, stamp);
+                let mut inner = self.inner.lock();
+                inner.stats.revocations += 1;
+                match result {
+                    RevokeResult::Returned => {
+                        Self::downgrade_grant(&mut inner, h.host_id(), token.id, bits);
+                    }
+                    RevokeResult::Retained => {
+                        inner.stats.retained += 1;
+                        inner.stats.refused += 1;
+                        drop(inner);
+                        // Lock/open retention refuses the new request.
+                        let kind = if bits.intersects(
+                            TokenTypes::LOCK_READ | TokenTypes::LOCK_WRITE,
+                        ) {
+                            DfsError::LockConflict
+                        } else {
+                            DfsError::OpenConflict
+                        };
+                        return Err(kind);
+                    }
+                }
+            }
+        }
+        Err(DfsError::Timeout)
+    }
+
+    fn conflicting(
+        &self,
+        inner: &ManagerInner,
+        host: HostId,
+        wanted: &Token,
+    ) -> Vec<(HostId, Token, TokenTypes)> {
+        let mut out = Vec::new();
+        if let Some(by_vnode) = inner.grants.get(&wanted.fid.volume) {
+            let candidates: Box<dyn Iterator<Item = &Grant>> = if wanted.is_volume_token() {
+                Box::new(by_vnode.values().flatten())
+            } else {
+                let file = by_vnode.get(&wanted.fid.vnode.0).into_iter().flatten();
+                let vol = by_vnode.get(&0).into_iter().flatten();
+                Box::new(file.chain(vol))
+            };
+            for g in candidates {
+                if g.host == host {
+                    continue;
+                }
+                let bits = types::conflict_bits(&g.token, wanted);
+                if !bits.is_empty() {
+                    out.push((g.host, g.token.clone(), bits));
+                }
+            }
+        }
+        out
+    }
+
+    /// Strips `bits` from a grant; removes it entirely when empty.
+    fn downgrade_grant(inner: &mut ManagerInner, host: HostId, id: TokenId, bits: TokenTypes) {
+        for by_vnode in inner.grants.values_mut() {
+            for grants in by_vnode.values_mut() {
+                for g in grants.iter_mut() {
+                    if g.host == host && g.token.id == id {
+                        g.token.types = g.token.types.minus(bits);
+                    }
+                }
+                grants.retain(|g| !(g.host == host && g.token.id == id && g.token.types.is_empty()));
+            }
+        }
+    }
+
+    /// Returns a token voluntarily (client cache eviction, op done).
+    pub fn release(&self, host: HostId, id: TokenId) {
+        let mut inner = self.inner.lock();
+        Self::downgrade_grant(&mut inner, host, id, TokenTypes(u32::MAX));
+        inner.stats.releases += 1;
+    }
+
+    /// Returns all of `host`'s tokens on `fid`.
+    pub fn release_fid(&self, host: HostId, fid: Fid) {
+        let mut inner = self.inner.lock();
+        if let Some(by_vnode) = inner.grants.get_mut(&fid.volume) {
+            if let Some(grants) = by_vnode.get_mut(&fid.vnode.0) {
+                let before = grants.len();
+                grants.retain(|g| g.host != host);
+                let removed = (before - grants.len()) as u64;
+                inner.stats.releases += removed;
+            }
+        }
+    }
+
+    /// Lists the tokens currently granted on `fid` (diagnostics).
+    pub fn tokens_on(&self, fid: Fid) -> Vec<(HostId, Token)> {
+        let inner = self.inner.lock();
+        inner
+            .grants
+            .get(&fid.volume)
+            .and_then(|m| m.get(&fid.vnode.0))
+            .map(|v| v.iter().map(|g| (g.host, g.token.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns a snapshot of the statistics.
+    pub fn stats(&self) -> TokenStats {
+        self.inner.lock().stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_types::{ClientId, VnodeId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct RecordingHost {
+        id: HostId,
+        revoked: Mutex<Vec<Token>>,
+        retain: bool,
+        calls: AtomicUsize,
+    }
+
+    impl RecordingHost {
+        fn new(n: u32, retain: bool) -> Arc<RecordingHost> {
+            Arc::new(RecordingHost {
+                id: HostId::Client(ClientId(n)),
+                revoked: Mutex::new(Vec::new()),
+                retain,
+                calls: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl TokenHost for RecordingHost {
+        fn host_id(&self) -> HostId {
+            self.id
+        }
+        fn revoke(
+            &self,
+            token: &Token,
+            _types: TokenTypes,
+            _stamp: SerializationStamp,
+        ) -> RevokeResult {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.revoked.lock().push(token.clone());
+            if self.retain {
+                RevokeResult::Retained
+            } else {
+                RevokeResult::Returned
+            }
+        }
+    }
+
+    fn fid(n: u32) -> Fid {
+        Fid::new(VolumeId(1), VnodeId(n), 1)
+    }
+
+    #[test]
+    fn grant_and_quiet_regrant() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        tm.register_host(h1.clone());
+        let (t, s1) = tm
+            .grant(h1.id, fid(1), TokenTypes::DATA_READ | TokenTypes::STATUS_READ, ByteRange::WHOLE)
+            .unwrap();
+        assert!(t.id.0 > 0);
+        let (_, s2) = tm.grant(h1.id, fid(1), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        assert!(s2 > s1, "stamps strictly increase per file");
+        assert_eq!(tm.stats().revocations, 0);
+        assert_eq!(tm.stats().quiet_grants, 2);
+    }
+
+    #[test]
+    fn conflicting_grant_revokes_other_host() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        tm.grant(h2.id, fid(1), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 1, "h1's write token revoked");
+        assert_eq!(tm.tokens_on(fid(1)).len(), 1);
+        assert_eq!(tm.stats().revocations, 1);
+    }
+
+    #[test]
+    fn same_host_tokens_never_conflict() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        tm.register_host(h1.clone());
+        tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn disjoint_ranges_no_revocation() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(0, 100)).unwrap();
+        tm.grant(h2.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(100, 200)).unwrap();
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 0, "byte ranges partition the file");
+    }
+
+    #[test]
+    fn retained_open_token_refuses_grant() {
+        let tm = TokenManager::new();
+        let holder = RecordingHost::new(1, true);
+        let wanter = RecordingHost::new(2, false);
+        tm.register_host(holder.clone());
+        tm.register_host(wanter.clone());
+        tm.grant(holder.id, fid(1), TokenTypes::OPEN_EXECUTE, ByteRange::WHOLE).unwrap();
+        let err = tm
+            .grant(wanter.id, fid(1), TokenTypes::OPEN_WRITE, ByteRange::WHOLE)
+            .unwrap_err();
+        assert_eq!(err, DfsError::OpenConflict, "ETXTBSY via open tokens");
+        assert_eq!(tm.stats().refused, 1);
+    }
+
+    #[test]
+    fn retained_lock_token_refuses_with_lock_conflict() {
+        let tm = TokenManager::new();
+        let holder = RecordingHost::new(1, true);
+        let wanter = RecordingHost::new(2, false);
+        tm.register_host(holder.clone());
+        tm.register_host(wanter.clone());
+        tm.grant(holder.id, fid(1), TokenTypes::LOCK_WRITE, ByteRange::new(0, 10)).unwrap();
+        let err = tm
+            .grant(wanter.id, fid(1), TokenTypes::LOCK_WRITE, ByteRange::new(0, 10))
+            .unwrap_err();
+        assert_eq!(err, DfsError::LockConflict);
+    }
+
+    #[test]
+    fn release_allows_later_grants_quietly() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        let (t, _) = tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        tm.release(h1.id, t.id);
+        tm.grant(h2.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 0, "released token needs no revoke");
+    }
+
+    #[test]
+    fn unregister_drops_grants() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        tm.unregister_host(h1.id);
+        tm.grant(h2.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 0, "dead host is not called");
+    }
+
+    #[test]
+    fn volume_token_revoked_by_file_write() {
+        let tm = TokenManager::new();
+        let repl = RecordingHost::new(9, false);
+        let writer = RecordingHost::new(2, false);
+        tm.register_host(repl.clone());
+        tm.register_host(writer.clone());
+        // Whole-volume token, as the replication server requests (§3.8).
+        let vol_fid = Fid::new(VolumeId(1), VnodeId(0), 0);
+        tm.grant(repl.id, vol_fid, TokenTypes::DATA_READ | TokenTypes::STATUS_READ, ByteRange::WHOLE)
+            .unwrap();
+        tm.grant(writer.id, fid(3), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        assert_eq!(repl.calls.load(Ordering::SeqCst), 1, "volume token revoked");
+    }
+
+    #[test]
+    fn stamps_are_per_file() {
+        let tm = TokenManager::new();
+        let s1 = tm.stamp(fid(1));
+        let s2 = tm.stamp(fid(2));
+        let s3 = tm.stamp(fid(1));
+        assert_eq!(s1, SerializationStamp(1));
+        assert_eq!(s2, SerializationStamp(1), "counters are per file");
+        assert_eq!(s3, SerializationStamp(2));
+        assert_eq!(tm.current_stamp(fid(1)), SerializationStamp(2));
+    }
+
+    #[test]
+    fn concurrent_grants_do_not_deadlock() {
+        let tm = Arc::new(TokenManager::new());
+        let hosts: Vec<_> = (0..4).map(|i| RecordingHost::new(i, false)).collect();
+        for h in &hosts {
+            tm.register_host(h.clone());
+        }
+        let threads: Vec<_> = hosts
+            .iter()
+            .map(|h| {
+                let tm = tm.clone();
+                let id = h.id;
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        let _ = tm.grant(
+                            id,
+                            fid(i % 3),
+                            TokenTypes::DATA_WRITE,
+                            ByteRange::WHOLE,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(tm.stats().grants >= 100);
+    }
+}

@@ -1,0 +1,261 @@
+//! Principals, rights, and POSIX-style access control lists.
+//!
+//! DEcorum extends AFS's directory-only ACLs so that *any* file or
+//! directory may carry an ACL (§2.3). The rights vocabulary follows the
+//! AFS/DFS tradition: read, write, execute (lookup for directories),
+//! insert, delete, and control (administer the ACL itself).
+
+use std::fmt;
+
+/// A set of access rights, represented as a bit mask.
+///
+/// # Examples
+///
+/// ```
+/// use dfs_types::Rights;
+///
+/// let rw = Rights::READ | Rights::WRITE;
+/// assert!(rw.allows(Rights::READ));
+/// assert!(!rw.allows(Rights::CONTROL));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rights(pub u8);
+
+impl Rights {
+    /// No rights at all.
+    pub const NONE: Rights = Rights(0);
+    /// Read file data or list a directory.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Write file data.
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Execute a file, or look up names in a directory.
+    pub const EXECUTE: Rights = Rights(1 << 2);
+    /// Insert new entries into a directory.
+    pub const INSERT: Rights = Rights(1 << 3);
+    /// Delete entries from a directory.
+    pub const DELETE: Rights = Rights(1 << 4);
+    /// Administer the ACL and status of the file.
+    pub const CONTROL: Rights = Rights(1 << 5);
+    /// Every right.
+    pub const ALL: Rights = Rights(0b11_1111);
+
+    /// Returns true if `self` includes every right in `needed`.
+    pub fn allows(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Returns true if no rights are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the rights present in `self` but not in `other`.
+    pub fn minus(self, other: Rights) -> Rights {
+        Rights(self.0 & !other.0)
+    }
+}
+
+impl std::ops::BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for Rights {
+    fn bitor_assign(&mut self, rhs: Rights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        for (bit, ch) in [
+            (Rights::READ, 'r'),
+            (Rights::WRITE, 'w'),
+            (Rights::EXECUTE, 'x'),
+            (Rights::INSERT, 'i'),
+            (Rights::DELETE, 'd'),
+            (Rights::CONTROL, 'c'),
+        ] {
+            s.push(if self.allows(bit) { ch } else { '-' });
+        }
+        f.write_str(&s)
+    }
+}
+
+/// An authenticated identity, or a wildcard class of identities.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Principal {
+    /// A single authenticated user, by registry id.
+    User(u32),
+    /// A group of users, by registry id; membership is resolved by the
+    /// authentication registry (the PasswdEtc analogue).
+    Group(u32),
+    /// Any user that presented a valid ticket.
+    Authenticated,
+    /// Anyone, including unauthenticated callers.
+    Anyone,
+}
+
+/// One ACL entry pairing a principal with allowed and denied rights.
+///
+/// Deny entries take precedence over allow entries for the same caller,
+/// mirroring POSIX.6/DCE semantics where a mask or negative entry can
+/// subtract rights granted by broader entries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AclEntry {
+    /// Who the entry applies to.
+    pub who: Principal,
+    /// Rights granted by this entry.
+    pub allow: Rights,
+    /// Rights explicitly denied by this entry.
+    pub deny: Rights,
+}
+
+impl AclEntry {
+    /// Returns an entry granting `allow` to `who` with no denials.
+    pub fn allow(who: Principal, allow: Rights) -> Self {
+        AclEntry { who, allow, deny: Rights::NONE }
+    }
+
+    /// Returns an entry denying `deny` to `who` with no grants.
+    pub fn deny(who: Principal, deny: Rights) -> Self {
+        AclEntry { who, allow: Rights::NONE, deny }
+    }
+}
+
+/// An access control list: an ordered list of [`AclEntry`] values.
+///
+/// Evaluation unions the `allow` sets of every entry matching the caller,
+/// then subtracts the union of matching `deny` sets. The owner of a file
+/// always retains [`Rights::CONTROL`] so an ACL cannot lock out its
+/// administrator.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Acl {
+    /// The entries, in evaluation order.
+    pub entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// Returns an empty ACL (grants nothing by itself).
+    pub fn new() -> Self {
+        Acl { entries: Vec::new() }
+    }
+
+    /// Returns the classic UNIX-like default: owner gets everything,
+    /// any authenticated user may read and execute.
+    pub fn unix_default(owner: u32) -> Self {
+        Acl {
+            entries: vec![
+                AclEntry::allow(Principal::User(owner), Rights::ALL),
+                AclEntry::allow(Principal::Authenticated, Rights::READ | Rights::EXECUTE),
+            ],
+        }
+    }
+
+    /// Adds an entry to the end of the list.
+    pub fn push(&mut self, entry: AclEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Evaluates the rights of `user` (member of `groups`) under this ACL.
+    ///
+    /// `owner` is the file's owning uid; owners always retain CONTROL.
+    pub fn rights_for(&self, user: u32, groups: &[u32], owner: u32) -> Rights {
+        let matches = |who: Principal| match who {
+            Principal::User(u) => u == user,
+            Principal::Group(g) => groups.contains(&g),
+            Principal::Authenticated | Principal::Anyone => true,
+        };
+        let mut allowed = Rights::NONE;
+        let mut denied = Rights::NONE;
+        for e in &self.entries {
+            if matches(e.who) {
+                allowed |= e.allow;
+                denied |= e.deny;
+            }
+        }
+        let mut r = allowed.minus(denied);
+        if user == owner {
+            r |= Rights::CONTROL;
+        }
+        r
+    }
+
+    /// Returns the number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rights_bit_operations() {
+        let r = Rights::READ | Rights::WRITE;
+        assert!(r.allows(Rights::READ));
+        assert!(r.allows(Rights::WRITE));
+        assert!(!r.allows(Rights::READ | Rights::CONTROL));
+        assert_eq!(r.minus(Rights::WRITE), Rights::READ);
+        assert_eq!(format!("{:?}", r), "rw----");
+        assert_eq!(format!("{:?}", Rights::ALL), "rwxidc");
+    }
+
+    #[test]
+    fn unix_default_acl_semantics() {
+        let acl = Acl::unix_default(100);
+        let owner = acl.rights_for(100, &[], 100);
+        assert!(owner.allows(Rights::ALL));
+        let other = acl.rights_for(200, &[], 100);
+        assert!(other.allows(Rights::READ | Rights::EXECUTE));
+        assert!(!other.allows(Rights::WRITE));
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let mut acl = Acl::unix_default(1);
+        acl.push(AclEntry::deny(Principal::User(2), Rights::READ));
+        let r = acl.rights_for(2, &[], 1);
+        assert!(!r.allows(Rights::READ), "explicit deny must win");
+        assert!(r.allows(Rights::EXECUTE));
+    }
+
+    #[test]
+    fn group_membership_grants_rights() {
+        let mut acl = Acl::new();
+        acl.push(AclEntry::allow(Principal::Group(7), Rights::WRITE));
+        assert!(acl.rights_for(3, &[7], 1).allows(Rights::WRITE));
+        assert!(!acl.rights_for(3, &[8], 1).allows(Rights::WRITE));
+    }
+
+    #[test]
+    fn owner_always_keeps_control() {
+        let acl = Acl::new();
+        let r = acl.rights_for(5, &[], 5);
+        assert!(r.allows(Rights::CONTROL));
+        assert!(!acl.rights_for(6, &[], 5).allows(Rights::CONTROL));
+    }
+
+    #[test]
+    fn anyone_matches_every_caller() {
+        let mut acl = Acl::new();
+        acl.push(AclEntry::allow(Principal::Anyone, Rights::READ));
+        assert!(acl.rights_for(42, &[], 1).allows(Rights::READ));
+    }
+}

@@ -1,0 +1,132 @@
+//! The error type shared by every DEcorum subsystem.
+
+use std::fmt;
+
+/// Result alias used throughout the DEcorum crates.
+pub type DfsResult<T> = Result<T, DfsError>;
+
+/// Errors returned by file system, token, RPC, and administration calls.
+///
+/// The variants mirror the failure classes a 1990 UNIX kernel would report
+/// as errno values, plus the distributed-system failures (stale fids,
+/// unreachable hosts, revoked tokens) that the DEcorum design introduces.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DfsError {
+    /// The named file or directory entry does not exist.
+    NotFound,
+    /// A directory operation was applied to a non-directory.
+    NotDirectory,
+    /// A file operation was applied to a directory.
+    IsDirectory,
+    /// The name already exists in the target directory.
+    Exists,
+    /// A directory being removed or overwritten is not empty.
+    NotEmpty,
+    /// The caller lacks the rights required by the file's ACL or mode.
+    PermissionDenied,
+    /// The aggregate has no free blocks or anode slots left.
+    NoSpace,
+    /// The supplied name is empty, too long, or contains `/` or NUL.
+    InvalidName,
+    /// A byte offset, length, or parameter was out of range.
+    InvalidArgument,
+    /// The fid's uniquifier no longer matches the vnode slot.
+    StaleFid,
+    /// The volume is not known to this server or aggregate.
+    NoSuchVolume,
+    /// The volume is offline (being moved, cloned, or salvaged).
+    VolumeBusy,
+    /// The volume (or volume clone) is read-only.
+    ReadOnlyVolume,
+    /// The aggregate is not known to this server.
+    NoSuchAggregate,
+    /// A file lock conflicts with one held by another opener.
+    LockConflict,
+    /// An open mode conflicts with existing opens (open-token matrix).
+    OpenConflict,
+    /// The simulated disk failed the operation (media failure injection).
+    MediaFailure,
+    /// The disk, server, or client has been deliberately crashed.
+    Crashed,
+    /// The remote host did not answer within the RPC timeout.
+    Timeout,
+    /// The remote host refused or cannot be reached.
+    Unreachable,
+    /// Authentication failed: missing, expired, or forged ticket.
+    AuthenticationFailed,
+    /// The caller's token was revoked while the operation was in flight.
+    TokenRevoked,
+    /// The journal log is full and cannot accept the transaction.
+    LogFull,
+    /// An internal invariant was violated; the subsystem names it.
+    Internal(&'static str),
+}
+
+impl DfsError {
+    /// Returns true for errors a client may transparently retry.
+    ///
+    /// Token revocation and volume-busy conditions are transient: the
+    /// cache manager re-fetches tokens or waits for the volume move to
+    /// finish and re-issues the operation (§2.1, §5.3).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DfsError::TokenRevoked | DfsError::VolumeBusy | DfsError::Timeout
+        )
+    }
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound => write!(f, "no such file or directory"),
+            DfsError::NotDirectory => write!(f, "not a directory"),
+            DfsError::IsDirectory => write!(f, "is a directory"),
+            DfsError::Exists => write!(f, "file exists"),
+            DfsError::NotEmpty => write!(f, "directory not empty"),
+            DfsError::PermissionDenied => write!(f, "permission denied"),
+            DfsError::NoSpace => write!(f, "no space left on aggregate"),
+            DfsError::InvalidName => write!(f, "invalid file name"),
+            DfsError::InvalidArgument => write!(f, "invalid argument"),
+            DfsError::StaleFid => write!(f, "stale file identifier"),
+            DfsError::NoSuchVolume => write!(f, "no such volume"),
+            DfsError::VolumeBusy => write!(f, "volume busy"),
+            DfsError::ReadOnlyVolume => write!(f, "read-only volume"),
+            DfsError::NoSuchAggregate => write!(f, "no such aggregate"),
+            DfsError::LockConflict => write!(f, "file lock conflict"),
+            DfsError::OpenConflict => write!(f, "open mode conflict"),
+            DfsError::MediaFailure => write!(f, "media failure"),
+            DfsError::Crashed => write!(f, "node has crashed"),
+            DfsError::Timeout => write!(f, "rpc timeout"),
+            DfsError::Unreachable => write!(f, "host unreachable"),
+            DfsError::AuthenticationFailed => write!(f, "authentication failed"),
+            DfsError::TokenRevoked => write!(f, "token revoked"),
+            DfsError::LogFull => write!(f, "journal log full"),
+            DfsError::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(DfsError::TokenRevoked.is_retryable());
+        assert!(DfsError::VolumeBusy.is_retryable());
+        assert!(!DfsError::PermissionDenied.is_retryable());
+        assert!(!DfsError::NotFound.is_retryable());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(DfsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(
+            DfsError::Internal("bitmap desync").to_string(),
+            "internal error: bitmap desync"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Identifiers for cells, servers, clients, aggregates, volumes, and files.
+//!
+//! The DEcorum paper distinguishes an *aggregate* (a unit of disk storage,
+//! what UNIX calls a partition) from a *volume* (a mountable subtree of the
+//! directory hierarchy); many volumes live on one aggregate and volumes can
+//! move between aggregates and servers (§2.1). A file is globally named by
+//! a [`Fid`]: the volume it lives in plus a per-volume vnode index and a
+//! uniquifier that distinguishes successive uses of the same index.
+
+use std::fmt;
+
+/// Identifier of a cell: an administrative domain of servers and clients.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct CellId(pub u32);
+
+/// Identifier of a file server node within a cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ServerId(pub u32);
+
+/// Identifier of a client (cache manager) node within a cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ClientId(pub u32);
+
+/// Identifier of a token-manager host: any entity that holds tokens.
+///
+/// The paper (§5.1) notes that "there are many potential clients of a token
+/// manager, including local UNIX kernels and remote file system protocol
+/// exporters"; a `HostId` therefore names either a remote cache manager or
+/// a local consumer such as the glue layer acting for a local system call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HostId {
+    /// A remote DEcorum cache manager.
+    Client(ClientId),
+    /// The server-local glue layer acting on behalf of a local system call
+    /// or a non-DEcorum exporter (e.g. an NFS exporter on the same host).
+    Local(u32),
+    /// A replication server maintaining a lazy replica (§3.8).
+    Replicator(u32),
+}
+
+/// Identifier of an aggregate (a unit of disk storage) on some server.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AggregateId(pub u32);
+
+/// Globally unique identifier of a volume.
+///
+/// Volume ids are allocated cell-wide so a volume keeps its identity when
+/// it is moved between aggregates or servers (§2.1, §3.6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VolumeId(pub u64);
+
+/// Per-volume index of a vnode (an anode slot in Episode).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VnodeId(pub u32);
+
+/// Global file identifier: volume, vnode index, and uniquifier.
+///
+/// The uniquifier distinguishes successive files that reuse the same vnode
+/// slot, so a stale `Fid` held by a client after a delete/create pair is
+/// detected rather than silently resolving to the wrong file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fid {
+    /// Volume containing the file.
+    pub volume: VolumeId,
+    /// Vnode (anode) index within the volume.
+    pub vnode: VnodeId,
+    /// Generation number of the vnode slot.
+    pub uniq: u32,
+}
+
+impl Fid {
+    /// Returns a new `Fid` for the given volume, vnode index, and uniquifier.
+    pub const fn new(volume: VolumeId, vnode: VnodeId, uniq: u32) -> Self {
+        Fid { volume, vnode, uniq }
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cli{}", self.0)
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostId::Client(c) => write!(f, "host:{c:?}"),
+            HostId::Local(n) => write!(f, "host:local{n}"),
+            HostId::Replicator(n) => write!(f, "host:repl{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for AggregateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agg{}", self.0)
+    }
+}
+
+impl fmt::Debug for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vol{}", self.0)
+    }
+}
+
+impl fmt::Debug for VnodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vn{}", self.0)
+    }
+}
+
+impl fmt::Debug for Fid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}.{}.{}", self.volume, self.vnode.0, self.uniq)
+    }
+}
+
+impl fmt::Display for Fid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fid_equality_includes_uniquifier() {
+        let a = Fid::new(VolumeId(1), VnodeId(2), 1);
+        let b = Fid::new(VolumeId(1), VnodeId(2), 2);
+        assert_ne!(a, b, "reused vnode slot must yield a distinct fid");
+    }
+
+    #[test]
+    fn fid_ordering_is_by_volume_then_vnode() {
+        let a = Fid::new(VolumeId(1), VnodeId(9), 0);
+        let b = Fid::new(VolumeId(2), VnodeId(1), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        let fid = Fid::new(VolumeId(7), VnodeId(3), 4);
+        assert_eq!(format!("{fid:?}"), "vol7.3.4");
+        assert_eq!(format!("{:?}", HostId::Client(ClientId(5))), "host:cli5");
+    }
+}

@@ -1,0 +1,135 @@
+//! Half-open byte ranges used by data and lock tokens.
+//!
+//! The paper's data and lock tokens cover "a range of bytes in a file"
+//! (§5.2); two same-type tokens conflict only if their ranges overlap.
+//! Ranges are half-open `[start, end)`; `end == u64::MAX` means
+//! "to end of file", which is how a whole-file token is expressed.
+
+/// A half-open byte range `[start, end)` within a file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ByteRange {
+    /// First byte covered by the range.
+    pub start: u64,
+    /// One past the last byte covered; `u64::MAX` means unbounded.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// The range covering the entire file.
+    pub const WHOLE: ByteRange = ByteRange { start: 0, end: u64::MAX };
+
+    /// Returns the range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`; construct ranges from validated offsets.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "byte range start {start} exceeds end {end}");
+        ByteRange { start, end }
+    }
+
+    /// Returns the range covering `len` bytes starting at `offset`.
+    pub fn at(offset: u64, len: u64) -> Self {
+        ByteRange::new(offset, offset.saturating_add(len))
+    }
+
+    /// Returns true if the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Returns the number of bytes covered (saturating).
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns true if the two ranges share at least one byte.
+    pub fn overlaps(&self, other: &ByteRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// Returns true if `self` covers every byte of `other`.
+    pub fn contains_range(&self, other: &ByteRange) -> bool {
+        other.is_empty() || (self.start <= other.start && other.end <= self.end)
+    }
+
+    /// Returns true if `self` covers the byte at `offset`.
+    pub fn contains(&self, offset: u64) -> bool {
+        self.start <= offset && offset < self.end
+    }
+
+    /// Returns the intersection of the two ranges, if non-empty.
+    pub fn intersect(&self, other: &ByteRange) -> Option<ByteRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(ByteRange { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the smallest range covering both inputs.
+    pub fn union_hull(&self, other: &ByteRange) -> ByteRange {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        ByteRange { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_symmetric_and_half_open() {
+        let a = ByteRange::new(0, 10);
+        let b = ByteRange::new(10, 20);
+        assert!(!a.overlaps(&b), "touching half-open ranges do not overlap");
+        assert!(!b.overlaps(&a));
+        let c = ByteRange::new(9, 11);
+        assert!(a.overlaps(&c) && c.overlaps(&a));
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap() {
+        let e = ByteRange::new(5, 5);
+        assert!(e.is_empty());
+        assert!(!e.overlaps(&ByteRange::WHOLE));
+        assert!(!ByteRange::WHOLE.overlaps(&e));
+    }
+
+    #[test]
+    fn whole_file_range_contains_everything() {
+        assert!(ByteRange::WHOLE.contains_range(&ByteRange::new(0, 1)));
+        assert!(ByteRange::WHOLE.contains_range(&ByteRange::at(1 << 40, 4096)));
+        assert!(ByteRange::WHOLE.contains(u64::MAX - 1));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = ByteRange::new(0, 100);
+        let b = ByteRange::new(50, 150);
+        assert_eq!(a.intersect(&b), Some(ByteRange::new(50, 100)));
+        assert_eq!(a.union_hull(&b), ByteRange::new(0, 150));
+        assert_eq!(a.intersect(&ByteRange::new(100, 200)), None);
+    }
+
+    #[test]
+    fn at_builds_offset_length_ranges() {
+        let r = ByteRange::at(4096, 8192);
+        assert_eq!(r.start, 4096);
+        assert_eq!(r.end, 12288);
+        assert_eq!(r.len(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte range start")]
+    fn inverted_range_panics() {
+        let _ = ByteRange::new(10, 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! File status (vnode attributes) and per-file serialization stamps.
+
+use crate::clock::Timestamp;
+use crate::id::Fid;
+
+/// The type of object a vnode names.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[derive(Default)]
+pub enum FileType {
+    /// A regular file.
+    #[default]
+    Regular,
+    /// A directory.
+    Directory,
+    /// A symbolic link (also used for AFS-style mount points).
+    Symlink,
+}
+
+
+/// The per-file serialization counter the file server stamps on every
+/// reference to a file (§6.2).
+///
+/// If operation `Ox` on a file is serialized at the server before `Oy`,
+/// the stamp returned by `Ox` is strictly less than the stamp returned by
+/// `Oy`. Clients use the stamp to merge concurrently-returned status
+/// information in server order, never overwriting newer status with older
+/// (§6.3–6.4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct SerializationStamp(pub u64);
+
+impl SerializationStamp {
+    /// Returns the next stamp in sequence.
+    pub fn next(self) -> SerializationStamp {
+        SerializationStamp(self.0 + 1)
+    }
+}
+
+/// Status information associated with a file — what `stat(2)` reports,
+/// plus the DEcorum data version and serialization stamp.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FileStatus {
+    /// The file's global identifier.
+    pub fid: Fid,
+    /// Regular file, directory, or symlink.
+    pub ftype: FileType,
+    /// Length of the file in bytes.
+    pub length: u64,
+    /// Owning user id.
+    pub owner: u32,
+    /// Owning group id.
+    pub group: u32,
+    /// UNIX mode bits (the ACL is authoritative; these are advisory).
+    pub mode: u16,
+    /// Number of directory entries referring to the file.
+    pub nlink: u32,
+    /// Last data modification time.
+    pub mtime: Timestamp,
+    /// Last status change time.
+    pub ctime: Timestamp,
+    /// Monotone version of the file's data, bumped on every write;
+    /// the replication server uses it to fetch only changed files (§3.8).
+    pub data_version: u64,
+    /// Per-file serialization stamp of the reference that produced this
+    /// status (§6.2); newer stamps supersede older status.
+    pub stamp: SerializationStamp,
+}
+
+impl FileStatus {
+    /// Returns true if this status is strictly newer, by serialization
+    /// stamp, than `other` — the merge rule of §6.3.
+    pub fn supersedes(&self, other: &FileStatus) -> bool {
+        self.stamp > other.stamp
+    }
+
+    /// Returns true for directories.
+    pub fn is_dir(&self) -> bool {
+        self.ftype == FileType::Directory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_totally_ordered() {
+        let a = SerializationStamp(1);
+        let b = a.next();
+        assert!(b > a);
+        assert_eq!(b, SerializationStamp(2));
+    }
+
+    #[test]
+    fn status_merge_rule_uses_stamp() {
+        let mut old = FileStatus::default();
+        old.stamp = SerializationStamp(5);
+        let mut new = FileStatus::default();
+        new.stamp = SerializationStamp(6);
+        assert!(new.supersedes(&old));
+        assert!(!old.supersedes(&new));
+        assert!(!old.supersedes(&old), "equal stamps do not supersede");
+    }
+
+    #[test]
+    fn default_file_type_is_regular() {
+        assert_eq!(FileType::default(), FileType::Regular);
+        assert!(!FileStatus::default().is_dir());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the foundation types.
+
+use dfs_types::{Acl, AclEntry, ByteRange, Principal, Rights};
+use proptest::prelude::*;
+
+fn range_strategy() -> impl Strategy<Value = ByteRange> {
+    (0u64..10_000, 0u64..10_000).prop_map(|(a, b)| {
+        let (s, e) = if a <= b { (a, b) } else { (b, a) };
+        ByteRange::new(s, e)
+    })
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric(a in range_strategy(), b in range_strategy()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn intersect_iff_overlap(a in range_strategy(), b in range_strategy()) {
+        prop_assert_eq!(a.intersect(&b).is_some(), a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersection_is_contained(a in range_strategy(), b in range_strategy()) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_range(&i));
+            prop_assert!(b.contains_range(&i));
+            prop_assert!(!i.is_empty());
+        }
+    }
+
+    #[test]
+    fn hull_contains_both(a in range_strategy(), b in range_strategy()) {
+        let h = a.union_hull(&b);
+        prop_assert!(h.contains_range(&a));
+        prop_assert!(h.contains_range(&b));
+    }
+
+    #[test]
+    fn containment_implies_overlap_or_empty(a in range_strategy(), b in range_strategy()) {
+        if a.contains_range(&b) && !b.is_empty() {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn whole_contains_everything(a in range_strategy()) {
+        prop_assert!(ByteRange::WHOLE.contains_range(&a));
+    }
+
+    #[test]
+    fn point_membership_matches_range(a in range_strategy(), p in 0u64..10_000) {
+        prop_assert_eq!(a.contains(p), a.overlaps(&ByteRange::new(p, p + 1)));
+    }
+}
+
+fn rights_strategy() -> impl Strategy<Value = Rights> {
+    (0u8..64).prop_map(Rights)
+}
+
+fn principal_strategy() -> impl Strategy<Value = Principal> {
+    prop_oneof![
+        (0u32..8).prop_map(Principal::User),
+        (0u32..4).prop_map(Principal::Group),
+        Just(Principal::Authenticated),
+        Just(Principal::Anyone),
+    ]
+}
+
+fn entry_strategy() -> impl Strategy<Value = AclEntry> {
+    (principal_strategy(), rights_strategy(), rights_strategy())
+        .prop_map(|(who, allow, deny)| AclEntry { who, allow, deny })
+}
+
+proptest! {
+    #[test]
+    fn rights_algebra(a in rights_strategy(), b in rights_strategy()) {
+        let u = a | b;
+        prop_assert!(u.allows(a) && u.allows(b));
+        prop_assert!(!(a.minus(b)).allows(b) || b.is_empty());
+        prop_assert_eq!((a & b).allows(a & b), true);
+    }
+
+    #[test]
+    fn acl_deny_always_wins(
+        entries in proptest::collection::vec(entry_strategy(), 0..12),
+        user in 0u32..8,
+        groups in proptest::collection::vec(0u32..4, 0..3),
+        owner in 0u32..8,
+    ) {
+        let acl = Acl { entries: entries.clone() };
+        let r = acl.rights_for(user, &groups, owner);
+        // Any right explicitly denied by a matching entry must be absent
+        // (except CONTROL for the owner, which is inalienable).
+        for e in &entries {
+            let matches = match e.who {
+                Principal::User(u) => u == user,
+                Principal::Group(g) => groups.contains(&g),
+                _ => true,
+            };
+            if matches {
+                let denied = e.deny.minus(if user == owner { Rights::CONTROL } else { Rights::NONE });
+                prop_assert!(
+                    (r & denied).is_empty(),
+                    "denied rights {:?} leaked into {:?}",
+                    denied,
+                    r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acl_entry_order_is_irrelevant(
+        entries in proptest::collection::vec(entry_strategy(), 0..8),
+        user in 0u32..8,
+        owner in 0u32..8,
+    ) {
+        let acl = Acl { entries: entries.clone() };
+        let mut rev = entries;
+        rev.reverse();
+        let acl_rev = Acl { entries: rev };
+        prop_assert_eq!(acl.rights_for(user, &[], owner), acl_rev.rights_for(user, &[], owner));
+    }
+
+    #[test]
+    fn owner_always_retains_control(
+        entries in proptest::collection::vec(entry_strategy(), 0..8),
+        owner in 0u32..8,
+    ) {
+        let acl = Acl { entries };
+        prop_assert!(acl.rights_for(owner, &[], owner).allows(Rights::CONTROL));
+    }
+}

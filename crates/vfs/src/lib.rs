@@ -1,0 +1,368 @@
+//! The VFS and VFS+ interfaces (§1, §3.3).
+//!
+//! The DEcorum design hinges on a clean separation at the virtual file
+//! system boundary: a *physical file system* is "a module that implements
+//! the VFS interface, and stores file data on a disk". The protocol
+//! exporter exports any physical file system through this interface, and
+//! the client cache manager *implements* the same interface on top of
+//! RPCs.
+//!
+//! [`Vfs`] is the per-mounted-volume interface ("a VFS is a mounted
+//! volume", §2.1). [`VfsPlus`] adds the DEcorum extensions — ACLs — that
+//! vendor file systems may or may not support. [`PhysicalFs`] is the
+//! aggregate-level interface: volume creation, cloning, dump/restore for
+//! volume motion, and salvage.
+
+use dfs_types::{Acl, AggregateId, DfsResult, FileStatus, Fid, Timestamp, VolumeId};
+use std::sync::Arc;
+
+/// The identity on whose behalf an operation is performed.
+///
+/// On a real system this is derived from the Kerberos ticket that
+/// authenticated the RPC (§3.7); locally it comes from the process
+/// credentials.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Credentials {
+    /// The authenticated user id.
+    pub user: u32,
+    /// Groups the user belongs to.
+    pub groups: Vec<u32>,
+}
+
+impl Credentials {
+    /// Returns credentials for a plain user with no groups.
+    pub fn user(user: u32) -> Self {
+        Credentials { user, groups: Vec::new() }
+    }
+
+    /// Returns the superuser credentials used by internal subsystems
+    /// (the salvager, the replication server, volume motion).
+    pub fn system() -> Self {
+        Credentials { user: 0, groups: Vec::new() }
+    }
+
+    /// Returns true for the superuser.
+    pub fn is_system(&self) -> bool {
+        self.user == 0
+    }
+}
+
+/// A directory entry returned by [`Vfs::readdir`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirEntry {
+    /// The entry's name within its directory.
+    pub name: String,
+    /// The file the entry refers to.
+    pub fid: Fid,
+}
+
+/// Attributes to change in a [`Vfs::setattr`] call; `None` leaves a
+/// field untouched. Setting `length` truncates or extends the file.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct SetAttrs {
+    /// New mode bits.
+    pub mode: Option<u16>,
+    /// New owning user.
+    pub owner: Option<u32>,
+    /// New owning group.
+    pub group: Option<u32>,
+    /// New file length (truncate/extend).
+    pub length: Option<u64>,
+    /// New modification time.
+    pub mtime: Option<Timestamp>,
+}
+
+impl SetAttrs {
+    /// Returns a `SetAttrs` that only truncates/extends to `length`.
+    pub fn truncate(length: u64) -> Self {
+        SetAttrs { length: Some(length), ..SetAttrs::default() }
+    }
+}
+
+/// The per-volume virtual file system interface.
+///
+/// All fids must belong to this volume. Operations verify access rights
+/// against the caller's [`Credentials`] and the file's ACL or mode bits.
+pub trait Vfs: Send + Sync {
+    /// Returns the id of the volume this VFS is a mount of.
+    fn volume_id(&self) -> VolumeId;
+
+    /// Returns the fid of the volume's root directory.
+    fn root(&self) -> DfsResult<Fid>;
+
+    /// Looks up `name` in directory `dir`.
+    fn lookup(&self, cred: &Credentials, dir: Fid, name: &str) -> DfsResult<FileStatus>;
+
+    /// Creates a regular file `name` in `dir` with the given mode bits.
+    fn create(&self, cred: &Credentials, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus>;
+
+    /// Creates a directory `name` in `dir`.
+    fn mkdir(&self, cred: &Credentials, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus>;
+
+    /// Creates a symbolic link `name` in `dir` pointing at `target`.
+    fn symlink(
+        &self,
+        cred: &Credentials,
+        dir: Fid,
+        name: &str,
+        target: &str,
+    ) -> DfsResult<FileStatus>;
+
+    /// Adds a hard link `name` in `dir` to the existing file `target`.
+    fn link(&self, cred: &Credentials, dir: Fid, name: &str, target: Fid) -> DfsResult<FileStatus>;
+
+    /// Removes the non-directory entry `name` from `dir`.
+    ///
+    /// Returns the status of the removed file (nlink already decremented);
+    /// the file itself is reclaimed when its link count reaches zero.
+    fn remove(&self, cred: &Credentials, dir: Fid, name: &str) -> DfsResult<FileStatus>;
+
+    /// Removes the empty directory `name` from `dir`.
+    fn rmdir(&self, cred: &Credentials, dir: Fid, name: &str) -> DfsResult<()>;
+
+    /// Renames `src_dir/src_name` to `dst_dir/dst_name`, replacing any
+    /// existing non-directory target.
+    fn rename(
+        &self,
+        cred: &Credentials,
+        src_dir: Fid,
+        src_name: &str,
+        dst_dir: Fid,
+        dst_name: &str,
+    ) -> DfsResult<()>;
+
+    /// Lists the entries of directory `dir` (excluding `.` and `..`).
+    fn readdir(&self, cred: &Credentials, dir: Fid) -> DfsResult<Vec<DirEntry>>;
+
+    /// Reads up to `len` bytes at `offset`; short reads happen at EOF.
+    fn read(&self, cred: &Credentials, file: Fid, offset: u64, len: usize) -> DfsResult<Vec<u8>>;
+
+    /// Writes `data` at `offset`, extending the file as needed.
+    ///
+    /// Returns the file's status after the write (the paper's VOP_RDWR
+    /// returns updated status so callers can maintain their caches).
+    fn write(&self, cred: &Credentials, file: Fid, offset: u64, data: &[u8])
+        -> DfsResult<FileStatus>;
+
+    /// Returns the status of `file`.
+    fn getattr(&self, cred: &Credentials, file: Fid) -> DfsResult<FileStatus>;
+
+    /// Changes attributes of `file`; `length` truncates or extends.
+    fn setattr(&self, cred: &Credentials, file: Fid, attrs: &SetAttrs) -> DfsResult<FileStatus>;
+
+    /// Reads the target of a symbolic link.
+    fn readlink(&self, cred: &Credentials, file: Fid) -> DfsResult<String>;
+
+    /// Forces `file`'s data and metadata to stable storage.
+    fn fsync(&self, cred: &Credentials, file: Fid) -> DfsResult<()>;
+
+    /// Forces all pending changes in the volume to stable storage.
+    fn sync(&self) -> DfsResult<()>;
+}
+
+/// DEcorum extensions to the VFS interface (§3.3).
+///
+/// The protocol exporter "allows for additional operations to provide
+/// access to such extensions as volumes and access control lists";
+/// Episode implements all of them, other physical file systems may
+/// implement a subset.
+pub trait VfsPlus: Vfs {
+    /// Returns the ACL of `file`; any file or directory may have one (§2.3).
+    fn get_acl(&self, cred: &Credentials, file: Fid) -> DfsResult<Acl>;
+
+    /// Replaces the ACL of `file`; requires CONTROL rights.
+    fn set_acl(&self, cred: &Credentials, file: Fid, acl: &Acl) -> DfsResult<()>;
+}
+
+/// Summary information about a volume on an aggregate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VolumeInfo {
+    /// The volume's cell-wide id.
+    pub id: VolumeId,
+    /// Human-readable volume name (e.g. `user.jane`).
+    pub name: String,
+    /// True for read-only clones (snapshots, replicas).
+    pub read_only: bool,
+    /// For a clone, the volume it was cloned from.
+    pub parent: Option<VolumeId>,
+    /// Number of live files (including directories).
+    pub files: u64,
+    /// Disk blocks attributed to the volume.
+    pub blocks_used: u64,
+    /// Highest data version of any file in the volume.
+    pub max_data_version: u64,
+}
+
+/// One file in a volume dump.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DumpFile {
+    /// Status of the file (fid, type, length, times, versions).
+    pub status: FileStatus,
+    /// The file's ACL, if it has one.
+    pub acl: Option<Acl>,
+    /// File contents; for symlinks, the target path bytes. Empty for
+    /// directories (their entries are in `entries`).
+    pub data: Vec<u8>,
+    /// Directory entries (name, fid) for directories.
+    pub entries: Vec<DirEntry>,
+}
+
+/// A serialized volume, used for volume motion (§3.6) and lazy
+/// replication (§3.8).
+///
+/// A *full* dump (`since_version == 0`) contains every live file. An
+/// *incremental* dump contains only files whose `data_version` exceeds
+/// `since_version`, plus the complete list of live vnodes so the restorer
+/// can delete files that vanished.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VolumeDump {
+    /// The source volume id.
+    pub volume: VolumeId,
+    /// The source volume's name.
+    pub name: String,
+    /// The dump includes files changed strictly after this version.
+    pub since_version: u64,
+    /// Highest data version in the source at dump time.
+    pub max_data_version: u64,
+    /// Fid of the root directory.
+    pub root: Fid,
+    /// Files included in the dump.
+    pub files: Vec<DumpFile>,
+    /// Every live fid in the source volume at dump time.
+    pub live: Vec<Fid>,
+}
+
+impl VolumeDump {
+    /// Returns the total payload size in bytes (data plus entry names),
+    /// the quantity charged to the network during volume moves.
+    pub fn payload_bytes(&self) -> u64 {
+        self.files
+            .iter()
+            .map(|f| {
+                f.data.len() as u64
+                    + f.entries.iter().map(|e| e.name.len() as u64 + 16).sum::<u64>()
+                    + 64
+            })
+            .sum()
+    }
+}
+
+/// What a salvage (full consistency check) found.
+///
+/// Logging obviates routine salvage, but media failure still requires it
+/// (§2.2); tests also use the salvager to verify crash-recovery
+/// invariants.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Total anodes/inodes examined.
+    pub files_checked: u64,
+    /// Total blocks examined.
+    pub blocks_checked: u64,
+    /// Inconsistencies found (descriptions).
+    pub problems: Vec<String>,
+}
+
+impl SalvageReport {
+    /// Returns true if the file system is consistent.
+    pub fn is_clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// The aggregate-level interface of a physical file system.
+///
+/// An aggregate hosts many volumes (§2.1); this trait exposes the
+/// volume and aggregate operations the DEcorum servers need. Volume ids
+/// are allocated cell-wide by the caller (the volume server), not by the
+/// aggregate.
+pub trait PhysicalFs: Send + Sync {
+    /// Returns this aggregate's id.
+    fn aggregate_id(&self) -> AggregateId;
+
+    /// Lists the volumes on this aggregate.
+    fn list_volumes(&self) -> DfsResult<Vec<VolumeInfo>>;
+
+    /// Returns info for one volume.
+    fn volume_info(&self, vol: VolumeId) -> DfsResult<VolumeInfo>;
+
+    /// Creates an empty read-write volume with the given id and name.
+    fn create_volume(&self, id: VolumeId, name: &str) -> DfsResult<()>;
+
+    /// Deletes a volume and frees its storage.
+    fn delete_volume(&self, vol: VolumeId) -> DfsResult<()>;
+
+    /// Clones `src` into a read-only copy-on-write snapshot `clone_id`.
+    ///
+    /// Cloning copies metadata only; data blocks are shared until the
+    /// writable original diverges (§2.1).
+    fn clone_volume(&self, src: VolumeId, clone_id: VolumeId, name: &str) -> DfsResult<()>;
+
+    /// Mounts a volume, returning its VFS+ view.
+    fn mount(&self, vol: VolumeId) -> DfsResult<Arc<dyn VfsPlus>>;
+
+    /// Serializes a volume for motion or replication.
+    ///
+    /// `since_version` of 0 produces a full dump; a larger value produces
+    /// an incremental dump of files changed after that version.
+    fn dump_volume(&self, vol: VolumeId, since_version: u64) -> DfsResult<VolumeDump>;
+
+    /// Materializes a dumped volume on this aggregate.
+    ///
+    /// For an incremental dump the volume must already exist here; the
+    /// dump is applied on top. `read_only` marks the result as a replica.
+    fn restore_volume(&self, dump: &VolumeDump, read_only: bool) -> DfsResult<()>;
+
+    /// Runs a full consistency check of the aggregate.
+    fn salvage(&self) -> DfsResult<SalvageReport>;
+
+    /// Flushes all volumes to stable storage.
+    fn sync_aggregate(&self) -> DfsResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_types::{VnodeId, VolumeId};
+
+    #[test]
+    fn credentials_system_detection() {
+        assert!(Credentials::system().is_system());
+        assert!(!Credentials::user(10).is_system());
+    }
+
+    #[test]
+    fn setattrs_truncate_builder() {
+        let s = SetAttrs::truncate(100);
+        assert_eq!(s.length, Some(100));
+        assert_eq!(s.mode, None);
+        assert_eq!(s, SetAttrs { length: Some(100), ..SetAttrs::default() });
+    }
+
+    #[test]
+    fn dump_payload_accounts_data_and_entries() {
+        let fid = Fid::new(VolumeId(1), VnodeId(1), 1);
+        let dump = VolumeDump {
+            volume: VolumeId(1),
+            name: "v".into(),
+            since_version: 0,
+            max_data_version: 1,
+            root: fid,
+            files: vec![DumpFile {
+                status: FileStatus { fid, ..FileStatus::default() },
+                acl: None,
+                data: vec![0; 100],
+                entries: vec![DirEntry { name: "abcd".into(), fid }],
+            }],
+            live: vec![fid],
+        };
+        assert_eq!(dump.payload_bytes(), 100 + 4 + 16 + 64);
+    }
+
+    #[test]
+    fn salvage_report_cleanliness() {
+        let mut r = SalvageReport::default();
+        assert!(r.is_clean());
+        r.problems.push("orphan anode 7".into());
+        assert!(!r.is_clean());
+    }
+}

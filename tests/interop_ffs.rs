@@ -1,0 +1,125 @@
+//! The §1 interoperability goal: "if a file server is installed on a
+//! host running UNIX, the server can export file systems that were
+//! already in use on that host."
+//!
+//! The DEcorum protocol exporter is started over the *FFS baseline* —
+//! a stand-in for the vendor file system — and DEcorum cache managers
+//! use it with full token coherence. Volume-level extensions degrade
+//! gracefully (§3.3: "it may be possible to provide some subset of
+//! DEcorum functionality").
+
+use decorum_dfs::client::MemCache;
+use decorum_dfs::disk::{DiskConfig, SimDisk};
+use decorum_dfs::ffs::Ffs;
+use decorum_dfs::rpc::{Addr, CallClass, Network, PoolConfig, Request, Response};
+use decorum_dfs::server::{FileServer, VldbReplica};
+use decorum_dfs::types::{ClientId, ServerId, SimClock, VolumeId};
+use decorum_dfs::vfs::{Credentials, Vfs};
+use decorum_dfs::CacheManager;
+use std::sync::Arc;
+
+fn ffs_cell() -> (Network, Arc<Ffs>, Arc<FileServer>) {
+    let clock = SimClock::new();
+    let net = Network::new(clock.clone(), 500);
+    net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+    // A "native" file system that predates DEcorum on this host.
+    let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+    let ffs = Ffs::format(disk, clock, VolumeId(1)).unwrap();
+    // Pre-existing local content, created before the exporter starts.
+    let cred = Credentials::system();
+    let root = ffs.root().unwrap();
+    let f = ffs.create(&cred, root, "preexisting.txt", 0o644).unwrap();
+    ffs.write(&cred, f.fid, 0, b"was already here").unwrap();
+
+    let srv = FileServer::start(
+        net.clone(),
+        ServerId(1),
+        ffs.clone(),
+        vec![Addr::Vldb(0)],
+        PoolConfig::default(),
+    )
+    .unwrap();
+    (net, ffs, srv)
+}
+
+fn client(net: &Network, n: u32) -> Arc<CacheManager> {
+    CacheManager::start(net.clone(), ClientId(n), vec![Addr::Vldb(0)], Arc::new(MemCache::new()))
+}
+
+#[test]
+fn native_files_are_visible_remotely() {
+    let (net, _ffs, _srv) = ffs_cell();
+    let cm = client(&net, 1);
+    let root = cm.root(VolumeId(1)).unwrap();
+    let f = cm.lookup(root, "preexisting.txt").unwrap();
+    assert_eq!(cm.read(f.fid, 0, 32).unwrap(), b"was already here");
+}
+
+#[test]
+fn remote_and_local_ffs_access_synchronize() {
+    // The whole point of the glue layer at the vnode boundary (§5.1):
+    // local users of the native FS and remote DEcorum clients see one
+    // coherent file system.
+    let (net, ffs, srv) = ffs_cell();
+    let cm = client(&net, 1);
+    let root = cm.root(VolumeId(1)).unwrap();
+    let f = cm.create(root, "shared", 0o666).unwrap();
+    cm.write(f.fid, 0, b"from the cache manager").unwrap();
+
+    // Local access goes through the glue layer, which revokes the
+    // client's write token before reading.
+    let local = srv.local_volume(VolumeId(1)).unwrap();
+    let cred = Credentials::system();
+    assert_eq!(
+        local.read(&cred, f.fid, 0, 64).unwrap(),
+        b"from the cache manager"
+    );
+    local.write(&cred, f.fid, 0, b"from the local kernel!").unwrap();
+    assert_eq!(cm.read(f.fid, 0, 64).unwrap(), b"from the local kernel!");
+    let _ = ffs;
+}
+
+#[test]
+fn tokens_work_identically_over_ffs() {
+    let (net, _ffs, _srv) = ffs_cell();
+    let a = client(&net, 1);
+    let b = client(&net, 2);
+    let root = a.root(VolumeId(1)).unwrap();
+    let f = a.create(root, "tokened", 0o666).unwrap();
+    a.write(f.fid, 0, &vec![1u8; 8192]).unwrap();
+    // Cached reads are free even though the backing store is FFS.
+    b.read(f.fid, 0, 4096).unwrap();
+    let before = net.stats();
+    for _ in 0..20 {
+        b.read(f.fid, 0, 4096).unwrap();
+    }
+    assert_eq!(net.stats().since(&before).calls, 0);
+    // Writes still invalidate.
+    a.write(f.fid, 0, &vec![2u8; 64]).unwrap();
+    assert_eq!(b.read(f.fid, 0, 64).unwrap(), vec![2u8; 64]);
+}
+
+#[test]
+fn volume_extensions_degrade_gracefully() {
+    // §3.3: the exporter offers the VFS+ extensions, but a conventional
+    // file system may implement only a subset. Clones fail cleanly on
+    // FFS; the error is reported, not a crash.
+    let (net, _ffs, _srv) = ffs_cell();
+    let resp = net
+        .call(
+            Addr::Client(ClientId(9)),
+            Addr::Server(ServerId(1)),
+            None,
+            CallClass::Normal,
+            Request::VolClone { src: VolumeId(1), clone: VolumeId(2), name: "snap".into() },
+        )
+        .unwrap();
+    assert!(matches!(resp, Response::Err(_)), "clone on FFS must fail cleanly");
+    // ACL writes likewise.
+    let cm = client(&net, 3);
+    let root = cm.root(VolumeId(1)).unwrap();
+    let f = cm.create(root, "noacl", 0o644).unwrap();
+    assert!(cm.set_acl(f.fid, &decorum_dfs::types::Acl::unix_default(1)).is_err());
+    // But reading the (empty) ACL works, so clients can detect support.
+    assert!(cm.get_acl(f.fid).unwrap().is_empty());
+}
