@@ -10,7 +10,7 @@ use dfs_episode::{Episode, FormatParams};
 use dfs_journal::{Journal, LogRegion};
 use dfs_token::{TokenManager, TokenTypes};
 use dfs_types::{ByteRange, ClientId, Fid, HostId, SimClock, VnodeId, VolumeId};
-use dfs_vfs::{Credentials, PhysicalFs, Vfs};
+use dfs_vfs::{Credentials, PhysicalFs};
 use std::hint::black_box;
 use std::sync::Arc;
 

@@ -50,7 +50,6 @@ fn move_blocked_time() -> (u64, u64) {
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let stop2 = stop.clone();
     let handle = {
-        let reader = reader.clone();
         let fid = f.fid;
         std::thread::spawn(move || {
             let mut blocked_us = 0u64;

@@ -10,8 +10,8 @@
 //! client disk traffic); [`MemCache`] is the diskless variant.
 
 use dfs_disk::{SimDisk, BLOCK_SIZE};
+use dfs_types::lock::{rank, OrderedMutex};
 use dfs_types::{DfsError, DfsResult, Fid};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Page size of the client data cache (one disk block).
@@ -38,7 +38,7 @@ pub trait DataCache: Send + Sync {
 /// In-memory page cache: the diskless-client option (§4.2).
 #[derive(Default)]
 pub struct MemCache {
-    pages: Mutex<HashMap<(Fid, u64), Vec<u8>>>,
+    pages: OrderedMutex<HashMap<(Fid, u64), Vec<u8>>, { rank::CLIENT_DATA_CACHE }>,
 }
 
 impl MemCache {
@@ -77,7 +77,7 @@ impl DataCache for MemCache {
 /// AFS-style client caches in its native file system.
 pub struct DiskCache {
     disk: SimDisk,
-    inner: Mutex<DiskCacheInner>,
+    inner: OrderedMutex<DiskCacheInner, { rank::CLIENT_DATA_CACHE }>,
 }
 
 struct DiskCacheInner {
@@ -95,7 +95,7 @@ impl DiskCache {
         let free = (0..disk.blocks()).rev().collect();
         DiskCache {
             disk,
-            inner: Mutex::new(DiskCacheInner {
+            inner: OrderedMutex::new(DiskCacheInner {
                 index: HashMap::new(),
                 free,
                 order: Vec::new(),

@@ -32,12 +32,12 @@ use dfs_rpc::{
 };
 use dfs_server::VldbHandle;
 use dfs_token::{Token, TokenTypes};
+use dfs_types::lock::{rank, OrderedMutex};
 use dfs_types::{
     Acl, ByteRange, ClientId, DfsError, DfsResult, FileStatus, Fid, SerializationStamp, ServerId,
     VolumeId,
 };
 use dfs_vfs::{DirEntry, SetAttrs};
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -203,9 +203,12 @@ impl VnState {
 struct CVnode {
     fid: Fid,
     /// High-level lock: serializes client operations on the file (§6.1).
-    hi: Mutex<()>,
+    /// Held across RPCs *by design*: revocation handlers only ever take
+    /// `lo`, so a server calling back into us can never need `hi`.
+    // dfs-lint: allow(guard-across-rpc)
+    hi: OrderedMutex<(), { rank::CLIENT_VNODE_HI }>,
     /// Low-level lock: guards the cached state; released across RPCs.
-    lo: Mutex<VnState>,
+    lo: OrderedMutex<VnState, { rank::CLIENT_VNODE_LO }>,
 }
 
 /// The cache manager: the DEcorum client (§4).
@@ -215,11 +218,11 @@ pub struct CacheManager {
     net: Network,
     vldb: VldbHandle,
     data: Arc<dyn DataCache>,
-    ticket: Mutex<Option<Ticket>>,
-    vnodes: Mutex<HashMap<Fid, Arc<CVnode>>>,
-    locations: Mutex<HashMap<VolumeId, ServerId>>,
-    roots: Mutex<HashMap<VolumeId, Fid>>,
-    stats: Mutex<ClientStats>,
+    ticket: OrderedMutex<Option<Ticket>, { rank::CLIENT_RESOURCE }>,
+    vnodes: OrderedMutex<HashMap<Fid, Arc<CVnode>>, { rank::CLIENT_VNODE_TABLE }>,
+    locations: OrderedMutex<HashMap<VolumeId, ServerId>, { rank::CLIENT_RESOURCE }>,
+    roots: OrderedMutex<HashMap<VolumeId, Fid>, { rank::CLIENT_RESOURCE }>,
+    stats: OrderedMutex<ClientStats, { rank::STATS }>,
 }
 
 impl CacheManager {
@@ -240,11 +243,11 @@ impl CacheManager {
             net: net.clone(),
             vldb: VldbHandle::new(net.clone(), addr, vldb_replicas),
             data,
-            ticket: Mutex::new(None),
-            vnodes: Mutex::new(HashMap::new()),
-            locations: Mutex::new(HashMap::new()),
-            roots: Mutex::new(HashMap::new()),
-            stats: Mutex::new(ClientStats::default()),
+            ticket: OrderedMutex::new(None),
+            vnodes: OrderedMutex::new(HashMap::new()),
+            locations: OrderedMutex::new(HashMap::new()),
+            roots: OrderedMutex::new(HashMap::new()),
+            stats: OrderedMutex::new(ClientStats::default()),
         });
         net.register(
             addr,
@@ -335,7 +338,11 @@ impl CacheManager {
         vnodes
             .entry(fid)
             .or_insert_with(|| {
-                Arc::new(CVnode { fid, hi: Mutex::new(()), lo: Mutex::new(VnState::default()) })
+                Arc::new(CVnode {
+                    fid,
+                    hi: OrderedMutex::new(()),
+                    lo: OrderedMutex::new(VnState::default()),
+                })
             })
             .clone()
     }
@@ -369,6 +376,10 @@ impl CacheManager {
     /// held. Dirty pages (for data-write bits) or local status (for
     /// status-write bits) are stored back first (§5.3). Returns false if
     /// the bits are retained (held locks/opens, §5.3).
+    // dfs-lint: allow(guard-across-rpc) — store-backs triggered by a
+    // revocation use CallClass::Revocation, which the server serves
+    // grant-free (§6.3): the reply cannot block on a further revocation
+    // to us, so holding the caller's `lo` guard across the send is safe.
     fn apply_revocation(
         &self,
         vn: &CVnode,
@@ -472,6 +483,12 @@ impl CacheManager {
 
     /// Stores dirty pages (optionally only those in `range`) back to the
     /// file server, merging the returned status by stamp (§6.3).
+    // dfs-lint: allow(guard-across-rpc) — callers hold `lo` across the
+    // sends. Revocation-class stores are grant-free at the server
+    // (§6.3), and for normal-class stores a concurrent revocation aimed
+    // at us does not block on `lo`: the revoke handler queues into
+    // `lo.queued` when the vnode is in flight (§6.4) and `absorb`
+    // applies it afterwards.
     fn store_dirty(
         &self,
         vn: &CVnode,
@@ -1271,15 +1288,12 @@ mod tests {
     #[test]
     fn merge_status_is_monotone_in_stamps() {
         let mut st = VnState::default();
-        let mut s5 = FileStatus::default();
-        s5.length = 5;
-        assert!(st.merge_status(s5.clone(), SerializationStamp(5)));
-        let mut s3 = FileStatus::default();
-        s3.length = 3;
+        let s5 = FileStatus { length: 5, ..Default::default() };
+        assert!(st.merge_status(s5, SerializationStamp(5)));
+        let s3 = FileStatus { length: 3, ..Default::default() };
         assert!(!st.merge_status(s3, SerializationStamp(3)), "older stamp rejected (§6.3)");
         assert_eq!(st.status.as_ref().unwrap().length, 5);
-        let mut s9 = FileStatus::default();
-        s9.length = 9;
+        let s9 = FileStatus { length: 9, ..Default::default() };
         assert!(st.merge_status(s9, SerializationStamp(9)));
         assert_eq!(st.status.as_ref().unwrap().length, 9);
         assert_eq!(st.stamp, SerializationStamp(9));

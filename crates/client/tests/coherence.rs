@@ -7,7 +7,6 @@ use dfs_disk::{DiskConfig, SimDisk};
 use dfs_episode::{Episode, FormatParams};
 use dfs_rpc::{Addr, Network, PoolConfig};
 use dfs_server::{FileServer, VldbReplica};
-use dfs_token::TokenTypes;
 use dfs_types::{ByteRange, ClientId, DfsError, ServerId, SimClock, VolumeId};
 use std::sync::Arc;
 

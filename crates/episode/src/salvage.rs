@@ -209,7 +209,7 @@ mod tests {
     use super::*;
     use crate::tests::fresh;
     use dfs_types::VolumeId;
-    use dfs_vfs::{Credentials, PhysicalFs, Vfs as _};
+    use dfs_vfs::{Credentials, PhysicalFs};
 
     #[test]
     fn fresh_aggregate_is_clean() {

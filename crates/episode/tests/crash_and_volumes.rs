@@ -5,7 +5,7 @@
 use dfs_disk::{DiskConfig, SimDisk};
 use dfs_episode::{Episode, FormatParams};
 use dfs_types::{DfsError, SimClock, VolumeId};
-use dfs_vfs::{Credentials, PhysicalFs, SetAttrs, Vfs as _};
+use dfs_vfs::{Credentials, PhysicalFs, SetAttrs};
 use std::sync::Arc;
 
 fn cred() -> Credentials {

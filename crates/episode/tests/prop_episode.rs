@@ -3,7 +3,7 @@
 use dfs_disk::{DiskConfig, SimDisk};
 use dfs_episode::{Episode, FormatParams};
 use dfs_types::{SimClock, VolumeId};
-use dfs_vfs::{Credentials, PhysicalFs, SetAttrs, Vfs, VfsPlus};
+use dfs_vfs::{Credentials, PhysicalFs, SetAttrs, VfsPlus};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -2,7 +2,7 @@
 
 use crate::logfmt::Lsn;
 use dfs_disk::{Block, BLOCK_SIZE};
-use parking_lot::Mutex;
+use dfs_types::lock::{rank, OrderedMutex};
 use std::sync::Arc;
 
 /// In-memory state of one cached disk block.
@@ -30,7 +30,7 @@ pub(crate) struct FrameCell {
     /// The disk block number this frame caches.
     pub block: u32,
     /// The latched frame state.
-    pub state: Mutex<Frame>,
+    pub state: OrderedMutex<Frame, { rank::JOURNAL_FRAME }>,
 }
 
 /// A pinned handle to a cached disk block.

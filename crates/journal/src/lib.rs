@@ -30,7 +30,7 @@ use dfs_disk::{Block, SimDisk, BLOCK_SIZE};
 use dfs_types::{DfsError, DfsResult};
 use frame::{Frame, FrameCell};
 use logfmt::{decode_block, encode_block, LOG_PAYLOAD};
-use parking_lot::Mutex;
+use dfs_types::lock::{rank, OrderedMutex, OrderedMutexGuard};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -167,10 +167,10 @@ impl TxnTable {
 pub struct Journal {
     disk: SimDisk,
     region: LogRegion,
-    log: Mutex<LogState>,
-    cache: Mutex<CacheState>,
-    txns: Mutex<TxnTable>,
-    stats: Mutex<JournalStats>,
+    log: OrderedMutex<LogState, { rank::JOURNAL_LOG }>,
+    cache: OrderedMutex<CacheState, { rank::JOURNAL_CACHE }>,
+    txns: OrderedMutex<TxnTable, { rank::JOURNAL_TXNS }>,
+    stats: OrderedMutex<JournalStats, { rank::STATS }>,
 }
 
 impl Journal {
@@ -307,10 +307,10 @@ impl Journal {
         Arc::new(Journal {
             disk,
             region,
-            log: Mutex::new(LogState { head, durable: head, tail: head, pending: Vec::new() }),
-            cache: Mutex::new(CacheState { frames: HashMap::new(), lru_clock: 0, capacity: 1024 }),
-            txns: Mutex::new(TxnTable { next_id: 1, active: HashMap::new() }),
-            stats: Mutex::new(JournalStats::default()),
+            log: OrderedMutex::new(LogState { head, durable: head, tail: head, pending: Vec::new() }),
+            cache: OrderedMutex::new(CacheState { frames: HashMap::new(), lru_clock: 0, capacity: 1024 }),
+            txns: OrderedMutex::new(TxnTable { next_id: 1, active: HashMap::new() }),
+            stats: OrderedMutex::new(JournalStats::default()),
         })
     }
 
@@ -392,7 +392,7 @@ impl Journal {
         let data = self.disk.read(block)?;
         let cell = Arc::new(FrameCell {
             block,
-            state: Mutex::new(Frame {
+            state: OrderedMutex::new(Frame {
                 data,
                 dirty: false,
                 first_lsn: None,
@@ -660,7 +660,7 @@ impl Journal {
     fn append_unchecked(
         &self,
         record: &Record,
-        mut log: parking_lot::MutexGuard<'_, LogState>,
+        mut log: OrderedMutexGuard<'_, LogState, { rank::JOURNAL_LOG }>,
     ) -> Lsn {
         let lsn = log.head;
         record.encode(&mut log.pending);
@@ -871,7 +871,7 @@ mod tests {
         jn.sync().unwrap();
         disk.crash(None);
         disk.power_on();
-        let (jn2, report) = Journal::open(disk.clone(), jn.region()).unwrap();
+        let (jn2, report) = Journal::open(disk, jn.region()).unwrap();
         // Neither A nor B committed: both undone.
         assert_eq!(report.committed_txns, 0);
         let buf = jn2.get(900).unwrap();

@@ -1,0 +1,406 @@
+//! Whole-workspace analysis over per-file facts: inter-procedural
+//! lock-order graph construction and rule evaluation.
+
+use crate::{Diagnostic, FileFacts, RankExpr};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A lock identity: `(crate, field name)`. Field names are assumed
+/// unique per crate among *lock* fields — a collision would merge two
+/// locks into one node, which over-approximates (may report a spurious
+/// order) but never hides a real one within either field.
+pub type FieldKey = (String, String);
+
+struct FieldInfo {
+    rank: Option<u16>,
+    exempt: HashSet<String>,
+}
+
+struct FnRef {
+    file: usize,
+    func: usize,
+}
+
+#[derive(Clone)]
+struct Edge {
+    from: FieldKey,
+    to: FieldKey,
+    path: String,
+    line: u32,
+    via: Option<String>,
+}
+
+pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
+    // ---- global tables ----
+    let mut rank_consts: HashMap<String, u16> = HashMap::new();
+    for f in files {
+        rank_consts.extend(f.rank_consts.iter().map(|(k, v)| (k.clone(), *v)));
+    }
+
+    let mut fields: HashMap<FieldKey, FieldInfo> = HashMap::new();
+    for f in files {
+        for d in &f.fields {
+            let key = (f.crate_name.clone(), d.name.clone());
+            let rank = match &d.rank {
+                Some(RankExpr::Literal(v)) => Some(*v),
+                Some(RankExpr::Const(name)) => rank_consts.get(name).copied(),
+                None => None,
+            };
+            let exempt = f.allows.get(&d.line).cloned().unwrap_or_default();
+            let info = fields.entry(key).or_insert(FieldInfo { rank: None, exempt: HashSet::new() });
+            if info.rank.is_none() {
+                info.rank = rank;
+            }
+            info.exempt.extend(exempt);
+        }
+    }
+
+    let mut fns: Vec<FnRef> = Vec::new();
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            by_name.entry(g.name.as_str()).or_default().push(fns.len());
+            fns.push(FnRef { file: fi, func: gi });
+        }
+    }
+
+    // Nearest-definition call resolution. Calls on `self` (or free
+    // calls) prefer the same file, then the same crate, then the whole
+    // workspace. Calls through any other receiver (`self.vldb.lookup`,
+    // `tm.grant`) are dispatched on some *other* object, so the current
+    // file is excluded — otherwise a client's `self.vldb.lookup(..)`
+    // resolves to the client's own `fn lookup` file operation.
+    let resolve = |caller_file: usize, callee: &str, receiver: &str| -> Vec<usize> {
+        let Some(cands) = by_name.get(callee) else { return Vec::new() };
+        let on_self = receiver.is_empty() || receiver == "self";
+        if on_self {
+            let same_file: Vec<usize> =
+                cands.iter().copied().filter(|&i| fns[i].file == caller_file).collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+        }
+        let crate_name = &files[caller_file].crate_name;
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                &files[fns[i].file].crate_name == crate_name
+                    && (on_self || fns[i].file != caller_file)
+            })
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        cands.iter().copied().filter(|&i| on_self || fns[i].file != caller_file).collect()
+    };
+
+    let audited = |i: usize, rule: &str| -> bool {
+        files[fns[i].file].fns[fns[i].func].audited.contains(rule)
+    };
+
+    // ---- fixpoint: transitive acquisitions + rpc-sender propagation ----
+    let mut reach: Vec<HashSet<FieldKey>> = Vec::with_capacity(fns.len());
+    let mut sends: Vec<bool> = Vec::with_capacity(fns.len());
+    for r in &fns {
+        let f = &files[r.file];
+        let mut acq = HashSet::new();
+        for a in &f.fns[r.func].acquisitions {
+            acq.insert((f.crate_name.clone(), a.field.clone()));
+        }
+        reach.push(acq);
+        let direct = f.fns[r.func].calls.iter().any(|c| c.direct_rpc);
+        sends.push(direct);
+    }
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 1000 {
+        changed = false;
+        rounds += 1;
+        for i in 0..fns.len() {
+            let r = &fns[i];
+            let calls: Vec<(String, String)> = files[r.file].fns[r.func]
+                .calls
+                .iter()
+                .map(|c| (c.callee.clone(), c.receiver.clone()))
+                .collect();
+            for (callee, receiver) in &calls {
+                for g in resolve(r.file, callee, receiver) {
+                    if g == i {
+                        continue;
+                    }
+                    let add: Vec<FieldKey> =
+                        reach[g].iter().filter(|k| !reach[i].contains(*k)).cloned().collect();
+                    if !add.is_empty() {
+                        reach[i].extend(add);
+                        changed = true;
+                    }
+                    if sends[g] && !audited(g, "guard-across-rpc") && !sends[i] {
+                        sends[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- edge collection ----
+    let allowed = |file: usize, line: u32, rule: &str| -> bool {
+        files[file].allows.get(&line).map(|r| r.contains(rule)).unwrap_or(false)
+    };
+    let exempt_field = |k: &FieldKey, rule: &str| -> bool {
+        fields.get(k).map(|f| f.exempt.contains(rule)).unwrap_or(false)
+    };
+
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for (fi, f) in files.iter().enumerate() {
+        for func in &f.fns {
+            for a in &func.acquisitions {
+                let to = (f.crate_name.clone(), a.field.clone());
+                for (h, hline) in &a.held {
+                    let from = (f.crate_name.clone(), h.clone());
+                    if from == to {
+                        // Rule (c): double acquisition of one field while
+                        // its own guard is still live.
+                        if !allowed(fi, a.line, "double-lock")
+                            && !exempt_field(&to, "double-lock")
+                        {
+                            diags.push(Diagnostic {
+                                path: f.path.clone(),
+                                line: a.line,
+                                rule: "double-lock".into(),
+                                message: format!(
+                                    "`{}` re-acquired while its guard from line {} is still live \
+                                     (self-deadlock with a non-reentrant lock)",
+                                    a.field, hline
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    edges.push(Edge {
+                        from,
+                        to: to.clone(),
+                        path: f.path.clone(),
+                        line: a.line,
+                        via: None,
+                    });
+                }
+            }
+            for c in &func.calls {
+                if c.held.is_empty() {
+                    continue;
+                }
+                // Rule (b): guard live across `TokenHost::revoke`.
+                let live: Vec<&(String, u32)> = c
+                    .held
+                    .iter()
+                    .filter(|(h, _)| {
+                        !exempt_field(&(f.crate_name.clone(), h.clone()), "guard-across-revoke")
+                    })
+                    .collect();
+                if c.callee == "revoke"
+                    && !live.is_empty()
+                    && !func.audited.contains("guard-across-revoke")
+                    && !allowed(fi, c.line, "guard-across-revoke")
+                {
+                    diags.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: c.line,
+                        rule: "guard-across-revoke".into(),
+                        message: format!(
+                            "guard on `{}` (line {}) held across TokenHost::revoke; §5.1/§6.4 \
+                             require revocation to be issued with no locks held",
+                            live[0].0, live[0].1
+                        ),
+                    });
+                }
+                // Rule (b'): guard live across a dfs-rpc send.
+                let live_rpc: Vec<&(String, u32)> = c
+                    .held
+                    .iter()
+                    .filter(|(h, _)| {
+                        !exempt_field(&(f.crate_name.clone(), h.clone()), "guard-across-rpc")
+                    })
+                    .collect();
+                if !live_rpc.is_empty()
+                    && !func.audited.contains("guard-across-rpc")
+                    && !allowed(fi, c.line, "guard-across-rpc")
+                {
+                    let transitively_sends = || {
+                        resolve(fi, &c.callee, &c.receiver)
+                            .into_iter()
+                            .any(|g| sends[g] && !audited(g, "guard-across-rpc"))
+                    };
+                    if c.direct_rpc || transitively_sends() {
+                        diags.push(Diagnostic {
+                            path: f.path.clone(),
+                            line: c.line,
+                            rule: "guard-across-rpc".into(),
+                            message: format!(
+                                "guard on `{}` (line {}) held across {}; the peer's reply can \
+                                 block on a revocation that needs this lock (§5.1/§6.4)",
+                                live_rpc[0].0,
+                                live_rpc[0].1,
+                                if c.direct_rpc {
+                                    "a dfs-rpc send".to_string()
+                                } else {
+                                    format!("`{}`, which sends dfs-rpc", c.callee)
+                                }
+                            ),
+                        });
+                    }
+                }
+                // Interprocedural lock-order edges.
+                for g in resolve(fi, &c.callee, &c.receiver) {
+                    for to in &reach[g] {
+                        for (h, _) in &c.held {
+                            let from = (f.crate_name.clone(), h.clone());
+                            if &from == to {
+                                // Same lock reached through a call: almost
+                                // always the recursion artifact of nearest-
+                                // definition resolution, not a real
+                                // re-entry; covered dynamically instead.
+                                continue;
+                            }
+                            edges.push(Edge {
+                                from,
+                                to: to.clone(),
+                                path: f.path.clone(),
+                                line: c.line,
+                                via: Some(c.callee.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- rule (a): rank inversions on edges ----
+    for e in &edges {
+        let (Some(fa), Some(fb)) = (fields.get(&e.from), fields.get(&e.to)) else { continue };
+        if fa.exempt.contains("lock-order") || fb.exempt.contains("lock-order") {
+            continue;
+        }
+        let (Some(ra), Some(rb)) = (fa.rank, fb.rank) else { continue };
+        let fi = files.iter().position(|f| f.path == e.path).unwrap_or(0);
+        if allowed(fi, e.line, "lock-order") {
+            continue;
+        }
+        let via = e.via.as_ref().map(|v| format!(" via `{v}`")).unwrap_or_default();
+        if rb < ra {
+            diags.push(Diagnostic {
+                path: e.path.clone(),
+                line: e.line,
+                rule: "lock-order".into(),
+                message: format!(
+                    "acquiring `{}` (rank {}) while holding `{}` (rank {}){} inverts the \
+                     declared hierarchy",
+                    e.to.1, rb, e.from.1, ra, via
+                ),
+            });
+        } else if rb == ra {
+            diags.push(Diagnostic {
+                path: e.path.clone(),
+                line: e.line,
+                rule: "lock-order".into(),
+                message: format!(
+                    "acquiring `{}` while holding `{}`{} — both rank {}; same-rank locks must \
+                     never nest",
+                    e.to.1, e.from.1, via, ra
+                ),
+            });
+        }
+    }
+
+    // ---- rule (a): cycles involving unranked locks ----
+    // Ranked-field cycles necessarily contain a rank inversion and are
+    // already reported above; here we catch A→B / B→A orderings among
+    // locks with no declared rank.
+    let mut adj: BTreeMap<&FieldKey, BTreeSet<&FieldKey>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reachable = |from: &FieldKey, to: &FieldKey| -> bool {
+        let mut seen: BTreeSet<&FieldKey> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(k) = stack.pop() {
+            if k == to {
+                return true;
+            }
+            if let Some(next) = adj.get(k) {
+                for n in next {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    };
+    let ranked = |k: &FieldKey| fields.get(k).and_then(|f| f.rank).is_some();
+    let mut reported: BTreeSet<(FieldKey, FieldKey)> = BTreeSet::new();
+    for e in &edges {
+        if e.from == e.to {
+            continue;
+        }
+        if ranked(&e.from) && ranked(&e.to) {
+            continue;
+        }
+        if fields.get(&e.from).map(|f| f.exempt.contains("lock-order")).unwrap_or(false)
+            || fields.get(&e.to).map(|f| f.exempt.contains("lock-order")).unwrap_or(false)
+        {
+            continue;
+        }
+        let pair = if e.from <= e.to {
+            (e.from.clone(), e.to.clone())
+        } else {
+            (e.to.clone(), e.from.clone())
+        };
+        if reported.contains(&pair) {
+            continue;
+        }
+        if reachable(&e.to, &e.from) {
+            let fi = files.iter().position(|f| f.path == e.path).unwrap_or(0);
+            if allowed(fi, e.line, "lock-order") {
+                continue;
+            }
+            reported.insert(pair);
+            let via = e.via.as_ref().map(|v| format!(" via `{v}`")).unwrap_or_default();
+            diags.push(Diagnostic {
+                path: e.path.clone(),
+                line: e.line,
+                rule: "lock-order".into(),
+                message: format!(
+                    "lock-order cycle: `{}.{}` acquired while holding `{}.{}`{}, but another \
+                     path acquires them in the opposite order",
+                    e.to.0, e.to.1, e.from.0, e.from.1, via
+                ),
+            });
+        }
+    }
+
+    // ---- rule (d): std::sync locks ----
+    for (fi, f) in files.iter().enumerate() {
+        for (line, ty) in &f.std_sync_sites {
+            if allowed(fi, *line, "std-sync") {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: *line,
+                rule: "std-sync".into(),
+                message: format!(
+                    "std::sync::{ty} in non-test code; use parking_lot via \
+                     dfs_types::lock::Ordered{ty} so the rank enforcer sees it"
+                ),
+            });
+        }
+    }
+
+    diags.sort();
+    diags.dedup();
+    diags
+}

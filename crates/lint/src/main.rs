@@ -1,0 +1,36 @@
+//! CLI for `dfs-lint`.
+//!
+//! Usage: `dfs-lint [ROOT]...` — each ROOT is a workspace-style
+//! directory of crates (default `crates`). Prints one `path:line:
+//! [rule] message` diagnostic per violation and exits non-zero if any
+//! were found.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<String> = if args.is_empty() { vec!["crates".into()] } else { args };
+
+    let mut total = 0usize;
+    for root in &roots {
+        match dfs_lint::run(Path::new(root)) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{d}");
+                }
+                total += diags.len();
+            }
+            Err(e) => {
+                eprintln!("dfs-lint: cannot scan {root}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total > 0 {
+        eprintln!("dfs-lint: {total} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

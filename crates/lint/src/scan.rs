@@ -1,0 +1,881 @@
+//! Single-file fact extraction: a hand-rolled Rust lexer plus pattern
+//! walkers that pull out the lock-relevant facts of one source file.
+//!
+//! The lexer is deliberately tiny: it strips comments, strings, chars
+//! and lifetimes while preserving line numbers, and emits a flat token
+//! stream. Everything downstream pattern-matches on that stream — there
+//! is no AST, so the walkers are conservative heuristics tuned for the
+//! workspace's idiom (see the module doc in `lib.rs` for the precision
+//! contract).
+
+use crate::{Acquisition, Call, FieldDecl, FileFacts, FnFacts, RankExpr};
+use std::collections::{HashMap, HashSet};
+
+/// One lexical token with the 1-based source line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Num(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+pub struct Sp {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Methods that acquire a lock when invoked on a known lock field.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Lock type names recognised in field declarations.
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "OrderedMutex", "OrderedRwLock"];
+
+/// Method/function names never treated as workspace calls. These are
+/// overwhelmingly std collection/iterator/option methods; resolving
+/// them by bare name against workspace functions (`get`, `insert`, …)
+/// would fabricate call edges. The cost is missing a real workspace
+/// call that shares one of these names — an acceptable recall loss for
+/// the precision gain.
+const CALL_STOPLIST: &[&str] = &[
+    "len", "is_empty", "clone", "unwrap", "expect", "iter", "into_iter", "get", "get_mut",
+    "insert", "remove", "push", "pop", "contains", "contains_key", "entry", "or_default",
+    "or_insert", "or_insert_with", "map", "and_then", "then", "filter", "filter_map", "collect",
+    "retain", "keys", "values", "values_mut", "iter_mut", "to_vec", "to_string", "into", "from",
+    "as_ref", "as_mut", "as_str", "as_slice", "as_bytes", "cloned", "copied", "unwrap_or",
+    "unwrap_or_else", "unwrap_or_default", "ok", "ok_or", "ok_or_else", "err", "min", "max",
+    "min_by_key", "max_by_key", "drain", "extend", "sort", "sort_by", "sort_by_key", "position",
+    "find", "any", "all", "count", "sum", "chain", "zip", "flatten", "flat_map", "rev", "take",
+    "skip", "last", "first", "resize", "truncate", "clear", "starts_with", "ends_with", "split",
+    "splitn", "trim", "parse", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "next", "peek",
+    "load", "store", "swap", "fetch_add", "fetch_sub", "compare_exchange", "join", "spawn",
+    "sleep", "now", "elapsed", "abs", "saturating_add", "saturating_sub", "checked_add",
+    "checked_sub", "wrapping_add", "is_some", "is_none", "is_ok", "is_err", "is_dir", "is_file",
+    "to_owned", "as_deref", "take_while", "skip_while", "windows", "chunks", "concat",
+    "copy_from_slice", "try_into", "try_from", "fill", "default", "replace", "get_or_insert_with",
+    "min_by", "max_by", "step_by", "enumerate", "encode", "decode", "push_str", "repeat",
+    // Generic verbs that name both std/io methods and unrelated
+    // workspace functions (`disk.write(..)` must not resolve to a
+    // client's `fn write` operation). Real lock acquisitions are
+    // matched structurally before call detection, so stoplisting the
+    // verbs here cannot hide an acquisition.
+    "read", "write", "flush", "lock", "wait", "stats", "new",
+];
+
+/// Keywords that may be followed by `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "loop", "for", "in", "return", "break", "continue", "as",
+    "let", "mut", "fn", "pub", "use", "mod", "impl", "trait", "struct", "enum", "const", "static",
+    "type", "where", "move", "ref", "self", "Self", "super", "crate", "dyn", "unsafe", "async",
+    "await", "true", "false",
+];
+
+pub fn lex(src: &str) -> Vec<Sp> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a char literal has exactly one unescaped char,
+                // so `'X'` is a literal iff position i+2 is a quote.
+                if i + 1 < n
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < n && b[i + 2] == '\'')
+                {
+                    // Lifetime: skip the quote and the identifier.
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    continue;
+                }
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                    // Stop a numeric literal before a method call (`0.lock()`
+                    // is tuple-index style; `1.0` is a float — keep the
+                    // common case simple: stop at `.` followed by non-digit).
+                    if b[i] == '.' && (i + 1 >= n || !b[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Sp { tok: Tok::Num(b[start..i].iter().collect()), line });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // Raw/byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                if (ident == "r" || ident == "b" || ident == "br")
+                    && i < n
+                    && (b[i] == '"' || b[i] == '#')
+                {
+                    let mut hashes = 0;
+                    while i < n && b[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && b[i] == '"' {
+                        i += 1;
+                        'raw: while i < n {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            if b[i] == '"' {
+                                let mut h = 0;
+                                while i + 1 + h < n && b[i + 1 + h] == '#' && h < hashes {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                        continue;
+                    }
+                }
+                out.push(Sp { tok: Tok::Ident(ident), line });
+            }
+            '{' => {
+                out.push(Sp { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Sp { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Sp { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Sp { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Sp { tok: Tok::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Sp { tok: Tok::RBracket, line });
+                i += 1;
+            }
+            c => {
+                out.push(Sp { tok: Tok::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `// dfs-lint: allow(rule, ...)` annotations. Each maps to a
+/// *target line*: the annotation's own line if it trails code, else the
+/// next line that carries code (skipping blanks, other comments, and
+/// attribute lines so an allow above `#[...]` still binds to the item).
+pub fn collect_allows(src: &str) -> HashMap<u32, HashSet<String>> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out: HashMap<u32, HashSet<String>> = HashMap::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let Some(pos) = raw.find("dfs-lint: allow(") else { continue };
+        let Some(comment_pos) = raw.find("//") else { continue };
+        if pos < comment_pos {
+            continue; // "dfs-lint" outside a comment: not an annotation
+        }
+        let rest = &raw[pos + "dfs-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let code_before = raw[..comment_pos].trim();
+        let target = if !code_before.is_empty() {
+            (idx + 1) as u32
+        } else {
+            // Find the next code-bearing line.
+            let mut t = idx + 1;
+            loop {
+                if t >= lines.len() {
+                    break (idx + 1) as u32;
+                }
+                let l = lines[t].trim();
+                if l.is_empty() || l.starts_with("//") || l.starts_with("#[") || l.starts_with("#!") {
+                    t += 1;
+                } else {
+                    break (t + 1) as u32;
+                }
+            }
+        };
+        out.entry(target).or_default().extend(rules);
+    }
+    out
+}
+
+/// Computes token-index ranges covered by `#[cfg(test)]` items (mods and
+/// fns), which the fact walkers skip entirely.
+fn cfg_test_ranges(ts: &[Sp]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < ts.len() {
+        let is_cfg_test = ts[i].tok == Tok::Punct('#')
+            && ts[i + 1].tok == Tok::LBracket
+            && ts[i + 2].tok == Tok::Ident("cfg".into())
+            && ts[i + 3].tok == Tok::LParen
+            && ts[i + 4].tok == Tok::Ident("test".into())
+            && ts[i + 5].tok == Tok::RParen
+            && ts[i + 6].tok == Tok::RBracket;
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip ahead to the item's opening brace and find its close.
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut opened = false;
+        while j < ts.len() {
+            match ts[j].tok {
+                Tok::LBrace => {
+                    depth += 1;
+                    opened = true;
+                }
+                Tok::RBrace => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(';') if !opened => break, // `mod tests;` — nothing inline
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((i, j));
+        i = j + 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(a, b)| i >= a && i <= b)
+}
+
+fn ident(ts: &[Sp], i: usize) -> Option<&str> {
+    match ts.get(i).map(|s| &s.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_punct(ts: &[Sp], i: usize, c: char) -> bool {
+    matches!(ts.get(i).map(|s| &s.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Matches a lock field declaration starting at token `i`.
+fn field_decl_at(ts: &[Sp], i: usize) -> Option<FieldDecl> {
+    let name = ident(ts, i)?;
+    if !is_punct(ts, i + 1, ':') || is_punct(ts, i + 2, ':') {
+        return None;
+    }
+    let mut j = i + 2;
+    // Swallow a leading path (`parking_lot :: Mutex`).
+    while ident(ts, j).is_some() && is_punct(ts, j + 1, ':') && is_punct(ts, j + 2, ':') {
+        j += 3;
+    }
+    let ty = ident(ts, j)?;
+    if !LOCK_TYPES.contains(&ty) || !is_punct(ts, j + 1, '<') {
+        return None;
+    }
+    let rank = if ty.starts_with("Ordered") { parse_rank_expr(ts, j + 2) } else { None };
+    Some(FieldDecl { name: name.to_string(), line: ts[i].line, rank })
+}
+
+/// Pre-pass: just the lock field *names* declared in `src`. The caller
+/// unions these across a crate so acquisition detection sees fields
+/// declared in sibling files (`journal/frame.rs` declares `state`;
+/// `journal/lib.rs` acquires it).
+pub fn lock_field_names(src: &str) -> HashSet<String> {
+    let ts = lex(src);
+    let skip = cfg_test_ranges(&ts);
+    let mut out = HashSet::new();
+    for i in 0..ts.len() {
+        if in_ranges(&skip, i) {
+            continue;
+        }
+        if let Some(d) = field_decl_at(&ts, i) {
+            out.insert(d.name);
+        }
+    }
+    out
+}
+
+/// Scans one file into facts. `crate_lock_fields` is the union of lock
+/// field names declared anywhere in the same crate (see
+/// [`lock_field_names`]).
+pub fn scan_file(
+    crate_name: &str,
+    rel_path: &str,
+    src: &str,
+    crate_lock_fields: &HashSet<String>,
+) -> FileFacts {
+    let ts = lex(src);
+    let allows = collect_allows(src);
+    let skip = cfg_test_ranges(&ts);
+
+    let mut facts = FileFacts {
+        crate_name: crate_name.to_string(),
+        path: rel_path.to_string(),
+        fields: Vec::new(),
+        rank_consts: HashMap::new(),
+        fns: Vec::new(),
+        std_sync_sites: Vec::new(),
+        allows,
+    };
+
+    // --- flat pass: rank consts, std::sync sites, lock field decls ---
+    let mut i = 0;
+    while i < ts.len() {
+        if in_ranges(&skip, i) {
+            i += 1;
+            continue;
+        }
+        // `const NAME: u16 = N ;`
+        if ident(&ts, i) == Some("const")
+            && ident(&ts, i + 3) == Some("u16")
+            && is_punct(&ts, i + 2, ':')
+            && is_punct(&ts, i + 4, '=')
+        {
+            if let (Some(name), Some(Tok::Num(v))) = (ident(&ts, i + 1), ts.get(i + 5).map(|s| &s.tok))
+            {
+                if let Ok(v) = v.replace('_', "").parse::<u16>() {
+                    facts.rank_consts.insert(name.to_string(), v);
+                }
+            }
+        }
+        // `std :: sync :: {Mutex,RwLock,Condvar}` — rule (d)
+        if ident(&ts, i) == Some("std")
+            && is_punct(&ts, i + 1, ':')
+            && is_punct(&ts, i + 2, ':')
+            && ident(&ts, i + 3) == Some("sync")
+            && is_punct(&ts, i + 4, ':')
+            && is_punct(&ts, i + 5, ':')
+        {
+            if let Some(t) = ident(&ts, i + 6) {
+                if matches!(t, "Mutex" | "RwLock" | "Condvar") {
+                    facts.std_sync_sites.push((ts[i].line, t.to_string()));
+                }
+            }
+        }
+        // Lock field decl: `name : [path ::]* LockType <` — records the
+        // field and, for Ordered* types, its rank expression.
+        if let Some(d) = field_decl_at(&ts, i) {
+            facts.fields.push(d);
+        }
+        i += 1;
+    }
+
+    // --- structural pass: functions ---
+    let mut i = 0;
+    while i < ts.len() {
+        if in_ranges(&skip, i) {
+            i += 1;
+            continue;
+        }
+        if ident(&ts, i) == Some("fn") {
+            if let Some(name) = ident(&ts, i + 1) {
+                let fn_line = ts[i].line;
+                // Find the body: first `{` at paren-depth 0, or `;` (no body).
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut body_start = None;
+                while j < ts.len() {
+                    match ts[j].tok {
+                        Tok::LParen | Tok::LBracket => paren += 1,
+                        Tok::RParen | Tok::RBracket => paren -= 1,
+                        Tok::LBrace if paren == 0 => {
+                            body_start = Some(j);
+                            break;
+                        }
+                        Tok::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(bs) = body_start {
+                    // Matching close brace.
+                    let mut depth = 0usize;
+                    let mut be = bs;
+                    while be < ts.len() {
+                        match ts[be].tok {
+                            Tok::LBrace => depth += 1,
+                            Tok::RBrace => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        be += 1;
+                    }
+                    let mut lock_fields: HashSet<&str> =
+                        facts.fields.iter().map(|f| f.name.as_str()).collect();
+                    lock_fields.extend(crate_lock_fields.iter().map(|s| s.as_str()));
+                    let mut f = analyze_body(name, fn_line, &ts[bs..=be.min(ts.len() - 1)], &lock_fields);
+                    if let Some(rules) = facts.allows.get(&fn_line) {
+                        f.audited = rules.clone();
+                    }
+                    facts.fns.push(f);
+                    i = be + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    facts
+}
+
+/// Parses the rank expression of `OrderedMutex<T, HERE>` starting just
+/// inside the `<`. Recognises `{ rank :: NAME }`, `{ NAME }`, and a
+/// literal `N` after the type parameter, scanning a bounded window.
+fn parse_rank_expr(ts: &[Sp], start: usize) -> Option<RankExpr> {
+    let mut depth = 1i32; // inside one `<`
+    let mut j = start;
+    let limit = (start + 64).min(ts.len());
+    while j < limit && depth > 0 {
+        match &ts[j].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => depth -= 1,
+            Tok::LBrace if depth == 1 => {
+                if ident(ts, j + 1) == Some("rank")
+                    && is_punct(ts, j + 2, ':')
+                    && is_punct(ts, j + 3, ':')
+                {
+                    if let Some(name) = ident(ts, j + 4) {
+                        return Some(RankExpr::Const(name.to_string()));
+                    }
+                }
+                if let Some(Tok::Num(v)) = ts.get(j + 1).map(|s| &s.tok) {
+                    if let Ok(v) = v.replace('_', "").parse::<u16>() {
+                        return Some(RankExpr::Literal(v));
+                    }
+                }
+                if let Some(name) = ident(ts, j + 1) {
+                    if matches!(ts.get(j + 2).map(|s| &s.tok), Some(Tok::RBrace)) {
+                        return Some(RankExpr::Const(name.to_string()));
+                    }
+                }
+            }
+            Tok::Punct(',') if depth == 1 => {
+                if let Some(Tok::Num(v)) = ts.get(j + 1).map(|s| &s.tok) {
+                    if let Ok(v) = v.replace('_', "").parse::<u16>() {
+                        return Some(RankExpr::Literal(v));
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// A guard live in some scope.
+struct Guard {
+    name: Option<String>,
+    field: String,
+    line: u32,
+}
+
+/// Walks one fn body tracking guard liveness per lexical scope.
+fn analyze_body(name: &str, fn_line: u32, body: &[Sp], lock_fields: &HashSet<&str>) -> FnFacts {
+    let mut f = FnFacts {
+        name: name.to_string(),
+        line: fn_line,
+        acquisitions: Vec::new(),
+        calls: Vec::new(),
+        audited: HashSet::new(),
+    };
+    let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
+    // Per-statement binding state.
+    let mut pending_binding: Option<String> = None;
+    let mut binding_used = false;
+    let mut value_projected = false; // `let x = *m.lock()` — x is not a guard
+    let mut stmt_start = true;
+
+    let held_fields = |scopes: &Vec<Vec<Guard>>| -> Vec<(String, u32)> {
+        scopes
+            .iter()
+            .flat_map(|s| s.iter().map(|g| (g.field.clone(), g.line)))
+            .collect()
+    };
+
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i].tok {
+            Tok::LBrace => {
+                scopes.push(Vec::new());
+                pending_binding = None;
+                stmt_start = true;
+                i += 1;
+            }
+            Tok::RBrace => {
+                scopes.pop();
+                if scopes.is_empty() {
+                    scopes.push(Vec::new());
+                }
+                pending_binding = None;
+                stmt_start = true;
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                pending_binding = None;
+                binding_used = false;
+                value_projected = false;
+                stmt_start = true;
+                i += 1;
+            }
+            Tok::Ident(id) if id == "let" && stmt_start => {
+                // `let [mut] NAME =` — only the immediate-`=` form binds.
+                let mut j = i + 1;
+                if ident(body, j) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(n) = ident(body, j) {
+                    if is_punct(body, j + 1, '=') && !is_punct(body, j + 2, '=') {
+                        pending_binding = Some(n.to_string());
+                        binding_used = false;
+                        value_projected = matches!(
+                            body.get(j + 2).map(|s| &s.tok),
+                            Some(Tok::Punct('*')) | Some(Tok::Punct('&'))
+                        );
+                        i = j + 2;
+                        stmt_start = false;
+                        continue;
+                    }
+                }
+                stmt_start = false;
+                i += 1;
+            }
+            Tok::Ident(id)
+                if stmt_start
+                    && is_punct(body, i + 1, '=')
+                    && !is_punct(body, i + 2, '=')
+                    && !KEYWORDS.contains(&id.as_str()) =>
+            {
+                // Re-assignment: `guard = field.lock();`
+                pending_binding = Some(id.clone());
+                binding_used = false;
+                value_projected = matches!(
+                    body.get(i + 2).map(|s| &s.tok),
+                    Some(Tok::Punct('*')) | Some(Tok::Punct('&'))
+                );
+                stmt_start = false;
+                i += 2;
+            }
+            Tok::Ident(id) if id == "drop" && matches!(body.get(i + 1).map(|s| &s.tok), Some(Tok::LParen)) => {
+                if let Some(n) = ident(body, i + 2) {
+                    if matches!(body.get(i + 3).map(|s| &s.tok), Some(Tok::RParen)) {
+                        for s in scopes.iter_mut().rev() {
+                            if let Some(pos) =
+                                s.iter().rposition(|g| g.name.as_deref() == Some(n))
+                            {
+                                s.remove(pos);
+                                break;
+                            }
+                        }
+                        i += 4;
+                        stmt_start = false;
+                        continue;
+                    }
+                }
+                i += 1;
+                stmt_start = false;
+            }
+            Tok::Ident(m)
+                if ACQUIRE_METHODS.contains(&m.as_str())
+                    && is_punct(body, i.wrapping_sub(1), '.')
+                    && matches!(body.get(i + 1).map(|s| &s.tok), Some(Tok::LParen))
+                    && matches!(body.get(i + 2).map(|s| &s.tok), Some(Tok::RParen))
+                    && ident(body, i.wrapping_sub(2))
+                        .map(|f| lock_fields.contains(f))
+                        .unwrap_or(false) =>
+            {
+                let field = ident(body, i - 2).unwrap().to_string();
+                let line = body[i].line;
+                f.acquisitions.push(Acquisition {
+                    field: field.clone(),
+                    line,
+                    held: held_fields(&scopes),
+                });
+                // Guard binding: `let g = x.f.lock();` — the call result
+                // must be the whole RHS (next token `;`) and not deref'd.
+                let binds = pending_binding.is_some()
+                    && !binding_used
+                    && !value_projected
+                    && is_punct(body, i + 3, ';');
+                if binds {
+                    binding_used = true;
+                    let gname = pending_binding.clone();
+                    scopes.last_mut().unwrap().push(Guard { name: gname, field, line });
+                }
+                i += 3;
+                stmt_start = false;
+            }
+            Tok::Ident(callee)
+                if matches!(body.get(i + 1).map(|s| &s.tok), Some(Tok::LParen))
+                    && !KEYWORDS.contains(&callee.as_str())
+                    && !CALL_STOPLIST.contains(&callee.as_str())
+                    && !callee.chars().next().map(char::is_uppercase).unwrap_or(true)
+                    // `Path::assoc(..)` calls don't resolve by bare name:
+                    // the path names a type, not a workspace function.
+                    && !is_punct(body, i.wrapping_sub(1), ':') =>
+            {
+                // Method or free-fn call. Build a receiver hint from the
+                // dotted path immediately before the name.
+                let mut recv = String::new();
+                if is_punct(body, i.wrapping_sub(1), '.') {
+                    let mut k = i - 1;
+                    let mut parts: Vec<String> = Vec::new();
+                    while k >= 1 {
+                        if let Some(p) = ident(body, k - 1) {
+                            if is_punct(body, k, '.') {
+                                parts.push(p.to_string());
+                                if k < 2 {
+                                    break;
+                                }
+                                k -= 2;
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    parts.reverse();
+                    recv = parts.join(".");
+                }
+                let direct_rpc = callee == "call" && recv.contains("net");
+                f.calls.push(Call {
+                    callee: callee.clone(),
+                    line: body[i].line,
+                    held: held_fields(&scopes),
+                    receiver: recv,
+                    direct_rpc,
+                });
+                i += 1;
+                stmt_start = false;
+            }
+            Tok::Ident(_) | Tok::Num(_) => {
+                stmt_start = false;
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    f
+}
+
+/// True if `name` is on the call stoplist (exposed for tests).
+pub fn stoplisted(name: &str) -> bool {
+    CALL_STOPLIST.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lexer_strips_strings_comments_and_lifetimes() {
+        let src = r##"
+            // line comment with lock()
+            /* block /* nested */ still comment */
+            let s = "a.lock()"; let r = r#"raw.lock()"#;
+            fn f<'a>(x: &'a str) -> char { 'x' }
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()));
+        // the lifetime 'a must not eat the following tokens
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"char".to_string()));
+    }
+
+    #[test]
+    fn lexer_distinguishes_char_literal_from_lifetime() {
+        // 'x' is a char literal; 'a in <'a> is a lifetime. Both must
+        // leave the surrounding identifiers intact.
+        let ids = idents("let c = 'x'; struct S<'a> { f: &'a u8 }");
+        assert!(ids.contains(&"struct".to_string()));
+        assert!(ids.contains(&"u8".to_string()));
+        assert!(!ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn lexer_tracks_lines_across_multiline_comments() {
+        let ts = lex("/* one\ntwo\nthree */ marker");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].line, 3);
+    }
+
+    #[test]
+    fn allow_on_own_line_targets_next_code_line_skipping_attrs() {
+        let src = "\n// dfs-lint: allow(guard-across-rpc)\n#[inline]\nfn f() {}\n";
+        let allows = collect_allows(src);
+        // comment on line 2, attribute on line 3, code on line 4
+        assert!(allows.get(&4).is_some_and(|s| s.contains("guard-across-rpc")));
+        assert!(!allows.contains_key(&3));
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "fn f() {} // dfs-lint: allow(lock-order, double-lock)\n";
+        let allows = collect_allows(src);
+        let set = allows.get(&1).expect("line 1 annotated");
+        assert!(set.contains("lock-order") && set.contains("double-lock"));
+    }
+
+    #[test]
+    fn drop_ends_guard_liveness() {
+        let src = "
+pub struct S { a: parking_lot::Mutex<u32>, b: parking_lot::Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let g = self.b.lock();
+        drop(g);
+        let h = self.a.lock();
+        let _ = h;
+    }
+}
+";
+        let fields = lock_field_names(src);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields);
+        let f = &facts.fns[0];
+        let a = f.acquisitions.iter().find(|a| a.field == "a").unwrap();
+        assert!(a.held.is_empty(), "drop(g) must release b: {:?}", a.held);
+    }
+
+    #[test]
+    fn statement_temporary_is_not_a_live_guard() {
+        let src = "
+pub struct S { a: parking_lot::Mutex<u32>, b: parking_lot::Mutex<u32> }
+impl S {
+    fn f(&self) {
+        *self.b.lock() += 1;
+        let h = self.a.lock();
+        let _ = h;
+    }
+}
+";
+        let fields = lock_field_names(src);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields);
+        let a = facts.fns[0].acquisitions.iter().find(|a| a.field == "a").unwrap();
+        assert!(a.held.is_empty(), "temporary must not be held: {:?}", a.held);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "
+pub struct S { a: parking_lot::Mutex<u32> }
+#[cfg(test)]
+mod tests {
+    fn f(s: &super::S) {
+        let g = s.a.lock();
+        let h = s.a.lock();
+        let _ = (g, h);
+    }
+}
+";
+        let fields = lock_field_names(src);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields);
+        assert!(facts.fns.is_empty(), "test fns must be skipped: {:?}", facts.fns);
+    }
+}

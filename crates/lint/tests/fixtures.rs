@@ -1,0 +1,110 @@
+//! End-to-end fixture tests: each fixture is a miniature workspace with
+//! a seeded violation (or none), and the assertions pin the *exact*
+//! rendered diagnostics, path and line included.
+
+use std::path::PathBuf;
+
+fn lint(fixture: &str) -> Vec<String> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    let prefix = format!("{}/", root.display());
+    dfs_lint::run(&root)
+        .expect("fixture scan must succeed")
+        .iter()
+        .map(|d| d.to_string().replace(&prefix, ""))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    assert_eq!(lint("clean"), Vec::<String>::new());
+}
+
+#[test]
+fn inversion_fixture_reports_each_cycle_pair() {
+    assert_eq!(
+        lint("inversion"),
+        vec![
+            "alpha/src/lib.rs:14: [lock-order] lock-order cycle: `alpha.b` acquired while \
+             holding `alpha.a`, but another path acquires them in the opposite order",
+            "alpha/src/lib.rs:26: [lock-order] lock-order cycle: `beta.c` acquired while \
+             holding `alpha.a` via `with_c`, but another path acquires them in the opposite \
+             order",
+            "beta/src/lib.rs:13: [lock-order] lock-order cycle: `alpha.b` acquired while \
+             holding `beta.c` via `cross`, but another path acquires them in the opposite \
+             order",
+        ]
+    );
+}
+
+#[test]
+fn rank_inversion_fixture_reports_descending_acquisition() {
+    assert_eq!(
+        lint("rank_inversion"),
+        vec![
+            "alpha/src/lib.rs:13: [lock-order] acquiring `low` (rank 10) while holding \
+             `high` (rank 20) inverts the declared hierarchy",
+        ]
+    );
+}
+
+#[test]
+fn guard_across_revoke_fixture_flags_only_the_bad_path() {
+    assert_eq!(
+        lint("guard_across_revoke"),
+        vec![
+            "alpha/src/lib.rs:13: [guard-across-revoke] guard on `inner` (line 12) held \
+             across TokenHost::revoke; §5.1/§6.4 require revocation to be issued with no \
+             locks held",
+        ]
+    );
+}
+
+#[test]
+fn guard_across_rpc_fixture_flags_direct_and_transitive_sends() {
+    assert_eq!(
+        lint("guard_across_rpc"),
+        vec![
+            "alpha/src/lib.rs:14: [guard-across-rpc] guard on `state` (line 13) held across \
+             a dfs-rpc send; the peer's reply can block on a revocation that needs this \
+             lock (§5.1/§6.4)",
+            "alpha/src/lib.rs:20: [guard-across-rpc] guard on `state` (line 19) held across \
+             `send_helper`, which sends dfs-rpc; the peer's reply can block on a revocation \
+             that needs this lock (§5.1/§6.4)",
+        ]
+    );
+}
+
+#[test]
+fn double_lock_fixture_flags_reacquisition() {
+    assert_eq!(
+        lint("double_lock"),
+        vec![
+            "alpha/src/lib.rs:12: [double-lock] `a` re-acquired while its guard from line \
+             11 is still live (self-deadlock with a non-reentrant lock)",
+        ]
+    );
+}
+
+#[test]
+fn std_sync_fixture_flags_std_locks() {
+    assert_eq!(
+        lint("std_sync"),
+        vec![
+            "alpha/src/lib.rs:3: [std-sync] std::sync::Mutex in non-test code; use \
+             parking_lot via dfs_types::lock::OrderedMutex so the rank enforcer sees it",
+        ]
+    );
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The real tree: `crates/` relative to the workspace root. Keeping
+    // this green is the point of the tool; a violation here should fail
+    // CI with the same message `cargo run -p dfs-lint` would print.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    let diags = dfs_lint::run(&root).expect("workspace scan must succeed");
+    assert_eq!(
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+        Vec::<String>::new()
+    );
+}

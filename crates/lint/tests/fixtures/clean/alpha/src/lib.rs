@@ -1,0 +1,48 @@
+//! Clean fixture: ranked locks acquired in declared order, temporaries
+//! released before the next acquisition, and an audited RPC sender.
+
+use dfs_types::lock::OrderedMutex;
+
+const A_RANK: u16 = 10;
+const B_RANK: u16 = 20;
+
+pub struct S {
+    a: OrderedMutex<u32, { A_RANK }>,
+    b: OrderedMutex<u32, { B_RANK }>,
+}
+
+impl S {
+    pub fn ordered(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+
+    pub fn sequential(&self) -> u32 {
+        let x = *self.a.lock();
+        let y = *self.b.lock();
+        x + y
+    }
+
+    pub fn dropped(&self) -> u32 {
+        let g = self.b.lock();
+        let v = *g;
+        drop(g);
+        let h = self.a.lock();
+        v + *h
+    }
+}
+
+pub struct C {
+    net: Net,
+    state: OrderedMutex<u32, { A_RANK }>,
+}
+
+impl C {
+    // dfs-lint: allow(guard-across-rpc) — fixture: audited sender.
+    pub fn audited_send(&self) -> u32 {
+        let g = self.state.lock();
+        self.net.call(*g);
+        *g
+    }
+}

@@ -1,0 +1,15 @@
+//! Double-acquisition fixture: `a` re-locked while already held.
+
+use parking_lot::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+}
+
+impl S {
+    pub fn twice(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.a.lock();
+        *g + *h
+    }
+}

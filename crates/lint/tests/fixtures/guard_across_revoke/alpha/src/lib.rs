@@ -1,0 +1,25 @@
+//! Revocation fixture: a guard held across `TokenHost::revoke` (bad)
+//! and the collect-then-revoke pattern (good).
+
+use parking_lot::Mutex;
+
+pub struct Mgr {
+    inner: Mutex<u32>,
+}
+
+impl Mgr {
+    pub fn bad_revoke(&self, h: &dyn Host) -> u32 {
+        let g = self.inner.lock();
+        h.revoke(*g);
+        *g
+    }
+
+    pub fn good_revoke(&self, h: &dyn Host) -> u32 {
+        let v = {
+            let g = self.inner.lock();
+            *g
+        };
+        h.revoke(v);
+        v
+    }
+}

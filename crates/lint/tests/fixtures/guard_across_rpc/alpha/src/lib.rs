@@ -1,0 +1,27 @@
+//! RPC fixture: guard held across a dfs-rpc send — directly and via a
+//! helper that transitively sends.
+
+use parking_lot::Mutex;
+
+pub struct C {
+    net: Net,
+    state: Mutex<u32>,
+}
+
+impl C {
+    pub fn direct(&self) -> u32 {
+        let g = self.state.lock();
+        self.net.call(*g);
+        *g
+    }
+
+    pub fn indirect(&self) -> u32 {
+        let g = self.state.lock();
+        self.send_helper(*g)
+    }
+
+    fn send_helper(&self, v: u32) -> u32 {
+        self.net.call(v);
+        v
+    }
+}

@@ -1,0 +1,28 @@
+//! Inversion fixture: `a` and `b` acquired in both orders, plus a
+//! cross-crate cycle with the `beta` fixture crate.
+
+use parking_lot::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    pub fn forward(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+
+    pub fn backward(&self) -> u32 {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        *g + *h
+    }
+
+    pub fn reenter(&self, t: &T) -> u32 {
+        let g = self.a.lock();
+        t.with_c(*g)
+    }
+}

@@ -1,0 +1,19 @@
+//! Cross-crate half of the inversion fixture: `c` is held while
+//! calling back into `alpha`, which acquires its locks.
+
+use parking_lot::Mutex;
+
+pub struct T {
+    c: Mutex<u32>,
+}
+
+impl T {
+    pub fn with_c(&self, s: &S) -> u32 {
+        let g = self.c.lock();
+        cross(s, *g)
+    }
+}
+
+pub fn cross(s: &S, v: u32) -> u32 {
+    s.forward() + v
+}

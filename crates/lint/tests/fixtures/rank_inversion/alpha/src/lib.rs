@@ -1,0 +1,16 @@
+//! Ranked inversion fixture: acquisition descends the hierarchy.
+
+use dfs_types::lock::OrderedMutex;
+
+pub struct S {
+    low: OrderedMutex<u32, 10>,
+    high: OrderedMutex<u32, 20>,
+}
+
+impl S {
+    pub fn wrong_order(&self) -> u32 {
+        let g = self.high.lock();
+        let h = self.low.lock();
+        *g + *h
+    }
+}

@@ -1,0 +1,7 @@
+//! std-sync fixture: std locks are banned outside tests.
+
+use std::sync::Mutex;
+
+pub struct S {
+    m: Mutex<u32>,
+}

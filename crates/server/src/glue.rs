@@ -17,8 +17,8 @@ use dfs_token::{RevokeResult, Token, TokenHost, TokenManager, TokenTypes};
 use dfs_types::{
     Acl, ByteRange, DfsResult, FileStatus, Fid, HostId, SerializationStamp,
 };
+use dfs_types::lock::{rank, OrderedCondvar, OrderedMutex};
 use dfs_vfs::{Credentials, DirEntry, SetAttrs, Vfs, VfsPlus};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -26,14 +26,18 @@ use std::sync::Arc;
 /// fids have a local operation in flight so revocations wait for them.
 pub struct LocalHost {
     id: HostId,
-    active: Mutex<HashMap<Fid, usize>>,
-    cv: Condvar,
+    active: OrderedMutex<HashMap<Fid, usize>, { rank::HOST_TABLE }>,
+    cv: OrderedCondvar,
 }
 
 impl LocalHost {
     /// Creates the local host for a server.
     pub fn new(id: HostId) -> Arc<LocalHost> {
-        Arc::new(LocalHost { id, active: Mutex::new(HashMap::new()), cv: Condvar::new() })
+        Arc::new(LocalHost {
+            id,
+            active: OrderedMutex::new(HashMap::new()),
+            cv: OrderedCondvar::new(),
+        })
     }
 
     fn enter(&self, fid: Fid) {

@@ -7,8 +7,8 @@
 
 use dfs_rpc::{Addr, CallClass, Network, Request, Response};
 use dfs_token::{RevokeResult, Token, TokenHost, TokenTypes};
+use dfs_types::lock::{rank, OrderedMutex};
 use dfs_types::{ClientId, HostId, SerializationStamp, Timestamp};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -30,7 +30,7 @@ pub struct HostRecord {
 /// The server's registry of known clients.
 #[derive(Default)]
 pub struct HostModel {
-    records: Mutex<HashMap<ClientId, HostRecord>>,
+    records: OrderedMutex<HashMap<ClientId, HostRecord>, { rank::HOST_TABLE }>,
 }
 
 impl HostModel {

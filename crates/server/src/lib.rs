@@ -36,7 +36,7 @@ use dfs_types::{
     ByteRange, DfsError, DfsResult, Fid, HostId, ServerId, Timestamp, VnodeId, VolumeId,
 };
 use dfs_vfs::{Credentials, PhysicalFs, VfsPlus};
-use parking_lot::Mutex;
+use dfs_types::lock::{rank, OrderedMutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -79,11 +79,11 @@ pub struct FileServer {
     hosts: Arc<HostModel>,
     locks: LockTable,
     vldb: VldbHandle,
-    mounts: Mutex<HashMap<VolumeId, Arc<dyn VfsPlus>>>,
-    busy: Mutex<HashSet<VolumeId>>,
-    repl: Mutex<Vec<ReplJob>>,
-    known_hosts: Mutex<HashSet<HostId>>,
-    stats: Mutex<ServerStats>,
+    mounts: OrderedMutex<HashMap<VolumeId, Arc<dyn VfsPlus>>, { rank::VOLUME_REGISTRY }>,
+    busy: OrderedMutex<HashSet<VolumeId>, { rank::VOLUME_REGISTRY }>,
+    repl: OrderedMutex<Vec<ReplJob>, { rank::VOLUME_REGISTRY }>,
+    known_hosts: OrderedMutex<HashSet<HostId>, { rank::SERVER_HOSTS }>,
+    stats: OrderedMutex<ServerStats, { rank::STATS }>,
 }
 
 impl FileServer {
@@ -108,11 +108,11 @@ impl FileServer {
             hosts: Arc::new(HostModel::new()),
             locks: LockTable::new(),
             vldb,
-            mounts: Mutex::new(HashMap::new()),
-            busy: Mutex::new(HashSet::new()),
-            repl: Mutex::new(Vec::new()),
-            known_hosts: Mutex::new(HashSet::new()),
-            stats: Mutex::new(ServerStats::default()),
+            mounts: OrderedMutex::new(HashMap::new()),
+            busy: OrderedMutex::new(HashSet::new()),
+            repl: OrderedMutex::new(Vec::new()),
+            known_hosts: OrderedMutex::new(HashSet::new()),
+            stats: OrderedMutex::new(ServerStats::default()),
         });
         srv.tm.register_host(srv.local_host.clone());
         for vol in srv.physical.list_volumes()? {

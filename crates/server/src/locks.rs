@@ -5,7 +5,7 @@
 //! live; clients holding lock tokens manage equivalent state locally.
 
 use dfs_types::{ByteRange, DfsError, DfsResult, Fid, HostId};
-use parking_lot::Mutex;
+use dfs_types::lock::{rank, OrderedMutex};
 use std::collections::HashMap;
 
 /// One held lock.
@@ -19,7 +19,7 @@ struct HeldLock {
 /// A per-server table of byte-range file locks.
 #[derive(Default)]
 pub struct LockTable {
-    locks: Mutex<HashMap<Fid, Vec<HeldLock>>>,
+    locks: OrderedMutex<HashMap<Fid, Vec<HeldLock>>, { rank::LOCK_TABLE }>,
 }
 
 impl LockTable {
@@ -44,11 +44,35 @@ impl LockTable {
         Ok(())
     }
 
-    /// Releases any lock by `owner` overlapping `range`.
+    /// Releases `owner`'s locks over `range`, POSIX-style: only the
+    /// requested bytes are unlocked. A held lock extending past either
+    /// end of `range` is trimmed (or split in two, when `range` falls in
+    /// its middle) rather than dropped wholesale.
     pub fn release(&self, owner: HostId, fid: Fid, range: ByteRange) {
         let mut locks = self.locks.lock();
         if let Some(held) = locks.get_mut(&fid) {
-            held.retain(|l| !(l.owner == owner && l.range.overlaps(&range)));
+            let mut kept = Vec::with_capacity(held.len());
+            for l in held.drain(..) {
+                if l.owner != owner || !l.range.overlaps(&range) {
+                    kept.push(l);
+                    continue;
+                }
+                if l.range.start < range.start {
+                    kept.push(HeldLock {
+                        owner: l.owner,
+                        range: ByteRange::new(l.range.start, range.start),
+                        write: l.write,
+                    });
+                }
+                if range.end < l.range.end {
+                    kept.push(HeldLock {
+                        owner: l.owner,
+                        range: ByteRange::new(range.end, l.range.end),
+                        write: l.write,
+                    });
+                }
+            }
+            *held = kept;
             if held.is_empty() {
                 locks.remove(&fid);
             }
@@ -109,6 +133,40 @@ mod tests {
         assert!(t.set(host(2), fid(), ByteRange::new(0, 10), false).is_err());
         t.release(host(1), fid(), ByteRange::new(0, 10));
         t.set(host(2), fid(), ByteRange::new(0, 10), false).unwrap();
+    }
+
+    #[test]
+    fn release_of_subrange_keeps_remainders() {
+        let t = LockTable::new();
+        t.set(host(1), fid(), ByteRange::new(0, 100), true).unwrap();
+        // Unlocking the middle splits the lock; both ends stay held.
+        t.release(host(1), fid(), ByteRange::new(40, 60));
+        assert_eq!(t.count(fid()), 2);
+        t.set(host(2), fid(), ByteRange::new(40, 60), true).unwrap();
+        assert_eq!(
+            t.set(host(2), fid(), ByteRange::new(0, 40), false).unwrap_err(),
+            DfsError::LockConflict,
+            "left remainder still held"
+        );
+        assert_eq!(
+            t.set(host(2), fid(), ByteRange::new(60, 100), false).unwrap_err(),
+            DfsError::LockConflict,
+            "right remainder still held"
+        );
+    }
+
+    #[test]
+    fn release_trims_overlapping_edge() {
+        let t = LockTable::new();
+        t.set(host(1), fid(), ByteRange::new(10, 30), true).unwrap();
+        // Release a range overhanging the left edge: only [20, 30) stays.
+        t.release(host(1), fid(), ByteRange::new(0, 20));
+        assert_eq!(t.count(fid()), 1);
+        t.set(host(2), fid(), ByteRange::new(10, 20), true).unwrap();
+        assert_eq!(
+            t.set(host(2), fid(), ByteRange::new(20, 30), true).unwrap_err(),
+            DfsError::LockConflict
+        );
     }
 
     #[test]

@@ -7,20 +7,20 @@
 //! for a slowly-changing administrative database.
 
 use dfs_rpc::{Addr, CallClass, CallContext, Network, Request, Response, RpcService};
+use dfs_types::lock::{rank, OrderedMutex};
 use dfs_types::{DfsError, DfsResult, ServerId, VolumeId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One replica of the volume location database.
 pub struct VldbReplica {
-    map: Mutex<HashMap<VolumeId, ServerId>>,
+    map: OrderedMutex<HashMap<VolumeId, ServerId>, { rank::VOLUME_REGISTRY }>,
 }
 
 impl VldbReplica {
     /// Creates an empty replica.
     pub fn new() -> Arc<VldbReplica> {
-        Arc::new(VldbReplica { map: Mutex::new(HashMap::new()) })
+        Arc::new(VldbReplica { map: OrderedMutex::new(HashMap::new()) })
     }
 
     /// Number of entries (diagnostics).

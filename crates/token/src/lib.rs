@@ -20,8 +20,8 @@ pub mod types;
 
 pub use types::{compatible, conflict_bits, open_compatible, render_open_matrix, Token, TokenId, TokenTypes};
 
+use dfs_types::lock::{rank, OrderedMutex};
 use dfs_types::{ByteRange, DfsError, DfsResult, Fid, HostId, SerializationStamp, VolumeId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -87,8 +87,12 @@ struct ManagerInner {
 }
 
 /// The token manager of one file server.
+///
+/// The grant table sits at rank [`rank::TOKEN_MANAGER`] in the global
+/// lock hierarchy; revocation callbacks run with the table unlocked
+/// (§5.1), which the rank enforcer verifies in debug builds.
 pub struct TokenManager {
-    inner: Mutex<ManagerInner>,
+    inner: OrderedMutex<ManagerInner, { rank::TOKEN_MANAGER }>,
 }
 
 impl Default for TokenManager {
@@ -101,7 +105,7 @@ impl TokenManager {
     /// Creates an empty token manager.
     pub fn new() -> TokenManager {
         TokenManager {
-            inner: Mutex::new(ManagerInner {
+            inner: OrderedMutex::new(ManagerInner {
                 grants: HashMap::new(),
                 stamps: HashMap::new(),
                 hosts: HashMap::new(),
@@ -311,6 +315,7 @@ impl TokenManager {
 mod tests {
     use super::*;
     use dfs_types::{ClientId, VnodeId};
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     struct RecordingHost {

@@ -1,0 +1,158 @@
+//! Multithreaded stress test for the token manager's locking discipline.
+//!
+//! Four client hosts and a replicator hammer concurrent grants (forcing
+//! constant cross-host revocation), voluntary releases, and host
+//! churn, all with the debug-build rank enforcer active. The test
+//! asserts the §5.1 invariant directly: every revocation callback must
+//! run with an empty held-rank stack — the token manager may not hold
+//! any of its own locks while calling out to a host.
+
+use dfs_token::{RevokeResult, Token, TokenHost, TokenManager, TokenTypes};
+use dfs_types::lock::held_ranks;
+use dfs_types::{ByteRange, ClientId, Fid, HostId, SerializationStamp, VnodeId, VolumeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct StressHost {
+    id: HostId,
+    revocations: AtomicUsize,
+    /// Rank stacks observed non-empty inside a revocation callback,
+    /// with the offending stack (must stay empty).
+    violations: Mutex<Vec<Vec<u16>>>,
+}
+
+impl StressHost {
+    fn new(n: u32) -> Arc<StressHost> {
+        Arc::new(StressHost {
+            id: HostId::Client(ClientId(n)),
+            revocations: AtomicUsize::new(0),
+            violations: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl TokenHost for StressHost {
+    fn host_id(&self) -> HostId {
+        self.id
+    }
+
+    fn revoke(
+        &self,
+        _token: &Token,
+        _types: TokenTypes,
+        _stamp: SerializationStamp,
+    ) -> RevokeResult {
+        // §5.1/§6.4: the manager calls revoke outside its own locks, so
+        // the calling thread must hold no ranked lock here.
+        let held = held_ranks();
+        if !held.is_empty() {
+            self.violations.lock().unwrap().push(held);
+        }
+        self.revocations.fetch_add(1, Ordering::SeqCst);
+        RevokeResult::Returned
+    }
+}
+
+fn fid(n: u32) -> Fid {
+    Fid::new(VolumeId(1), VnodeId(n), 1)
+}
+
+#[test]
+fn concurrent_grant_revoke_respects_lock_hierarchy() {
+    const HOSTS: u32 = 4;
+    const ROUNDS: u32 = 200;
+    const FILES: u32 = 3;
+
+    let tm = Arc::new(TokenManager::new());
+    let hosts: Vec<Arc<StressHost>> = (0..HOSTS).map(StressHost::new).collect();
+    for h in &hosts {
+        tm.register_host(h.clone());
+    }
+
+    let threads: Vec<_> = hosts
+        .iter()
+        .map(|h| {
+            let tm = tm.clone();
+            let id = h.id;
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    // Alternate write grants (conflict with everyone) and
+                    // ranged grants (conflict with overlapping writers).
+                    let f = fid(i % FILES);
+                    let result = if i % 2 == 0 {
+                        tm.grant(id, f, TokenTypes::DATA_WRITE, ByteRange::WHOLE)
+                    } else {
+                        tm.grant(
+                            id,
+                            f,
+                            TokenTypes::DATA_READ | TokenTypes::STATUS_READ,
+                            ByteRange::new(u64::from(i) * 64, u64::from(i) * 64 + 128),
+                        )
+                    };
+                    if let Ok((token, _stamp)) = result {
+                        if i % 5 == 0 {
+                            tm.release(id, token.id);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no stress thread may panic (rank enforcer is live)");
+    }
+
+    let total: usize = hosts.iter().map(|h| h.revocations.load(Ordering::SeqCst)).sum();
+    assert!(total > 0, "conflicting write grants must have forced revocations");
+    for h in &hosts {
+        let violations = h.violations.lock().unwrap();
+        assert!(
+            violations.is_empty(),
+            "revocation callback for {:?} observed held ranks: {violations:?}",
+            h.id
+        );
+    }
+    assert!(tm.stats().grants >= u64::from(HOSTS * ROUNDS) / 2);
+    assert_eq!(tm.stats().revocations, total as u64);
+}
+
+#[test]
+fn host_churn_under_load_does_not_deadlock() {
+    let tm = Arc::new(TokenManager::new());
+    let stable: Vec<Arc<StressHost>> = (0..4).map(StressHost::new).collect();
+    for h in &stable {
+        tm.register_host(h.clone());
+    }
+
+    let granters: Vec<_> = stable
+        .iter()
+        .map(|h| {
+            let tm = tm.clone();
+            let id = h.id;
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let _ = tm.grant(id, fid(i % 2), TokenTypes::DATA_WRITE, ByteRange::WHOLE);
+                }
+            })
+        })
+        .collect();
+    // A churner repeatedly registers and removes a fifth host, so grant
+    // loops race against host-table mutation.
+    let churner = {
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                let extra = StressHost::new(99);
+                tm.register_host(extra.clone());
+                let _ = tm.grant(extra.id, fid(0), TokenTypes::DATA_READ, ByteRange::WHOLE);
+                tm.unregister_host(extra.id);
+            }
+        })
+    };
+    for t in granters {
+        t.join().unwrap();
+    }
+    churner.join().unwrap();
+    for h in &stable {
+        assert!(h.violations.lock().unwrap().is_empty());
+    }
+}

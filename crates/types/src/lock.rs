@@ -1,0 +1,503 @@
+//! Ranked locks: the workspace-wide lock hierarchy and its runtime
+//! enforcement.
+//!
+//! Every long-lived lock in the coherence path carries a static
+//! [`LockRank`]. A thread may only acquire a lock whose rank is
+//! **strictly greater** than every rank it already holds; debug builds
+//! keep a thread-local stack of held ranks and panic on the first
+//! violation, turning a potential deadlock into a deterministic test
+//! failure at the exact acquisition site. Release builds compile the
+//! bookkeeping away — an [`OrderedMutex`] is exactly a `parking_lot`
+//! mutex.
+//!
+//! # The global hierarchy
+//!
+//! Ranks ascend in the order locks may be nested (acquired-later ⇒
+//! higher rank). The tiers, lowest first:
+//!
+//! | rank constant          | value | guards |
+//! |------------------------|-------|--------|
+//! | `CLIENT_VNODE_HI`      |  10   | per-vnode high-level operation lock (§6.1) |
+//! | `CLIENT_VNODE_TABLE`   |  20   | cache manager's fid → vnode map |
+//! | `CLIENT_VNODE_LO`      |  30   | per-vnode low-level state lock (§6.1) |
+//! | `CLIENT_RESOURCE`      |  40   | ticket, volume-location and root caches (§4.1) |
+//! | `CLIENT_DATA_CACHE`    |  50   | client page stores (§4.2) |
+//! | `VOLUME_REGISTRY`      | 100   | server volume tables, VLDB replica map (§3.4) |
+//! | `SERVER_HOSTS`         | 110   | server's known-client set |
+//! | `TOKEN_MANAGER`        | 120   | the token manager's grant table (§5) |
+//! | `HOST_TABLE`           | 130   | host model records, local-host activity (§3.2) |
+//! | `LOCK_TABLE`           | 140   | server byte-range lock table (§3.6) |
+//! | `JOURNAL_TXNS`         | 150   | journal transaction table (§2.2) |
+//! | `JOURNAL_CACHE`        | 160   | journal buffer-cache map |
+//! | `JOURNAL_FRAME`        | 170   | individual buffer-frame latches |
+//! | `JOURNAL_LOG`          | 180   | the log tail |
+//! | `DISK`                 | 200   | simulated device state (doc only; the disk crate's locks are leaf-level and unranked) |
+//! | `STATS`                | 250   | statistics counters — always a leaf |
+//!
+//! Two rules follow from the paper and are checked by both this module
+//! (dynamically) and `dfs-lint` (statically):
+//!
+//! * `TokenHost::revoke` must be entered with **no** ranked lock held —
+//!   the token manager calls revocation methods "while not holding any
+//!   token manager locks" (§5.1), and revocation RPCs must be
+//!   processable no matter what the busy peer is doing (§6.4).
+//! * A guard must never be live across a `dfs-rpc` send: the reply may
+//!   be blocked behind a revocation aimed back at the caller.
+//!
+//! Locks in crates outside the coherence path (rpc, episode, disk,
+//! ffs, baselines) stay unranked and do not participate in the check.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Rank constants of the global hierarchy (see the module docs).
+pub mod rank {
+    /// Per-vnode high-level operation lock (§6.1).
+    pub const CLIENT_VNODE_HI: u16 = 10;
+    /// Cache manager's fid → vnode map. Ranked *above* the high-level
+    /// lock because operations consult the map while already serialized
+    /// on a vnode (seeding a child's status after a lookup or namespace
+    /// RPC); the map guard itself is never held across any other
+    /// acquisition.
+    pub const CLIENT_VNODE_TABLE: u16 = 20;
+    /// Per-vnode low-level state lock (§6.1).
+    pub const CLIENT_VNODE_LO: u16 = 30;
+    /// Client resource layer: ticket, location and root caches (§4.1).
+    pub const CLIENT_RESOURCE: u16 = 40;
+    /// Client page stores (§4.2).
+    pub const CLIENT_DATA_CACHE: u16 = 50;
+    /// Server volume tables and VLDB replica maps (§3.4).
+    pub const VOLUME_REGISTRY: u16 = 100;
+    /// Server's known-client set.
+    pub const SERVER_HOSTS: u16 = 110;
+    /// The token manager's grant table (§5).
+    pub const TOKEN_MANAGER: u16 = 120;
+    /// Host model records and local-host activity tracking (§3.2).
+    pub const HOST_TABLE: u16 = 130;
+    /// Server byte-range lock table (§3.6).
+    pub const LOCK_TABLE: u16 = 140;
+    /// Journal transaction table (§2.2).
+    pub const JOURNAL_TXNS: u16 = 150;
+    /// Journal buffer-cache map.
+    pub const JOURNAL_CACHE: u16 = 160;
+    /// Individual buffer-frame latches.
+    pub const JOURNAL_FRAME: u16 = 170;
+    /// The log tail.
+    pub const JOURNAL_LOG: u16 = 180;
+    /// Simulated device state (documentation only — the disk crate's
+    /// locks are leaves and stay unranked).
+    pub const DISK: u16 = 200;
+    /// Statistics counters — always a leaf.
+    pub const STATS: u16 = 250;
+
+    /// Human-readable name of a rank, for panic messages.
+    pub fn name(r: u16) -> &'static str {
+        match r {
+            CLIENT_VNODE_TABLE => "CLIENT_VNODE_TABLE",
+            CLIENT_VNODE_HI => "CLIENT_VNODE_HI",
+            CLIENT_VNODE_LO => "CLIENT_VNODE_LO",
+            CLIENT_RESOURCE => "CLIENT_RESOURCE",
+            CLIENT_DATA_CACHE => "CLIENT_DATA_CACHE",
+            VOLUME_REGISTRY => "VOLUME_REGISTRY",
+            SERVER_HOSTS => "SERVER_HOSTS",
+            TOKEN_MANAGER => "TOKEN_MANAGER",
+            HOST_TABLE => "HOST_TABLE",
+            LOCK_TABLE => "LOCK_TABLE",
+            JOURNAL_TXNS => "JOURNAL_TXNS",
+            JOURNAL_CACHE => "JOURNAL_CACHE",
+            JOURNAL_FRAME => "JOURNAL_FRAME",
+            JOURNAL_LOG => "JOURNAL_LOG",
+            DISK => "DISK",
+            STATS => "STATS",
+            _ => "UNKNOWN",
+        }
+    }
+}
+
+/// A lock's position in the global hierarchy.
+pub type LockRank = u16;
+
+#[cfg(debug_assertions)]
+mod enforce {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records acquisition of `rank`, panicking on a hierarchy violation.
+    pub fn acquire(rank: u16) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&top) = held.last() {
+                assert!(
+                    rank != top,
+                    "lock hierarchy violation: acquiring rank {rank} ({}) while already \
+                     holding the same rank — same-rank locks must never nest",
+                    super::rank::name(rank),
+                );
+                assert!(
+                    rank > top,
+                    "lock hierarchy violation: acquiring rank {rank} ({}) while holding \
+                     rank {top} ({}); held stack: {held:?}",
+                    super::rank::name(rank),
+                    super::rank::name(top),
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    /// Records release of `rank` (the most recent acquisition of it).
+    pub fn release(rank: u16) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            let pos = held
+                .iter()
+                .rposition(|&r| r == rank)
+                .expect("released a rank that was never recorded as held");
+            held.remove(pos);
+        });
+    }
+
+    pub fn held() -> Vec<u16> {
+        HELD.with(|h| h.borrow().clone())
+    }
+}
+
+/// Ranks currently held by this thread, innermost last.
+///
+/// Debug builds report the live stack; release builds always return an
+/// empty vector (enforcement is compiled out).
+pub fn held_ranks() -> Vec<u16> {
+    #[cfg(debug_assertions)]
+    {
+        enforce::held()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(debug_assertions)]
+fn rank_acquire(rank: u16) {
+    enforce::acquire(rank);
+}
+#[cfg(debug_assertions)]
+fn rank_release(rank: u16) {
+    enforce::release(rank);
+}
+#[cfg(not(debug_assertions))]
+fn rank_acquire(_rank: u16) {}
+#[cfg(not(debug_assertions))]
+fn rank_release(_rank: u16) {}
+
+/// A mutex that participates in the global lock hierarchy at rank
+/// `RANK` (one of the [`rank`] constants).
+pub struct OrderedMutex<T, const RANK: u16> {
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T, const RANK: u16> OrderedMutex<T, RANK> {
+    /// Creates a ranked mutex.
+    pub const fn new(value: T) -> Self {
+        OrderedMutex { inner: parking_lot::Mutex::new(value) }
+    }
+
+    /// Acquires the mutex, checking the hierarchy in debug builds.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T, RANK> {
+        rank_acquire(RANK);
+        OrderedMutexGuard { inner: self.inner.lock() }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default, const RANK: u16> Default for OrderedMutex<T, RANK> {
+    fn default() -> Self {
+        OrderedMutex::new(T::default())
+    }
+}
+
+impl<T, const RANK: u16> fmt::Debug for OrderedMutex<T, RANK> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex").field("rank", &RANK).finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`OrderedMutex`]; pops the rank on drop.
+pub struct OrderedMutexGuard<'a, T, const RANK: u16> {
+    inner: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T, const RANK: u16> Deref for OrderedMutexGuard<'_, T, RANK> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T, const RANK: u16> DerefMut for OrderedMutexGuard<'_, T, RANK> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T, const RANK: u16> Drop for OrderedMutexGuard<'_, T, RANK> {
+    fn drop(&mut self) {
+        rank_release(RANK);
+    }
+}
+
+/// A condition variable for [`OrderedMutex`].
+///
+/// While a thread waits, the mutex is released but the rank stays on the
+/// waiter's held stack: conceptually the thread still owns its place in
+/// the hierarchy, and on wake-up the mutex is re-acquired at the same
+/// position without re-checking (the stack never changed).
+pub struct OrderedCondvar {
+    inner: parking_lot::Condvar,
+}
+
+impl OrderedCondvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        OrderedCondvar { inner: parking_lot::Condvar::new() }
+    }
+
+    /// Atomically releases the guarded mutex and blocks until notified.
+    pub fn wait<T, const RANK: u16>(&self, guard: &mut OrderedMutexGuard<'_, T, RANK>) {
+        self.inner.wait(&mut guard.inner);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for OrderedCondvar {
+    fn default() -> Self {
+        OrderedCondvar::new()
+    }
+}
+
+/// A reader-writer lock that participates in the hierarchy at rank
+/// `RANK`. Readers and writers are both treated as acquisitions: the
+/// rank check does not distinguish shared from exclusive mode (a
+/// read-lock held across a lower-ranked acquisition is just as much an
+/// ordering bug).
+pub struct OrderedRwLock<T, const RANK: u16> {
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T, const RANK: u16> OrderedRwLock<T, RANK> {
+    /// Creates a ranked reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        OrderedRwLock { inner: parking_lot::RwLock::new(value) }
+    }
+
+    /// Acquires shared access.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T, RANK> {
+        rank_acquire(RANK);
+        OrderedRwLockReadGuard { inner: self.inner.read() }
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T, RANK> {
+        rank_acquire(RANK);
+        OrderedRwLockWriteGuard { inner: self.inner.write() }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default, const RANK: u16> Default for OrderedRwLock<T, RANK> {
+    fn default() -> Self {
+        OrderedRwLock::new(T::default())
+    }
+}
+
+impl<T, const RANK: u16> fmt::Debug for OrderedRwLock<T, RANK> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock").field("rank", &RANK).finish_non_exhaustive()
+    }
+}
+
+/// Shared-access RAII guard for [`OrderedRwLock`].
+pub struct OrderedRwLockReadGuard<'a, T, const RANK: u16> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+}
+
+impl<T, const RANK: u16> Deref for OrderedRwLockReadGuard<'_, T, RANK> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T, const RANK: u16> Drop for OrderedRwLockReadGuard<'_, T, RANK> {
+    fn drop(&mut self) {
+        rank_release(RANK);
+    }
+}
+
+/// Exclusive-access RAII guard for [`OrderedRwLock`].
+pub struct OrderedRwLockWriteGuard<'a, T, const RANK: u16> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+}
+
+impl<T, const RANK: u16> Deref for OrderedRwLockWriteGuard<'_, T, RANK> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T, const RANK: u16> DerefMut for OrderedRwLockWriteGuard<'_, T, RANK> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T, const RANK: u16> Drop for OrderedRwLockWriteGuard<'_, T, RANK> {
+    fn drop(&mut self) {
+        rank_release(RANK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ascending_acquisition_is_fine() {
+        let a: OrderedMutex<u32, { rank::TOKEN_MANAGER }> = OrderedMutex::new(1);
+        let b: OrderedMutex<u32, { rank::LOCK_TABLE }> = OrderedMutex::new(2);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+        if cfg!(debug_assertions) {
+            assert_eq!(held_ranks(), vec![rank::TOKEN_MANAGER, rank::LOCK_TABLE]);
+        }
+        drop(gb);
+        drop(ga);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_release_is_fine() {
+        let a: OrderedMutex<u32, { rank::JOURNAL_TXNS }> = OrderedMutex::new(0);
+        let b: OrderedMutex<u32, { rank::JOURNAL_LOG }> = OrderedMutex::new(0);
+        let ga = a.lock();
+        let gb = b.lock();
+        // Dropping the outer guard first must still unwind the stack
+        // correctly (append paths hand guards around like this).
+        drop(ga);
+        if cfg!(debug_assertions) {
+            assert_eq!(held_ranks(), vec![rank::JOURNAL_LOG]);
+        }
+        drop(gb);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "enforcement is debug-only")]
+    fn descending_acquisition_panics() {
+        let err = std::thread::spawn(|| {
+            let hi: OrderedMutex<(), { rank::JOURNAL_LOG }> = OrderedMutex::new(());
+            let lo: OrderedMutex<(), { rank::TOKEN_MANAGER }> = OrderedMutex::new(());
+            let _g = hi.lock();
+            let _g2 = lo.lock(); // inversion
+        })
+        .join()
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("lock hierarchy violation"), "got: {msg}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "enforcement is debug-only")]
+    fn same_rank_nesting_panics() {
+        let err = std::thread::spawn(|| {
+            let a: OrderedMutex<(), { rank::HOST_TABLE }> = OrderedMutex::new(());
+            let b: OrderedMutex<(), { rank::HOST_TABLE }> = OrderedMutex::new(());
+            let _ga = a.lock();
+            let _gb = b.lock(); // order between equals is undefined
+        })
+        .join()
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("same rank"), "got: {msg}");
+    }
+
+    #[test]
+    fn rwlock_participates_in_hierarchy() {
+        let l: OrderedRwLock<Vec<u32>, { rank::VOLUME_REGISTRY }> =
+            OrderedRwLock::new(vec![1, 2]);
+        {
+            let r1 = l.read();
+            assert_eq!(r1.len(), 2);
+        }
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    fn condvar_keeps_rank_across_wait() {
+        let pair = Arc::new((
+            OrderedMutex::<bool, { rank::HOST_TABLE }>::new(false),
+            OrderedCondvar::new(),
+        ));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+            held_ranks()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        let ranks_in_wait = t.join().unwrap();
+        if cfg!(debug_assertions) {
+            assert_eq!(ranks_in_wait, vec![rank::HOST_TABLE]);
+        }
+    }
+
+    #[test]
+    fn stats_is_a_leaf_over_everything() {
+        let table: OrderedMutex<(), { rank::LOCK_TABLE }> = OrderedMutex::new(());
+        let stats: OrderedMutex<u64, { rank::STATS }> = OrderedMutex::new(0);
+        let _g = table.lock();
+        *stats.lock() += 1;
+        drop(_g);
+        assert!(held_ranks().is_empty());
+    }
+}

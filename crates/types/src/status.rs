@@ -92,10 +92,8 @@ mod tests {
 
     #[test]
     fn status_merge_rule_uses_stamp() {
-        let mut old = FileStatus::default();
-        old.stamp = SerializationStamp(5);
-        let mut new = FileStatus::default();
-        new.stamp = SerializationStamp(6);
+        let old = FileStatus { stamp: SerializationStamp(5), ..Default::default() };
+        let new = FileStatus { stamp: SerializationStamp(6), ..Default::default() };
         assert!(new.supersedes(&old));
         assert!(!old.supersedes(&new));
         assert!(!old.supersedes(&old), "equal stamps do not supersede");

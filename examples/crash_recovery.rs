@@ -39,7 +39,7 @@ fn main() {
     disk.power_on();
 
     disk.reset_stats();
-    let (ep2, report) = Episode::open(disk.clone(), clock).expect("recover");
+    let (ep2, report) = Episode::open(disk, clock).expect("recover");
     println!(
         "episode restart: scanned {} log blocks, redid {} updates, undid {}, \
          simulated disk time {:.1} ms",

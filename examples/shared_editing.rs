@@ -80,7 +80,7 @@ fn main() {
     // Each side still sees its own and (after handoff) the other's data.
     let a_view = remote_a.read(big.fid, 0, 64).unwrap();
     assert_eq!(a_view, vec![0xA; 64]);
-    let b_view = remote_b.read(big.fid, half as u64, 64).unwrap();
+    let b_view = remote_b.read(big.fid, half, 64).unwrap();
     assert_eq!(b_view, vec![0xB; 64]);
 
     println!("byte-range sharing: OK");

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset `crates/bench/benches/micro.rs` uses:
+//! `Criterion::default().sample_size(..).measurement_time(..).warm_up_time(..)`,
+//! `bench_function` with `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is plain wall-clock sampling — median
+//! and mean ns/iter are reported, with none of criterion's statistics,
+//! plotting, or baseline comparison.
+//!
+//! Like real criterion, when the binary is run without a `--bench`
+//! argument (as `cargo test` does for `harness = false` bench targets),
+//! each benchmark body executes once as a smoke test and no measurement
+//! is taken.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs (or smoke-tests) one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        if self.test_mode {
+            body(&mut b);
+            println!("test-mode bench {name}: ok");
+            return self;
+        }
+
+        // Warm-up: let caches and pools settle while calibrating an
+        // iteration count that fills one sample.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter = Duration::from_micros(1);
+        while Instant::now() < warm_deadline {
+            body(&mut b);
+            if b.iters > 0 && !b.elapsed.is_zero() {
+                per_iter = b.elapsed / b.iters as u32;
+            }
+        }
+
+        let sample_budget = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128)
+                as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            body(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = samples[samples.len() / 2];
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} median {median:>12.1} ns/iter   mean {mean:>12.1} ns/iter   ({} samples x {} iters)",
+            self.sample_size, iters_per_sample
+        );
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over this sample's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so shim users can write `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -105,7 +105,7 @@ fn server_crash_and_restart_preserves_committed_state() {
     let ep = Episode::format(disk.clone(), clock.clone(), Default::default()).unwrap();
     ep.create_volume(VolumeId(9), "w").unwrap();
     {
-        use decorum_dfs::vfs::{Credentials, PhysicalFs, Vfs};
+        use decorum_dfs::vfs::{Credentials, PhysicalFs};
         let v = PhysicalFs::mount(&*ep, VolumeId(9)).unwrap();
         let root = v.root().unwrap();
         let f = v.create(&Credentials::system(), root, "x", 0o644).unwrap();

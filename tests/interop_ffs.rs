@@ -95,7 +95,7 @@ fn tokens_work_identically_over_ffs() {
     }
     assert_eq!(net.stats().since(&before).calls, 0);
     // Writes still invalidate.
-    a.write(f.fid, 0, &vec![2u8; 64]).unwrap();
+    a.write(f.fid, 0, &[2u8; 64]).unwrap();
     assert_eq!(b.read(f.fid, 0, 64).unwrap(), vec![2u8; 64]);
 }
 

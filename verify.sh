@@ -1,0 +1,23 @@
+#!/bin/sh
+# Full verification gate: what CI runs, and what a PR must keep green.
+#
+#   1. release build of the whole workspace
+#   2. the test suite (unit + integration + property tests)
+#   3. dfs-lint: workspace-wide lock-order / guard-across-RPC static
+#      analysis over crates/ (see crates/lint and DESIGN.md
+#      "Concurrency discipline")
+#
+# Run from the repo root:  ./verify.sh
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> dfs-lint crates/"
+cargo run -q --release -p dfs-lint -- crates/
+
+echo "verify: OK"
