@@ -1,0 +1,27 @@
+//! Validates that stdin is one well-formed JSON value.
+//!
+//! The `verify.sh` bench smoke stage pipes `--json` harness output
+//! through this: exit 0 on valid JSON, exit 1 with a diagnostic
+//! otherwise. No external JSON crates — see `dfs_bench::json`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("jsoncheck: read error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if input.trim().is_empty() {
+        eprintln!("jsoncheck: empty input (bench produced no output)");
+        return ExitCode::FAILURE;
+    }
+    match dfs_bench::json::validate(&input) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("jsoncheck: malformed JSON: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

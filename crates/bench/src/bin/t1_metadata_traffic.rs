@@ -51,12 +51,51 @@ fn ffs_run(files: u32) -> DiskStats {
     disk.stats()
 }
 
+fn parse_args() -> (bool, Vec<u32>) {
+    let mut json = false;
+    let mut sweep = vec![100u32, 1000, 4000];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--files" => {
+                sweep = vec![args.next().and_then(|v| v.parse().ok()).expect("--files N")]
+            }
+            other => panic!("unknown flag {other:?} (supported: --json --files N)"),
+        }
+    }
+    (json, sweep)
+}
+
 fn main() {
+    let (json, sweep) = parse_args();
+    if json {
+        let rows: Vec<String> = sweep
+            .iter()
+            .map(|&files| {
+                let e = episode_run(files);
+                let f = ffs_run(files);
+                format!(
+                    "{{\"files\": {files}, \
+                     \"episode\": {{\"durable_writes\": {}, \"syncs\": {}, \"disk_ms\": {:.2}}}, \
+                     \"ffs\": {{\"durable_writes\": {}, \"syncs\": {}, \"disk_ms\": {:.2}}}}}",
+                    e.stable_writes,
+                    e.syncs,
+                    e.busy_ms(),
+                    f.stable_writes,
+                    f.syncs,
+                    f.busy_ms()
+                )
+            })
+            .collect();
+        println!("{{\"bench\": \"t1_metadata_traffic\", \"runs\": [{}]}}", rows.join(", "));
+        return;
+    }
     println!("T1: disk traffic for metadata-heavy operations (create+write+truncate+delete)");
     println!("    Episode batches metadata into sequential log appends; FFS writes");
     println!("    metadata synchronously in place (N = files cycled).\n");
     header(&["N", "fs", "durable writes", "sync ops", "seq ops", "random ops", "disk ms"]);
-    for files in [100u32, 1000, 4000] {
+    for &files in &sweep {
         let e = episode_run(files);
         let f = ffs_run(files);
         row(&[&files, &"episode", &e.stable_writes, &e.syncs, &e.sequential_ops, &e.random_ops, &dfs_bench::f2(e.busy_ms())]);

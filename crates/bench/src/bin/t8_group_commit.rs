@@ -2,19 +2,32 @@
 //! requires batching commits every 30 seconds"; batch commits append
 //! sequentially and are cheap. Sweeping the sync interval shows the
 //! latency/traffic trade.
+//!
+//! The second section measures the client write-behind pipeline: a
+//! sequential-write workload stored back under the pre-pipeline shape
+//! (one `StoreData` per dirty page, one journal transaction each) versus
+//! the coalescing pipeline (extent-sized runs batched into one
+//! `StoreDataVec`, applied in a single transaction ending in one group
+//! commit).
+//!
+//! Flags: `--json` emits machine-readable results (validated by
+//! `jsoncheck` in the verify.sh smoke stage); `--ops N` and `--pages N`
+//! shrink the workloads for smoke runs.
 
-use dfs_bench::{f2, header, row};
+use dfs_bench::{f2, header, ratio, row};
+use dfs_client::{CacheManager, MemCache, WritebackConfig, PAGE_SIZE};
 use dfs_disk::{DiskConfig, SimDisk};
 use dfs_episode::{Episode, FormatParams};
-use dfs_types::{SimClock, VolumeId};
+use dfs_rpc::{Addr, Network, PoolConfig};
+use dfs_server::{FileServer, VldbReplica};
+use dfs_types::{ClientId, ServerId, SimClock, VolumeId};
 use dfs_vfs::{Credentials, PhysicalFs};
+use std::sync::Arc;
 
-const OPS: u32 = 2000;
-
-/// Runs OPS file creations with a group commit every `batch` operations
-/// (batch == 1 models sync-on-every-op; large batches model the 30 s
-/// timer).
-fn run(batch: u32) -> (u64, u64, f64) {
+/// Runs `ops` file creations with a group commit every `batch`
+/// operations (batch == 1 models sync-on-every-op; large batches model
+/// the 30 s timer).
+fn run(ops: u32, batch: u32) -> (u64, u64, f64) {
     let disk = SimDisk::new(DiskConfig::with_blocks(128 * 1024));
     let ep = Episode::format(disk.clone(), SimClock::new(), FormatParams::default()).unwrap();
     ep.create_volume(VolumeId(1), "v").unwrap();
@@ -22,7 +35,7 @@ fn run(batch: u32) -> (u64, u64, f64) {
     let cred = Credentials::system();
     let root = v.root().unwrap();
     disk.reset_stats();
-    for i in 0..OPS {
+    for i in 0..ops {
         v.create(&cred, root, &format!("f{i}"), 0o644).unwrap();
         if i % batch == batch - 1 {
             ep.sync_log().unwrap();
@@ -33,14 +46,167 @@ fn run(batch: u32) -> (u64, u64, f64) {
     (s.stable_writes, s.syncs, s.busy_ms())
 }
 
+/// One store-back measurement: RPC and journal costs of pushing a
+/// `pages`-page sequential write from client to server.
+struct WbRun {
+    store_rpcs: u64,
+    store_vec_rpcs: u64,
+    store_bytes: u64,
+    jn_syncs: u64,
+    jn_txns: u64,
+}
+
+impl WbRun {
+    fn rpcs(&self) -> u64 {
+        self.store_rpcs + self.store_vec_rpcs
+    }
+}
+
+/// Builds a one-server cell by hand (keeping the Episode handle so the
+/// server's journal counters stay reachable), writes `pages` sequential
+/// pages, and measures the fsync-driven store-back.
+fn writeback_run(wb: WritebackConfig, pages: u64) -> WbRun {
+    let clock = SimClock::new();
+    let net = Network::new(clock.clone(), 10);
+    let vldb = Addr::Vldb(0);
+    net.register(vldb, VldbReplica::new(), PoolConfig::default());
+    let ep = Episode::format(
+        SimDisk::new(DiskConfig::with_blocks(32 * 1024)),
+        clock.clone(),
+        FormatParams::default(),
+    )
+    .unwrap();
+    ep.create_volume(VolumeId(1), "wb").unwrap();
+    let _srv =
+        FileServer::start(net.clone(), ServerId(1), ep.clone(), vec![vldb], PoolConfig::default())
+            .unwrap();
+    // Flusher off so all store-back traffic is driven by the fsync and
+    // the RPC counts are deterministic.
+    let c = CacheManager::start_with_config(
+        net.clone(),
+        ClientId(1),
+        vec![vldb],
+        Arc::new(MemCache::new()),
+        wb,
+    );
+    let root = c.root(VolumeId(1)).unwrap();
+    let f = c.create(root, "seq", 0o644).unwrap();
+    for p in 0..pages {
+        c.write(f.fid, p * PAGE_SIZE as u64, &[p as u8; PAGE_SIZE]).unwrap();
+    }
+    let net_before = net.stats();
+    let jn_before = ep.journal().stats();
+    c.fsync(f.fid).unwrap();
+    let nd = net.stats().since(&net_before);
+    let jd = ep.journal().stats().since(&jn_before);
+    let label_bytes = |l: &str| nd.bytes_by_label.get(l).copied().unwrap_or(0);
+    WbRun {
+        store_rpcs: nd.by_label.get("StoreData").copied().unwrap_or(0),
+        store_vec_rpcs: nd.by_label.get("StoreDataVec").copied().unwrap_or(0),
+        store_bytes: label_bytes("StoreData") + label_bytes("StoreDataVec"),
+        jn_syncs: jd.syncs,
+        jn_txns: jd.txns_begun,
+    }
+}
+
+fn parse_args() -> (bool, u32, u64) {
+    let mut json = false;
+    let mut ops = 2000u32;
+    let mut pages = 64u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--ops" => ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
+            "--pages" => pages = args.next().and_then(|v| v.parse().ok()).expect("--pages N"),
+            other => panic!("unknown flag {other:?} (supported: --json --ops N --pages N)"),
+        }
+    }
+    (json, ops, pages)
+}
+
 fn main() {
-    println!("T8: group-commit batching — {OPS} creates, sync every N ops\n");
+    let (json, ops, pages) = parse_args();
+    let batches = [1u32, 4, 16, 64, 256, 1024];
+    let sweep: Vec<(u32, u64, u64, f64)> = batches
+        .iter()
+        .filter(|&&b| b <= ops)
+        .map(|&b| {
+            let (writes, syncs, ms) = run(ops, b);
+            (b, writes, syncs, ms)
+        })
+        .collect();
+    let legacy = writeback_run(WritebackConfig::legacy(), pages);
+    let pipeline = writeback_run(
+        WritebackConfig { flusher: false, ..WritebackConfig::default() },
+        pages,
+    );
+
+    if json {
+        let rows: Vec<String> = sweep
+            .iter()
+            .map(|(b, w, s, ms)| {
+                format!(
+                    "{{\"batch\": {b}, \"durable_writes\": {w}, \"syncs\": {s}, \
+                     \"disk_ms\": {ms:.2}}}"
+                )
+            })
+            .collect();
+        let wb = |r: &WbRun| {
+            format!(
+                "{{\"store_data_rpcs\": {}, \"store_data_vec_rpcs\": {}, \
+                 \"store_bytes\": {}, \"journal_syncs\": {}, \"journal_txns\": {}}}",
+                r.store_rpcs, r.store_vec_rpcs, r.store_bytes, r.jn_syncs, r.jn_txns
+            )
+        };
+        println!(
+            "{{\"bench\": \"t8_group_commit\", \"ops\": {ops}, \
+             \"group_commit\": [{}], \
+             \"writeback\": {{\"pages\": {pages}, \"legacy\": {}, \"pipeline\": {}, \
+             \"rpc_reduction\": {:.2}, \"sync_reduction\": {:.2}}}}}",
+            rows.join(", "),
+            wb(&legacy),
+            wb(&pipeline),
+            legacy.rpcs() as f64 / pipeline.rpcs().max(1) as f64,
+            legacy.jn_syncs as f64 / pipeline.jn_syncs.max(1) as f64,
+        );
+        return;
+    }
+
+    println!("T8: group-commit batching — {ops} creates, sync every N ops\n");
     header(&["batch", "durable writes", "sync ops", "disk ms", "writes/op"]);
-    for batch in [1u32, 4, 16, 64, 256, 1024] {
-        let (writes, syncs, ms) = run(batch);
-        row(&[&batch, &writes, &syncs, &f2(ms), &f2(writes as f64 / OPS as f64)]);
+    for (b, writes, syncs, ms) in &sweep {
+        row(&[b, writes, syncs, &f2(*ms), &f2(*writes as f64 / ops as f64)]);
     }
     println!("\nExpected shape (paper): larger batches amortize log writes toward a");
     println!("fraction of a durable write per operation; even batch=1 beats FFS's");
-    println!("several synchronous writes per create (see T1).");
+    println!("several synchronous writes per create (see T1).\n");
+
+    println!("Write-behind pipeline: {pages}-page sequential write, then fsync\n");
+    header(&["path", "StoreData", "StoreDataVec", "store bytes", "jn syncs", "jn txns"]);
+    row(&[
+        &"legacy",
+        &legacy.store_rpcs,
+        &legacy.store_vec_rpcs,
+        &legacy.store_bytes,
+        &legacy.jn_syncs,
+        &legacy.jn_txns,
+    ]);
+    row(&[
+        &"pipeline",
+        &pipeline.store_rpcs,
+        &pipeline.store_vec_rpcs,
+        &pipeline.store_bytes,
+        &pipeline.jn_syncs,
+        &pipeline.jn_txns,
+    ]);
+    println!(
+        "\n{:>16} advantage: {} fewer store RPCs, {} fewer journal syncs",
+        "",
+        ratio(legacy.rpcs() as f64, pipeline.rpcs() as f64),
+        ratio(legacy.jn_syncs as f64, pipeline.jn_syncs as f64),
+    );
+    println!("\nExpected shape: the pipeline coalesces extent-sized runs into one");
+    println!("StoreDataVec applied as a single server transaction — RPC count and");
+    println!("group commits drop by the coalescing factor while bytes stay put.");
 }

@@ -29,6 +29,191 @@ pub fn ratio(a: f64, b: f64) -> String {
     format!("{:.1}x", a / b.max(1e-9))
 }
 
+/// Minimal JSON validation for the bench smoke stage (`verify.sh`).
+///
+/// The harness binaries emit machine-readable results under `--json`;
+/// this module checks the output actually parses, with no external
+/// dependencies. It validates structure only — no value model is built.
+pub mod json {
+    /// Validates that `input` is exactly one well-formed JSON value
+    /// (trailing whitespace allowed). Returns the byte offset and a
+    /// message on failure.
+    pub fn validate(input: &str) -> Result<(), String> {
+        let b = input.as_bytes();
+        let mut p = Parser { b, i: 0 };
+        p.skip_ws();
+        p.value()?;
+        p.skip_ws();
+        if p.i != b.len() {
+            return Err(p.err("trailing data after JSON value"));
+        }
+        Ok(())
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> String {
+            format!("byte {}: {}", self.i, msg)
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", c as char)))
+            }
+        }
+
+        fn lit(&mut self, s: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(s.as_bytes()) {
+                self.i += s.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected literal '{s}'")))
+            }
+        }
+
+        fn value(&mut self) -> Result<(), String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(b't') => self.lit("true"),
+                Some(b'f') => self.lit("false"),
+                Some(b'n') => self.lit("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+
+        fn object(&mut self) -> Result<(), String> {
+            self.eat(b'{')?;
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.skip_ws();
+                self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                self.value()?;
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or '}' in object")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<(), String> {
+            self.eat(b'[')?;
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.skip_ws();
+                self.value()?;
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or ']' in array")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"')?;
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.peek() {
+                            Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                                self.i += 1
+                            }
+                            Some(b'u') => {
+                                self.i += 1;
+                                for _ in 0..4 {
+                                    match self.peek() {
+                                        Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                        _ => return Err(self.err("bad \\u escape")),
+                                    }
+                                }
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                    }
+                    Some(c) if c < 0x20 => return Err(self.err("control char in string")),
+                    Some(_) => self.i += 1,
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<(), String> {
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            let digits = |p: &mut Self| -> Result<(), String> {
+                let start = p.i;
+                while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                    p.i += 1;
+                }
+                if p.i == start {
+                    Err(p.err("expected digits"))
+                } else {
+                    Ok(())
+                }
+            };
+            digits(self)?;
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+                digits(self)?;
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.i += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.i += 1;
+                }
+                digits(self)?;
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +222,38 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f2(1.2345), "1.23");
         assert_eq!(ratio(10.0, 2.0), "5.0x");
+    }
+
+    #[test]
+    fn json_accepts_well_formed_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e10",
+            r#""esc \" \\ ÿ""#,
+            r#"{"a": [1, 2, {"b": null}], "c": "x"}"#,
+            "  {\"k\": 1}\n",
+        ] {
+            assert!(json::validate(ok).is_ok(), "rejected {ok:?}");
+        }
+    }
+
+    #[test]
+    fn json_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "01e",
+            "nul",
+            "{\"a\": \"\x01\"}",
+        ] {
+            assert!(json::validate(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -13,6 +13,7 @@ use dfs_disk::{SimDisk, BLOCK_SIZE};
 use dfs_types::lock::{rank, OrderedMutex};
 use dfs_types::{DfsError, DfsResult, Fid};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Page size of the client data cache (one disk block).
 pub const PAGE_SIZE: usize = BLOCK_SIZE;
@@ -31,7 +32,9 @@ pub trait DataCache: Send + Sync {
     /// Drops every page of a file.
     fn evict_file(&self, fid: Fid);
 
-    /// Bytes currently cached.
+    /// Bytes currently cached. O(1) and lock-free in both built-in
+    /// caches (a maintained counter), so monitoring and the write-behind
+    /// budget checks never contend with the page maps.
     fn bytes_used(&self) -> u64;
 }
 
@@ -39,6 +42,7 @@ pub trait DataCache: Send + Sync {
 #[derive(Default)]
 pub struct MemCache {
     pages: OrderedMutex<HashMap<(Fid, u64), Vec<u8>>, { rank::CLIENT_DATA_CACHE }>,
+    bytes: AtomicU64,
 }
 
 impl MemCache {
@@ -56,20 +60,28 @@ impl DataCache for MemCache {
     fn write_page(&self, fid: Fid, page: u64, data: &[u8]) -> DfsResult<()> {
         let mut p = data.to_vec();
         p.resize(PAGE_SIZE, 0);
-        self.pages.lock().insert((fid, page), p);
+        if self.pages.lock().insert((fid, page), p).is_none() {
+            self.bytes.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+        }
         Ok(())
     }
 
     fn drop_page(&self, fid: Fid, page: u64) {
-        self.pages.lock().remove(&(fid, page));
+        if self.pages.lock().remove(&(fid, page)).is_some() {
+            self.bytes.fetch_sub(PAGE_SIZE as u64, Ordering::Relaxed);
+        }
     }
 
     fn evict_file(&self, fid: Fid) {
-        self.pages.lock().retain(|(f, _), _| *f != fid);
+        let mut pages = self.pages.lock();
+        let before = pages.len();
+        pages.retain(|(f, _), _| *f != fid);
+        let dropped = (before - pages.len()) as u64;
+        self.bytes.fetch_sub(dropped * PAGE_SIZE as u64, Ordering::Relaxed);
     }
 
     fn bytes_used(&self) -> u64 {
-        (self.pages.lock().len() * PAGE_SIZE) as u64
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -78,6 +90,7 @@ impl DataCache for MemCache {
 pub struct DiskCache {
     disk: SimDisk,
     inner: OrderedMutex<DiskCacheInner, { rank::CLIENT_DATA_CACHE }>,
+    bytes: AtomicU64,
 }
 
 struct DiskCacheInner {
@@ -100,6 +113,7 @@ impl DiskCache {
                 free,
                 order: Vec::new(),
             }),
+            bytes: AtomicU64::new(0),
         }
     }
 
@@ -121,16 +135,20 @@ impl DataCache for DiskCache {
             Some(b) => *b,
             None => {
                 let b = match inner.free.pop() {
-                    Some(b) => b,
+                    Some(b) => {
+                        self.bytes.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+                        b
+                    }
                     None => {
-                        // Cache full: evict the oldest other page.
+                        // Cache full: evict the oldest other page. One
+                        // mapping replaces another, so `bytes` is net
+                        // unchanged.
                         let victim = inner
                             .order
                             .iter()
                             .position(|k| *k != (fid, page))
                             .ok_or(DfsError::NoSpace)?;
                         let key = inner.order.remove(victim);
-                        
                         inner.index.remove(&key).expect("ordered page in index")
                     }
                 };
@@ -150,6 +168,7 @@ impl DataCache for DiskCache {
         if let Some(b) = inner.index.remove(&(fid, page)) {
             inner.free.push(b);
             inner.order.retain(|k| *k != (fid, page));
+            self.bytes.fetch_sub(PAGE_SIZE as u64, Ordering::Relaxed);
         }
     }
 
@@ -157,16 +176,19 @@ impl DataCache for DiskCache {
         let mut inner = self.inner.lock();
         let keys: Vec<(Fid, u64)> =
             inner.index.keys().filter(|(f, _)| *f == fid).copied().collect();
+        let mut dropped = 0u64;
         for k in keys {
             if let Some(b) = inner.index.remove(&k) {
                 inner.free.push(b);
+                dropped += 1;
             }
         }
         inner.order.retain(|(f, _)| *f != fid);
+        self.bytes.fetch_sub(dropped * PAGE_SIZE as u64, Ordering::Relaxed);
     }
 
     fn bytes_used(&self) -> u64 {
-        (self.inner.lock().index.len() * PAGE_SIZE) as u64
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -227,6 +249,46 @@ mod tests {
         cache.write_page(fid(2), 0, b"new").unwrap();
         assert!(cache.read_page(fid(2), 0).is_some());
         assert!(cache.read_page(fid(1), 0).is_none(), "oldest page evicted");
+    }
+
+    fn check_byte_accounting(cache: &dyn DataCache) {
+        assert_eq!(cache.bytes_used(), 0);
+        cache.write_page(fid(1), 0, b"a").unwrap();
+        cache.write_page(fid(1), 1, b"b").unwrap();
+        cache.write_page(fid(2), 0, b"c").unwrap();
+        assert_eq!(cache.bytes_used(), 3 * PAGE_SIZE as u64);
+        // Overwrites do not double-charge.
+        cache.write_page(fid(1), 0, b"a2").unwrap();
+        assert_eq!(cache.bytes_used(), 3 * PAGE_SIZE as u64);
+        cache.drop_page(fid(1), 1);
+        cache.drop_page(fid(1), 1); // double drop is a no-op
+        assert_eq!(cache.bytes_used(), 2 * PAGE_SIZE as u64);
+        cache.evict_file(fid(1));
+        assert_eq!(cache.bytes_used(), PAGE_SIZE as u64);
+        cache.evict_file(fid(2));
+        assert_eq!(cache.bytes_used(), 0);
+    }
+
+    #[test]
+    fn mem_cache_byte_counter_stays_exact() {
+        check_byte_accounting(&MemCache::new());
+    }
+
+    #[test]
+    fn disk_cache_byte_counter_stays_exact() {
+        check_byte_accounting(&DiskCache::new(SimDisk::new(DiskConfig::with_blocks(64))));
+    }
+
+    #[test]
+    fn disk_cache_counter_constant_across_full_cache_eviction() {
+        let cache = DiskCache::new(SimDisk::new(DiskConfig::with_blocks(4)));
+        for p in 0..4 {
+            cache.write_page(fid(1), p, &[p as u8; 8]).unwrap();
+        }
+        assert_eq!(cache.bytes_used(), 4 * PAGE_SIZE as u64);
+        // Replacement eviction: one page out, one in — no net change.
+        cache.write_page(fid(2), 0, b"new").unwrap();
+        assert_eq!(cache.bytes_used(), 4 * PAGE_SIZE as u64);
     }
 
     #[test]

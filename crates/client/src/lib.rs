@@ -32,17 +32,73 @@ use dfs_rpc::{
 };
 use dfs_server::VldbHandle;
 use dfs_token::{Token, TokenTypes};
-use dfs_types::lock::{rank, OrderedMutex};
+use dfs_types::lock::{rank, OrderedCondvar, OrderedMutex};
 use dfs_types::{
     Acl, ByteRange, ClientId, DfsError, DfsResult, FileStatus, Fid, SerializationStamp, ServerId,
     VolumeId,
 };
-use dfs_vfs::{DirEntry, SetAttrs};
-use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use dfs_vfs::{DirEntry, SetAttrs, WriteExtent};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Pages fetched per miss (read-ahead granularity).
 const FETCH_PAGES: u64 = 16;
+
+/// Pages coalesced into one store-back extent (64 KB of 4 KB pages).
+pub const STORE_EXTENT_PAGES: usize = 16;
+
+/// Tuning for the write-behind pipeline (coalesced store-backs and the
+/// background flusher).
+#[derive(Clone, Debug)]
+pub struct WritebackConfig {
+    /// Most contiguous dirty pages coalesced into one extent.
+    pub extent_pages: usize,
+    /// Most extents shipped per store-back RPC (via `StoreDataVec`).
+    pub max_extents_per_rpc: usize,
+    /// Ship multi-extent `StoreDataVec` RPCs; when false every extent
+    /// goes out as its own `StoreData`.
+    pub use_vec_rpc: bool,
+    /// Run the background flusher ("background store" daemon).
+    pub flusher: bool,
+    /// Flusher pass interval when idle.
+    pub flush_interval: Duration,
+    /// Dirty pages (client-wide) above which the flusher is kicked;
+    /// above twice this budget the writing thread flushes synchronously
+    /// (backpressure).
+    pub dirty_budget_pages: usize,
+}
+
+impl Default for WritebackConfig {
+    fn default() -> Self {
+        WritebackConfig {
+            extent_pages: STORE_EXTENT_PAGES,
+            max_extents_per_rpc: 8,
+            use_vec_rpc: true,
+            flusher: true,
+            flush_interval: Duration::from_millis(2),
+            dirty_budget_pages: 256,
+        }
+    }
+}
+
+impl WritebackConfig {
+    /// The pre-pipeline behaviour: one 4 KB `StoreData` per dirty page,
+    /// no background flusher, no backpressure. Benchmarks use this as
+    /// the before-side of before/after comparisons.
+    pub fn legacy() -> Self {
+        WritebackConfig {
+            extent_pages: 1,
+            max_extents_per_rpc: 1,
+            use_vec_rpc: false,
+            flusher: false,
+            flush_interval: Duration::from_millis(2),
+            dirty_budget_pages: usize::MAX,
+        }
+    }
+}
 
 /// An open mode, mapped onto the open-token subtypes of Figure 3.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -98,6 +154,19 @@ pub struct ClientStats {
     pub stale_status_dropped: u64,
     /// Retries while a volume was busy moving.
     pub busy_retries: u64,
+    /// Token-contention backoff rounds slept in `read`/`write`.
+    pub backoff_rounds: u64,
+    /// Store-back RPCs sent (StoreData + StoreDataVec, normal class).
+    pub storeback_rpcs: u64,
+    /// Extents carried by those RPCs.
+    pub storeback_extents: u64,
+    /// Pages carried by those RPCs.
+    pub storeback_pages: u64,
+    /// Background-flusher passes that found dirty data.
+    pub flusher_passes: u64,
+    /// Writes that flushed synchronously because the dirty-page budget
+    /// was exceeded twice over (backpressure).
+    pub backpressure_flushes: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -116,8 +185,14 @@ struct VnState {
     tokens: Vec<Token>,
     /// Pages present in the data cache and covered by a token.
     valid: BTreeSet<u64>,
-    /// Pages modified locally and not yet stored back.
-    dirty: BTreeSet<u64>,
+    /// Pages modified locally and not yet stored back, each tagged with
+    /// the `write_seq` of its last local write. A store-back snapshots
+    /// (page, seq) pairs, releases the low lock for the RPC, and on
+    /// return cleans a page only if its seq is unchanged — a page
+    /// re-dirtied mid-flight stays dirty (no lost update).
+    dirty: BTreeMap<u64, u64>,
+    /// Monotone counter stamped onto dirty pages, bumped per write.
+    write_seq: u64,
     /// Directory layer: name → status of individual lookups (§4.3).
     names: HashMap<String, FileStatus>,
     /// Cached full listing.
@@ -211,6 +286,23 @@ struct CVnode {
     lo: OrderedMutex<VnState, { rank::CLIENT_VNODE_LO }>,
 }
 
+/// Wake/stop flags for the background flusher, guarded at rank
+/// `CLIENT_FLUSHER` so writers may kick it while holding a vnode `lo`.
+#[derive(Default)]
+struct FlusherCtl {
+    stop: bool,
+    kicked: bool,
+}
+
+/// A coalesced run of dirty pages snapshotted for one store-back
+/// extent: contiguous bytes starting at `offset`, plus the (page,
+/// write_seq) tags needed to clean only un-re-dirtied pages afterwards.
+struct PendingExtent {
+    offset: u64,
+    data: Vec<u8>,
+    pages: Vec<(u64, u64)>,
+}
+
 /// The cache manager: the DEcorum client (§4).
 pub struct CacheManager {
     id: ClientId,
@@ -218,6 +310,13 @@ pub struct CacheManager {
     net: Network,
     vldb: VldbHandle,
     data: Arc<dyn DataCache>,
+    wb: WritebackConfig,
+    /// Client-wide dirty-page count, maintained by the `note_dirty` /
+    /// `note_clean` helpers so budget checks never walk the vnode table.
+    dirty_total: AtomicU64,
+    flusher_ctl: OrderedMutex<FlusherCtl, { rank::CLIENT_FLUSHER }>,
+    flusher_cv: OrderedCondvar,
+    flusher_join: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
     ticket: OrderedMutex<Option<Ticket>, { rank::CLIENT_RESOURCE }>,
     vnodes: OrderedMutex<HashMap<Fid, Arc<CVnode>>, { rank::CLIENT_VNODE_TABLE }>,
     locations: OrderedMutex<HashMap<VolumeId, ServerId>, { rank::CLIENT_RESOURCE }>,
@@ -236,6 +335,17 @@ impl CacheManager {
         vldb_replicas: Vec<Addr>,
         data: Arc<dyn DataCache>,
     ) -> Arc<CacheManager> {
+        Self::start_with_config(net, id, vldb_replicas, data, WritebackConfig::default())
+    }
+
+    /// Starts a cache manager with explicit write-behind tuning.
+    pub fn start_with_config(
+        net: Network,
+        id: ClientId,
+        vldb_replicas: Vec<Addr>,
+        data: Arc<dyn DataCache>,
+        wb: WritebackConfig,
+    ) -> Arc<CacheManager> {
         let addr = Addr::Client(id);
         let cm = Arc::new(CacheManager {
             id,
@@ -243,6 +353,11 @@ impl CacheManager {
             net: net.clone(),
             vldb: VldbHandle::new(net.clone(), addr, vldb_replicas),
             data,
+            wb,
+            dirty_total: AtomicU64::new(0),
+            flusher_ctl: OrderedMutex::new(FlusherCtl::default()),
+            flusher_cv: OrderedCondvar::new(),
+            flusher_join: parking_lot::Mutex::new(None),
             ticket: OrderedMutex::new(None),
             vnodes: OrderedMutex::new(HashMap::new()),
             locations: OrderedMutex::new(HashMap::new()),
@@ -254,7 +369,77 @@ impl CacheManager {
             cm.clone(),
             PoolConfig { workers: 2, revocation_workers: 2, require_auth: false },
         );
+        if cm.wb.flusher {
+            let weak = Arc::downgrade(&cm);
+            let handle = std::thread::Builder::new()
+                .name(format!("dfs-flusher-{}", id.0))
+                .spawn(move || Self::flusher_main(weak))
+                .expect("spawn flusher");
+            *cm.flusher_join.lock() = Some(handle);
+        }
         cm
+    }
+
+    /// The background store daemon: wakes on a timer or a kick, and
+    /// trickles dirty pages out via `store_back`. It takes no vnode
+    /// `hi` lock ever, and drops its control lock before flushing, so
+    /// it can never hold a guard across an RPC send.
+    fn flusher_main(weak: Weak<CacheManager>) {
+        loop {
+            // Upgrade per iteration: holding only a weak reference lets
+            // the cache manager be dropped while the daemon sleeps.
+            let Some(cm) = weak.upgrade() else { return };
+            let mut ctl = cm.flusher_ctl.lock();
+            if !ctl.stop && !ctl.kicked {
+                cm.flusher_cv.wait_for(&mut ctl, cm.wb.flush_interval);
+            }
+            let stop = ctl.stop;
+            ctl.kicked = false;
+            drop(ctl);
+            if cm.dirty_total.load(Ordering::Relaxed) > 0 {
+                cm.stats.lock().flusher_passes += 1;
+                let _ = cm.store_back_all();
+            }
+            if stop {
+                return;
+            }
+        }
+    }
+
+    /// Wakes the flusher ahead of its timer.
+    fn kick_flusher(&self) {
+        self.flusher_ctl.lock().kicked = true;
+        self.flusher_cv.notify_all();
+    }
+
+    /// Stops the background flusher (flushing remaining dirty data) and
+    /// stores back anything still dirty. Idempotent.
+    pub fn shutdown(&self) -> DfsResult<()> {
+        let handle = self.flusher_join.lock().take();
+        if let Some(h) = handle {
+            self.flusher_ctl.lock().stop = true;
+            self.flusher_cv.notify_all();
+            let _ = h.join();
+        }
+        self.store_back_all()
+    }
+
+    /// Stores every dirty page of every vnode back to its server.
+    pub fn store_back_all(&self) -> DfsResult<()> {
+        let targets: Vec<Arc<CVnode>> = self.vnodes.lock().values().cloned().collect();
+        let mut first_err = None;
+        for vn in targets {
+            if vn.lo.lock().dirty.is_empty() {
+                continue;
+            }
+            if let Err(e) = self.store_back(&vn, None) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// This client's id.
@@ -481,14 +666,135 @@ impl CacheManager {
         true
     }
 
+    // ------------------------------------------------------------------
+    // Write-behind pipeline: coalesced store-backs (§4.2, §5.3)
+    // ------------------------------------------------------------------
+
+    /// Marks `page` dirty with the given write sequence, maintaining the
+    /// client-wide dirty-page counter.
+    fn note_dirty(&self, lo: &mut VnState, page: u64, seq: u64) {
+        if lo.dirty.insert(page, seq).is_none() {
+            self.dirty_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `page` clean, maintaining the client-wide counter.
+    fn note_clean(&self, lo: &mut VnState, page: u64) {
+        if lo.dirty.remove(&page).is_some() {
+            self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every dirty page of a vnode (file removal).
+    fn clear_dirty(&self, lo: &mut VnState) {
+        let n = lo.dirty.len() as u64;
+        lo.dirty.clear();
+        self.dirty_total.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Coalesces dirty pages (optionally restricted to `range`) into up
+    /// to `max_extents` contiguous extents of at most
+    /// `wb.extent_pages` pages each, snapshotting page contents and
+    /// (page, seq) tags under the caller's `lo` guard. The last extent
+    /// is clamped at EOF (partial final page); pages wholly beyond EOF
+    /// or whose cached contents are gone are dropped from the dirty set
+    /// on the spot.
+    fn collect_extents(
+        &self,
+        fid: Fid,
+        lo: &mut VnState,
+        range: Option<ByteRange>,
+        max_extents: usize,
+        eof: u64,
+    ) -> Vec<PendingExtent> {
+        let snapshot: Vec<(u64, u64)> = lo
+            .dirty
+            .iter()
+            .map(|(&p, &s)| (p, s))
+            .filter(|(p, _)| {
+                range.is_none_or(|r| {
+                    r.overlaps(&ByteRange::at(p * PAGE_SIZE as u64, PAGE_SIZE as u64))
+                })
+            })
+            .collect();
+        let mut out: Vec<PendingExtent> = Vec::new();
+        for (p, seq) in snapshot {
+            let offset = p * PAGE_SIZE as u64;
+            let len = (PAGE_SIZE as u64).min(eof.saturating_sub(offset)) as usize;
+            if len == 0 {
+                // Truncated past this page since it was dirtied.
+                self.note_clean(lo, p);
+                continue;
+            }
+            let Some(bytes) = self.data.read_page(fid, p) else {
+                // Contents evicted from the cache: nothing left to store.
+                self.note_clean(lo, p);
+                continue;
+            };
+            // Append when contiguous with the previous page and under
+            // the extent budget; a partial (EOF) page never matches the
+            // byte-contiguity check, so it always ends its extent.
+            let can_append = out.last().is_some_and(|e| {
+                e.offset + e.data.len() as u64 == offset && e.pages.len() < self.wb.extent_pages
+            });
+            if can_append {
+                let e = out.last_mut().expect("checked non-empty");
+                e.data.extend_from_slice(&bytes[..len]);
+                e.pages.push((p, seq));
+            } else {
+                if out.len() == max_extents {
+                    break;
+                }
+                out.push(PendingExtent {
+                    offset,
+                    data: bytes[..len].to_vec(),
+                    pages: vec![(p, seq)],
+                });
+            }
+        }
+        out
+    }
+
+    /// Builds the wire request for a batch — a flat `StoreData` for a
+    /// single extent (16 bytes cheaper), `StoreDataVec` otherwise — and
+    /// returns the (page, seq) tags the batch carries.
+    fn storeback_request(fid: Fid, batch: Vec<PendingExtent>) -> (Request, Vec<(u64, u64)>) {
+        let mut pages = Vec::new();
+        let mut extents = Vec::with_capacity(batch.len());
+        for e in batch {
+            pages.extend(e.pages);
+            extents.push(WriteExtent { offset: e.offset, data: e.data });
+        }
+        let req = if extents.len() == 1 {
+            let e = extents.pop().expect("one extent");
+            Request::StoreData { fid, offset: e.offset, data: e.data }
+        } else {
+            Request::StoreDataVec { fid, extents }
+        };
+        (req, pages)
+    }
+
+    /// Most extents per store-back RPC under the current config.
+    fn max_extents(&self) -> usize {
+        if self.wb.use_vec_rpc {
+            self.wb.max_extents_per_rpc
+        } else {
+            1
+        }
+    }
+
     /// Stores dirty pages (optionally only those in `range`) back to the
-    /// file server, merging the returned status by stamp (§6.3).
-    // dfs-lint: allow(guard-across-rpc) — callers hold `lo` across the
-    // sends. Revocation-class stores are grant-free at the server
-    // (§6.3), and for normal-class stores a concurrent revocation aimed
-    // at us does not block on `lo`: the revoke handler queues into
-    // `lo.queued` when the vnode is in flight (§6.4) and `absorb`
-    // applies it afterwards.
+    /// file server from *revocation* context, merging the returned
+    /// status by stamp (§6.3). The caller's `lo` guard is held across
+    /// the sends — safe only because revocation-class stores are served
+    /// grant-free (§6.3): the reply cannot block on a further revocation
+    /// aimed back at us. Normal-path store-backs use [`store_back`],
+    /// which drops the guard instead.
+    ///
+    /// [`store_back`]: CacheManager::store_back
+    // dfs-lint: allow(guard-across-rpc) — revocation-class stores are
+    // grant-free at the server (§6.3), so holding the caller's `lo`
+    // guard across the send cannot deadlock.
     fn store_dirty(
         &self,
         vn: &CVnode,
@@ -496,34 +802,19 @@ impl CacheManager {
         range: Option<ByteRange>,
         class: CallClass,
     ) -> DfsResult<()> {
-        let eof = lo.status.as_ref().map(|s| s.length).unwrap_or(u64::MAX);
-        let pages: Vec<u64> = lo
-            .dirty
-            .iter()
-            .copied()
-            .filter(|p| {
-                range.is_none_or(|r| {
-                    r.overlaps(&ByteRange::at(p * PAGE_SIZE as u64, PAGE_SIZE as u64))
-                })
-            })
-            .collect();
         let ticket = *self.ticket.lock();
         let server = self.server_for(vn.fid.volume)?;
-        for p in pages {
-            let Some(bytes) = self.data.read_page(vn.fid, p) else { continue };
-            let offset = p * PAGE_SIZE as u64;
-            let len = (PAGE_SIZE as u64).min(eof.saturating_sub(offset)) as usize;
-            if len == 0 {
-                lo.dirty.remove(&p);
-                continue;
+        // Clamp against the EOF as of flush start: a reply merged after
+        // a partial store reports the server's (shorter) length, which
+        // must not EOF-discard pages still waiting in the dirty set.
+        let eof = lo.status.as_ref().map(|s| s.length).unwrap_or(u64::MAX);
+        loop {
+            let batch = self.collect_extents(vn.fid, lo, range, self.max_extents(), eof);
+            if batch.is_empty() {
+                return Ok(());
             }
-            let resp = self.net.call(
-                self.addr,
-                Addr::Server(server),
-                ticket,
-                class,
-                Request::StoreData { fid: vn.fid, offset, data: bytes[..len].to_vec() },
-            )?;
+            let (req, pages) = Self::storeback_request(vn.fid, batch);
+            let resp = self.net.call(self.addr, Addr::Server(server), ticket, class, req)?;
             match resp {
                 Response::Status { status, stamp, .. } => {
                     if !lo.merge_status(status, stamp) {
@@ -533,12 +824,94 @@ impl CacheManager {
                 Response::Err(e) => return Err(e),
                 _ => return Err(DfsError::Internal("bad StoreData response")),
             }
-            lo.dirty.remove(&p);
+            // `lo` was held throughout: no page can have been re-dirtied.
+            let n = pages.len() as u64;
+            for (p, _) in pages {
+                self.note_clean(lo, p);
+            }
             if class == CallClass::Revocation {
-                self.stats.lock().revocation_stores += 1;
+                self.stats.lock().revocation_stores += n;
             }
         }
-        Ok(())
+    }
+
+    /// The normal-path store-back: coalesces dirty pages into extents
+    /// and ships them with the vnode's low-level lock **released across
+    /// every send** (§6.1) — no `guard-across-rpc` suppression needed.
+    /// Pages re-dirtied while an RPC was in flight keep their dirty bit
+    /// (their write_seq no longer matches the snapshot) and go out on a
+    /// later round; queued revocations are absorbed after each reply.
+    fn store_back(&self, vn: &Arc<CVnode>, range: Option<ByteRange>) -> DfsResult<()> {
+        let mut lo = vn.lo.lock();
+        loop {
+            // The EOF as the local writer sees it at snapshot time:
+            // extents are clamped against the same status the dirty-set
+            // snapshot below comes from.
+            let eof = lo.status.as_ref().map_or(u64::MAX, |s| s.length);
+            let batch = self.collect_extents(vn.fid, &mut lo, range, self.max_extents(), eof);
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let n_extents = batch.len() as u64;
+            let (req, pages) = Self::storeback_request(vn.fid, batch);
+            lo.in_flight += 1;
+            drop(lo);
+            {
+                let mut st = self.stats.lock();
+                st.storeback_rpcs += 1;
+                st.storeback_extents += n_extents;
+                st.storeback_pages += pages.len() as u64;
+            }
+            let resp = self.file_rpc(vn.fid.volume, req);
+            lo = vn.lo.lock();
+            lo.in_flight -= 1;
+            // The local length as of *now* — writes during the RPC
+            // flight may have extended the file past what this store
+            // carried. The reply's status wins the stamp comparison
+            // but reflects only the stored prefix; letting its shorter
+            // length stand would EOF-discard those still-dirty pages on
+            // the next round (and shrink what a concurrent local
+            // getattr observes), so re-extend while status is dirty.
+            let local_len = lo.status.as_ref().map(|s| s.length);
+            match resp?.into_result()? {
+                Response::Status { status, stamp, .. } => {
+                    if !lo.merge_status(status, stamp) {
+                        self.stats.lock().stale_status_dropped += 1;
+                    }
+                }
+                _ => return Err(DfsError::Internal("bad store-back response")),
+            }
+            if lo.status_dirty {
+                if let (Some(l), Some(st)) = (local_len, lo.status.as_mut()) {
+                    st.length = st.length.max(l);
+                }
+            }
+            // Clean only pages unchanged since the snapshot (no lost
+            // updates); re-dirtied pages stay for the next round.
+            for (p, seq) in pages {
+                if lo.dirty.get(&p) == Some(&seq) {
+                    self.note_clean(&mut lo, p);
+                }
+            }
+            // Revocations may have queued while we were in flight (§6.3).
+            self.absorb(vn, &mut lo, None, Vec::new());
+        }
+    }
+
+    /// Jittered, capped backoff for token-contention retry loops: linear
+    /// ramp capped at 2 ms, with a deterministic per-(client, fid,
+    /// round) jitter in the upper half so colliding clients desynchronize.
+    fn backoff(&self, fid: Fid, round: u32) {
+        const BASE_US: u64 = 100;
+        const CAP_US: u64 = 2_000;
+        let step = (BASE_US * u64::from(round)).min(CAP_US);
+        let seed = (u64::from(self.id.0) << 40)
+            ^ (u64::from(fid.vnode.0) << 8)
+            ^ fid.volume.0.wrapping_mul(0x9E37_79B9)
+            ^ u64::from(round);
+        let jitter = StdRng::seed_from_u64(seed).gen_range_u64(step / 2 + 1);
+        self.stats.lock().backoff_rounds += 1;
+        std::thread::sleep(Duration::from_micros(step / 2 + jitter));
     }
 
     // ------------------------------------------------------------------
@@ -600,7 +973,7 @@ impl CacheManager {
                 // Contended token: back off outside the locks so another
                 // client can finish its handoff, then re-acquire.
                 drop(lo);
-                std::thread::sleep(std::time::Duration::from_micros(u64::from(round) * 100));
+                self.backoff(fid, round);
                 lo = vn.lo.lock();
             }
             // Miss: fetch a chunk with read tokens, releasing the low
@@ -635,7 +1008,7 @@ impl CacheManager {
             let whole_pages = bytes.len() / PAGE_SIZE;
             for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
                 let p = first + i as u64;
-                if !lo.dirty.contains(&p) {
+                if !lo.dirty.contains_key(&p) {
                     self.data.write_page(fid, p, chunk)?;
                     if i < whole_pages || status.length <= fetch_off + bytes.len() as u64 {
                         lo.valid.insert(p);
@@ -704,7 +1077,11 @@ impl CacheManager {
                     self.absorb(&vn, &mut lo, None, Vec::new());
                     continue;
                 }
-                // Apply the write to cached pages.
+                // Apply the write to cached pages, stamping each dirty
+                // page with a fresh write sequence (lost-update guard
+                // for store-backs that release `lo` mid-flight).
+                lo.write_seq += 1;
+                let seq = lo.write_seq;
                 let mut done = 0usize;
                 let mut pos = offset;
                 while done < data.len() {
@@ -716,7 +1093,7 @@ impl CacheManager {
                     page[within..within + n].copy_from_slice(&data[done..done + n]);
                     self.data.write_page(fid, p, &page)?;
                     lo.valid.insert(p);
-                    lo.dirty.insert(p);
+                    self.note_dirty(&mut lo, p, seq);
                     pos += n as u64;
                     done += n;
                 }
@@ -727,12 +1104,25 @@ impl CacheManager {
                 let out = st.clone();
                 lo.status_dirty = true;
                 self.stats.lock().local_writes += 1;
+                // Dirty-page budget (write-behind backpressure): over
+                // budget, nudge the flusher; over twice the budget, this
+                // writer pays for the flush itself.
+                if self.wb.flusher {
+                    let dirty = self.dirty_total.load(Ordering::Relaxed) as usize;
+                    if dirty > self.wb.dirty_budget_pages.saturating_mul(2) {
+                        self.stats.lock().backpressure_flushes += 1;
+                        drop(lo);
+                        self.store_back(&vn, None)?;
+                    } else if dirty > self.wb.dirty_budget_pages {
+                        self.kick_flusher();
+                    }
+                }
                 return Ok(out);
             }
 
             if round > 4 {
                 drop(lo);
-                std::thread::sleep(std::time::Duration::from_micros(u64::from(round) * 100));
+                self.backoff(fid, round);
                 lo = vn.lo.lock();
             }
             // Acquire data and status tokens in one combined grant over
@@ -803,12 +1193,11 @@ impl CacheManager {
         }
     }
 
-    /// Flushes dirty data and returns the file's status.
+    /// Flushes dirty data and returns when it is durable at the server.
     pub fn fsync(&self, fid: Fid) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
-        self.store_dirty(&vn, &mut lo, None, CallClass::Normal)
+        self.store_back(&vn, None)
     }
 
     /// Looks up `name` in `dir`, consulting the directory layer first
@@ -967,7 +1356,7 @@ impl CacheManager {
         let mut vlo = victim.lo.lock();
         vlo.status = None;
         vlo.valid.clear();
-        vlo.dirty.clear();
+        self.clear_dirty(&mut vlo);
         self.data.evict_file(st.fid);
         Ok(())
     }
@@ -1045,9 +1434,9 @@ impl CacheManager {
     pub fn setattr(&self, fid: Fid, attrs: &SetAttrs) -> DfsResult<FileStatus> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
         // Push dirty data first so truncation happens after our writes.
-        self.store_dirty(&vn, &mut lo, None, CallClass::Normal)?;
+        self.store_back(&vn, None)?;
+        let mut lo = vn.lo.lock();
         lo.in_flight += 1;
         drop(lo);
         let resp =
@@ -1063,7 +1452,7 @@ impl CacheManager {
                         lo.valid.iter().copied().filter(|p| *p >= keep).collect();
                     for p in dropped {
                         lo.valid.remove(&p);
-                        lo.dirty.remove(&p);
+                        self.note_clean(&mut lo, p);
                         self.data.drop_page(fid, p);
                     }
                 }
@@ -1123,12 +1512,14 @@ impl CacheManager {
     pub fn close(&self, fid: Fid, mode: OpenMode) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
         let tok = mode.token();
-        if let Some(i) = lo.opens.iter().position(|t| *t == tok) {
-            lo.opens.remove(i);
+        {
+            let mut lo = vn.lo.lock();
+            if let Some(i) = lo.opens.iter().position(|t| *t == tok) {
+                lo.opens.remove(i);
+            }
         }
-        self.store_dirty(&vn, &mut lo, None, CallClass::Normal)
+        self.store_back(&vn, None)
     }
 
     /// Sets a byte-range lock, locally when a lock token is held (§5.2).
@@ -1209,6 +1600,11 @@ impl CacheManager {
     /// Returns the number of dirty (unstored) pages for a fid.
     pub fn dirty_pages(&self, fid: Fid) -> usize {
         self.vnode(fid).lo.lock().dirty.len()
+    }
+
+    /// Client-wide count of dirty (unstored) pages, O(1).
+    pub fn total_dirty_pages(&self) -> u64 {
+        self.dirty_total.load(Ordering::Relaxed)
     }
 
 }

@@ -22,7 +22,7 @@
 //! assert_eq!(client.read(f.fid, 0, 32).unwrap(), b"hello, cell");
 //! ```
 
-use dfs_client::{CacheManager, DataCache, DiskCache, MemCache};
+use dfs_client::{CacheManager, DataCache, DiskCache, MemCache, WritebackConfig};
 use dfs_disk::{DiskConfig, SimDisk};
 use dfs_episode::{Episode, FormatParams};
 use dfs_rpc::{Addr, CallClass, KdcService, Network, PoolConfig, Request, Response, Ticket};
@@ -220,13 +220,36 @@ impl Cell {
 
     /// Creates a client with a caller-supplied cache store.
     pub fn new_client_with(&self, data: Arc<dyn DataCache>) -> Arc<CacheManager> {
+        self.new_client_configured(data, WritebackConfig::default())
+    }
+
+    /// Creates a diskless client with explicit write-behind tuning
+    /// (benchmarks compare `WritebackConfig::legacy()` against the
+    /// default pipeline).
+    pub fn new_client_writeback(&self, wb: WritebackConfig) -> Arc<CacheManager> {
+        self.new_client_configured(Arc::new(MemCache::new()), wb)
+    }
+
+    /// Creates a client with caller-supplied cache store and
+    /// write-behind tuning.
+    pub fn new_client_configured(
+        &self,
+        data: Arc<dyn DataCache>,
+        wb: WritebackConfig,
+    ) -> Arc<CacheManager> {
         let id = {
             let mut n = self.next_client.lock();
             let id = *n;
             *n += 1;
             id
         };
-        CacheManager::start(self.net.clone(), ClientId(id), self.vldb_addrs.clone(), data)
+        CacheManager::start_with_config(
+            self.net.clone(),
+            ClientId(id),
+            self.vldb_addrs.clone(),
+            data,
+            wb,
+        )
     }
 
     fn admin_call(&self, server: usize, req: Request) -> DfsResult<Response> {

@@ -476,6 +476,41 @@ impl Vfs for EpisodeVolume {
         Ok(self.ep.status_from_anode(file, &a))
     }
 
+    /// The batched store-back path: all extents land in *one* journal
+    /// transaction with a single version bump and anode write, then the
+    /// log is group-committed once. A 16-page store-back thus costs one
+    /// log force where the per-extent path would pay sixteen.
+    fn write_vec(
+        &self,
+        cred: &Credentials,
+        file: Fid,
+        extents: &[dfs_vfs::WriteExtent],
+    ) -> DfsResult<FileStatus> {
+        self.check_writable()?;
+        let (slot, _) = self.resolve(file)?;
+        let lock = self.ep.anode_lock(slot);
+        let _g = lock.write();
+        let mut a = self.ep.read_anode(slot)?;
+        if a.kind == AnodeKind::Directory {
+            return Err(DfsError::IsDirectory);
+        }
+        self.check(cred, &a, Rights::WRITE)?;
+        if !extents.is_empty() {
+            let txn = self.ep.jn.begin();
+            for e in extents {
+                self.ep.anode_write(txn, &mut a, e.offset, &e.data, false)?;
+            }
+            a.mtime = self.ep.clock.now().as_micros();
+            a.data_version = self.ep.bump_volume_version(txn, self.header)?;
+            self.ep.write_anode(txn, slot, &a)?;
+            self.ep.jn.commit(txn)?;
+        }
+        // Durability contract: the client discards its dirty pages on
+        // the strength of this reply, so force the log before returning.
+        self.ep.jn.sync()?;
+        Ok(self.ep.status_from_anode(file, &a))
+    }
+
     fn getattr(&self, _cred: &Credentials, file: Fid) -> DfsResult<FileStatus> {
         let (_, a) = self.resolve(file)?;
         Ok(self.ep.status_from_anode(file, &a))
@@ -657,6 +692,61 @@ mod tests {
         assert_eq!(found.fid, f.fid);
         assert_eq!(v.read(&cred(), f.fid, 0, 64).unwrap(), b"hello episode");
         assert_eq!(v.read(&cred(), f.fid, 6, 7).unwrap(), b"episode");
+    }
+
+    #[test]
+    fn write_vec_single_txn_single_sync() {
+        let (ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "batched", 0o644).unwrap();
+        let before = ep.journal().stats();
+        let before_version = f.data_version;
+        // Two discontiguous extents (hole between them) in one call.
+        let extents = vec![
+            dfs_vfs::WriteExtent { offset: 0, data: vec![7u8; 8192] },
+            dfs_vfs::WriteExtent { offset: 16384, data: vec![9u8; 100] },
+        ];
+        let st = v.write_vec(&cred(), f.fid, &extents).unwrap();
+        assert_eq!(st.length, 16484);
+        // One transaction, one commit record, one group commit for the
+        // whole batch — and a single version bump across both extents.
+        let d = ep.journal().stats().since(&before);
+        assert_eq!(d.syncs, 1);
+        assert_eq!(d.txns_begun, 1);
+        assert_eq!(d.commit_records, 1);
+        assert!(st.data_version > before_version);
+        assert_eq!(v.read(&cred(), f.fid, 0, 8192).unwrap(), vec![7u8; 8192]);
+        assert_eq!(v.read(&cred(), f.fid, 16384, 100).unwrap(), vec![9u8; 100]);
+        // The hole reads back as zeros.
+        assert_eq!(v.read(&cred(), f.fid, 8192, 4).unwrap(), vec![0u8; 4]);
+        // Empty batch: no transaction, no version change; the log force
+        // is a no-op because nothing is pending after the sync above.
+        let after = ep.journal().stats();
+        let st2 = v.write_vec(&cred(), f.fid, &[]).unwrap();
+        assert_eq!(st2.data_version, st.data_version);
+        assert_eq!(ep.journal().stats().since(&after).txns_begun, 0);
+    }
+
+    #[test]
+    fn write_vec_respects_permissions_and_read_only() {
+        let (ep, v) = mounted();
+        let root = v.root().unwrap();
+        let f = v.create(&cred(), root, "guarded", 0o600).unwrap();
+        let ext = vec![dfs_vfs::WriteExtent { offset: 0, data: vec![1u8; 16] }];
+        // Non-owner without write bits is rejected.
+        assert_eq!(
+            v.write_vec(&Credentials::user(42), f.fid, &ext).unwrap_err(),
+            DfsError::PermissionDenied
+        );
+        // Read-only clones refuse the batch outright.
+        Episode::clone_volume(&ep, VolumeId(1), VolumeId(2), "snap").unwrap();
+        let snap = PhysicalFs::mount(&*ep, VolumeId(2)).unwrap();
+        let froot = snap.root().unwrap();
+        let fs = snap.lookup(&cred(), froot, "guarded").unwrap();
+        assert_eq!(
+            snap.write_vec(&cred(), fs.fid, &ext).unwrap_err(),
+            DfsError::ReadOnlyVolume
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use dfs_token::{Token, TokenId, TokenTypes};
 use dfs_types::{
     Acl, ByteRange, DfsError, FileStatus, Fid, SerializationStamp, ServerId, Timestamp, VolumeId,
 };
-use dfs_vfs::{DirEntry, SetAttrs, VolumeDump, VolumeInfo};
+use dfs_vfs::{DirEntry, SetAttrs, VolumeDump, VolumeInfo, WriteExtent};
 
 /// Token types (and byte range) a client asks for alongside an
 /// operation, so one RPC both performs the call and returns guarantees.
@@ -82,6 +82,11 @@ pub enum Request {
     /// Store data back (used both by normal writes and by the special
     /// store issued from token-revocation code, §6.3).
     StoreData { fid: Fid, offset: u64, data: Vec<u8> },
+    /// Store several discontiguous extents back in one RPC. The server
+    /// applies the whole batch in a single journal transaction ending in
+    /// one group commit, so a 64 KB store-back costs one log force
+    /// instead of sixteen.
+    StoreDataVec { fid: Fid, extents: Vec<WriteExtent> },
     /// Store status changes back.
     StoreStatus { fid: Fid, attrs: SetAttrs },
     /// Obtain tokens without other work.
@@ -203,6 +208,7 @@ impl Request {
             Request::FetchStatus { .. } => "FetchStatus",
             Request::FetchData { .. } => "FetchData",
             Request::StoreData { .. } => "StoreData",
+            Request::StoreDataVec { .. } => "StoreDataVec",
             Request::StoreStatus { .. } => "StoreStatus",
             Request::GetToken { .. } => "GetToken",
             Request::ReturnToken { .. } => "ReturnToken",
@@ -240,6 +246,11 @@ impl Request {
         const HDR: u64 = 64; // RPC header, fid, auth verifier.
         HDR + match self {
             Request::StoreData { data, .. } => data.len() as u64,
+            // Each extent carries an (offset, length) descriptor pair
+            // ahead of its payload.
+            Request::StoreDataVec { extents, .. } => {
+                extents.iter().map(|e| 16 + e.data.len() as u64).sum::<u64>()
+            }
             Request::Lookup { name, .. }
             | Request::Create { name, .. }
             | Request::Mkdir { name, .. }
@@ -297,6 +308,26 @@ mod tests {
             data: vec![0; 10_000],
         };
         assert!(big.wire_size() > small.wire_size() + 9_000);
+    }
+
+    #[test]
+    fn store_data_vec_wire_size_counts_every_extent() {
+        let extents = vec![
+            WriteExtent { offset: 0, data: vec![0; 4096] },
+            WriteExtent { offset: 65536, data: vec![0; 100] },
+        ];
+        let req = Request::StoreDataVec { fid: Fid::default(), extents };
+        // Header (64) + 2 descriptors (16 each) + payloads.
+        assert_eq!(req.wire_size(), 64 + 16 + 4096 + 16 + 100);
+        assert_eq!(req.label(), "StoreDataVec");
+        // A one-extent vec costs 16 bytes more than the flat StoreData —
+        // the client prefers StoreData for single extents.
+        let flat = Request::StoreData { fid: Fid::default(), offset: 0, data: vec![0; 4096] };
+        assert_eq!(flat.wire_size() + 16, Request::StoreDataVec {
+            fid: Fid::default(),
+            extents: vec![WriteExtent { offset: 0, data: vec![0; 4096] }],
+        }
+        .wire_size());
     }
 
     #[test]

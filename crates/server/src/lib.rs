@@ -35,7 +35,7 @@ use dfs_token::{Token, TokenManager, TokenTypes};
 use dfs_types::{
     ByteRange, DfsError, DfsResult, Fid, HostId, ServerId, Timestamp, VnodeId, VolumeId,
 };
-use dfs_vfs::{Credentials, PhysicalFs, VfsPlus};
+use dfs_vfs::{Credentials, PhysicalFs, VfsPlus, WriteExtent};
 use dfs_types::lock::{rank, OrderedMutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -45,6 +45,11 @@ pub const DIR_READ: TokenTypes = TokenTypes(TokenTypes::STATUS_READ.0 | TokenTyp
 /// Write tokens the server takes while mutating a directory.
 pub const DIR_WRITE: TokenTypes =
     TokenTypes(TokenTypes::STATUS_WRITE.0 | TokenTypes::DATA_WRITE.0);
+
+/// Most extents a single `StoreDataVec` may carry.
+pub const MAX_STORE_EXTENTS: usize = 64;
+/// Most payload bytes a single `StoreDataVec` may carry (8 MiB).
+pub const MAX_STORE_BYTES: usize = 8 << 20;
 
 /// Server operation statistics.
 #[derive(Clone, Debug, Default)]
@@ -239,6 +244,43 @@ impl FileServer {
 
     fn volume_of(&self, fid: Fid) -> DfsResult<Arc<dyn VfsPlus>> {
         self.mount(fid.volume)
+    }
+
+    /// Applies a store-back batch through `Vfs::write_vec`: one journal
+    /// transaction, one group commit, durable on return. Shared by
+    /// `StoreData` (single extent) and `StoreDataVec`.
+    fn store_extents(
+        &self,
+        ctx: &CallContext,
+        cred: &Credentials,
+        fid: Fid,
+        extents: Vec<WriteExtent>,
+    ) -> DfsResult<Response> {
+        let host = self.host_for(ctx.caller)?;
+        let fs = self.volume_of(fid)?;
+        // Stores issued from token-revocation code (§6.3) run without
+        // further token acquisition: the storing client holds the write
+        // token being revoked, and granting here could nest revocation
+        // chains past any pool bound.
+        if ctx.class == CallClass::Revocation {
+            let status = fs.write_vec(cred, fid, &extents)?;
+            let stamp = self.tm.stamp(fid);
+            return Ok(Response::Status { status, tokens: Vec::new(), stamp });
+        }
+        // One grant covering the hull of all extents.
+        let mut range = ByteRange::at(extents[0].offset, extents[0].data.len() as u64);
+        for e in &extents[1..] {
+            range = range.union_hull(&ByteRange::at(e.offset, e.data.len() as u64));
+        }
+        let (status, _tokens, stamp) = self.with_grant(
+            host,
+            fid,
+            TokenTypes(TokenTypes::DATA_WRITE.0 | TokenTypes::STATUS_WRITE.0),
+            range,
+            None,
+            || fs.write_vec(cred, fid, &extents),
+        )?;
+        Ok(Response::Status { status, tokens: Vec::new(), stamp })
     }
 
     // ------------------------------------------------------------------
@@ -444,27 +486,18 @@ impl FileServer {
             }
 
             Q::StoreData { fid, offset, data } => {
-                let host = self.host_for(ctx.caller)?;
-                let fs = self.volume_of(fid)?;
-                // Stores issued from token-revocation code (§6.3) run
-                // without further token acquisition: the storing client
-                // holds the write token being revoked, and granting here
-                // could nest revocation chains past any pool bound.
-                if ctx.class == CallClass::Revocation {
-                    let status = fs.write(&cred, fid, offset, &data)?;
-                    let stamp = self.tm.stamp(fid);
-                    return Ok(P::Status { status, tokens: Vec::new(), stamp });
+                let extents = vec![WriteExtent { offset, data }];
+                self.store_extents(ctx, &cred, fid, extents)
+            }
+
+            Q::StoreDataVec { fid, extents } => {
+                if extents.is_empty()
+                    || extents.len() > MAX_STORE_EXTENTS
+                    || extents.iter().map(|e| e.data.len()).sum::<usize>() > MAX_STORE_BYTES
+                {
+                    return Err(DfsError::InvalidArgument);
                 }
-                let range = ByteRange::at(offset, data.len() as u64);
-                let (status, _tokens, stamp) = self.with_grant(
-                    host,
-                    fid,
-                    TokenTypes(TokenTypes::DATA_WRITE.0 | TokenTypes::STATUS_WRITE.0),
-                    range,
-                    None,
-                    || fs.write(&cred, fid, offset, &data),
-                )?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp })
+                self.store_extents(ctx, &cred, fid, extents)
             }
 
             Q::StoreStatus { fid, attrs } => {
@@ -757,6 +790,7 @@ impl FileServer {
             Request::FetchStatus { fid, .. }
             | Request::FetchData { fid, .. }
             | Request::StoreData { fid, .. }
+            | Request::StoreDataVec { fid, .. }
             | Request::StoreStatus { fid, .. }
             | Request::GetToken { fid, .. }
             | Request::ReturnToken { fid, .. }
@@ -864,6 +898,80 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn store_data_vec_applies_batch_in_one_group_commit() {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+        let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+        let ep = Episode::format(disk, clock, FormatParams::default()).unwrap();
+        ep.create_volume(VolumeId(1), "root.cell").unwrap();
+        let _srv = FileServer::start(
+            net.clone(),
+            ServerId(1),
+            ep.clone(),
+            vec![Addr::Vldb(0)],
+            PoolConfig::default(),
+        )
+        .unwrap();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let f = match call(&net, Request::Create { dir: root, name: "v".into(), mode: 0o644 }) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        let before = ep.journal().stats().syncs;
+        let extents = vec![
+            WriteExtent { offset: 0, data: vec![1u8; 4096] },
+            WriteExtent { offset: 4096, data: vec![2u8; 4096] },
+            WriteExtent { offset: 16384, data: vec![3u8; 100] },
+        ];
+        match call(&net, Request::StoreDataVec { fid: f.fid, extents }) {
+            Response::Status { status, .. } => assert_eq!(status.length, 16484),
+            other => panic!("{other:?}"),
+        }
+        // The whole batch forced the log exactly once.
+        assert_eq!(ep.journal().stats().syncs, before + 1);
+        match call(&net, Request::FetchData { fid: f.fid, offset: 4096, len: 8, want: None }) {
+            Response::Data { bytes, .. } => assert_eq!(bytes, vec![2u8; 8]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_data_vec_rejects_malformed_batches() {
+        let (net, _srv) = cell();
+        let root = match call(&net, Request::GetRoot { volume: VolumeId(1) }) {
+            Response::FidIs(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let f = match call(&net, Request::Create { dir: root, name: "m".into(), mode: 0o644 }) {
+            Response::Status { status, .. } => status,
+            other => panic!("{other:?}"),
+        };
+        // Empty batch.
+        assert_eq!(
+            call(&net, Request::StoreDataVec { fid: f.fid, extents: vec![] }),
+            Response::Err(DfsError::InvalidArgument)
+        );
+        // Too many extents.
+        let many = (0..=MAX_STORE_EXTENTS as u64)
+            .map(|i| WriteExtent { offset: i * 8192, data: vec![0u8; 1] })
+            .collect();
+        assert_eq!(
+            call(&net, Request::StoreDataVec { fid: f.fid, extents: many }),
+            Response::Err(DfsError::InvalidArgument)
+        );
+        // Too many payload bytes.
+        let fat = vec![WriteExtent { offset: 0, data: vec![0u8; MAX_STORE_BYTES + 1] }];
+        assert_eq!(
+            call(&net, Request::StoreDataVec { fid: f.fid, extents: fat }),
+            Response::Err(DfsError::InvalidArgument)
+        );
     }
 
     #[test]

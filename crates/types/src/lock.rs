@@ -22,6 +22,7 @@
 //! | `CLIENT_VNODE_LO`      |  30   | per-vnode low-level state lock (§6.1) |
 //! | `CLIENT_RESOURCE`      |  40   | ticket, volume-location and root caches (§4.1) |
 //! | `CLIENT_DATA_CACHE`    |  50   | client page stores (§4.2) |
+//! | `CLIENT_FLUSHER`       |  60   | background-store daemon control block (wake/stop flags) |
 //! | `VOLUME_REGISTRY`      | 100   | server volume tables, VLDB replica map (§3.4) |
 //! | `SERVER_HOSTS`         | 110   | server's known-client set |
 //! | `TOKEN_MANAGER`        | 120   | the token manager's grant table (§5) |
@@ -66,6 +67,10 @@ pub mod rank {
     pub const CLIENT_RESOURCE: u16 = 40;
     /// Client page stores (§4.2).
     pub const CLIENT_DATA_CACHE: u16 = 50;
+    /// Background-store daemon control block. Ranked above the vnode
+    /// locks so writers may kick the flusher while holding `lo`; the
+    /// flusher itself drops this lock before touching any vnode.
+    pub const CLIENT_FLUSHER: u16 = 60;
     /// Server volume tables and VLDB replica maps (§3.4).
     pub const VOLUME_REGISTRY: u16 = 100;
     /// Server's known-client set.
@@ -98,6 +103,7 @@ pub mod rank {
             CLIENT_VNODE_LO => "CLIENT_VNODE_LO",
             CLIENT_RESOURCE => "CLIENT_RESOURCE",
             CLIENT_DATA_CACHE => "CLIENT_DATA_CACHE",
+            CLIENT_FLUSHER => "CLIENT_FLUSHER",
             VOLUME_REGISTRY => "VOLUME_REGISTRY",
             SERVER_HOSTS => "SERVER_HOSTS",
             TOKEN_MANAGER => "TOKEN_MANAGER",
@@ -277,6 +283,17 @@ impl OrderedCondvar {
     /// Atomically releases the guarded mutex and blocks until notified.
     pub fn wait<T, const RANK: u16>(&self, guard: &mut OrderedMutexGuard<'_, T, RANK>) {
         self.inner.wait(&mut guard.inner);
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`. Returns
+    /// `true` if the wait timed out. The rank stays on the held stack
+    /// for the duration, exactly as for an untimed wait.
+    pub fn wait_for<T, const RANK: u16>(
+        &self,
+        guard: &mut OrderedMutexGuard<'_, T, RANK>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        self.inner.wait_for(&mut guard.inner, timeout)
     }
 
     /// Wakes one waiter.

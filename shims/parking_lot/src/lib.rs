@@ -9,7 +9,8 @@
 //! takes `&mut MutexGuard`.
 //!
 //! Not implemented (unused by the workspace): try-lock variants, fairness
-//! controls, upgradable read locks, timeouts, and send-able guards.
+//! controls, upgradable read locks, and send-able guards. Of the timed
+//! waits only `Condvar::wait_for` is provided.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -87,6 +88,22 @@ impl Condvar {
         let std_guard = guard.inner.take().expect("guard present outside Condvar::wait");
         let std_guard = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
+    }
+
+    /// Waits with a timeout. Returns `true` if the wait timed out
+    /// (mirroring `parking_lot::WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let std_guard = guard.inner.take().expect("guard present outside Condvar::wait");
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        res.timed_out()
     }
 
     pub fn notify_one(&self) -> bool {
@@ -199,6 +216,31 @@ mod tests {
             let mut done = m.lock();
             while !*done {
                 cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No notifier: must time out with the guard intact.
+        {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
+            assert!(!*g);
+        }
+        // With a notifier: must wake before the (long) timeout.
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait_for(&mut done, Duration::from_secs(30));
             }
         });
         std::thread::sleep(Duration::from_millis(10));

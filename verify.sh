@@ -6,6 +6,8 @@
 #   3. dfs-lint: workspace-wide lock-order / guard-across-RPC static
 #      analysis over crates/ (see crates/lint and DESIGN.md
 #      "Concurrency discipline")
+#   4. bench smoke: T8 and T1 at tiny parameters in --json mode; fails
+#      on a panic (non-zero exit) or malformed JSON (jsoncheck)
 #
 # Run from the repo root:  ./verify.sh
 set -eu
@@ -19,5 +21,13 @@ cargo test -q
 
 echo "==> dfs-lint crates/"
 cargo run -q --release -p dfs-lint -- crates/
+
+echo "==> bench smoke (t8 + t1, tiny params, JSON validated)"
+# Capture then pipe so a bench panic fails the stage even without
+# `pipefail` (plain sh).
+t8_out=$(cargo run -q --release -p dfs-bench --bin t8_group_commit -- --json --ops 64 --pages 32)
+printf '%s' "$t8_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+t1_out=$(cargo run -q --release -p dfs-bench --bin t1_metadata_traffic -- --json --files 50)
+printf '%s' "$t1_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "verify: OK"
