@@ -108,6 +108,7 @@ impl RpcService for AfsServer {
                     status: self.fs.getattr(&cred, fid)?,
                     tokens: Vec::new(),
                     stamp: Default::default(),
+                    epoch: 1,
                 }),
                 // AFS fetches the whole file and registers a callback.
                 Request::FetchData { fid, .. } => {
@@ -122,6 +123,7 @@ impl RpcService for AfsServer {
                         status,
                         tokens: Vec::new(),
                         stamp: Default::default(),
+                        epoch: 1,
                     })
                 }
                 // Store (at close) replaces file contents and breaks the
@@ -134,12 +136,14 @@ impl RpcService for AfsServer {
                         status,
                         tokens: Vec::new(),
                         stamp: Default::default(),
+                        epoch: 1,
                     })
                 }
                 Request::Lookup { dir, name, .. } => Ok(Response::Status {
                     status: self.fs.lookup(&cred, dir, &name)?,
                     tokens: Vec::new(),
                     stamp: Default::default(),
+                    epoch: 1,
                 }),
                 Request::Create { dir, name, mode } => {
                     let status = self.fs.create(&cred, dir, &name, mode)?;
@@ -148,6 +152,7 @@ impl RpcService for AfsServer {
                         status,
                         tokens: Vec::new(),
                         stamp: Default::default(),
+                        epoch: 1,
                     })
                 }
                 Request::Readdir { dir } => Ok(Response::Entries(self.fs.readdir(&cred, dir)?)),

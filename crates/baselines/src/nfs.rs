@@ -47,6 +47,7 @@ impl RpcService for NfsServer {
                     status: self.fs.getattr(&cred, fid)?,
                     tokens: Vec::new(),
                     stamp: Default::default(),
+                    epoch: 1,
                 }),
                 Request::FetchData { fid, offset, len, .. } => {
                     let bytes = self.fs.read(&cred, fid, offset, len as usize)?;
@@ -56,6 +57,7 @@ impl RpcService for NfsServer {
                         status,
                         tokens: Vec::new(),
                         stamp: Default::default(),
+                        epoch: 1,
                     })
                 }
                 Request::StoreData { fid, offset, data } => {
@@ -67,17 +69,20 @@ impl RpcService for NfsServer {
                         status,
                         tokens: Vec::new(),
                         stamp: Default::default(),
+                        epoch: 1,
                     })
                 }
                 Request::Lookup { dir, name, .. } => Ok(Response::Status {
                     status: self.fs.lookup(&cred, dir, &name)?,
                     tokens: Vec::new(),
                     stamp: Default::default(),
+                    epoch: 1,
                 }),
                 Request::Create { dir, name, mode } => Ok(Response::Status {
                     status: self.fs.create(&cred, dir, &name, mode)?,
                     tokens: Vec::new(),
                     stamp: Default::default(),
+                    epoch: 1,
                 }),
                 Request::Remove { dir, name } => {
                     let status = self.fs.remove(&cred, dir, &name)?;
@@ -85,6 +90,7 @@ impl RpcService for NfsServer {
                         status,
                         tokens: Vec::new(),
                         stamp: Default::default(),
+                        epoch: 1,
                     })
                 }
                 Request::Readdir { dir } => Ok(Response::Entries(self.fs.readdir(&cred, dir)?)),

@@ -19,7 +19,7 @@ fn main() {
     let tm = cell.server(0).token_manager().stats();
     println!("live token manager: {} grants, {} revocations, {} releases",
         tm.grants, tm.revocations, tm.releases);
-    let hm = cell.server(0).host_model();
+    let hm = cell.server(0).host_model().clone();
     println!("host model knows clients: {:?}", hm.clients());
     println!("server ops served: {}", cell.server(0).stats().ops);
 }

@@ -1,0 +1,178 @@
+//! T13 — the crash-restart pipeline end to end (§2.2 + the recovery
+//! protocol): a whole cell is crashed and restarted while a write-behind
+//! client holds dirty pages, sweeping the file-system size with the
+//! in-flight burst held constant.
+//!
+//! Two claims are measured at once:
+//!
+//! 1. **Server**: journal replay cost (blocks scanned, simulated disk
+//!    time) stays flat as the file system grows — recovery tracks the
+//!    active log, not the aggregate (§2.2).
+//! 2. **Client**: the reconnection pipeline reestablishes the token set
+//!    inside the grace window and replays the dirty burst with zero
+//!    lost updates, at a cost proportional to the burst.
+//!
+//! Flags: `--json` emits machine-readable results (validated by
+//! `jsoncheck` in the verify.sh smoke stage); `--files N` sets the base
+//! file count of the sweep; `--burst N` the dirty pages at crash time.
+
+use dfs_bench::{f2, header, row};
+use decorum_dfs::client::WritebackConfig;
+use decorum_dfs::types::VolumeId;
+use decorum_dfs::Cell;
+
+struct Point {
+    files: u32,
+    fs_kib: u64,
+    scanned_blocks: u64,
+    records: u64,
+    replay_ms: f64,
+    tokens_reestablished: u64,
+    replayed_pages: u64,
+    grace_waits: u64,
+    verified: bool,
+}
+
+/// Grows a fresh cell to `files` × 16 KiB of fsync'd data, leaves a
+/// `burst`-page dirty write in the client cache, crashes and restarts
+/// the server, and drives the client back through recovery.
+fn run(files: u32, burst: u64) -> Point {
+    let cell = Cell::builder()
+        .servers(1)
+        .disk_blocks(256 * 1024)
+        .log_blocks(256)
+        .build()
+        .expect("cell");
+    cell.create_volume(0, VolumeId(1), "v").expect("volume");
+    // Flusher off: the burst must still be dirty at crash time, so the
+    // replay cost measured below is exactly the client's.
+    let c = cell.new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+    let root = c.root(VolumeId(1)).unwrap();
+    for i in 0..files {
+        let f = c.create(root, &format!("f{i}"), 0o644).unwrap();
+        c.write(f.fid, 0, &vec![i as u8; 16 * 1024]).unwrap();
+        c.fsync(f.fid).unwrap();
+    }
+    // Checkpoint: an empty-handed fsync forces the log and flushes the
+    // episode home, so the *active* log at crash time is exactly the
+    // fixed-size tail below — independent of how much data came before.
+    let hot = c.create(root, "hot", 0o644).unwrap();
+    c.fsync(hot.fid).unwrap();
+    // A fixed tail of acked-but-uncheckpointed transactions: this is
+    // what journal replay will actually scan.
+    for i in 0..8 {
+        let t = c.create(root, &format!("tail{i}"), 0o644).unwrap();
+        c.write(t.fid, 0, &[i as u8; 4096]).unwrap();
+        c.fsync(t.fid).unwrap();
+    }
+    // The fixed in-flight burst: dirty in the client cache only.
+    for p in 0..burst {
+        c.write(hot.fid, p * 4096, &[0xA5u8; 4096]).unwrap();
+    }
+    let before = c.stats();
+
+    cell.crash_server(0);
+    let report = cell.restart_server(0, 5_000_000).expect("restart");
+
+    // One poke runs the whole client pipeline: GraceWait, epoch probe,
+    // reestablishment, burst replay.
+    c.create(root, "poke", 0o644).unwrap();
+    let after = c.stats();
+
+    // Zero-lost-update check through a fresh client (grace closed when
+    // the survivor checked in, so this is admitted immediately).
+    let b = cell.new_client();
+    let verified = (0..burst)
+        .all(|p| b.read(hot.fid, p * 4096, 4096).map(|d| d == vec![0xA5u8; 4096]).unwrap_or(false));
+
+    Point {
+        files,
+        fs_kib: u64::from(files) * 16 + 8 * 4 + burst * 4,
+        scanned_blocks: report.scanned_blocks,
+        records: report.records,
+        replay_ms: report.disk_busy_us as f64 / 1000.0,
+        tokens_reestablished: after.tokens_reestablished - before.tokens_reestablished,
+        replayed_pages: after.recovery_replayed_pages - before.recovery_replayed_pages,
+        grace_waits: after.grace_waits - before.grace_waits,
+        verified,
+    }
+}
+
+fn parse_args() -> (bool, u32, u64) {
+    let mut json = false;
+    let mut files = 64u32;
+    let mut burst = 8u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--files" => files = args.next().and_then(|v| v.parse().ok()).expect("--files N"),
+            "--burst" => burst = args.next().and_then(|v| v.parse().ok()).expect("--burst N"),
+            other => panic!("unknown flag {other:?} (supported: --json --files N --burst N)"),
+        }
+    }
+    (json, files, burst)
+}
+
+fn main() {
+    let (json, files, burst) = parse_args();
+    let sweep: Vec<Point> = [1u32, 2, 4, 8].iter().map(|&m| run(files * m, burst)).collect();
+
+    if json {
+        let rows: Vec<String> = sweep
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"files\": {}, \"fs_kib\": {}, \"scanned_blocks\": {}, \
+                     \"log_records\": {}, \"replay_ms\": {:.2}, \
+                     \"tokens_reestablished\": {}, \"replayed_pages\": {}, \
+                     \"grace_waits\": {}, \"verified\": {}}}",
+                    p.files,
+                    p.fs_kib,
+                    p.scanned_blocks,
+                    p.records,
+                    p.replay_ms,
+                    p.tokens_reestablished,
+                    p.replayed_pages,
+                    p.grace_waits,
+                    p.verified
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\": \"t13_crash_restart\", \"burst_pages\": {burst}, \
+             \"sweep\": [{}]}}",
+            rows.join(", ")
+        );
+        return;
+    }
+
+    println!("T13: crash-restart pipeline — FS size swept, {burst}-page dirty burst fixed\n");
+    header(&[
+        "files",
+        "fs KiB",
+        "scan blocks",
+        "log records",
+        "replay ms",
+        "tokens re-est",
+        "replayed pages",
+        "verified",
+    ]);
+    for p in &sweep {
+        row(&[
+            &p.files,
+            &p.fs_kib,
+            &p.scanned_blocks,
+            &p.records,
+            &f2(p.replay_ms),
+            &p.tokens_reestablished,
+            &p.replayed_pages,
+            &p.verified,
+        ]);
+    }
+    println!("\nExpected shape (paper §2.2): scan blocks and replay ms stay roughly");
+    println!("flat as the file system grows 8x — recovery is proportional to the");
+    println!("active log. The client replays exactly the burst ({burst} pages) after");
+    println!("reestablishing its tokens inside the grace window; 'verified' confirms");
+    println!("no update was lost across the crash.");
+}

@@ -50,6 +50,12 @@ const FETCH_PAGES: u64 = 16;
 /// Pages coalesced into one store-back extent (64 KB of 4 KB pages).
 pub const STORE_EXTENT_PAGES: usize = 16;
 
+thread_local! {
+    /// Set while this thread runs the crash-recovery pipeline so epoch
+    /// observations made by recovery's own RPCs do not recurse into it.
+    static IN_RECOVERY: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Tuning for the write-behind pipeline (coalesced store-backs and the
 /// background flusher).
 #[derive(Clone, Debug)]
@@ -167,6 +173,24 @@ pub struct ClientStats {
     /// Writes that flushed synchronously because the dirty-page budget
     /// was exceeded twice over (backpressure).
     pub backpressure_flushes: u64,
+    /// Transport-level retries: the server was crashed, unreachable or
+    /// timed out and the RPC was re-sent after a backoff.
+    pub transport_retries: u64,
+    /// RPCs refused with `GraceWait` (server in its post-restart grace
+    /// window) and retried.
+    pub grace_waits: u64,
+    /// Recovery passes run after observing a server epoch change.
+    pub recoveries: u64,
+    /// Tokens re-granted through `ReestablishTokens` during recovery.
+    pub tokens_reestablished: u64,
+    /// Files revalidated after a restart whose cached pages were kept
+    /// (`DataVersion` unchanged, AFS-style).
+    pub reval_kept: u64,
+    /// Files revalidated after a restart whose cached pages were
+    /// discarded (`DataVersion` changed or revalidation failed).
+    pub reval_dropped: u64,
+    /// Dirty write-behind pages replayed by the recovery pipeline.
+    pub recovery_replayed_pages: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -292,6 +316,9 @@ struct CVnode {
 struct FlusherCtl {
     stop: bool,
     kicked: bool,
+    /// Set by the recovery pipeline to quiesce background store-backs
+    /// while tokens are being reestablished.
+    paused: bool,
 }
 
 /// A coalesced run of dirty pages snapshotted for one store-back
@@ -318,6 +345,17 @@ pub struct CacheManager {
     flusher_cv: OrderedCondvar,
     flusher_join: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
     ticket: OrderedMutex<Option<Ticket>, { rank::CLIENT_RESOURCE }>,
+    /// Serializes the crash-recovery pipeline. Ranked between the vnode
+    /// high locks and the vnode table: the operation that *detects* an
+    /// epoch change holds at most one vnode's `hi`, and recovery itself
+    /// takes only `lo` locks underneath.
+    // dfs-lint: allow(guard-across-rpc) — held across the reestablish /
+    // revalidate sends by design: the server serves reestablishment
+    // without issuing revocations back to us, and revocation handlers
+    // here take only vnode `lo` locks, never this gate.
+    recovery_gate: OrderedMutex<(), { rank::CLIENT_RECOVERY }>,
+    /// Last epoch observed from each file server (resource layer).
+    known_epochs: OrderedMutex<HashMap<ServerId, u64>, { rank::CLIENT_RESOURCE }>,
     vnodes: OrderedMutex<HashMap<Fid, Arc<CVnode>>, { rank::CLIENT_VNODE_TABLE }>,
     locations: OrderedMutex<HashMap<VolumeId, ServerId>, { rank::CLIENT_RESOURCE }>,
     roots: OrderedMutex<HashMap<VolumeId, Fid>, { rank::CLIENT_RESOURCE }>,
@@ -359,6 +397,8 @@ impl CacheManager {
             flusher_cv: OrderedCondvar::new(),
             flusher_join: parking_lot::Mutex::new(None),
             ticket: OrderedMutex::new(None),
+            recovery_gate: OrderedMutex::new(()),
+            known_epochs: OrderedMutex::new(HashMap::new()),
             vnodes: OrderedMutex::new(HashMap::new()),
             locations: OrderedMutex::new(HashMap::new()),
             roots: OrderedMutex::new(HashMap::new()),
@@ -394,9 +434,10 @@ impl CacheManager {
                 cm.flusher_cv.wait_for(&mut ctl, cm.wb.flush_interval);
             }
             let stop = ctl.stop;
+            let paused = ctl.paused;
             ctl.kicked = false;
             drop(ctl);
-            if cm.dirty_total.load(Ordering::Relaxed) > 0 {
+            if !paused && cm.dirty_total.load(Ordering::Relaxed) > 0 {
                 cm.stats.lock().flusher_passes += 1;
                 let _ = cm.store_back_all();
             }
@@ -410,6 +451,14 @@ impl CacheManager {
     fn kick_flusher(&self) {
         self.flusher_ctl.lock().kicked = true;
         self.flusher_cv.notify_all();
+    }
+
+    /// Quiesces (or resumes) the background flusher around recovery.
+    fn set_flusher_paused(&self, paused: bool) {
+        self.flusher_ctl.lock().paused = paused;
+        if !paused {
+            self.flusher_cv.notify_all();
+        }
     }
 
     /// Stops the background flusher (flushing remaining dirty data) and
@@ -481,10 +530,15 @@ impl CacheManager {
     }
 
     /// Sends a file RPC, retrying transparently across volume moves
-    /// (re-consulting the VLDB) and brief volume-busy windows (§2.1).
+    /// (re-consulting the VLDB), brief volume-busy windows (§2.1),
+    /// crashed or unreachable servers, and post-restart grace windows.
+    /// Every `Status`/`Data` response carries the server's epoch; a
+    /// change from the last one seen runs the recovery pipeline before
+    /// the response is handed back.
     fn file_rpc(&self, volume: VolumeId, req: Request) -> DfsResult<Response> {
         let ticket = *self.ticket.lock();
-        for _attempt in 0..50 {
+        let key = volume.0.wrapping_mul(0x9E37_79B9);
+        for attempt in 0..50u32 {
             let server = self.server_for(volume)?;
             let resp = self.net.call(
                 self.addr,
@@ -495,18 +549,41 @@ impl CacheManager {
             );
             match resp {
                 Ok(Response::Err(DfsError::NoSuchVolume)) => {
-                    self.locations.lock().remove(&volume);
                     // Force a fresh VLDB lookup next iteration.
-                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    self.locations.lock().remove(&volume);
+                    self.backoff_keyed(key, attempt + 1);
                 }
                 Ok(Response::Err(DfsError::VolumeBusy)) => {
                     self.stats.lock().busy_retries += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    self.backoff_keyed(key, attempt + 1);
                 }
-                Ok(other) => return Ok(other),
-                Err(DfsError::Unreachable) => {
+                Ok(Response::Err(DfsError::GraceWait)) => {
+                    // The server restarted and admits only token
+                    // reestablishment: learn its new epoch, recover,
+                    // and retry once the grace gate admits us.
+                    self.stats.lock().grace_waits += 1;
+                    self.probe_epoch(server, ticket);
+                    self.backoff_keyed(key, attempt + 1);
+                }
+                Ok(Response::Err(DfsError::Crashed)) => {
+                    // Reached the node but its disk is down; it will be
+                    // restarted (or the volume moved), so retry.
+                    self.stats.lock().transport_retries += 1;
                     self.locations.lock().remove(&volume);
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    self.backoff_keyed(key, attempt + 1);
+                }
+                Ok(other) => {
+                    if let Response::Status { epoch, .. } | Response::Data { epoch, .. } =
+                        &other
+                    {
+                        self.note_epoch(server, *epoch, ticket);
+                    }
+                    return Ok(other);
+                }
+                Err(DfsError::Unreachable | DfsError::Crashed | DfsError::Timeout) => {
+                    self.stats.lock().transport_retries += 1;
+                    self.locations.lock().remove(&volume);
+                    self.backoff_keyed(key, attempt + 1);
                 }
                 Err(e) => return Err(e),
             }
@@ -898,20 +975,197 @@ impl CacheManager {
         }
     }
 
-    /// Jittered, capped backoff for token-contention retry loops: linear
-    /// ramp capped at 2 ms, with a deterministic per-(client, fid,
-    /// round) jitter in the upper half so colliding clients desynchronize.
-    fn backoff(&self, fid: Fid, round: u32) {
+    /// Jittered, capped backoff for retry loops: linear ramp capped at
+    /// 2 ms, with a deterministic per-(client, key, round) jitter in the
+    /// upper half so colliding clients desynchronize.
+    fn backoff_keyed(&self, key: u64, round: u32) {
         const BASE_US: u64 = 100;
         const CAP_US: u64 = 2_000;
         let step = (BASE_US * u64::from(round)).min(CAP_US);
-        let seed = (u64::from(self.id.0) << 40)
-            ^ (u64::from(fid.vnode.0) << 8)
-            ^ fid.volume.0.wrapping_mul(0x9E37_79B9)
-            ^ u64::from(round);
+        let seed = (u64::from(self.id.0) << 40) ^ key ^ u64::from(round);
         let jitter = StdRng::seed_from_u64(seed).gen_range_u64(step / 2 + 1);
         self.stats.lock().backoff_rounds += 1;
         std::thread::sleep(Duration::from_micros(step / 2 + jitter));
+    }
+
+    /// Token-contention backoff keyed by fid (used by `read`/`write`).
+    fn backoff(&self, fid: Fid, round: u32) {
+        self.backoff_keyed(
+            (u64::from(fid.vnode.0) << 8) ^ fid.volume.0.wrapping_mul(0x9E37_79B9),
+            round,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery: epoch tracking, reestablishment, replay (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Asks a server for its current epoch (a `GraceWait` refusal
+    /// carries none) and runs recovery if it changed.
+    fn probe_epoch(&self, server: ServerId, ticket: Option<Ticket>) {
+        let resp = self.net.call(
+            self.addr,
+            Addr::Server(server),
+            ticket,
+            CallClass::Normal,
+            Request::GetEpoch,
+        );
+        if let Ok(Response::EpochIs { epoch, .. }) = resp {
+            self.note_epoch(server, epoch, ticket);
+        }
+    }
+
+    /// Records an observed server epoch. A change from a previously
+    /// known epoch means the server crashed and restarted, losing all
+    /// token state: run the recovery pipeline before proceeding.
+    fn note_epoch(&self, server: ServerId, epoch: u64, ticket: Option<Ticket>) {
+        if IN_RECOVERY.with(|f| f.get()) {
+            return; // Recovery's own RPCs must not recurse.
+        }
+        {
+            let mut known = self.known_epochs.lock();
+            match known.get(&server).copied() {
+                Some(prev) if prev == epoch => return,
+                Some(_) => {}
+                None => {
+                    // First contact: nothing cached under an older epoch.
+                    known.insert(server, epoch);
+                    return;
+                }
+            }
+        }
+        self.recover(server, epoch, ticket);
+    }
+
+    /// The client half of the crash-restart pipeline, serialized by the
+    /// recovery gate and idempotent (the epoch is re-checked under it):
+    ///
+    /// 1. quiesce the background flusher;
+    /// 2. drop every token held from the dead epoch (gone server-side)
+    ///    and reset per-vnode stamp floors — the restarted server's
+    ///    serialization stamps start over;
+    /// 3. re-register the dropped set through one `ReestablishTokens`
+    ///    RPC (granted without conflict during the server's grace
+    ///    window; claims not returned fall back to the normal grant
+    ///    path on demand);
+    /// 4. revalidate clean cached files against post-restart
+    ///    attributes, keeping data pages whose `DataVersion` is
+    ///    unchanged (AFS-style);
+    /// 5. replay still-dirty write-behind pages through the ordinary
+    ///    store-back path — an acked store survived in the journal, an
+    ///    unacked one is still dirty here, so no update is lost.
+    fn recover(&self, server: ServerId, epoch: u64, ticket: Option<Ticket>) {
+        let _gate = self.recovery_gate.lock();
+        {
+            let mut known = self.known_epochs.lock();
+            if known.get(&server) == Some(&epoch) {
+                return; // Another thread already recovered this epoch.
+            }
+            known.insert(server, epoch);
+        }
+        self.stats.lock().recoveries += 1;
+        IN_RECOVERY.with(|f| f.set(true));
+        self.set_flusher_paused(true);
+        self.recover_inner(server, epoch, ticket);
+        self.set_flusher_paused(false);
+        IN_RECOVERY.with(|f| f.set(false));
+    }
+
+    fn recover_inner(&self, server: ServerId, epoch: u64, ticket: Option<Ticket>) {
+        // Cached vnodes living on the restarted server.
+        let all: Vec<Arc<CVnode>> = self.vnodes.lock().values().cloned().collect();
+        let mine: Vec<Arc<CVnode>> = all
+            .into_iter()
+            .filter(|vn| self.server_for(vn.fid.volume).ok() == Some(server))
+            .collect();
+        // Drop dead-epoch tokens, remembering what we held so it can be
+        // claimed back; reset stamp floors so the restarted server's
+        // stamps are accepted.
+        let mut claims: Vec<Token> = Vec::new();
+        for vn in &mine {
+            let mut lo = vn.lo.lock();
+            claims.extend(lo.tokens.drain(..));
+            lo.queued.clear(); // Revocations of dead tokens are moot.
+            lo.stamp = SerializationStamp::default();
+        }
+        // One batched reestablish call re-registers the whole set.
+        let granted = if claims.is_empty() {
+            Vec::new()
+        } else {
+            match self.net.call(
+                self.addr,
+                Addr::Server(server),
+                ticket,
+                CallClass::Normal,
+                Request::ReestablishTokens { epoch, tokens: claims },
+            ) {
+                Ok(Response::Reestablished { tokens, .. }) => tokens,
+                // Grace already over, or the server bounced again: fall
+                // back to the normal grant path on demand.
+                _ => Vec::new(),
+            }
+        };
+        self.stats.lock().tokens_reestablished += granted.len() as u64;
+        for t in granted {
+            let vn = self.vnode(t.fid);
+            vn.lo.lock().tokens.push(t);
+        }
+        // Replay files with dirty pages; revalidate the rest. A vnode
+        // whose pages were all acked pre-crash may still carry
+        // `status_dirty` (only a revocation-driven `StoreStatus` clears
+        // it), but its cached status already reflects the server's
+        // reply to the last store — so it revalidates like a clean one.
+        for vn in &mine {
+            let (has_dirty, cached_dv) = {
+                let lo = vn.lo.lock();
+                (!lo.dirty.is_empty(), lo.status.as_ref().map(|s| s.data_version))
+            };
+            if has_dirty {
+                // Locally-modified data is newer than anything the
+                // server recovered; push it back out. Pages whose
+                // stores were acked pre-crash are clean here and
+                // durable there; everything else is still dirty.
+                let replayed = vn.lo.lock().dirty.len() as u64;
+                if self.store_back(vn, None).is_ok() {
+                    self.stats.lock().recovery_replayed_pages += replayed;
+                }
+                continue;
+            }
+            let Some(cached_dv) = cached_dv else { continue };
+            let resp = self
+                .file_rpc(vn.fid.volume, Request::FetchStatus { fid: vn.fid, want: None })
+                .and_then(|r| r.into_result());
+            let mut lo = vn.lo.lock();
+            match resp {
+                Ok(Response::Status { status, tokens, stamp, .. }) => {
+                    let keep = status.data_version == cached_dv;
+                    if !keep {
+                        let dropped: Vec<u64> = lo.valid.iter().copied().collect();
+                        for p in dropped {
+                            lo.valid.remove(&p);
+                            self.data.drop_page(vn.fid, p);
+                        }
+                    }
+                    self.absorb(vn, &mut lo, Some((status, stamp)), tokens);
+                    let mut st = self.stats.lock();
+                    if keep {
+                        st.reval_kept += 1;
+                    } else {
+                        st.reval_dropped += 1;
+                    }
+                }
+                _ => {
+                    // Could not revalidate: distrust the cached copy.
+                    let dropped: Vec<u64> = lo.valid.iter().copied().collect();
+                    for p in dropped {
+                        lo.valid.remove(&p);
+                        self.data.drop_page(vn.fid, p);
+                    }
+                    lo.status = None;
+                    self.stats.lock().reval_dropped += 1;
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1000,7 +1254,9 @@ impl CacheManager {
             lo = vn.lo.lock();
             lo.in_flight -= 1;
             let (bytes, status, tokens, stamp) = match resp?.into_result()? {
-                Response::Data { bytes, status, tokens, stamp } => (bytes, status, tokens, stamp),
+                Response::Data { bytes, status, tokens, stamp, .. } => {
+                    (bytes, status, tokens, stamp)
+                }
                 _ => return Err(DfsError::Internal("bad FetchData response")),
             };
             // Install fetched pages; locally-dirty pages are newer than
@@ -1151,7 +1407,7 @@ impl CacheManager {
             lo = vn.lo.lock();
             lo.in_flight -= 1;
             match resp?.into_result()? {
-                Response::Status { status, tokens, stamp } => {
+                Response::Status { status, tokens, stamp, .. } => {
                     self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
                 }
                 _ => return Err(DfsError::Internal("bad GetToken response")),
@@ -1185,7 +1441,7 @@ impl CacheManager {
         let mut lo = vn.lo.lock();
         lo.in_flight -= 1;
         match resp?.into_result()? {
-            Response::Status { status, tokens, stamp } => {
+            Response::Status { status, tokens, stamp, .. } => {
                 self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
                 Ok(())
             }
@@ -1197,7 +1453,16 @@ impl CacheManager {
     pub fn fsync(&self, fid: Fid) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        self.store_back(&vn, None)
+        let had_dirty = !vn.lo.lock().dirty.is_empty();
+        self.store_back(&vn, None)?;
+        if !had_dirty {
+            // Nothing shipped, so no store-back forced the server's
+            // log. The caller still asked for durability — a freshly
+            // created (or renamed, chmod'ed, ...) file must survive a
+            // crash — so force the log explicitly.
+            self.file_rpc(fid.volume, Request::Fsync { fid })?.into_result()?;
+        }
+        Ok(())
     }
 
     /// Looks up `name` in `dir`, consulting the directory layer first
@@ -1235,7 +1500,7 @@ impl CacheManager {
         let mut lo = vn.lo.lock();
         lo.in_flight -= 1;
         match resp?.into_result() {
-            Ok(Response::Status { status, tokens, stamp }) => {
+            Ok(Response::Status { status, tokens, stamp, .. }) => {
                 self.absorb(&vn, &mut lo, None, tokens);
                 lo.names.insert(name.to_string(), status.clone());
                 drop(lo);
@@ -1289,7 +1554,7 @@ impl CacheManager {
         let mut lo = vn.lo.lock();
         lo.in_flight -= 1;
         match resp?.into_result() {
-            Ok(Response::Status { status, tokens, stamp }) => {
+            Ok(Response::Status { status, tokens, stamp, .. }) => {
                 self.absorb(&vn, &mut lo, None, tokens);
                 // We made this change ourselves: our directory caches can
                 // be updated in place (the server did not revoke our own
@@ -1422,7 +1687,7 @@ impl CacheManager {
         let mut lo = vn.lo.lock();
         lo.in_flight -= 1;
         match resp?.into_result()? {
-            Response::Status { status, tokens, stamp } => {
+            Response::Status { status, tokens, stamp, .. } => {
                 self.absorb(&vn, &mut lo, Some((status.clone(), stamp)), tokens);
                 Ok(lo.status.clone().unwrap_or(status))
             }
@@ -1444,7 +1709,7 @@ impl CacheManager {
         let mut lo = vn.lo.lock();
         lo.in_flight -= 1;
         match resp?.into_result()? {
-            Response::Status { status, tokens, stamp } => {
+            Response::Status { status, tokens, stamp, .. } => {
                 if let Some(len) = attrs.length {
                     // Truncation invalidates cached pages past the end.
                     let keep = len.div_ceil(PAGE_SIZE as u64);
@@ -1497,7 +1762,7 @@ impl CacheManager {
             lo = vn.lo.lock();
             lo.in_flight -= 1;
             match resp?.into_result()? {
-                Response::Status { status, tokens, stamp } => {
+                Response::Status { status, tokens, stamp, .. } => {
                     self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
                 }
                 _ => return Err(DfsError::Internal("bad GetToken response")),
@@ -1559,7 +1824,7 @@ impl CacheManager {
         let mut lo = vn.lo.lock();
         lo.in_flight -= 1;
         match resp?.into_result()? {
-            Response::Status { status, tokens, stamp } => {
+            Response::Status { status, tokens, stamp, .. } => {
                 self.absorb(&vn, &mut lo, Some((status, stamp)), tokens);
                 Ok(())
             }

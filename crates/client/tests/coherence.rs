@@ -46,6 +46,19 @@ fn client(cell: &Cell, n: u32) -> Arc<CacheManager> {
     CacheManager::start(cell.net.clone(), ClientId(n), vec![Addr::Vldb(0)], Arc::new(MemCache::new()))
 }
 
+/// A client with no background flusher, for tests that assert on exact
+/// network traffic: the 2 ms flush interval would otherwise race the
+/// test body and ship re-dirtied pages mid-measurement.
+fn client_no_flusher(cell: &Cell, n: u32) -> Arc<CacheManager> {
+    CacheManager::start_with_config(
+        cell.net.clone(),
+        ClientId(n),
+        vec![Addr::Vldb(0)],
+        Arc::new(MemCache::new()),
+        dfs_client::WritebackConfig { flusher: false, ..Default::default() },
+    )
+}
+
 #[test]
 fn create_write_read_through_cache_manager() {
     let cell = cell(1);
@@ -123,8 +136,8 @@ fn disjoint_byte_ranges_do_not_ping_pong() {
     // §5.4: byte-range tokens let clients modify disjoint parts of one
     // file without shipping it back and forth.
     let cell = cell(1);
-    let a = client(&cell, 1);
-    let b = client(&cell, 2);
+    let a = client_no_flusher(&cell, 1);
+    let b = client_no_flusher(&cell, 2);
     let root = a.root(VolumeId(1)).unwrap();
     let f = a.create(root, "big", 0o666).unwrap();
     // Lay the file out first.

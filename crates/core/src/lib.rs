@@ -24,7 +24,7 @@
 
 use dfs_client::{CacheManager, DataCache, DiskCache, MemCache, WritebackConfig};
 use dfs_disk::{DiskConfig, SimDisk};
-use dfs_episode::{Episode, FormatParams};
+use dfs_episode::{Episode, FormatParams, RecoveryReport};
 use dfs_rpc::{Addr, CallClass, KdcService, Network, PoolConfig, Request, Response, Ticket};
 use dfs_server::{FileServer, VldbHandle, VldbReplica};
 use dfs_types::{AggregateId, ClientId, DfsResult, ServerId, SimClock, VolumeId};
@@ -113,11 +113,16 @@ impl CellBuilder {
             vldb_addrs.push(addr);
         }
         net.register(Addr::Kdc, KdcService::new(net.auth().clone()), PoolConfig::default());
+        let pool = PoolConfig {
+            workers: self.workers,
+            revocation_workers: self.revocation_workers,
+            require_auth: self.require_auth,
+        };
         let mut servers = Vec::new();
         for i in 1..=self.servers {
             let disk = SimDisk::new(DiskConfig::with_blocks(self.disk_blocks));
             let ep = Episode::format(
-                disk,
+                disk.clone(),
                 clock.clone(),
                 FormatParams {
                     aggregate: AggregateId(i),
@@ -125,27 +130,28 @@ impl CellBuilder {
                     anodes: 8192,
                 },
             )?;
-            servers.push(FileServer::start(
-                net.clone(),
-                ServerId(i),
-                ep,
-                vldb_addrs.clone(),
-                PoolConfig {
-                    workers: self.workers,
-                    revocation_workers: self.revocation_workers,
-                    require_auth: self.require_auth,
-                },
-            )?);
+            let server =
+                FileServer::start(net.clone(), ServerId(i), ep, vldb_addrs.clone(), pool)?;
+            servers.push(Mutex::new(ServerSlot { disk, server }));
         }
         Ok(Cell {
             clock,
             net,
             vldb_addrs,
             servers,
+            pool,
             next_client: Mutex::new(1),
             admin_ticket: Mutex::new(None),
         })
     }
+}
+
+/// One file-server slot: the current instance plus the simulated disk
+/// it runs on, kept so the cell can crash and restart the server on
+/// the *same* storage.
+struct ServerSlot {
+    disk: SimDisk,
+    server: Arc<FileServer>,
 }
 
 /// A running DEcorum cell.
@@ -153,7 +159,8 @@ pub struct Cell {
     clock: SimClock,
     net: Network,
     vldb_addrs: Vec<Addr>,
-    servers: Vec<Arc<FileServer>>,
+    servers: Vec<Mutex<ServerSlot>>,
+    pool: PoolConfig,
     next_client: Mutex<u32>,
     admin_ticket: Mutex<Option<Ticket>>,
 }
@@ -174,9 +181,56 @@ impl Cell {
         &self.net
     }
 
-    /// The file servers, in id order (index 0 is `ServerId(1)`).
-    pub fn server(&self, index: usize) -> &Arc<FileServer> {
-        &self.servers[index]
+    /// The file server currently running in slot `index` (index 0 is
+    /// `ServerId(1)`). Returns an owned handle: after
+    /// [`Cell::restart_server`] a slot holds a *new* instance, so
+    /// callers must not cache this across a restart.
+    pub fn server(&self, index: usize) -> Arc<FileServer> {
+        self.servers[index].lock().server.clone()
+    }
+
+    /// Crashes the file server in slot `index`: its network node stops
+    /// answering (callers see `Unreachable`) and its disk loses all
+    /// volatile state — exactly the failure Episode's log is for.
+    pub fn crash_server(&self, index: usize) {
+        let slot = self.servers[index].lock();
+        self.net.set_crashed(Addr::Server(slot.server.id()), true);
+        slot.disk.crash(None);
+    }
+
+    /// Restarts a crashed server on the same storage: powers the disk
+    /// back on, replays the Episode journal (`Episode::open`), and
+    /// starts a fresh [`FileServer`] instance at the next epoch with a
+    /// `grace_us`-long token-reestablishment window seeded from the
+    /// previous instance's host model. Returns the journal replay
+    /// report.
+    pub fn restart_server(&self, index: usize, grace_us: u64) -> DfsResult<RecoveryReport> {
+        let mut slot = self.servers[index].lock();
+        let old = slot.server.clone();
+        old.stop();
+        slot.disk.power_on();
+        let (ep, report) = Episode::open(slot.disk.clone(), self.clock.clone())?;
+        // Wait only for hosts that actually held tokens at crash time:
+        // a caller with nothing to reestablish (e.g. the admin client
+        // behind create_volume) must not pin the grace window open.
+        let holders = old.token_manager().token_holders();
+        let expected: Vec<_> = old
+            .host_model()
+            .snapshot()
+            .into_iter()
+            .filter(|(c, _)| holders.contains(c))
+            .collect();
+        slot.server = FileServer::restart(
+            self.net.clone(),
+            old.id(),
+            ep,
+            self.vldb_addrs.clone(),
+            self.pool,
+            old.epoch(),
+            expected,
+            grace_us,
+        )?;
+        Ok(report)
     }
 
     /// Number of file servers.
@@ -253,7 +307,7 @@ impl Cell {
     }
 
     fn admin_call(&self, server: usize, req: Request) -> DfsResult<Response> {
-        let to = Addr::Server(self.servers[server].id());
+        let to = Addr::Server(self.server(server).id());
         let ticket = *self.admin_ticket.lock();
         self.net
             .call(Addr::Client(ClientId(0)), to, ticket, CallClass::Normal, req)?
@@ -280,7 +334,7 @@ impl Cell {
 
     /// Moves a volume from `from` to `to` (server indices).
     pub fn move_volume(&self, from: usize, to: usize, volume: VolumeId) -> DfsResult<()> {
-        let target = self.servers[to].id();
+        let target = self.server(to).id();
         self.admin_call(from, Request::VolMove { volume, target })?;
         Ok(())
     }
@@ -294,7 +348,7 @@ impl Cell {
         volume: VolumeId,
         max_staleness_us: u64,
     ) -> DfsResult<()> {
-        let source = self.servers[from].id();
+        let source = self.server(from).id();
         self.admin_call(to, Request::ReplAdd { volume, source, max_staleness_us })?;
         Ok(())
     }

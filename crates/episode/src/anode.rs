@@ -379,6 +379,29 @@ impl Episode {
         Ok(())
     }
 
+    /// Forces the data blocks backing `[offset, offset + len)` of `a`
+    /// home to stable storage. User data is unlogged (metadata-only
+    /// journaling), so an ack whose durability contract covers file
+    /// *contents* — the store-back path, where the client discards its
+    /// dirty pages on the strength of the reply — must write the touched
+    /// buffers through; forcing the log alone only hardens the metadata.
+    pub(crate) fn anode_force_home(&self, a: &Anode, offset: u64, len: u64) -> DfsResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut fblk = offset / BLOCK_SIZE as u64;
+        let last = (offset + len).div_ceil(BLOCK_SIZE as u64);
+        while fblk < last {
+            let phys = self.map_block(a, fblk)?;
+            if phys != 0 {
+                let buf = self.jn.get(phys)?;
+                self.jn.writeback_handle(&buf)?;
+            }
+            fblk += 1;
+        }
+        Ok(())
+    }
+
     /// Truncates (or extends) container `idx` to `new_len` using a
     /// sequence of short transactions, each leaving the file system
     /// consistent (§2.2).

@@ -27,11 +27,12 @@ pub mod salvage;
 pub mod vfs_impl;
 pub mod volume;
 
+pub use dfs_journal::RecoveryReport;
 pub use layout::{Anode, AnodeKind, SuperBlock};
 pub use vfs_impl::EpisodeVolume;
 
 use dfs_disk::{SimDisk, BLOCK_SIZE};
-use dfs_journal::{Journal, LogRegion, RecoveryReport};
+use dfs_journal::{Journal, LogRegion};
 use dfs_types::{AggregateId, DfsError, DfsResult, SimClock};
 use layout::{ANODES_PER_BLOCK, REFCOUNT_ANODE, VOLTABLE_ANODE};
 use parking_lot::{Mutex, RwLock};

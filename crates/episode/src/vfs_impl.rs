@@ -506,8 +506,14 @@ impl Vfs for EpisodeVolume {
             self.ep.jn.commit(txn)?;
         }
         // Durability contract: the client discards its dirty pages on
-        // the strength of this reply, so force the log before returning.
+        // the strength of this reply, so force the log (metadata redo)
+        // AND the touched data buffers (user data is unlogged) before
+        // returning — otherwise a crash that loses the disk cache loses
+        // an acknowledged store.
         self.ep.jn.sync()?;
+        for e in extents {
+            self.ep.anode_force_home(&a, e.offset, e.data.len() as u64)?;
+        }
         Ok(self.ep.status_from_anode(file, &a))
     }
 

@@ -25,6 +25,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dfs_types::{ClientId, DfsError, DfsResult, ServerId, SimClock};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -178,7 +179,9 @@ pub struct Network {
     auth: Arc<AuthRegistry>,
     clock: SimClock,
     latency_us: u64,
-    call_timeout: Duration,
+    // Microseconds, atomic so tests can tighten the timeout on a network
+    // that is already Arc-shared with registered services.
+    call_timeout_us: Arc<AtomicU64>,
 }
 
 impl Network {
@@ -189,7 +192,7 @@ impl Network {
             auth: Arc::new(AuthRegistry::new(clock.clone())),
             clock,
             latency_us,
-            call_timeout: Duration::from_secs(5),
+            call_timeout_us: Arc::new(AtomicU64::new(5_000_000)),
         }
     }
 
@@ -204,9 +207,15 @@ impl Network {
     }
 
     /// Sets the real-time timeout used to detect stalls (tests of the
-    /// §6.4 deadlock use a short timeout).
-    pub fn set_call_timeout(&mut self, timeout: Duration) {
-        self.call_timeout = timeout;
+    /// §6.4 deadlock use a short timeout). Takes effect for calls that
+    /// start after the store; safe on a shared network.
+    pub fn set_call_timeout(&self, timeout: Duration) {
+        self.call_timeout_us.store(timeout.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The current per-call timeout.
+    pub fn call_timeout(&self) -> Duration {
+        Duration::from_micros(self.call_timeout_us.load(Ordering::Relaxed))
     }
 
     /// Binds `service` at `addr` with the given pool configuration.
@@ -290,7 +299,7 @@ impl Network {
         };
         pool.tx.send(job).map_err(|_| DfsError::Unreachable)?;
 
-        match reply_rx.recv_timeout(self.call_timeout) {
+        match reply_rx.recv_timeout(self.call_timeout()) {
             Ok(resp) => {
                 self.charge(label, req_bytes + resp.wire_size());
                 Ok(resp)
@@ -447,7 +456,7 @@ mod tests {
     fn dedicated_revocation_pool_avoids_exhaustion_deadlock() {
         // One normal worker: the outer call occupies it; the inner call
         // must run on the dedicated pool or the node deadlocks (§6.4).
-        let mut net = Network::new(SimClock::new(), 0);
+        let net = Network::new(SimClock::new(), 0);
         net.set_call_timeout(Duration::from_millis(500));
         let addr = server(1);
         let svc = Arc::new(Reentrant { net: net.clone(), addr, depth: AtomicUsize::new(0) });
@@ -464,7 +473,7 @@ mod tests {
     fn shared_pool_exhaustion_stalls() {
         // The ablation: no dedicated revocation workers. The inner call
         // queues behind the outer one forever; the timeout fires.
-        let mut net = Network::new(SimClock::new(), 0);
+        let net = Network::new(SimClock::new(), 0);
         net.set_call_timeout(Duration::from_millis(300));
         let addr = server(1);
         let svc = Arc::new(Reentrant { net: net.clone(), addr, depth: AtomicUsize::new(0) });
@@ -479,6 +488,17 @@ mod tests {
             "shared pool must deadlock and time out, got {r:?}"
         );
         assert!(net.stats().timeouts >= 1);
+    }
+
+    #[test]
+    fn call_timeout_adjustable_after_sharing() {
+        // The timeout lives in an atomic: a clone (as held by registered
+        // services and test harnesses) can tighten it and every handle
+        // observes the change.
+        let net = Network::new(SimClock::new(), 0);
+        let shared = net.clone();
+        shared.set_call_timeout(Duration::from_millis(123));
+        assert_eq!(net.call_timeout(), Duration::from_millis(123));
     }
 
     #[test]

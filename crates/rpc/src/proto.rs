@@ -89,6 +89,11 @@ pub enum Request {
     StoreDataVec { fid: Fid, extents: Vec<WriteExtent> },
     /// Store status changes back.
     StoreStatus { fid: Fid, attrs: SetAttrs },
+    /// Force everything previously acknowledged for this file's volume
+    /// to stable storage (POSIX fsync with no data in flight: a freshly
+    /// created file must survive a crash even though there was no store
+    /// whose group commit would have forced the log).
+    Fsync { fid: Fid },
     /// Obtain tokens without other work.
     GetToken { fid: Fid, want: TokenRequest },
     /// Return a token after revocation or voluntarily (§5.3).
@@ -150,6 +155,17 @@ pub enum Request {
     /// clock; a daemon thread in production).
     ReplTick,
 
+    // ---- Crash recovery (epoch/grace protocol) ----
+    /// Re-register tokens the caller held before the server restarted.
+    /// Valid only while the server's post-restart grace window is open;
+    /// `epoch` is the restarted server's epoch as observed by the
+    /// client (a stale epoch is rejected). The server re-grants each
+    /// token that does not conflict with tokens already reestablished
+    /// by other hosts and returns the fresh grants.
+    ReestablishTokens { epoch: u64, tokens: Vec<Token> },
+    /// Ask a server for its current epoch and grace status.
+    GetEpoch,
+
     // ---- Server → client callbacks (§5.3) ----
     /// Revoke the given type bits of a token; the client must store
     /// dirty data/status covered by those bits first.
@@ -176,9 +192,17 @@ pub enum Response {
     /// Status plus any granted tokens and the serialization stamp of
     /// this reference (§6.2: "time stamps must appear in return
     /// parameters from calls that read or write status information").
-    Status { status: FileStatus, tokens: Vec<Token>, stamp: SerializationStamp },
-    /// Data plus status, tokens, and stamp.
-    Data { bytes: Vec<u8>, status: FileStatus, tokens: Vec<Token>, stamp: SerializationStamp },
+    /// `epoch` is the serving instance's restart epoch — clients compare
+    /// it against the last epoch they saw to detect a crash-restart.
+    Status { status: FileStatus, tokens: Vec<Token>, stamp: SerializationStamp, epoch: u64 },
+    /// Data plus status, tokens, stamp, and server epoch.
+    Data {
+        bytes: Vec<u8>,
+        status: FileStatus,
+        tokens: Vec<Token>,
+        stamp: SerializationStamp,
+        epoch: u64,
+    },
     /// Directory listing.
     Entries(Vec<DirEntry>),
     /// Symlink target.
@@ -193,6 +217,12 @@ pub enum Response {
     Volumes(Vec<VolumeInfo>),
     /// Client's answer to a revocation: true = returned, false = kept.
     RevokeAck { returned: bool },
+    /// Tokens actually re-granted by a `ReestablishTokens` call (fresh
+    /// token ids; same fid/types/range as the claims that survived the
+    /// conflict check).
+    Reestablished { epoch: u64, tokens: Vec<Token> },
+    /// Answer to `GetEpoch`.
+    EpochIs { epoch: u64, in_grace: bool },
 }
 
 impl Request {
@@ -210,6 +240,7 @@ impl Request {
             Request::StoreData { .. } => "StoreData",
             Request::StoreDataVec { .. } => "StoreDataVec",
             Request::StoreStatus { .. } => "StoreStatus",
+            Request::Fsync { .. } => "Fsync",
             Request::GetToken { .. } => "GetToken",
             Request::ReturnToken { .. } => "ReturnToken",
             Request::Lookup { .. } => "Lookup",
@@ -236,6 +267,8 @@ impl Request {
             Request::VolMove { .. } => "VolMove",
             Request::ReplAdd { .. } => "ReplAdd",
             Request::ReplTick => "ReplTick",
+            Request::ReestablishTokens { .. } => "ReestablishTokens",
+            Request::GetEpoch => "GetEpoch",
             Request::RevokeToken { .. } => "RevokeToken",
             Request::Ping => "Ping",
         }
@@ -262,6 +295,8 @@ impl Request {
             }
             Request::SetAcl { acl, .. } => 7 * acl.len() as u64,
             Request::VolRestore { dump, .. } => dump.payload_bytes(),
+            // Each claimed token: id, fid, types, range.
+            Request::ReestablishTokens { tokens, .. } => 40 * tokens.len() as u64,
             _ => 0,
         }
     }
@@ -282,6 +317,7 @@ impl Response {
             Response::Volumes(vs) => 64 * vs.len() as u64,
             Response::Target(t) => t.len() as u64,
             Response::Locations(ls) => 12 * ls.len() as u64,
+            Response::Reestablished { tokens, .. } => 40 * tokens.len() as u64,
             _ => 0,
         }
     }

@@ -27,16 +27,87 @@ pub struct HostRecord {
     pub last_seen: Timestamp,
 }
 
+/// Default client lease: a client silent for longer is presumed dead
+/// (simulated time, §3.2 — production DFS ties this to the token
+/// lifetime the server hands out).
+pub const DEFAULT_LEASE_US: u64 = 60_000_000;
+
 /// The server's registry of known clients.
-#[derive(Default)]
 pub struct HostModel {
     records: OrderedMutex<HashMap<ClientId, HostRecord>, { rank::HOST_TABLE }>,
+    /// A client whose `last_seen` is older than this is lease-expired:
+    /// it no longer blocks revocation quiescence or pins a post-restart
+    /// grace window.
+    lease_us: u64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel::new()
+    }
 }
 
 impl HostModel {
-    /// Creates an empty host model.
+    /// Creates an empty host model with the default lease.
     pub fn new() -> HostModel {
-        HostModel::default()
+        HostModel::with_lease(DEFAULT_LEASE_US)
+    }
+
+    /// Creates an empty host model with an explicit lease (µs of
+    /// simulated time).
+    pub fn with_lease(lease_us: u64) -> HostModel {
+        HostModel { records: OrderedMutex::new(HashMap::new()), lease_us }
+    }
+
+    /// The configured lease in microseconds.
+    pub fn lease_us(&self) -> u64 {
+        self.lease_us
+    }
+
+    /// True if `client` is known and inside its lease at `now`.
+    pub fn lease_live(&self, client: ClientId, now: Timestamp) -> bool {
+        self.records
+            .lock()
+            .get(&client)
+            .is_some_and(|r| now.0.saturating_sub(r.last_seen.0) <= self.lease_us)
+    }
+
+    /// Known clients still inside their lease at `now`.
+    pub fn live_clients(&self, now: Timestamp) -> Vec<ClientId> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|(_, r)| now.0.saturating_sub(r.last_seen.0) <= self.lease_us)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// True if every revocation sent to every *lease-live* client was
+    /// acknowledged. A crashed client with outstanding revocations
+    /// blocks this only until its lease runs out.
+    pub fn revocations_all_acked(&self, now: Timestamp) -> bool {
+        self.records.lock().iter().all(|(_, r)| {
+            r.revocations_sent == r.revocations_acked
+                || now.0.saturating_sub(r.last_seen.0) > self.lease_us
+        })
+    }
+
+    /// Snapshot of every known client and when it was last heard from —
+    /// the handoff a restarting server uses as its expected-host set
+    /// (standing in for a durably-stored host table).
+    pub fn snapshot(&self) -> Vec<(ClientId, Timestamp)> {
+        self.records.lock().iter().map(|(c, r)| (*c, r.last_seen)).collect()
+    }
+
+    /// Seeds a record without counting a call — used by a restarting
+    /// server to carry the previous instance's last-seen times forward
+    /// so lease expiry applies to hosts that never reconnect.
+    pub fn seed(&self, client: ClientId, last_seen: Timestamp) {
+        let mut recs = self.records.lock();
+        let r = recs.entry(client).or_default();
+        if last_seen > r.last_seen {
+            r.last_seen = last_seen;
+        }
     }
 
     /// Notes an incoming call from `client`.
@@ -196,5 +267,36 @@ mod tests {
         let m = HostModel::new();
         assert!(m.revocations_quiesced(ClientId(99)));
         assert!(m.record(ClientId(99)).is_none());
+    }
+
+    #[test]
+    fn crashed_client_blocks_all_acked_until_lease_expires() {
+        let m = HostModel::with_lease(1_000);
+        let live = ClientId(1);
+        let dead = ClientId(2);
+        m.saw_call(live, None, Timestamp(100));
+        m.saw_call(dead, None, Timestamp(100));
+        // The dead client misses a revocation (sent but never acked).
+        m.saw_revocation(dead, false);
+        m.saw_revocation(live, true);
+        assert!(!m.revocations_all_acked(Timestamp(500)), "sent > acked must block");
+        // The live client keeps calling; the dead one goes silent. Once
+        // its lease runs out it stops pinning quiescence.
+        m.saw_call(live, None, Timestamp(1_500));
+        assert!(
+            m.revocations_all_acked(Timestamp(1_500)),
+            "lease expiry must unblock a crashed client"
+        );
+        assert!(m.lease_live(live, Timestamp(1_500)));
+        assert!(!m.lease_live(dead, Timestamp(1_500)));
+        assert_eq!(m.live_clients(Timestamp(1_500)), vec![live]);
+    }
+
+    #[test]
+    fn snapshot_reports_last_seen() {
+        let m = HostModel::new();
+        m.saw_call(ClientId(3), Some(7), Timestamp(42));
+        let snap = m.snapshot();
+        assert_eq!(snap, vec![(ClientId(3), Timestamp(42))]);
     }
 }

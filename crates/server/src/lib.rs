@@ -33,7 +33,8 @@ use dfs_rpc::{
 };
 use dfs_token::{Token, TokenManager, TokenTypes};
 use dfs_types::{
-    ByteRange, DfsError, DfsResult, Fid, HostId, ServerId, Timestamp, VnodeId, VolumeId,
+    ByteRange, ClientId, DfsError, DfsResult, Fid, HostId, ServerId, Timestamp, VnodeId,
+    VolumeId,
 };
 use dfs_vfs::{Credentials, PhysicalFs, VfsPlus, WriteExtent};
 use dfs_types::lock::{rank, OrderedMutex};
@@ -58,6 +59,9 @@ pub struct ServerStats {
     pub ops: u64,
     /// Calls refused because the volume was being moved.
     pub busy_rejections: u64,
+    /// Calls refused because the post-restart grace window was open and
+    /// the caller had not reestablished yet.
+    pub grace_rejections: u64,
     /// Volume moves completed.
     pub moves: u64,
     /// Replica refresh passes that shipped data.
@@ -73,6 +77,21 @@ struct ReplJob {
     dirty: bool,
 }
 
+/// Post-restart recovery state: while the grace window is open, only
+/// hosts known to the previous instance may do file work, and only
+/// after checking in via `ReestablishTokens` (Lustre-style recovery).
+#[derive(Default)]
+struct RecoveryState {
+    /// Simulated-time deadline of the grace window; `None` = no grace
+    /// window (normal operation).
+    grace_until: Option<Timestamp>,
+    /// Clients the previous instance knew about — the hosts allowed
+    /// (and expected) to reestablish.
+    expected: HashSet<ClientId>,
+    /// Hosts that have checked in under the current epoch.
+    checked_in: HashSet<ClientId>,
+}
+
 /// A DEcorum file server node.
 pub struct FileServer {
     id: ServerId,
@@ -84,22 +103,84 @@ pub struct FileServer {
     hosts: Arc<HostModel>,
     locks: LockTable,
     vldb: VldbHandle,
+    /// Restart epoch: 1 for a freshly started server, +1 per restart.
+    /// Stamped into every `Status`/`Data` response so clients detect a
+    /// crash-restart from ordinary traffic.
+    epoch: u64,
     mounts: OrderedMutex<HashMap<VolumeId, Arc<dyn VfsPlus>>, { rank::VOLUME_REGISTRY }>,
     busy: OrderedMutex<HashSet<VolumeId>, { rank::VOLUME_REGISTRY }>,
     repl: OrderedMutex<Vec<ReplJob>, { rank::VOLUME_REGISTRY }>,
     known_hosts: OrderedMutex<HashSet<HostId>, { rank::SERVER_HOSTS }>,
+    recovery: OrderedMutex<RecoveryState, { rank::SERVER_HOSTS }>,
     stats: OrderedMutex<ServerStats, { rank::STATS }>,
 }
 
 impl FileServer {
     /// Builds a server over `physical`, binds it at `Server(id)`, and
-    /// registers its existing volumes in the VLDB.
+    /// registers its existing volumes in the VLDB. The server starts at
+    /// epoch 1 with no recovery grace window.
     pub fn start(
         net: Network,
         id: ServerId,
         physical: Arc<dyn PhysicalFs>,
         vldb_replicas: Vec<Addr>,
         pool: PoolConfig,
+    ) -> DfsResult<Arc<FileServer>> {
+        Self::start_instance(net, id, physical, vldb_replicas, pool, 1, RecoveryState::default())
+    }
+
+    /// Restarts a server after a crash, on the same (journal-recovered)
+    /// `physical`. The new instance runs at `prev_epoch + 1` and opens a
+    /// `grace_us`-long recovery window during which the `expected` hosts
+    /// — the previous instance's host-model snapshot, standing in for a
+    /// durably stored host table — may reestablish their tokens. Grace
+    /// ends early once every still-lease-live expected host has checked
+    /// in; lease-expired hosts never pin the window.
+    ///
+    /// Binding the address replaces the crashed node on the network, so
+    /// the restarted server is immediately reachable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restart(
+        net: Network,
+        id: ServerId,
+        physical: Arc<dyn PhysicalFs>,
+        vldb_replicas: Vec<Addr>,
+        pool: PoolConfig,
+        prev_epoch: u64,
+        expected: Vec<(ClientId, Timestamp)>,
+        grace_us: u64,
+    ) -> DfsResult<Arc<FileServer>> {
+        let now = net.clock().now();
+        let recovery = RecoveryState {
+            grace_until: Some(Timestamp(now.0 + grace_us)),
+            expected: expected.iter().map(|(c, _)| *c).collect(),
+            checked_in: HashSet::new(),
+        };
+        let srv = Self::start_instance(
+            net,
+            id,
+            physical,
+            vldb_replicas,
+            pool,
+            prev_epoch + 1,
+            recovery,
+        )?;
+        // Seed the host model with pre-crash last-seen times so lease
+        // expiry applies to hosts that never come back.
+        for (c, last_seen) in expected {
+            srv.hosts.seed(c, last_seen);
+        }
+        Ok(srv)
+    }
+
+    fn start_instance(
+        net: Network,
+        id: ServerId,
+        physical: Arc<dyn PhysicalFs>,
+        vldb_replicas: Vec<Addr>,
+        pool: PoolConfig,
+        epoch: u64,
+        recovery: RecoveryState,
     ) -> DfsResult<Arc<FileServer>> {
         let addr = Addr::Server(id);
         let vldb = VldbHandle::new(net.clone(), addr, vldb_replicas);
@@ -113,10 +194,12 @@ impl FileServer {
             hosts: Arc::new(HostModel::new()),
             locks: LockTable::new(),
             vldb,
+            epoch,
             mounts: OrderedMutex::new(HashMap::new()),
             busy: OrderedMutex::new(HashSet::new()),
             repl: OrderedMutex::new(Vec::new()),
             known_hosts: OrderedMutex::new(HashSet::new()),
+            recovery: OrderedMutex::new(recovery),
             stats: OrderedMutex::new(ServerStats::default()),
         });
         srv.tm.register_host(srv.local_host.clone());
@@ -127,9 +210,47 @@ impl FileServer {
         Ok(srv)
     }
 
+    /// Unbinds this server from the network (graceful shutdown; the
+    /// physical file system stays with its owner for a later restart).
+    pub fn stop(&self) {
+        self.net.unregister(self.addr);
+    }
+
     /// This server's id.
     pub fn id(&self) -> ServerId {
         self.id
+    }
+
+    /// This instance's restart epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True while the post-restart grace window is open.
+    pub fn in_grace(&self) -> bool {
+        let now = self.net.clock().now();
+        let mut rec = self.recovery.lock();
+        self.grace_open(&mut rec, now)
+    }
+
+    /// Checks (and lazily closes) the grace window. Grace ends at the
+    /// deadline or as soon as every expected host that is still inside
+    /// its lease has checked in — dead clients don't pin the window.
+    fn grace_open(
+        &self,
+        rec: &mut RecoveryState,
+        now: Timestamp,
+    ) -> bool {
+        let Some(until) = rec.grace_until else { return false };
+        let all_in = rec
+            .expected
+            .iter()
+            .all(|c| rec.checked_in.contains(c) || !self.hosts.lease_live(*c, now));
+        if now >= until || all_in {
+            rec.grace_until = None;
+            return false;
+        }
+        true
     }
 
     /// The token manager (diagnostics and tests).
@@ -265,7 +386,7 @@ impl FileServer {
         if ctx.class == CallClass::Revocation {
             let status = fs.write_vec(cred, fid, &extents)?;
             let stamp = self.tm.stamp(fid);
-            return Ok(Response::Status { status, tokens: Vec::new(), stamp });
+            return Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch });
         }
         // One grant covering the hull of all extents.
         let mut range = ByteRange::at(extents[0].offset, extents[0].data.len() as u64);
@@ -280,7 +401,7 @@ impl FileServer {
             None,
             || fs.write_vec(cred, fid, &extents),
         )?;
-        Ok(Response::Status { status, tokens: Vec::new(), stamp })
+        Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
     }
 
     // ------------------------------------------------------------------
@@ -463,7 +584,7 @@ impl FileServer {
                     want,
                     || fs.getattr(&cred, fid),
                 )?;
-                Ok(P::Status { status, tokens, stamp })
+                Ok(P::Status { status, tokens, stamp, epoch: self.epoch })
             }
 
             Q::FetchData { fid, offset, len, want } => {
@@ -482,7 +603,7 @@ impl FileServer {
                         Ok((bytes, status))
                     },
                 )?;
-                Ok(P::Data { bytes, status, tokens, stamp })
+                Ok(P::Data { bytes, status, tokens, stamp, epoch: self.epoch })
             }
 
             Q::StoreData { fid, offset, data } => {
@@ -508,7 +629,7 @@ impl FileServer {
                     // (the storing client holds the status-write token).
                     let status = fs.setattr(&cred, fid, &attrs)?;
                     let stamp = self.tm.stamp(fid);
-                    return Ok(P::Status { status, tokens: Vec::new(), stamp });
+                    return Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch });
                 }
                 let types = if attrs.length.is_some() { DIR_WRITE } else { TokenTypes::STATUS_WRITE };
                 let (status, _t, stamp) = self.with_grant(
@@ -519,7 +640,13 @@ impl FileServer {
                     None,
                     || fs.setattr(&cred, fid, &attrs),
                 )?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp })
+                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
+            }
+
+            Q::Fsync { fid } => {
+                let fs = self.volume_of(fid)?;
+                fs.fsync(&cred, fid)?;
+                Ok(P::Ok)
             }
 
             Q::GetToken { fid, want } => {
@@ -531,6 +658,7 @@ impl FileServer {
                         status: dfs_types::FileStatus { fid, stamp, ..Default::default() },
                         tokens: vec![token],
                         stamp,
+                        epoch: self.epoch,
                     });
                 }
                 let fs = self.volume_of(fid)?;
@@ -542,7 +670,7 @@ impl FileServer {
                     Some(want),
                     || fs.getattr(&cred, fid),
                 )?;
-                Ok(P::Status { status, tokens, stamp })
+                Ok(P::Status { status, tokens, stamp, epoch: self.epoch })
             }
 
             Q::ReturnToken { fid, token } => {
@@ -564,7 +692,7 @@ impl FileServer {
                     || fs.lookup(&cred, dir, &name),
                 )?;
                 let stamp = self.tm.stamp(status.fid);
-                Ok(P::Status { status, tokens, stamp })
+                Ok(P::Status { status, tokens, stamp, epoch: self.epoch })
             }
 
             Q::Create { dir, name, mode } => self.namespace_op(ctx, dir, |fs| {
@@ -586,7 +714,7 @@ impl FileServer {
                 });
                 self.tm.release(host, t2.id);
                 let (status, _t, stamp) = result?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp })
+                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
             }
 
             Q::Remove { dir, name } => {
@@ -610,7 +738,7 @@ impl FileServer {
                 });
                 self.tm.release(host, vt.id);
                 let (status, _t, stamp) = result?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp })
+                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
             }
 
             Q::Rmdir { dir, name } => {
@@ -756,6 +884,48 @@ impl FileServer {
                 Ok(P::Ok)
             }
 
+            Q::GetEpoch => Ok(P::EpochIs { epoch: self.epoch, in_grace: self.in_grace() }),
+
+            Q::ReestablishTokens { epoch, tokens } => {
+                let client = match ctx.caller {
+                    Addr::Client(c) => c,
+                    _ => return Err(DfsError::InvalidArgument),
+                };
+                if epoch != self.epoch {
+                    // The caller is talking to a different instance than
+                    // it thinks (e.g. we restarted again); it must
+                    // re-probe before claiming anything.
+                    return Err(DfsError::InvalidArgument);
+                }
+                let host = self.host_for(ctx.caller)?;
+                let now = self.net.clock().now();
+                let (in_grace, expected) = {
+                    let mut rec = self.recovery.lock();
+                    (self.grace_open(&mut rec, now), rec.expected.contains(&client))
+                };
+                let mut granted = Vec::new();
+                if in_grace && expected {
+                    // Re-grant claims that don't conflict with what other
+                    // hosts already reestablished; conflicting claims are
+                    // silently dropped (the honest pre-crash grant set is
+                    // conflict-free, so drops only punish stale claims).
+                    for t in tokens {
+                        if let Some((token, _stamp)) =
+                            self.tm.reestablish(host, t.fid, t.types, t.range)
+                        {
+                            granted.push(token);
+                        }
+                    }
+                }
+                if expected {
+                    let mut rec = self.recovery.lock();
+                    rec.checked_in.insert(client);
+                    // Last expected host in: close the window early.
+                    self.grace_open(&mut rec, now);
+                }
+                Ok(P::Reestablished { epoch: self.epoch, tokens: granted })
+            }
+
             Q::RevokeToken { token, types: _, stamp: _ } => {
                 // We hold whole-volume replica tokens only: mark the
                 // replica dirty and return the token (§3.8).
@@ -782,7 +952,7 @@ impl FileServer {
         let (status, _t, _s) =
             self.with_grant(host, dir, DIR_WRITE, ByteRange::WHOLE, None, || f(&fs))?;
         let stamp = self.tm.stamp(status.fid);
-        Ok(Response::Status { status, tokens: Vec::new(), stamp })
+        Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
     }
 
     fn fid_of(req: &Request) -> Option<Fid> {
@@ -792,6 +962,7 @@ impl FileServer {
             | Request::StoreData { fid, .. }
             | Request::StoreDataVec { fid, .. }
             | Request::StoreStatus { fid, .. }
+            | Request::Fsync { fid }
             | Request::GetToken { fid, .. }
             | Request::ReturnToken { fid, .. }
             | Request::Readlink { fid }
@@ -817,6 +988,28 @@ impl RpcService for FileServer {
     fn dispatch(&self, ctx: CallContext, req: Request) -> Response {
         if let Addr::Client(c) = ctx.caller {
             self.hosts.saw_call(c, ctx.principal, self.net.clock().now());
+        }
+        // Post-restart recovery gate: while the grace window is open,
+        // file work is admitted only from hosts that have reestablished
+        // their tokens. Probes (Ping/GetEpoch), the reestablish call
+        // itself, admin traffic, and revocation-class store-backs pass.
+        if ctx.class != CallClass::Revocation
+            && (Self::fid_of(&req).is_some() || matches!(req, Request::GetRoot { .. }))
+        {
+            let gated = {
+                let now = self.net.clock().now();
+                let mut rec = self.recovery.lock();
+                self.grace_open(&mut rec, now)
+                    && match ctx.caller {
+                        Addr::Client(c) => !rec.checked_in.contains(&c),
+                        // Peers (replicators) are not part of recovery.
+                        _ => false,
+                    }
+            };
+            if gated {
+                self.stats.lock().grace_rejections += 1;
+                return Response::Err(DfsError::GraceWait);
+            }
         }
         // Volume motion blocks file access briefly (§2.1) — except for
         // revocation-triggered store-backs, which the move's own

@@ -21,7 +21,9 @@ pub mod types;
 pub use types::{compatible, conflict_bits, open_compatible, render_open_matrix, Token, TokenId, TokenTypes};
 
 use dfs_types::lock::{rank, OrderedMutex};
-use dfs_types::{ByteRange, DfsError, DfsResult, Fid, HostId, SerializationStamp, VolumeId};
+use dfs_types::{
+    ByteRange, ClientId, DfsError, DfsResult, Fid, HostId, SerializationStamp, VolumeId,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -68,6 +70,8 @@ pub struct TokenStats {
     pub refused: u64,
     /// Tokens returned voluntarily.
     pub releases: u64,
+    /// Tokens re-granted through the post-restart reestablish path.
+    pub reestablished: u64,
 }
 
 struct Grant {
@@ -232,6 +236,49 @@ impl TokenManager {
         Err(DfsError::Timeout)
     }
 
+    /// Re-grants a token `host` claims to have held before this server
+    /// instance started (the crash-recovery reestablish path).
+    ///
+    /// Unlike [`grant`](Self::grant) this never revokes anyone: the
+    /// pre-crash grant set was mutually compatible, so honest surviving
+    /// claims cannot conflict with each other. A claim that *does*
+    /// conflict with tokens already in the table (another host
+    /// reestablished an overlapping guarantee first, or new grants were
+    /// issued after the grace window closed) is refused — the caller
+    /// falls back to the normal grant path for that file.
+    pub fn reestablish(
+        &self,
+        host: HostId,
+        fid: Fid,
+        types: TokenTypes,
+        range: ByteRange,
+    ) -> Option<(Token, SerializationStamp)> {
+        if fid.volume.0 == 0 || types.is_empty() {
+            return None;
+        }
+        let wanted = Token { id: TokenId(0), fid, types, range };
+        let mut inner = self.inner.lock();
+        if !self.conflicting(&inner, host, &wanted).is_empty() {
+            inner.stats.refused += 1;
+            return None;
+        }
+        let id = TokenId(inner.next_id);
+        inner.next_id += 1;
+        let token = Token { id, fid, types, range };
+        inner
+            .grants
+            .entry(fid.volume)
+            .or_default()
+            .entry(fid.vnode.0)
+            .or_default()
+            .push(Grant { host, token: token.clone() });
+        inner.stats.grants += 1;
+        inner.stats.reestablished += 1;
+        let s = inner.stamps.entry(fid).or_default();
+        *s = s.next();
+        Some((token, *s))
+    }
+
     fn conflicting(
         &self,
         inner: &ManagerInner,
@@ -303,6 +350,28 @@ impl TokenManager {
             .and_then(|m| m.get(&fid.vnode.0))
             .map(|v| v.iter().map(|g| (g.host, g.token.clone())).collect())
             .unwrap_or_default()
+    }
+
+    /// Lists the remote client hosts currently holding at least one
+    /// grant. A restarting server's grace window waits only for these:
+    /// a host that held no tokens has nothing to reestablish, and
+    /// waiting for it (e.g. an admin caller that only ever created
+    /// volumes) would pin the window until lease expiry.
+    pub fn token_holders(&self) -> Vec<ClientId> {
+        let inner = self.inner.lock();
+        let mut out: Vec<ClientId> = Vec::new();
+        for by_vnode in inner.grants.values() {
+            for grants in by_vnode.values() {
+                for g in grants {
+                    if let HostId::Client(c) = g.host {
+                        if !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Returns a snapshot of the statistics.
@@ -491,6 +560,45 @@ mod tests {
         assert_eq!(s2, SerializationStamp(1), "counters are per file");
         assert_eq!(s3, SerializationStamp(2));
         assert_eq!(tm.current_stamp(fid(1)), SerializationStamp(2));
+    }
+
+    #[test]
+    fn reestablish_regrants_without_revocation() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        // Two disjoint pre-crash write claims both survive a restart.
+        let (t1, _) = tm
+            .reestablish(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(0, 100))
+            .unwrap();
+        let (t2, _) = tm
+            .reestablish(h2.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(100, 200))
+            .unwrap();
+        assert_ne!(t1.id, t2.id, "fresh token ids");
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 0, "reestablish never revokes");
+        assert_eq!(h2.calls.load(Ordering::SeqCst), 0);
+        assert_eq!(tm.stats().reestablished, 2);
+        assert_eq!(tm.tokens_on(fid(1)).len(), 2);
+    }
+
+    #[test]
+    fn reestablish_conflicting_claim_refused() {
+        let tm = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        tm.reestablish(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        // An overlapping claim (inconsistent with the first) is dropped
+        // rather than revoking the grant that got in first.
+        assert!(tm
+            .reestablish(h2.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE)
+            .is_none());
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 0);
+        assert_eq!(tm.stats().refused, 1);
+        assert_eq!(tm.tokens_on(fid(1)).len(), 1);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub enum DfsError {
     Timeout,
     /// The remote host refused or cannot be reached.
     Unreachable,
+    /// The server is inside its post-restart recovery grace period and
+    /// admits only token reestablishment from known hosts; new work must
+    /// wait until the grace window closes.
+    GraceWait,
     /// Authentication failed: missing, expired, or forged ticket.
     AuthenticationFailed,
     /// The caller's token was revoked while the operation was in flight.
@@ -71,7 +75,10 @@ impl DfsError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            DfsError::TokenRevoked | DfsError::VolumeBusy | DfsError::Timeout
+            DfsError::TokenRevoked
+                | DfsError::VolumeBusy
+                | DfsError::Timeout
+                | DfsError::GraceWait
         )
     }
 }
@@ -99,6 +106,7 @@ impl fmt::Display for DfsError {
             DfsError::Crashed => write!(f, "node has crashed"),
             DfsError::Timeout => write!(f, "rpc timeout"),
             DfsError::Unreachable => write!(f, "host unreachable"),
+            DfsError::GraceWait => write!(f, "server in recovery grace period"),
             DfsError::AuthenticationFailed => write!(f, "authentication failed"),
             DfsError::TokenRevoked => write!(f, "token revoked"),
             DfsError::LogFull => write!(f, "journal log full"),
@@ -117,6 +125,7 @@ mod tests {
     fn retryable_classification() {
         assert!(DfsError::TokenRevoked.is_retryable());
         assert!(DfsError::VolumeBusy.is_retryable());
+        assert!(DfsError::GraceWait.is_retryable());
         assert!(!DfsError::PermissionDenied.is_retryable());
         assert!(!DfsError::NotFound.is_retryable());
     }

@@ -18,6 +18,7 @@
 //! | rank constant          | value | guards |
 //! |------------------------|-------|--------|
 //! | `CLIENT_VNODE_HI`      |  10   | per-vnode high-level operation lock (§6.1) |
+//! | `CLIENT_RECOVERY`      |  15   | client crash-recovery serialization (one epoch transition at a time) |
 //! | `CLIENT_VNODE_TABLE`   |  20   | cache manager's fid → vnode map |
 //! | `CLIENT_VNODE_LO`      |  30   | per-vnode low-level state lock (§6.1) |
 //! | `CLIENT_RESOURCE`      |  40   | ticket, volume-location and root caches (§4.1) |
@@ -55,6 +56,11 @@ use std::ops::{Deref, DerefMut};
 pub mod rank {
     /// Per-vnode high-level operation lock (§6.1).
     pub const CLIENT_VNODE_HI: u16 = 10;
+    /// Client crash-recovery serialization. Ranked between the per-vnode
+    /// high lock and the vnode table: an operation discovering an epoch
+    /// change holds at most one vnode's high lock, and the recovery
+    /// procedure itself only takes low locks (rank 30) underneath.
+    pub const CLIENT_RECOVERY: u16 = 15;
     /// Cache manager's fid → vnode map. Ranked *above* the high-level
     /// lock because operations consult the map while already serialized
     /// on a vnode (seeding a child's status after a lookup or namespace
@@ -100,6 +106,7 @@ pub mod rank {
         match r {
             CLIENT_VNODE_TABLE => "CLIENT_VNODE_TABLE",
             CLIENT_VNODE_HI => "CLIENT_VNODE_HI",
+            CLIENT_RECOVERY => "CLIENT_RECOVERY",
             CLIENT_VNODE_LO => "CLIENT_VNODE_LO",
             CLIENT_RESOURCE => "CLIENT_RESOURCE",
             CLIENT_DATA_CACHE => "CLIENT_DATA_CACHE",

@@ -236,7 +236,12 @@ fn token_handoff_under_simulated_network_partition() {
     // proceed — availability over a dead client's cache.
     let cell = Cell::builder().servers(1).build().unwrap();
     cell.create_volume(0, VolumeId(1), "v").unwrap();
-    let a = cell.new_client();
+    // No background flusher on A: its dirty page must still be unstored
+    // when it dies (otherwise the test races the 2 ms flush interval).
+    let a = cell.new_client_writeback(decorum_dfs::client::WritebackConfig {
+        flusher: false,
+        ..Default::default()
+    });
     let b = cell.new_client();
     let root = a.root(VolumeId(1)).unwrap();
     let f = a.create(root, "orphaned", 0o666).unwrap();

@@ -8,6 +8,9 @@
 #      "Concurrency discipline")
 #   4. bench smoke: T8 and T1 at tiny parameters in --json mode; fails
 #      on a panic (non-zero exit) or malformed JSON (jsoncheck)
+#   5. recovery gate: the crash-restart pipeline tests plus T13 at tiny
+#      parameters (server epoch bump, grace window, token
+#      reestablishment, dirty-burst replay)
 #
 # Run from the repo root:  ./verify.sh
 set -eu
@@ -29,5 +32,10 @@ t8_out=$(cargo run -q --release -p dfs-bench --bin t8_group_commit -- --json --o
 printf '%s' "$t8_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 t1_out=$(cargo run -q --release -p dfs-bench --bin t1_metadata_traffic -- --json --files 50)
 printf '%s' "$t1_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+
+echo "==> recovery gate (crash-restart tests + t13 smoke)"
+cargo test -q --test recovery
+t13_out=$(cargo run -q --release -p dfs-bench --bin t13_crash_restart -- --json --files 8 --burst 4)
+printf '%s' "$t13_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "verify: OK"
