@@ -39,7 +39,7 @@ use dfs_types::{
 };
 use dfs_vfs::{DirEntry, SetAttrs, WriteExtent};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -49,6 +49,11 @@ const FETCH_PAGES: u64 = 16;
 
 /// Pages coalesced into one store-back extent (64 KB of 4 KB pages).
 pub const STORE_EXTENT_PAGES: usize = 16;
+
+/// Most volumes tracked by the location cache. A cell has few volumes a
+/// client actually touches; bounding the cache keeps a scanner of many
+/// volumes from growing client state without limit.
+const LOCATION_CACHE_CAP: usize = 256;
 
 thread_local! {
     /// Set while this thread runs the crash-recovery pipeline so epoch
@@ -191,6 +196,20 @@ pub struct ClientStats {
     pub reval_dropped: u64,
     /// Dirty write-behind pages replayed by the recovery pipeline.
     pub recovery_replayed_pages: u64,
+    /// `WrongServer` redirects followed after a volume moved (§2.1).
+    pub wrong_server_redirects: u64,
+    /// Location-cache entries evicted to stay within the size bound.
+    pub location_evictions: u64,
+}
+
+/// Bounded volume→(server, generation) location cache (§4.1). Installs
+/// are generation-monotone: a stale `WrongServer` hint arriving after a
+/// fresh VLDB lookup can never roll an entry back to the old owner.
+#[derive(Default)]
+struct LocationCache {
+    map: HashMap<VolumeId, (ServerId, u64)>,
+    /// Insertion order, for cheap eviction at the cap.
+    order: VecDeque<VolumeId>,
 }
 
 #[derive(Clone, Debug)]
@@ -357,7 +376,7 @@ pub struct CacheManager {
     /// Last epoch observed from each file server (resource layer).
     known_epochs: OrderedMutex<HashMap<ServerId, u64>, { rank::CLIENT_RESOURCE }>,
     vnodes: OrderedMutex<HashMap<Fid, Arc<CVnode>>, { rank::CLIENT_VNODE_TABLE }>,
-    locations: OrderedMutex<HashMap<VolumeId, ServerId>, { rank::CLIENT_RESOURCE }>,
+    locations: OrderedMutex<LocationCache, { rank::CLIENT_RESOURCE }>,
     roots: OrderedMutex<HashMap<VolumeId, Fid>, { rank::CLIENT_RESOURCE }>,
     stats: OrderedMutex<ClientStats, { rank::STATS }>,
 }
@@ -400,7 +419,7 @@ impl CacheManager {
             recovery_gate: OrderedMutex::new(()),
             known_epochs: OrderedMutex::new(HashMap::new()),
             vnodes: OrderedMutex::new(HashMap::new()),
-            locations: OrderedMutex::new(HashMap::new()),
+            locations: OrderedMutex::new(LocationCache::default()),
             roots: OrderedMutex::new(HashMap::new()),
             stats: OrderedMutex::new(ClientStats::default()),
         });
@@ -521,12 +540,58 @@ impl CacheManager {
     // ------------------------------------------------------------------
 
     fn server_for(&self, volume: VolumeId) -> DfsResult<ServerId> {
-        if let Some(s) = self.locations.lock().get(&volume) {
-            return Ok(*s);
+        if let Some((s, _)) = self.locations.lock().map.get(&volume).copied() {
+            return Ok(s);
         }
-        let s = self.vldb.lookup(volume)?;
-        self.locations.lock().insert(volume, s);
+        let (s, g) = self.vldb.lookup_gen(volume)?;
+        self.loc_install(volume, s, g);
         Ok(s)
+    }
+
+    /// Installs a location entry if it is strictly newer than what is
+    /// cached (by VLDB generation). Returns whether it was installed.
+    fn loc_install(&self, volume: VolumeId, server: ServerId, generation: u64) -> bool {
+        let (installed, evicted) = {
+            let mut loc = self.locations.lock();
+            match loc.map.get(&volume).copied() {
+                Some((_, g)) if generation <= g => (false, 0),
+                Some(_) => {
+                    loc.map.insert(volume, (server, generation));
+                    (true, 0)
+                }
+                None => {
+                    let mut evicted = 0u64;
+                    while loc.map.len() >= LOCATION_CACHE_CAP {
+                        let Some(old) = loc.order.pop_front() else { break };
+                        if loc.map.remove(&old).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    loc.map.insert(volume, (server, generation));
+                    loc.order.push_back(volume);
+                    (true, evicted)
+                }
+            }
+        };
+        if evicted > 0 {
+            self.stats.lock().location_evictions += evicted;
+        }
+        installed
+    }
+
+    /// Drops a cached location (the next use re-resolves via the VLDB).
+    fn loc_invalidate(&self, volume: VolumeId) {
+        self.locations.lock().map.remove(&volume);
+    }
+
+    /// Follows a `WrongServer` redirect: install the hint when newer;
+    /// when it is not (a stale hint), distrust the cache entirely so the
+    /// next attempt re-resolves through the VLDB.
+    fn follow_redirect(&self, volume: VolumeId, hint: ServerId, generation: u64) {
+        self.stats.lock().wrong_server_redirects += 1;
+        if !self.loc_install(volume, hint, generation) {
+            self.loc_invalidate(volume);
+        }
     }
 
     /// Sends a file RPC, retrying transparently across volume moves
@@ -548,9 +613,15 @@ impl CacheManager {
                 req.clone(),
             );
             match resp {
+                Ok(Response::WrongServer { hint, generation }) => {
+                    // The volume moved (§2.1): chase the hint and retry
+                    // immediately — with a live hint this costs exactly
+                    // one extra hop, no backoff needed.
+                    self.follow_redirect(volume, hint, generation);
+                }
                 Ok(Response::Err(DfsError::NoSuchVolume)) => {
                     // Force a fresh VLDB lookup next iteration.
-                    self.locations.lock().remove(&volume);
+                    self.loc_invalidate(volume);
                     self.backoff_keyed(key, attempt + 1);
                 }
                 Ok(Response::Err(DfsError::VolumeBusy)) => {
@@ -567,9 +638,10 @@ impl CacheManager {
                 }
                 Ok(Response::Err(DfsError::Crashed)) => {
                     // Reached the node but its disk is down; it will be
-                    // restarted (or the volume moved), so retry.
+                    // restarted (or the volume moved), so re-resolve
+                    // this volume and retry.
                     self.stats.lock().transport_retries += 1;
-                    self.locations.lock().remove(&volume);
+                    self.loc_invalidate(volume);
                     self.backoff_keyed(key, attempt + 1);
                 }
                 Ok(other) => {
@@ -581,8 +653,12 @@ impl CacheManager {
                     return Ok(other);
                 }
                 Err(DfsError::Unreachable | DfsError::Crashed | DfsError::Timeout) => {
+                    // Invalidate only this volume's entry: other volumes
+                    // cached against other servers stay warm, and this
+                    // one re-resolves through the VLDB (which reflects a
+                    // move or a restarted replacement).
                     self.stats.lock().transport_retries += 1;
-                    self.locations.lock().remove(&volume);
+                    self.loc_invalidate(volume);
                     self.backoff_keyed(key, attempt + 1);
                 }
                 Err(e) => return Err(e),
@@ -678,24 +754,35 @@ impl CacheManager {
         } else if to_drop.contains(TokenTypes::STATUS_WRITE) && lo.status_dirty {
             if let Some(st) = lo.status.clone() {
                 let ticket = *self.ticket.lock();
-                if let Ok(server) = self.server_for(vn.fid.volume) {
-                    let attrs = SetAttrs {
-                        length: Some(st.length),
-                        mtime: Some(st.mtime),
-                        ..SetAttrs::default()
-                    };
+                let attrs = SetAttrs {
+                    length: Some(st.length),
+                    mtime: Some(st.mtime),
+                    ..SetAttrs::default()
+                };
+                // Chase the volume across at most a few moves: a
+                // `WrongServer` reply re-resolves and retries at the
+                // new owner so the status push is never dropped.
+                for _ in 0..4u32 {
+                    let Ok(server) = self.server_for(vn.fid.volume) else { break };
                     let resp = self.net.call(
                         self.addr,
                         Addr::Server(server),
                         ticket,
                         CallClass::Revocation,
-                        Request::StoreStatus { fid: vn.fid, attrs },
+                        Request::StoreStatus { fid: vn.fid, attrs: attrs.clone() },
                     );
-                    if let Ok(Response::Status { status, stamp, .. }) = resp {
-                        lo.merge_status(status, stamp);
+                    match resp {
+                        Ok(Response::Status { status, stamp, .. }) => {
+                            lo.merge_status(status, stamp);
+                            break;
+                        }
+                        Ok(Response::WrongServer { hint, generation }) => {
+                            self.follow_redirect(vn.fid.volume, hint, generation);
+                        }
+                        _ => break,
                     }
-                    lo.status_dirty = false;
                 }
+                lo.status_dirty = false;
             }
         }
         // Strip the bits; drop the token entirely when nothing is left.
@@ -880,12 +967,15 @@ impl CacheManager {
         class: CallClass,
     ) -> DfsResult<()> {
         let ticket = *self.ticket.lock();
-        let server = self.server_for(vn.fid.volume)?;
         // Clamp against the EOF as of flush start: a reply merged after
         // a partial store reports the server's (shorter) length, which
         // must not EOF-discard pages still waiting in the dirty set.
         let eof = lo.status.as_ref().map(|s| s.length).unwrap_or(u64::MAX);
+        let mut redirects = 0u32;
         loop {
+            // Re-resolve per round: a volume move mid-revocation means
+            // the dirty data must chase the volume to its new server.
+            let server = self.server_for(vn.fid.volume)?;
             let batch = self.collect_extents(vn.fid, lo, range, self.max_extents(), eof);
             if batch.is_empty() {
                 return Ok(());
@@ -897,6 +987,16 @@ impl CacheManager {
                     if !lo.merge_status(status, stamp) {
                         self.stats.lock().stale_status_dropped += 1;
                     }
+                }
+                Response::WrongServer { hint, generation } => {
+                    // Nothing was stored: the pages stay dirty and the
+                    // next round re-collects them against the new owner.
+                    redirects += 1;
+                    if redirects > 8 {
+                        return Err(DfsError::Timeout);
+                    }
+                    self.follow_redirect(vn.fid.volume, hint, generation);
+                    continue;
                 }
                 Response::Err(e) => return Err(e),
                 _ => return Err(DfsError::Internal("bad StoreData response")),

@@ -23,7 +23,7 @@
 //! ```
 
 use dfs_client::{CacheManager, DataCache, DiskCache, MemCache, WritebackConfig};
-use dfs_disk::{DiskConfig, SimDisk};
+use dfs_disk::{DiskConfig, DiskStats, SimDisk};
 use dfs_episode::{Episode, FormatParams, RecoveryReport};
 use dfs_rpc::{Addr, CallClass, KdcService, Network, PoolConfig, Request, Response, Ticket};
 use dfs_server::{FileServer, VldbHandle, VldbReplica};
@@ -187,6 +187,13 @@ impl Cell {
     /// callers must not cache this across a restart.
     pub fn server(&self, index: usize) -> Arc<FileServer> {
         self.servers[index].lock().server.clone()
+    }
+
+    /// Statistics of the simulated disk under slot `index`'s server.
+    /// Disks are the per-server bottleneck resource, so experiments
+    /// report a fleet's critical path as the max across slots.
+    pub fn server_disk_stats(&self, index: usize) -> DiskStats {
+        self.servers[index].lock().disk.stats()
     }
 
     /// Crashes the file server in slot `index`: its network node stops

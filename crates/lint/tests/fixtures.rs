@@ -97,6 +97,23 @@ fn std_sync_fixture_flags_std_locks() {
 }
 
 #[test]
+fn fleet_rank_fixture_flags_planning_under_server_guards() {
+    // The fleet planner's lock ranks *below* server-side locks (planning
+    // inspects servers), and must never be pinned across a move RPC —
+    // the two fleet-layer rules the real crate is built around.
+    assert_eq!(
+        lint("fleet_rank"),
+        vec![
+            "alpha/src/lib.rs:20: [lock-order] acquiring `plan` (rank 90) while holding \
+             `registry` (rank 100) inverts the declared hierarchy",
+            "alpha/src/lib.rs:26: [guard-across-rpc] guard on `plan` (line 25) held across \
+             a dfs-rpc send; the peer's reply can block on a revocation that needs this \
+             lock (§5.1/§6.4)",
+        ]
+    );
+}
+
+#[test]
 fn the_workspace_itself_is_clean() {
     // The real tree: `crates/` relative to the workspace root. Keeping
     // this green is the point of the tool; a violation here should fail

@@ -1,0 +1,35 @@
+//! Fleet fixture: the planner's lock (rank 90) sits *below* the
+//! server-side volume registry (rank 100), because planning inspects
+//! servers. Two seeded violations: planning under a server-side guard
+//! (rank inversion) and pinning the plan across a move RPC.
+
+use dfs_types::lock::OrderedMutex;
+
+const FLEET_REGISTRY: u16 = 90;
+const VOLUME_REGISTRY: u16 = 100;
+
+pub struct Planner {
+    net: Net,
+    plan: OrderedMutex<u32, { FLEET_REGISTRY }>,
+    registry: OrderedMutex<u32, { VOLUME_REGISTRY }>,
+}
+
+impl Planner {
+    pub fn plans_while_inspecting(&self) -> u32 {
+        let vols = self.registry.lock();
+        let plan = self.plan.lock();
+        *vols + *plan
+    }
+
+    pub fn plan_pinned_across_move(&self) -> u32 {
+        let plan = self.plan.lock();
+        self.net.call(*plan);
+        *plan
+    }
+
+    pub fn clean_pass(&self) -> u32 {
+        let heat = *self.registry.lock();
+        let plan = self.plan.lock();
+        *plan + heat
+    }
+}

@@ -9,7 +9,8 @@
 
 use dfs_token::{Token, TokenId, TokenTypes};
 use dfs_types::{
-    Acl, ByteRange, DfsError, FileStatus, Fid, SerializationStamp, ServerId, Timestamp, VolumeId,
+    Acl, ByteRange, ClientId, DfsError, FileStatus, Fid, SerializationStamp, ServerId, Timestamp,
+    VolumeId,
 };
 use dfs_vfs::{DirEntry, SetAttrs, VolumeDump, VolumeInfo, WriteExtent};
 
@@ -146,6 +147,17 @@ pub enum Request {
     /// Move a volume to another server (driven by the source's volume
     /// server; updates the VLDB when complete).
     VolMove { volume: VolumeId, target: ServerId },
+    /// Install live client grants at a volume-move target (§2.1 live
+    /// move). Token ids are preserved verbatim so the clients' cached
+    /// tokens stay valid across the move without any revocation;
+    /// `stamps` carries each file's serialization floor so the target's
+    /// stamps continue the source's order and client status merges stay
+    /// monotone (§6.2).
+    VolInstallTokens {
+        volume: VolumeId,
+        grants: Vec<(ClientId, Token)>,
+        stamps: Vec<(Fid, SerializationStamp)>,
+    },
 
     // ---- Replication server (§3.8) ----
     /// Start lazily replicating `volume` from `source` with the given
@@ -183,10 +195,13 @@ pub enum Response {
     Err(DfsError),
     /// A ticket from the authentication server.
     TicketGranted(Ticket),
-    /// A volume's location.
-    Location(ServerId),
-    /// All volume locations.
-    Locations(Vec<(VolumeId, ServerId)>),
+    /// A volume's location plus the VLDB entry's generation number,
+    /// bumped every time the volume changes servers. Clients cache
+    /// `(server, generation)` and only accept strictly newer entries,
+    /// so a stale `WrongServer` hint can never roll a cache back.
+    Location { server: ServerId, generation: u64 },
+    /// All volume locations with their generations.
+    Locations(Vec<(VolumeId, ServerId, u64)>),
     /// A fid (root lookups).
     FidIs(Fid),
     /// Status plus any granted tokens and the serialization stamp of
@@ -223,6 +238,12 @@ pub enum Response {
     Reestablished { epoch: u64, tokens: Vec<Token> },
     /// Answer to `GetEpoch`.
     EpochIs { epoch: u64, in_grace: bool },
+    /// The volume named by the request is not hosted here. `hint` is
+    /// where this server believes the volume lives now (its route table
+    /// after a move, else a fresh VLDB lookup), and `generation` is the
+    /// VLDB generation backing the hint. The caller installs the hint in
+    /// its location cache (if newer) and retries there (§2.1).
+    WrongServer { hint: ServerId, generation: u64 },
 }
 
 impl Request {
@@ -265,6 +286,7 @@ impl Request {
             Request::VolInfo { .. } => "VolInfo",
             Request::VolList => "VolList",
             Request::VolMove { .. } => "VolMove",
+            Request::VolInstallTokens { .. } => "VolInstallTokens",
             Request::ReplAdd { .. } => "ReplAdd",
             Request::ReplTick => "ReplTick",
             Request::ReestablishTokens { .. } => "ReestablishTokens",
@@ -297,6 +319,11 @@ impl Request {
             Request::VolRestore { dump, .. } => dump.payload_bytes(),
             // Each claimed token: id, fid, types, range.
             Request::ReestablishTokens { tokens, .. } => 40 * tokens.len() as u64,
+            // Each shipped grant: holder + token (44); each stamp
+            // floor: fid + stamp (24).
+            Request::VolInstallTokens { grants, stamps, .. } => {
+                44 * grants.len() as u64 + 24 * stamps.len() as u64
+            }
             _ => 0,
         }
     }
@@ -316,7 +343,10 @@ impl Response {
             Response::AclIs(acl) => 7 * acl.len() as u64,
             Response::Volumes(vs) => 64 * vs.len() as u64,
             Response::Target(t) => t.len() as u64,
-            Response::Locations(ls) => 12 * ls.len() as u64,
+            // volume id + server id + generation per entry.
+            Response::Locations(ls) => 20 * ls.len() as u64,
+            // hint server id + generation.
+            Response::WrongServer { .. } => 12,
             Response::Reestablished { tokens, .. } => 40 * tokens.len() as u64,
             _ => 0,
         }

@@ -66,6 +66,13 @@ pub struct ServerStats {
     pub moves: u64,
     /// Replica refresh passes that shipped data.
     pub replica_refreshes: u64,
+    /// Calls for volumes not hosted here answered with `WrongServer`.
+    pub wrong_server_redirects: u64,
+    /// Calls for volumes not hosted here forwarded to the owner.
+    pub forwards: u64,
+    /// File RPCs served, by volume — the fleet load monitor's signal
+    /// for picking the hottest volume when rebalancing.
+    pub volume_ops: HashMap<VolumeId, u64>,
 }
 
 struct ReplJob {
@@ -109,6 +116,15 @@ pub struct FileServer {
     epoch: u64,
     mounts: OrderedMutex<HashMap<VolumeId, Arc<dyn VfsPlus>>, { rank::VOLUME_REGISTRY }>,
     busy: OrderedMutex<HashSet<VolumeId>, { rank::VOLUME_REGISTRY }>,
+    /// Volumes this server hosts (authoritative membership; a request
+    /// for any other volume is redirected or forwarded, never mounted).
+    hosted: OrderedMutex<HashSet<VolumeId>, { rank::VOLUME_REGISTRY }>,
+    /// File RPCs currently executing, per volume — drained by a move's
+    /// blackout phase so the delta dump sees no in-flight mutation.
+    inflight: OrderedMutex<HashMap<VolumeId, u64>, { rank::VOLUME_REGISTRY }>,
+    /// Where volumes this server moved away now live: the hint answered
+    /// in `WrongServer` without a VLDB round trip (§2.1).
+    routes: OrderedMutex<HashMap<VolumeId, (ServerId, u64)>, { rank::SERVER_ROUTES }>,
     repl: OrderedMutex<Vec<ReplJob>, { rank::VOLUME_REGISTRY }>,
     known_hosts: OrderedMutex<HashSet<HostId>, { rank::SERVER_HOSTS }>,
     recovery: OrderedMutex<RecoveryState, { rank::SERVER_HOSTS }>,
@@ -197,6 +213,9 @@ impl FileServer {
             epoch,
             mounts: OrderedMutex::new(HashMap::new()),
             busy: OrderedMutex::new(HashSet::new()),
+            hosted: OrderedMutex::new(HashSet::new()),
+            inflight: OrderedMutex::new(HashMap::new()),
+            routes: OrderedMutex::new(HashMap::new()),
             repl: OrderedMutex::new(Vec::new()),
             known_hosts: OrderedMutex::new(HashSet::new()),
             recovery: OrderedMutex::new(recovery),
@@ -204,6 +223,7 @@ impl FileServer {
         });
         srv.tm.register_host(srv.local_host.clone());
         for vol in srv.physical.list_volumes()? {
+            srv.hosted.lock().insert(vol.id);
             srv.vldb.register(vol.id, id)?;
         }
         net.register(addr, srv.clone(), pool);
@@ -418,29 +438,117 @@ impl FileServer {
         Ok(())
     }
 
-    /// Moves a volume to `target`, blocking access only for the duration
-    /// of the transfer (§2.1: applications "are blocked for a short
-    /// time").
+    /// Pulls back only the *write* guarantees on a volume: dirty data
+    /// and status at clients are stored back, but read, lock, and open
+    /// tokens survive — with their ids intact — so a live move can ship
+    /// them to the target instead of revoking the world.
+    fn quiesce_writes(&self, volume: VolumeId) -> DfsResult<()> {
+        let vol_fid = Fid::new(volume, VnodeId(0), 0);
+        let (t, _) =
+            self.tm.grant(HostId::Local(self.id.0), vol_fid, DIR_READ, ByteRange::WHOLE)?;
+        self.tm.release(HostId::Local(self.id.0), t.id);
+        Ok(())
+    }
+
+    /// Waits for file RPCs already past the busy gate to finish, so a
+    /// move's delta dump sees no in-flight mutation.
+    fn drain_inflight(&self, volume: VolumeId) {
+        loop {
+            let n = self.inflight.lock().get(&volume).copied().unwrap_or(0);
+            if n == 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Moves a volume to `target` **live** (§2.1: applications "are
+    /// blocked for a short time" — only for the delta, not the bulk).
+    ///
+    /// Phase 1, volume fully available: store dirty client data back,
+    /// clone-ship a consistent full snapshot to the target, and note
+    /// its high-water data version. Writes keep landing here; anything
+    /// newer than the snapshot travels in the phase-2 delta.
+    ///
+    /// Phase 2, short blackout: mark the volume busy (new file calls
+    /// bounce with retryable `VolumeBusy`), pull back just the write
+    /// guarantees (read/lock/open tokens survive), wait out calls that
+    /// had already passed the busy gate, ship the delta dump, install
+    /// the surviving client tokens at the target with ids preserved,
+    /// flip the VLDB entry (generation bump), and note the new owner in
+    /// the route table so this server answers `WrongServer` cheaply.
     fn move_volume(&self, volume: VolumeId, target: ServerId) -> DfsResult<()> {
         if target == self.id {
             return Err(DfsError::InvalidArgument);
         }
-        self.busy.lock().insert(volume);
-        let result = (|| {
-            self.quiesce_volume(volume)?;
-
-            let dump = self.physical.dump_volume(volume, 0)?;
-            let resp = self.net.call(
+        if !self.hosted.lock().contains(&volume) {
+            return Err(DfsError::NoSuchVolume);
+        }
+        // Phase 1: live bulk ship.
+        self.quiesce_writes(volume)?;
+        let full = self.physical.dump_volume(volume, 0)?;
+        let base = full.max_data_version;
+        self.net
+            .call(
                 self.addr,
                 Addr::Server(target),
                 None,
                 CallClass::Normal,
-                Request::VolRestore { dump, read_only: false },
-            )?;
-            resp.into_result()?;
+                Request::VolRestore { dump: full, read_only: false },
+            )?
+            .into_result()?;
+
+        // Phase 2: blackout.
+        self.busy.lock().insert(volume);
+        let result = (|| {
+            self.quiesce_writes(volume)?;
+            self.drain_inflight(volume);
+            let mut delta = self.physical.dump_volume(volume, base)?;
+            // A `base` of 0 (volume never written) dumps everything with
+            // `since_version == 0`, which the restorer reads as "create
+            // from scratch" — but the target already holds the phase-1
+            // copy. Mark the dump incremental; applying every file over
+            // the identical copy is harmless.
+            delta.since_version = delta.since_version.max(1);
+            self.net
+                .call(
+                    self.addr,
+                    Addr::Server(target),
+                    None,
+                    CallClass::Normal,
+                    Request::VolRestore { dump: delta, read_only: false },
+                )?
+                .into_result()?;
+            // Ship the surviving guarantees: clients keep their cached
+            // tokens across the move, and the target keeps stamping
+            // above our serialization floors (§6.2).
+            let (grants, stamps) = self.tm.export_volume(volume);
+            let grants: Vec<(ClientId, Token)> = grants
+                .into_iter()
+                .filter_map(|(h, t)| match h {
+                    HostId::Client(c) => Some((c, t)),
+                    _ => None,
+                })
+                .collect();
+            self.net
+                .call(
+                    self.addr,
+                    Addr::Server(target),
+                    None,
+                    CallClass::Normal,
+                    Request::VolInstallTokens { volume, grants, stamps },
+                )?
+                .into_result()?;
+            // Flip ownership. Route note first, then drop from hosted:
+            // the instant the routing gate starts redirecting, the hint
+            // must already be there.
             self.vldb.register(volume, target)?;
+            let generation = self.vldb.lookup_gen(volume).map(|(_, g)| g).unwrap_or(0);
+            self.routes.lock().insert(volume, (target, generation));
+            self.hosted.lock().remove(&volume);
             self.unmount(volume);
             self.physical.delete_volume(volume)?;
+            self.tm.drop_volume(volume);
             Ok(())
         })();
         self.busy.lock().remove(&volume);
@@ -468,6 +576,9 @@ impl FileServer {
         let base = dump.max_data_version;
         self.physical.restore_volume(&dump, true)?;
         self.unmount(volume);
+        // The replica serves (read-only) copies of the volume itself —
+        // it must not redirect readers back to the master.
+        self.hosted.lock().insert(volume);
         // Whole-volume token: the guarantee that the replica may be used
         // until the master changes (§3.8).
         let _ = self.net.call(
@@ -841,12 +952,14 @@ impl FileServer {
 
             Q::VolCreate { volume, name } => {
                 self.physical.create_volume(volume, &name)?;
+                self.hosted.lock().insert(volume);
                 self.vldb.register(volume, self.id)?;
                 Ok(P::Ok)
             }
             Q::VolDelete { volume } => {
                 self.unmount(volume);
                 self.physical.delete_volume(volume)?;
+                self.hosted.lock().remove(&volume);
                 self.vldb.unregister(volume)?;
                 Ok(P::Ok)
             }
@@ -855,6 +968,7 @@ impl FileServer {
                 // been stored back: revoke outstanding write tokens.
                 self.quiesce_volume(src)?;
                 self.physical.clone_volume(src, clone, &name)?;
+                self.hosted.lock().insert(clone);
                 self.vldb.register(clone, self.id)?;
                 Ok(P::Ok)
             }
@@ -866,6 +980,31 @@ impl FileServer {
                 let vol = dump.volume;
                 self.physical.restore_volume(&dump, read_only)?;
                 self.unmount(vol);
+                self.hosted.lock().insert(vol);
+                self.routes.lock().remove(&vol);
+                Ok(P::Ok)
+            }
+            Q::VolInstallTokens { volume, grants, stamps } => {
+                // A move source handing over the volume's coherence
+                // state: install each surviving client grant verbatim
+                // (ids preserved, so clients' cached tokens stay valid
+                // and future revocations match them), and lift every
+                // serialization counter to the source's floor so stamps
+                // stay monotone across the move (§6.2).
+                let now = self.net.clock().now();
+                for (client, token) in grants {
+                    if token.fid.volume != volume {
+                        return Err(DfsError::InvalidArgument);
+                    }
+                    let host = self.host_for(Addr::Client(client))?;
+                    // Count the shipped client as seen, so a later
+                    // restart of *this* server expects it to recover.
+                    self.hosts.seed(client, now);
+                    self.tm.install_grant(host, token);
+                }
+                for (fid, stamp) in stamps {
+                    self.tm.raise_stamp_floor(fid, stamp);
+                }
                 Ok(P::Ok)
             }
             Q::VolInfo { volume } => Ok(P::VolumeIs(self.physical.volume_info(volume)?)),
@@ -955,6 +1094,64 @@ impl FileServer {
         Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
     }
 
+    /// The volume a file RPC is about, if any. Admin traffic (volume
+    /// motion, replication, VLDB, recovery probes) returns `None`: it
+    /// is addressed to a specific server deliberately and must never be
+    /// redirected or forwarded.
+    fn volume_of_req(req: &Request) -> Option<VolumeId> {
+        match req {
+            Request::GetRoot { volume } => Some(*volume),
+            _ => Self::fid_of(req).map(|f| f.volume),
+        }
+    }
+
+    /// File RPCs cheap enough to answer by proxy: token-free one-shot
+    /// reads. Everything else involves granting, returning, or storing
+    /// under tokens, which must happen directly between the client and
+    /// the owning server — those bounce with `WrongServer` instead.
+    fn forwards_ok(req: &Request) -> bool {
+        matches!(
+            req,
+            Request::GetRoot { .. }
+                | Request::Readlink { .. }
+                | Request::GetAcl { .. }
+                | Request::Fsync { .. }
+        )
+    }
+
+    /// Answers a call for a volume this server does not host: forward
+    /// one-shot reads to the owner, redirect everything else with a
+    /// `WrongServer` hint (route note if we moved it away ourselves,
+    /// else a fresh VLDB lookup).
+    fn not_hosted(&self, ctx: &CallContext, volume: VolumeId, req: Request) -> Response {
+        let hint = self.routes.lock().get(&volume).copied();
+        let hint = match hint {
+            Some(h) => Some(h),
+            None => match self.vldb.lookup_gen(volume) {
+                Ok((server, generation)) if server != self.id => Some((server, generation)),
+                _ => None,
+            },
+        };
+        let Some((server, generation)) = hint else {
+            return Response::Err(DfsError::NoSuchVolume);
+        };
+        if Self::forwards_ok(&req) {
+            self.stats.lock().forwards += 1;
+            return match self.net.call(self.addr, Addr::Server(server), None, ctx.class, req) {
+                Ok(resp) => resp,
+                // The owner is down. Surface that as a response: the
+                // client's failover machinery owns retrying the owner,
+                // not this bystander.
+                Err(DfsError::Unreachable) | Err(DfsError::Crashed) => {
+                    Response::Err(DfsError::Crashed)
+                }
+                Err(e) => Response::Err(e),
+            };
+        }
+        self.stats.lock().wrong_server_redirects += 1;
+        Response::WrongServer { hint: server, generation }
+    }
+
     fn fid_of(req: &Request) -> Option<Fid> {
         match req {
             Request::FetchStatus { fid, .. }
@@ -989,6 +1186,17 @@ impl RpcService for FileServer {
         if let Addr::Client(c) = ctx.caller {
             self.hosts.saw_call(c, ctx.principal, self.net.clock().now());
         }
+        // Routing gate: a file call for a volume this server does not
+        // host is forwarded or redirected before any recovery or busy
+        // gating — the owner, not this server, holds the volume's
+        // recovery story. Applies to every call class: a store-back
+        // aimed at a moved-away volume must chase it too.
+        let volume = Self::volume_of_req(&req);
+        if let Some(v) = volume {
+            if !self.hosted.lock().contains(&v) {
+                return self.not_hosted(&ctx, v, req);
+            }
+        }
         // Post-restart recovery gate: while the grace window is open,
         // file work is admitted only from hosts that have reestablished
         // their tokens. Probes (Ping/GetEpoch), the reestablish call
@@ -1015,18 +1223,40 @@ impl RpcService for FileServer {
         // revocation-triggered store-backs, which the move's own
         // quiescing is waiting on.
         if ctx.class != CallClass::Revocation {
-            if let Some(fid) = Self::fid_of(&req) {
-                if self.busy.lock().contains(&fid.volume) {
+            if let Some(v) = volume {
+                if self.busy.lock().contains(&v) {
                     self.stats.lock().busy_rejections += 1;
                     return Response::Err(DfsError::VolumeBusy);
                 }
             }
         }
-        self.stats.lock().ops += 1;
-        match self.handle(&ctx, req) {
+        // Track in-flight file work per volume (a move's blackout phase
+        // drains this after closing the busy gate) and feed the fleet
+        // load monitor's per-volume op counts.
+        if let Some(v) = volume {
+            *self.inflight.lock().entry(v).or_insert(0) += 1;
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.ops += 1;
+            if let Some(v) = volume {
+                *stats.volume_ops.entry(v).or_insert(0) += 1;
+            }
+        }
+        let resp = match self.handle(&ctx, req) {
             Ok(resp) => resp,
             Err(e) => Response::Err(e),
+        };
+        if let Some(v) = volume {
+            let mut inflight = self.inflight.lock();
+            if let Some(n) = inflight.get_mut(&v) {
+                *n -= 1;
+                if *n == 0 {
+                    inflight.remove(&v);
+                }
+            }
         }
+        resp
     }
 }
 
@@ -1347,12 +1577,58 @@ mod tests {
             Response::Data { bytes, .. } => assert_eq!(bytes, b"movable"),
             other => panic!("{other:?}"),
         }
-        // The old server no longer has it.
+        // The old server redirects with a hint at the new owner.
         assert!(matches!(
             send(ServerId(1), Request::FetchStatus { fid: f.fid, want: None }),
-            Response::Err(_)
+            Response::WrongServer { hint: ServerId(2), .. }
         ));
+        assert!(s1.stats().wrong_server_redirects >= 1);
+        // Token-free one-shot calls are forwarded transparently.
+        match send(ServerId(1), Request::GetRoot { volume: VolumeId(7) }) {
+            Response::FidIs(r) => assert_eq!(r, root),
+            other => panic!("{other:?}"),
+        }
+        assert!(s1.stats().forwards >= 1);
         let _ = s2;
+    }
+
+    #[test]
+    fn unknown_volume_redirects_via_vldb() {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), 500);
+        net.register(Addr::Vldb(0), VldbReplica::new(), PoolConfig::default());
+        let mk = |n: u32| {
+            let disk = SimDisk::new(DiskConfig::with_blocks(16384));
+            let ep = Episode::format(disk, clock.clone(), FormatParams::default()).unwrap();
+            FileServer::start(
+                net.clone(),
+                ServerId(n),
+                ep,
+                vec![Addr::Vldb(0)],
+                PoolConfig::default(),
+            )
+            .unwrap()
+        };
+        let _s1 = mk(1);
+        let _s2 = mk(2);
+        let c = Addr::Client(ClientId(1));
+        let send = |to: ServerId, req: Request| {
+            net.call(c, Addr::Server(to), None, CallClass::Normal, req).unwrap()
+        };
+        // Volume 9 lives on s2; a file call misdirected at s1 gets a
+        // hint from the VLDB even though s1 never hosted the volume.
+        send(ServerId(2), Request::VolCreate { volume: VolumeId(9), name: "elsewhere".into() });
+        let fid = Fid::new(VolumeId(9), VnodeId(1), 1);
+        assert!(matches!(
+            send(ServerId(1), Request::FetchStatus { fid, want: None }),
+            Response::WrongServer { hint: ServerId(2), .. }
+        ));
+        // A volume nobody hosts is an error, not a redirect loop.
+        let ghost = Fid::new(VolumeId(99), VnodeId(1), 1);
+        assert!(matches!(
+            send(ServerId(1), Request::FetchStatus { fid: ghost, want: None }),
+            Response::Err(DfsError::NoSuchVolume)
+        ));
     }
 
     #[test]

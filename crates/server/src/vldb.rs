@@ -5,6 +5,13 @@
 //! an independent RPC service; writers update every replica, readers may
 //! consult any one — the classic read-one/write-all scheme appropriate
 //! for a slowly-changing administrative database.
+//!
+//! Every entry carries a **generation number**, bumped each time the
+//! volume changes servers (a re-register at the same server is a no-op).
+//! Generations let clients and servers order location information:
+//! caches only accept strictly newer entries, so a stale `WrongServer`
+//! hint arriving after a fresh lookup can never roll a cache back to the
+//! old owner.
 
 use dfs_rpc::{Addr, CallClass, CallContext, Network, Request, Response, RpcService};
 use dfs_types::lock::{rank, OrderedMutex};
@@ -14,7 +21,7 @@ use std::sync::Arc;
 
 /// One replica of the volume location database.
 pub struct VldbReplica {
-    map: OrderedMutex<HashMap<VolumeId, ServerId>, { rank::VOLUME_REGISTRY }>,
+    map: OrderedMutex<HashMap<VolumeId, (ServerId, u64)>, { rank::VOLUME_REGISTRY }>,
 }
 
 impl VldbReplica {
@@ -38,11 +45,21 @@ impl RpcService for VldbReplica {
     fn dispatch(&self, _ctx: CallContext, req: Request) -> Response {
         match req {
             Request::VlLookup { volume } => match self.map.lock().get(&volume) {
-                Some(s) => Response::Location(*s),
+                Some(&(server, generation)) => Response::Location { server, generation },
                 None => Response::Err(DfsError::NoSuchVolume),
             },
             Request::VlRegister { volume, server } => {
-                self.map.lock().insert(volume, server);
+                let mut map = self.map.lock();
+                match map.get_mut(&volume) {
+                    // Same server: keep the generation (idempotent
+                    // re-registration at restart must not invalidate
+                    // every client's location cache).
+                    Some(entry) if entry.0 == server => {}
+                    Some(entry) => *entry = (server, entry.1 + 1),
+                    None => {
+                        map.insert(volume, (server, 1));
+                    }
+                }
                 Response::Ok
             }
             Request::VlUnregister { volume } => {
@@ -50,7 +67,8 @@ impl RpcService for VldbReplica {
                 Response::Ok
             }
             Request::VlList => {
-                let entries = self.map.lock().iter().map(|(v, s)| (*v, *s)).collect();
+                let entries =
+                    self.map.lock().iter().map(|(v, &(s, g))| (*v, s, g)).collect();
                 Response::Locations(entries)
             }
             _ => Response::Err(DfsError::InvalidArgument),
@@ -77,11 +95,16 @@ impl VldbHandle {
 
     /// Looks up the server hosting `volume`.
     pub fn lookup(&self, volume: VolumeId) -> DfsResult<ServerId> {
+        self.lookup_gen(volume).map(|(s, _)| s)
+    }
+
+    /// Looks up the server hosting `volume` plus the entry's generation.
+    pub fn lookup_gen(&self, volume: VolumeId) -> DfsResult<(ServerId, u64)> {
         let mut last = DfsError::Unreachable;
         for &r in &self.replicas {
             match self.net.call(self.from, r, None, CallClass::Normal, Request::VlLookup { volume })
             {
-                Ok(Response::Location(s)) => return Ok(s),
+                Ok(Response::Location { server, generation }) => return Ok((server, generation)),
                 Ok(Response::Err(e)) => return Err(e),
                 Ok(_) => return Err(DfsError::Internal("bad VLDB response")),
                 Err(e) => last = e,
@@ -120,7 +143,7 @@ impl VldbHandle {
     }
 
     /// Lists every entry (from the first reachable replica).
-    pub fn list(&self) -> DfsResult<Vec<(VolumeId, ServerId)>> {
+    pub fn list(&self) -> DfsResult<Vec<(VolumeId, ServerId, u64)>> {
         for &r in &self.replicas {
             if let Ok(Response::Locations(l)) =
                 self.net.call(self.from, r, None, CallClass::Normal, Request::VlList)
@@ -177,12 +200,27 @@ mod tests {
     }
 
     #[test]
+    fn generation_bumps_only_when_the_server_changes() {
+        let (_, vldb) = setup(2);
+        vldb.register(VolumeId(5), ServerId(1)).unwrap();
+        assert_eq!(vldb.lookup_gen(VolumeId(5)).unwrap(), (ServerId(1), 1));
+        // Idempotent re-registration (server restart) keeps the entry.
+        vldb.register(VolumeId(5), ServerId(1)).unwrap();
+        assert_eq!(vldb.lookup_gen(VolumeId(5)).unwrap(), (ServerId(1), 1));
+        // A move bumps it.
+        vldb.register(VolumeId(5), ServerId(9)).unwrap();
+        assert_eq!(vldb.lookup_gen(VolumeId(5)).unwrap(), (ServerId(9), 2));
+        vldb.register(VolumeId(5), ServerId(1)).unwrap();
+        assert_eq!(vldb.lookup_gen(VolumeId(5)).unwrap(), (ServerId(1), 3));
+    }
+
+    #[test]
     fn list_enumerates() {
         let (_, vldb) = setup(1);
         vldb.register(VolumeId(1), ServerId(1)).unwrap();
         vldb.register(VolumeId(2), ServerId(2)).unwrap();
         let mut l = vldb.list().unwrap();
         l.sort();
-        assert_eq!(l, vec![(VolumeId(1), ServerId(1)), (VolumeId(2), ServerId(2))]);
+        assert_eq!(l, vec![(VolumeId(1), ServerId(1), 1), (VolumeId(2), ServerId(2), 1)]);
     }
 }

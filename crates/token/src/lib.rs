@@ -72,6 +72,8 @@ pub struct TokenStats {
     pub releases: u64,
     /// Tokens re-granted through the post-restart reestablish path.
     pub reestablished: u64,
+    /// Grants installed verbatim by a live volume move (§2.1).
+    pub imported: u64,
 }
 
 struct Grant {
@@ -341,6 +343,76 @@ impl TokenManager {
         }
     }
 
+    /// Snapshots every live grant on `volume` plus the per-file
+    /// serialization counters, for shipping to a volume-move target.
+    ///
+    /// The grants keep their token ids: a live move (§2.1) must leave
+    /// the clients' cached tokens valid, and a client matches
+    /// revocations by token id, so the target has to keep serving the
+    /// exact ids the source issued.
+    pub fn export_volume(
+        &self,
+        volume: VolumeId,
+    ) -> (Vec<(HostId, Token)>, Vec<(Fid, SerializationStamp)>) {
+        let inner = self.inner.lock();
+        let grants = inner
+            .grants
+            .get(&volume)
+            .map(|by_vnode| {
+                by_vnode
+                    .values()
+                    .flatten()
+                    .map(|g| (g.host, g.token.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let stamps = inner
+            .stamps
+            .iter()
+            .filter(|(f, _)| f.volume == volume)
+            .map(|(f, s)| (*f, *s))
+            .collect();
+        (grants, stamps)
+    }
+
+    /// Installs a grant verbatim — same token id, types, and range — at
+    /// a volume-move target. `next_id` is raised past the imported id so
+    /// future grants can never collide with a shipped token.
+    pub fn install_grant(&self, host: HostId, token: Token) {
+        let mut inner = self.inner.lock();
+        inner.next_id = inner.next_id.max(token.id.0 + 1);
+        inner
+            .grants
+            .entry(token.fid.volume)
+            .or_default()
+            .entry(token.fid.vnode.0)
+            .or_default()
+            .push(Grant { host, token });
+        inner.stats.grants += 1;
+        inner.stats.imported += 1;
+    }
+
+    /// Raises `fid`'s serialization counter to at least `floor`, so
+    /// stamps issued by a move target continue the source's order
+    /// (§6.2: clients merge status by stamp and would discard updates
+    /// stamped below what they have already seen).
+    pub fn raise_stamp_floor(&self, fid: Fid, floor: SerializationStamp) {
+        let mut inner = self.inner.lock();
+        let s = inner.stamps.entry(fid).or_default();
+        if floor > *s {
+            *s = floor;
+        }
+    }
+
+    /// Drops every grant and stamp counter for `volume` (the source side
+    /// of a completed move: the volume is gone, the target now owns the
+    /// coherence state).
+    pub fn drop_volume(&self, volume: VolumeId) {
+        let mut inner = self.inner.lock();
+        inner.grants.remove(&volume);
+        inner.stamps.retain(|f, _| f.volume != volume);
+    }
+
     /// Lists the tokens currently granted on `fid` (diagnostics).
     pub fn tokens_on(&self, fid: Fid) -> Vec<(HostId, Token)> {
         let inner = self.inner.lock();
@@ -599,6 +671,36 @@ mod tests {
         assert_eq!(h1.calls.load(Ordering::SeqCst), 0);
         assert_eq!(tm.stats().refused, 1);
         assert_eq!(tm.tokens_on(fid(1)).len(), 1);
+    }
+
+    #[test]
+    fn export_install_preserves_ids_and_stamp_order() {
+        let src = TokenManager::new();
+        let dst = TokenManager::new();
+        let h1 = RecordingHost::new(1, false);
+        src.register_host(h1.clone());
+        dst.register_host(h1.clone());
+        let (t, s) = src.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        // Ship the volume's coherence state to `dst`, as a live move does.
+        let (grants, stamps) = src.export_volume(VolumeId(1));
+        assert_eq!(grants.len(), 1);
+        for (host, token) in grants {
+            dst.install_grant(host, token);
+        }
+        for (f, floor) in stamps {
+            dst.raise_stamp_floor(f, floor);
+        }
+        src.drop_volume(VolumeId(1));
+        assert!(src.tokens_on(fid(1)).is_empty());
+        // Same id at the target, and stamps continue past the floor.
+        let at_dst = dst.tokens_on(fid(1));
+        assert_eq!(at_dst.len(), 1);
+        assert_eq!(at_dst[0].1.id, t.id);
+        assert!(dst.stamp(fid(1)) > s, "stamps stay monotone across the move");
+        // Fresh grants at the target never reuse a shipped id.
+        let (t2, _) = dst.grant(h1.id, fid(2), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        assert!(t2.id.0 > t.id.0);
+        assert_eq!(dst.stats().imported, 1);
     }
 
     #[test]

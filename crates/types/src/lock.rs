@@ -24,7 +24,9 @@
 //! | `CLIENT_RESOURCE`      |  40   | ticket, volume-location and root caches (§4.1) |
 //! | `CLIENT_DATA_CACHE`    |  50   | client page stores (§4.2) |
 //! | `CLIENT_FLUSHER`       |  60   | background-store daemon control block (wake/stop flags) |
+//! | `FLEET_REGISTRY`       |  90   | fleet-wide server registry and volume placement plan |
 //! | `VOLUME_REGISTRY`      | 100   | server volume tables, VLDB replica map (§3.4) |
+//! | `SERVER_ROUTES`        | 105   | per-server route hints for moved-away volumes (§2.1) |
 //! | `SERVER_HOSTS`         | 110   | server's known-client set |
 //! | `TOKEN_MANAGER`        | 120   | the token manager's grant table (§5) |
 //! | `HOST_TABLE`           | 130   | host model records, local-host activity (§3.2) |
@@ -77,8 +79,16 @@ pub mod rank {
     /// locks so writers may kick the flusher while holding `lo`; the
     /// flusher itself drops this lock before touching any vnode.
     pub const CLIENT_FLUSHER: u16 = 60;
+    /// Fleet-wide server registry and volume placement plan. Ranked
+    /// below every server-side lock: the fleet layer inspects servers
+    /// (which take VOLUME_REGISTRY and above) while planning a move.
+    pub const FLEET_REGISTRY: u16 = 90;
     /// Server volume tables and VLDB replica maps (§3.4).
     pub const VOLUME_REGISTRY: u16 = 100;
+    /// Per-server route hints recording where moved-away volumes went
+    /// (§2.1). Consulted after the volume registry shows the volume is
+    /// not hosted, hence ranked just above it.
+    pub const SERVER_ROUTES: u16 = 105;
     /// Server's known-client set.
     pub const SERVER_HOSTS: u16 = 110;
     /// The token manager's grant table (§5).
@@ -111,7 +121,9 @@ pub mod rank {
             CLIENT_RESOURCE => "CLIENT_RESOURCE",
             CLIENT_DATA_CACHE => "CLIENT_DATA_CACHE",
             CLIENT_FLUSHER => "CLIENT_FLUSHER",
+            FLEET_REGISTRY => "FLEET_REGISTRY",
             VOLUME_REGISTRY => "VOLUME_REGISTRY",
+            SERVER_ROUTES => "SERVER_ROUTES",
             SERVER_HOSTS => "SERVER_HOSTS",
             TOKEN_MANAGER => "TOKEN_MANAGER",
             HOST_TABLE => "HOST_TABLE",

@@ -1,0 +1,187 @@
+//! Fleet-layer tests: volume-sharded multi-server cells, cross-server
+//! request routing (`WrongServer` hints + forwarding), and live volume
+//! migration (ISSUE 6; §2.1/§3.4 of the paper).
+
+use decorum_dfs::client::WritebackConfig;
+use decorum_dfs::rpc::{Addr, CallClass, Request, Response};
+use decorum_dfs::types::{ClientId, DfsError, VolumeId};
+use decorum_dfs::Fleet;
+
+/// (a) A client keeps reading and writing through a redirect: after the
+/// volume moves, its cached location is stale, the old owner answers
+/// `WrongServer`, and the client chases the hint transparently.
+#[test]
+fn read_write_through_a_redirect() {
+    let fleet = Fleet::start(2).unwrap();
+    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let c = fleet.cell().new_client();
+    let root = c.root(VolumeId(1)).unwrap();
+    let f = c.create(root, "f", 0o644).unwrap();
+    c.write(f.fid, 0, b"before the move").unwrap();
+    c.fsync(f.fid).unwrap();
+
+    fleet.move_volume(VolumeId(1), 1).unwrap();
+    assert_eq!(fleet.server_of(VolumeId(1)).unwrap(), 1);
+
+    // The client's location cache still points at slot 0; both a write
+    // and a read go through anyway.
+    c.write(f.fid, 0, b"after the move!").unwrap();
+    c.fsync(f.fid).unwrap();
+    assert_eq!(c.read(f.fid, 0, 32).unwrap(), b"after the move!");
+    assert!(c.stats().wrong_server_redirects >= 1, "client chased a hint");
+    assert!(
+        fleet.cell().server(0).stats().wrong_server_redirects >= 1,
+        "old owner answered WrongServer"
+    );
+    // A fresh client resolves straight through the VLDB: no redirect.
+    let b = fleet.cell().new_client();
+    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"after the move!");
+    assert_eq!(b.stats().wrong_server_redirects, 0);
+}
+
+/// (b) A stale location cache costs exactly one extra hop: the first
+/// operation after a move follows one `WrongServer` hint and succeeds —
+/// no second redirect, no VLDB storm, no error surfaced to the caller.
+#[test]
+fn stale_cache_resolves_in_one_retry() {
+    let fleet = Fleet::start(3).unwrap();
+    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let c = fleet.cell().new_client();
+    let root = c.root(VolumeId(1)).unwrap();
+    let f = c.create(root, "f", 0o644).unwrap();
+    c.write(f.fid, 0, b"x").unwrap();
+    c.fsync(f.fid).unwrap();
+
+    fleet.move_volume(VolumeId(1), 2).unwrap();
+
+    let before = c.stats().wrong_server_redirects;
+    // An operation the client cannot serve from cache (the move's write
+    // quiesce pulled back its directory-write guarantee): it must talk
+    // to a server, and the first server it picks is the stale one.
+    c.create(root, "g", 0o644).unwrap();
+    let after = c.stats().wrong_server_redirects;
+    assert_eq!(after - before, 1, "stale cache costs exactly one redirect");
+
+    // And the hint stuck: the next operation goes straight through.
+    c.create(root, "h", 0o644).unwrap();
+    assert_eq!(c.stats().wrong_server_redirects, after);
+}
+
+/// (c) Tokens survive a live move with zero lost updates: a client with
+/// dirty write-behind pages and live tokens keeps both guarantees across
+/// the migration — the dirty data is stored back under the move's write
+/// quiesce, the surviving tokens are installed at the target with their
+/// ids intact, and no recovery pipeline runs.
+#[test]
+fn tokens_survive_live_move_with_zero_lost_updates() {
+    let fleet = Fleet::start(2).unwrap();
+    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    // No background flusher: the second write is deterministically still
+    // dirty in the client when the move begins.
+    let a = fleet
+        .cell()
+        .new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+    let root = a.root(VolumeId(1)).unwrap();
+    let f = a.create(root, "f", 0o644).unwrap();
+    a.write(f.fid, 0, b"acked and durable").unwrap();
+    a.fsync(f.fid).unwrap();
+    a.write(f.fid, 0, b"dirty when moved!").unwrap();
+    assert!(a.dirty_pages(f.fid) > 0, "update must still be write-behind");
+
+    fleet.move_volume(VolumeId(1), 1).unwrap();
+
+    // The target imported A's surviving tokens rather than making A
+    // start over.
+    let imported = fleet.cell().server(1).token_manager().stats().imported;
+    assert!(imported > 0, "surviving tokens shipped to the target (got {imported})");
+
+    // Zero lost updates: the dirty page was stored back during the
+    // move's write quiesce and travelled with the volume.
+    let b = fleet.cell().new_client();
+    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"dirty when moved!");
+    assert_eq!(a.read(f.fid, 0, 32).unwrap(), b"dirty when moved!");
+
+    // Transparent means transparent: no crash-recovery machinery ran.
+    let st = a.stats();
+    assert_eq!(st.recoveries, 0, "a live move is not a crash");
+    assert_eq!(st.tokens_reestablished, 0, "tokens survived, not re-granted");
+}
+
+/// (d) Forwarding to a crashed owner surfaces `Crashed` (not a hang, not
+/// a bogus redirect), and once the owner restarts the client runs the
+/// ISSUE-5 recovery pipeline and completes its operation.
+#[test]
+fn forward_to_crashed_owner_surfaces_crashed_then_recovers() {
+    let fleet = Fleet::start(2).unwrap();
+    fleet.create_volume(VolumeId(7), "mine").unwrap(); // slot 0
+    fleet.create_volume(VolumeId(8), "other").unwrap(); // slot 1
+    let cell = fleet.cell();
+    let a = cell.new_client();
+    let root = a.root(VolumeId(7)).unwrap();
+    let f = a.create(root, "f", 0o644).unwrap();
+    a.write(f.fid, 0, b"pre-crash").unwrap();
+    a.fsync(f.fid).unwrap();
+
+    cell.crash_server(0);
+
+    // A token-free one-shot misdirected at the healthy server is
+    // *forwarded* to the owner; the owner is down, so the proxy reports
+    // `Crashed` instead of a redirect the caller would chase in vain.
+    let healthy = cell.server(1).id();
+    let resp = cell
+        .net()
+        .call(
+            Addr::Client(ClientId(999)),
+            Addr::Server(healthy),
+            None,
+            CallClass::Normal,
+            Request::GetRoot { volume: VolumeId(7) },
+        )
+        .unwrap();
+    assert_eq!(resp, Response::Err(DfsError::Crashed));
+    assert!(cell.server(1).stats().forwards >= 1, "the proxy did try the owner");
+
+    // The owner comes back with a grace window; A's next operation runs
+    // the recovery pipeline (epoch probe, token reestablishment) and
+    // succeeds.
+    cell.restart_server(0, 10_000_000).unwrap();
+    a.create(root, "post-crash", 0o644).unwrap();
+    let st = a.stats();
+    assert_eq!(st.recoveries, 1, "exactly one recovery pass");
+    assert!(st.tokens_reestablished > 0, "A re-registered its token set");
+    assert_eq!(a.read(f.fid, 0, 16).unwrap(), b"pre-crash");
+}
+
+/// The fleet's load monitor end-to-end: skewed traffic, one `rebalance`
+/// call, and the hot volume lands on the cold server while every client
+/// operation keeps succeeding.
+#[test]
+fn rebalance_migrates_hot_volume_under_live_traffic() {
+    let fleet = Fleet::start(2).unwrap();
+    fleet.create_volume(VolumeId(1), "hot").unwrap(); // slot 0
+    fleet.create_volume(VolumeId(2), "cold").unwrap(); // slot 1
+    fleet.create_volume(VolumeId(3), "warm").unwrap(); // slot 0
+    let c = fleet.cell().new_client();
+    let hot = c.root(VolumeId(1)).unwrap();
+    for i in 0..20 {
+        let f = c.create(hot, &format!("f{i}"), 0o644).unwrap();
+        c.write(f.fid, 0, format!("payload {i}").as_bytes()).unwrap();
+        c.fsync(f.fid).unwrap();
+    }
+    // A trickle at the co-hosted warm volume: without it, shipping the
+    // hot volume away would merely swap which server is overloaded, and
+    // the monitor (correctly) declines such a move.
+    let warm = c.root(VolumeId(3)).unwrap();
+    let w = c.create(warm, "w", 0o644).unwrap();
+    c.write(w.fid, 0, b"warm").unwrap();
+    c.fsync(w.fid).unwrap();
+    let moved = fleet.rebalance().unwrap();
+    assert_eq!(moved, Some((VolumeId(1), 0, 1)));
+    // All data intact after the migration, reads served by the target.
+    for i in 0..20 {
+        let f = c.lookup(hot, &format!("f{i}")).unwrap();
+        assert_eq!(c.read(f.fid, 0, 32).unwrap(), format!("payload {i}").as_bytes());
+    }
+    // Balanced now: a second pass finds nothing worth moving.
+    assert_eq!(fleet.rebalance().unwrap(), None);
+}

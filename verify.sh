@@ -11,6 +11,8 @@
 #   5. recovery gate: the crash-restart pipeline tests plus T13 at tiny
 #      parameters (server epoch bump, grace window, token
 #      reestablishment, dirty-burst replay)
+#   6. fleet gate: the fleet-layer tests plus T15 at tiny parameters
+#      (volume sharding, WrongServer routing, live mid-run migration)
 #
 # Run from the repo root:  ./verify.sh
 set -eu
@@ -37,5 +39,10 @@ echo "==> recovery gate (crash-restart tests + t13 smoke)"
 cargo test -q --test recovery
 t13_out=$(cargo run -q --release -p dfs-bench --bin t13_crash_restart -- --json --files 8 --burst 4)
 printf '%s' "$t13_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+
+echo "==> fleet gate (fleet tests + t15 smoke)"
+cargo test -q --test fleet
+t15_out=$(cargo run -q --release -p dfs-bench --bin t15_fleet -- --json --servers 2 --files 6)
+printf '%s' "$t15_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "verify: OK"
