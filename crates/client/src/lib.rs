@@ -580,8 +580,13 @@ impl CacheManager {
     }
 
     /// Drops a cached location (the next use re-resolves via the VLDB).
+    /// The eviction queue entry goes too: leaving it would let repeated
+    /// invalidate/reinstall cycles grow `order` without bound and make
+    /// eviction pop a reinstalled entry via its stale duplicate.
     fn loc_invalidate(&self, volume: VolumeId) {
-        self.locations.lock().map.remove(&volume);
+        let mut loc = self.locations.lock();
+        loc.map.remove(&volume);
+        loc.order.retain(|v| *v != volume);
     }
 
     /// Follows a `WrongServer` redirect: install the hint when newer;
@@ -774,6 +779,10 @@ impl CacheManager {
                     match resp {
                         Ok(Response::Status { status, stamp, .. }) => {
                             lo.merge_status(status, stamp);
+                            // Only a successful push cleans the flag: a
+                            // failed store-back keeps the status dirty
+                            // so a later flush can retry it.
+                            lo.status_dirty = false;
                             break;
                         }
                         Ok(Response::WrongServer { hint, generation }) => {
@@ -782,7 +791,6 @@ impl CacheManager {
                         _ => break,
                     }
                 }
-                lo.status_dirty = false;
             }
         }
         // Strip the bits; drop the token entirely when nothing is left.
@@ -2070,6 +2078,38 @@ mod tests {
         assert!(!st.dir_trusted(), "dir trust needs data+status read");
         st.tokens.push(tok(2, TokenTypes(TokenTypes::STATUS_READ.0 | TokenTypes::DATA_READ.0), ByteRange::WHOLE));
         assert!(st.dir_trusted());
+    }
+
+    #[test]
+    fn location_cache_order_survives_invalidate_reinstall_cycles() {
+        use crate::cache::MemCache;
+        use dfs_types::{ClientId, ServerId, SimClock};
+
+        let net = Network::new(SimClock::new(), 0);
+        let cm = CacheManager::start(net, ClientId(1), Vec::new(), Arc::new(MemCache::new()));
+        // A crash-failover or stale-hint loop invalidates and reinstalls
+        // the same volume over and over; the eviction queue must not
+        // accumulate a duplicate per cycle.
+        for _ in 0..10 * LOCATION_CACHE_CAP {
+            cm.loc_install(VolumeId(7), ServerId(1), 1);
+            cm.loc_invalidate(VolumeId(7));
+        }
+        cm.loc_install(VolumeId(7), ServerId(1), 1);
+        {
+            let loc = cm.locations.lock();
+            assert_eq!(loc.map.len(), 1);
+            assert_eq!(loc.order.len(), 1, "one queue entry per cached volume");
+        }
+        // Fill to the cap: the churned volume must not be evicted by a
+        // stale duplicate while fresher entries survive.
+        for v in 100..100 + LOCATION_CACHE_CAP as u64 - 1 {
+            cm.loc_install(VolumeId(v), ServerId(1), 1);
+        }
+        let loc = cm.locations.lock();
+        assert!(loc.map.len() <= LOCATION_CACHE_CAP);
+        assert!(loc.map.contains_key(&VolumeId(7)), "no stale dup got it evicted early");
+        drop(loc);
+        let _ = cm.shutdown();
     }
 
     #[test]

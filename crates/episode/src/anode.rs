@@ -68,7 +68,11 @@ impl Episode {
     ) -> DfsResult<(u32, Anode)> {
         let count = self.sb.anode_count();
         let span = count - FIRST_FREE_ANODE;
-        let start = self.alloc.lock().anode_rotor.clamp(FIRST_FREE_ANODE, count - 1);
+        // Hold the allocator lock across the whole scan-and-claim (as
+        // alloc_block does): two concurrent allocations must not both
+        // observe the same slot as free and clobber each other's anode.
+        let mut alloc = self.alloc.lock();
+        let start = alloc.anode_rotor.clamp(FIRST_FREE_ANODE, count - 1);
         for step in 0..span {
             let idx = FIRST_FREE_ANODE + (start - FIRST_FREE_ANODE + step) % span;
             let old = self.read_anode(idx)?;
@@ -85,7 +89,7 @@ impl Episode {
                 a.ctime = now;
                 a.volume = volume;
                 self.write_anode(txn, idx, &a)?;
-                self.alloc.lock().anode_rotor = idx + 1;
+                alloc.anode_rotor = idx + 1;
                 return Ok((idx, a));
             }
         }

@@ -153,6 +153,10 @@ impl Episode {
         })
     }
 
+    // Read-modify-write callers on a *live* volume must hold the header
+    // anode's write lock; a racing writer restoring a stale descriptor
+    // copy can otherwise revert the vnode map's length (fids then
+    // resolve to slot 0 — spurious StaleFid).
     fn write_volume_header_fixed(
         &self,
         txn: TxnId,
@@ -190,6 +194,13 @@ impl Episode {
 
     /// Sets vnode `v`'s anode slot (0 frees the vnode index).
     pub(crate) fn vnode_set(&self, txn: TxnId, header_anode: u32, v: u32, slot: u32) -> DfsResult<()> {
+        let lock = self.anode_lock(header_anode);
+        let _g = lock.write();
+        self.vnode_set_locked(txn, header_anode, v, slot)
+    }
+
+    /// [`Episode::vnode_set`] body; caller holds the header anode lock.
+    fn vnode_set_locked(&self, txn: TxnId, header_anode: u32, v: u32, slot: u32) -> DfsResult<()> {
         let mut a = self.read_anode(header_anode)?;
         let off = VH_MAP + 4 * v as u64;
         self.anode_write(txn, &mut a, off, &slot.to_le_bytes(), true)?;
@@ -198,13 +209,15 @@ impl Episode {
 
     /// Allocates the lowest free vnode index and maps it to `slot`.
     pub(crate) fn vnode_alloc(&self, txn: TxnId, header_anode: u32, slot: u32) -> DfsResult<u32> {
+        let lock = self.anode_lock(header_anode);
+        let _g = lock.write();
         let a = self.read_anode(header_anode)?;
         let map_len = (a.length.saturating_sub(VH_MAP)) as usize / 4;
         let map = self.anode_read(&a, VH_MAP, map_len * 4)?;
         let hole = (1..map_len)
             .find(|&i| u32::from_le_bytes(map[4 * i..4 * i + 4].try_into().unwrap()) == 0);
         let v = hole.unwrap_or(map_len.max(1)) as u32;
-        self.vnode_set(txn, header_anode, v, slot)?;
+        self.vnode_set_locked(txn, header_anode, v, slot)?;
         Ok(v)
     }
 
@@ -228,6 +241,8 @@ impl Episode {
 
     /// Allocates the next fid uniquifier for the volume.
     pub(crate) fn next_uniq(&self, txn: TxnId, header_anode: u32) -> DfsResult<u32> {
+        let lock = self.anode_lock(header_anode);
+        let _g = lock.write();
         let mut vh = self.read_volume_header(header_anode)?;
         vh.next_uniq += 1;
         let u = vh.next_uniq;
@@ -240,6 +255,8 @@ impl Episode {
     /// Mutating operations stamp the result into the changed file's
     /// `data_version`, making versions comparable volume-wide.
     pub(crate) fn bump_volume_version(&self, txn: TxnId, header_anode: u32) -> DfsResult<u64> {
+        let lock = self.anode_lock(header_anode);
+        let _g = lock.write();
         let mut vh = self.read_volume_header(header_anode)?;
         vh.version += 1;
         let v = vh.version;

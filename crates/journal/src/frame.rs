@@ -23,6 +23,9 @@ pub(crate) struct Frame {
     pub writer_class: Option<u64>,
     /// LRU clock value of the most recent access.
     pub last_use: u64,
+    /// Bumped on every modification; writeback clears `dirty` only if
+    /// the frame was not touched while its lock was released for I/O.
+    pub version: u64,
 }
 
 /// A cached block plus its latch.

@@ -399,6 +399,7 @@ impl Journal {
                 last_lsn: Lsn(0),
                 writer_class: None,
                 last_use: clock,
+                version: 0,
             }),
         });
         cache.frames.insert(block, cell.clone());
@@ -407,9 +408,9 @@ impl Journal {
 
     /// Writes one dirty frame home, honouring the WAL rule.
     fn writeback(&self, cell: &Arc<FrameCell>) -> DfsResult<()> {
-        let (dirty, last_lsn, data) = {
+        let (dirty, last_lsn, data, version) = {
             let st = cell.state.lock();
-            (st.dirty, st.last_lsn, st.data.clone())
+            (st.dirty, st.last_lsn, st.data.clone(), st.version)
         };
         if !dirty {
             return Ok(());
@@ -418,8 +419,14 @@ impl Journal {
         self.disk.write(cell.block, &data)?;
         self.disk.flush_range(cell.block, cell.block + 1)?;
         let mut st = cell.state.lock();
-        st.dirty = false;
-        st.first_lsn = None;
+        // A concurrent update may have landed while the frame lock was
+        // released for I/O; the snapshot we wrote is then stale and the
+        // frame must stay dirty or the newer change is silently lost on
+        // eviction (the disk copy would be read back instead).
+        if st.version == version {
+            st.dirty = false;
+            st.first_lsn = None;
+        }
         self.stats.lock().writebacks += 1;
         Ok(())
     }
@@ -437,6 +444,7 @@ impl Journal {
         let mut st = buf.cell.state.lock();
         st.data[offset..offset + data.len()].copy_from_slice(data);
         st.dirty = true;
+        st.version += 1;
         Ok(())
     }
 
@@ -532,6 +540,7 @@ impl Journal {
 
         st.data[offset..offset + new.len()].copy_from_slice(new);
         st.dirty = true;
+        st.version += 1;
         st.first_lsn.get_or_insert(lsn);
         st.last_lsn = end;
         drop(st);
@@ -726,6 +735,17 @@ impl Journal {
             let txns = self.txns.lock();
             for t in txns.active.values() {
                 if let Some(f) = t.first_lsn {
+                    tail = tail.min(f);
+                }
+            }
+        }
+        // Frames re-dirtied while the sweep had their lock released still
+        // hold logged changes not yet on disk; the tail must not pass
+        // their oldest LSN or recovery could no longer redo them.
+        for cell in &cells {
+            let st = cell.state.lock();
+            if st.dirty {
+                if let Some(f) = st.first_lsn {
                     tail = tail.min(f);
                 }
             }

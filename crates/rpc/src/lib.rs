@@ -265,6 +265,42 @@ impl Network {
         class: CallClass,
         req: Request,
     ) -> DfsResult<Response> {
+        // Authentication check (§3.7: "All RPC's are authenticated").
+        let principal = match ticket {
+            Some(t) => self.auth.verify(&t),
+            None => None,
+        };
+        self.call_with_principal(from, to, principal, class, req)
+    }
+
+    /// Re-issues a call on behalf of an already-authenticated principal:
+    /// the trusted inter-server channel a server uses to forward a
+    /// client's one-shot request to the volume's owner, so the owner's
+    /// access checks run against the original caller, not the proxy.
+    /// Only servers may speak it — a client cannot fabricate a
+    /// principal this way.
+    pub fn call_forwarded(
+        &self,
+        from: Addr,
+        to: Addr,
+        principal: Option<u32>,
+        class: CallClass,
+        req: Request,
+    ) -> DfsResult<Response> {
+        if !matches!(from, Addr::Server(_)) {
+            return Err(DfsError::InvalidArgument);
+        }
+        self.call_with_principal(from, to, principal, class, req)
+    }
+
+    fn call_with_principal(
+        &self,
+        from: Addr,
+        to: Addr,
+        principal: Option<u32>,
+        class: CallClass,
+        req: Request,
+    ) -> DfsResult<Response> {
         let node = {
             let inner = self.inner.lock();
             inner.nodes.get(&to).cloned().ok_or(DfsError::Unreachable)?
@@ -275,11 +311,6 @@ impl Network {
         let label = req.label();
         let req_bytes = req.wire_size();
 
-        // Authentication check (§3.7: "All RPC's are authenticated").
-        let principal = match ticket {
-            Some(t) => self.auth.verify(&t),
-            None => None,
-        };
         if node.require_auth && principal.is_none() {
             // Account the rejected call too; it did cross the network.
             self.charge(label, req_bytes + 48);

@@ -158,6 +158,11 @@ pub enum Request {
         grants: Vec<(ClientId, Token)>,
         stamps: Vec<(Fid, SerializationStamp)>,
     },
+    /// Abort a move after the bulk ship: the target discards the staged
+    /// copy of `volume` so a failed move cannot leave a stale fork
+    /// behind. A no-op if the volume was never staged (or was already
+    /// promoted by `VolInstallTokens`).
+    VolDiscard { volume: VolumeId },
 
     // ---- Replication server (§3.8) ----
     /// Start lazily replicating `volume` from `source` with the given
@@ -287,6 +292,7 @@ impl Request {
             Request::VolList => "VolList",
             Request::VolMove { .. } => "VolMove",
             Request::VolInstallTokens { .. } => "VolInstallTokens",
+            Request::VolDiscard { .. } => "VolDiscard",
             Request::ReplAdd { .. } => "ReplAdd",
             Request::ReplTick => "ReplTick",
             Request::ReestablishTokens { .. } => "ReestablishTokens",

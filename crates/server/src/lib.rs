@@ -119,6 +119,13 @@ pub struct FileServer {
     /// Volumes this server hosts (authoritative membership; a request
     /// for any other volume is redirected or forwarded, never mounted).
     hosted: OrderedMutex<HashSet<VolumeId>, { rank::VOLUME_REGISTRY }>,
+    /// Volumes restored by an in-progress move but not yet handed over:
+    /// the VLDB still names the source, so requests here keep being
+    /// redirected until `VolInstallTokens` promotes the copy to
+    /// `hosted` (a stale client hint must never read — let alone write
+    /// — the phase-1 snapshot). `VolDiscard` empties this on a failed
+    /// move.
+    staged: OrderedMutex<HashSet<VolumeId>, { rank::VOLUME_REGISTRY }>,
     /// File RPCs currently executing, per volume — drained by a move's
     /// blackout phase so the delta dump sees no in-flight mutation.
     inflight: OrderedMutex<HashMap<VolumeId, u64>, { rank::VOLUME_REGISTRY }>,
@@ -214,6 +221,7 @@ impl FileServer {
             mounts: OrderedMutex::new(HashMap::new()),
             busy: OrderedMutex::new(HashSet::new()),
             hosted: OrderedMutex::new(HashSet::new()),
+            staged: OrderedMutex::new(HashSet::new()),
             inflight: OrderedMutex::new(HashMap::new()),
             routes: OrderedMutex::new(HashMap::new()),
             repl: OrderedMutex::new(Vec::new()),
@@ -450,6 +458,18 @@ impl FileServer {
         Ok(())
     }
 
+    /// Drops one in-flight count for `volume` (entries vanish at zero so
+    /// the map only holds active volumes).
+    fn inflight_dec(&self, volume: VolumeId) {
+        let mut inflight = self.inflight.lock();
+        if let Some(n) = inflight.get_mut(&volume) {
+            *n -= 1;
+            if *n == 0 {
+                inflight.remove(&volume);
+            }
+        }
+    }
+
     /// Waits for file RPCs already past the busy gate to finish, so a
     /// move's delta dump sees no in-flight mutation.
     fn drain_inflight(&self, volume: VolumeId) {
@@ -488,15 +508,28 @@ impl FileServer {
         self.quiesce_writes(volume)?;
         let full = self.physical.dump_volume(volume, 0)?;
         let base = full.max_data_version;
-        self.net
+        if let Err(e) = self
+            .net
             .call(
                 self.addr,
                 Addr::Server(target),
                 None,
                 CallClass::Normal,
                 Request::VolRestore { dump: full, read_only: false },
-            )?
-            .into_result()?;
+            )
+            .and_then(Response::into_result)
+        {
+            // A timed-out ship may still have landed; make sure no
+            // staged copy survives the aborted move (best effort).
+            let _ = self.net.call(
+                self.addr,
+                Addr::Server(target),
+                None,
+                CallClass::Normal,
+                Request::VolDiscard { volume },
+            );
+            return Err(e);
+        }
 
         // Phase 2: blackout.
         self.busy.lock().insert(volume);
@@ -554,6 +587,18 @@ impl FileServer {
         self.busy.lock().remove(&volume);
         if result.is_ok() {
             self.stats.lock().moves += 1;
+        } else {
+            // Phase 1 left a staged copy at the target; tell it to throw
+            // the copy away so the fork cannot outlive the failed move
+            // (best effort — an unreachable target discards nothing, but
+            // its copy stays staged and is never served).
+            let _ = self.net.call(
+                self.addr,
+                Addr::Server(target),
+                None,
+                CallClass::Normal,
+                Request::VolDiscard { volume },
+            );
         }
         result
     }
@@ -980,8 +1025,16 @@ impl FileServer {
                 let vol = dump.volume;
                 self.physical.restore_volume(&dump, read_only)?;
                 self.unmount(vol);
-                self.hosted.lock().insert(vol);
-                self.routes.lock().remove(&vol);
+                // A move target keeps the shipped copy *staged* until the
+                // handover completes (`VolInstallTokens`): the VLDB still
+                // names the source, and a client holding a stale hint
+                // aimed here must be redirected there — serving (or
+                // accepting writes into) the phase-1 snapshot would fork
+                // the volume, with the writes clobbered by the phase-2
+                // delta.
+                if !self.hosted.lock().contains(&vol) {
+                    self.staged.lock().insert(vol);
+                }
                 Ok(P::Ok)
             }
             Q::VolInstallTokens { volume, grants, stamps } => {
@@ -1004,6 +1057,24 @@ impl FileServer {
                 }
                 for (fid, stamp) in stamps {
                     self.tm.raise_stamp_floor(fid, stamp);
+                }
+                // Handover complete: the delta is applied and the
+                // coherence state is in place, so the staged copy
+                // becomes a hosted volume this server serves (the
+                // source flips the VLDB right after this call returns).
+                self.staged.lock().remove(&volume);
+                self.hosted.lock().insert(volume);
+                self.routes.lock().remove(&volume);
+                Ok(P::Ok)
+            }
+            Q::VolDiscard { volume } => {
+                // The source aborted a move after the bulk ship: throw
+                // away the staged copy so this server cannot end up
+                // claiming a stale fork of the volume. Already-promoted
+                // (or never-staged) volumes are untouched.
+                if self.staged.lock().remove(&volume) {
+                    self.unmount(volume);
+                    self.physical.delete_volume(volume)?;
                 }
                 Ok(P::Ok)
             }
@@ -1137,7 +1208,18 @@ impl FileServer {
         };
         if Self::forwards_ok(&req) {
             self.stats.lock().forwards += 1;
-            return match self.net.call(self.addr, Addr::Server(server), None, ctx.class, req) {
+            // Forward over the trusted inter-server channel with the
+            // caller's authenticated principal attached, so the owner's
+            // ACL checks run against the real caller — a plain re-send
+            // would arrive unauthenticated and either fail outright
+            // (require_auth cells) or run as the system principal.
+            return match self.net.call_forwarded(
+                self.addr,
+                Addr::Server(server),
+                ctx.principal,
+                ctx.class,
+                req,
+            ) {
                 Ok(resp) => resp,
                 // The owner is down. Surface that as a response: the
                 // client's failover machinery owns retrying the owner,
@@ -1219,6 +1301,15 @@ impl RpcService for FileServer {
                 return Response::Err(DfsError::GraceWait);
             }
         }
+        // Track in-flight file work per volume *before* consulting the
+        // busy gate. A move's blackout phase sets `busy` first and only
+        // then drains `inflight`, so with this ordering a racing call
+        // either increments early enough for the drain to wait on it,
+        // or reads `busy` after the blackout began and backs out — it
+        // can never slip a mutation in after the drain observed zero.
+        if let Some(v) = volume {
+            *self.inflight.lock().entry(v).or_insert(0) += 1;
+        }
         // Volume motion blocks file access briefly (§2.1) — except for
         // revocation-triggered store-backs, which the move's own
         // quiescing is waiting on.
@@ -1226,15 +1317,10 @@ impl RpcService for FileServer {
             if let Some(v) = volume {
                 if self.busy.lock().contains(&v) {
                     self.stats.lock().busy_rejections += 1;
+                    self.inflight_dec(v);
                     return Response::Err(DfsError::VolumeBusy);
                 }
             }
-        }
-        // Track in-flight file work per volume (a move's blackout phase
-        // drains this after closing the busy gate) and feed the fleet
-        // load monitor's per-volume op counts.
-        if let Some(v) = volume {
-            *self.inflight.lock().entry(v).or_insert(0) += 1;
         }
         {
             let mut stats = self.stats.lock();
@@ -1248,13 +1334,7 @@ impl RpcService for FileServer {
             Err(e) => Response::Err(e),
         };
         if let Some(v) = volume {
-            let mut inflight = self.inflight.lock();
-            if let Some(n) = inflight.get_mut(&v) {
-                *n -= 1;
-                if *n == 0 {
-                    inflight.remove(&v);
-                }
-            }
+            self.inflight_dec(v);
         }
         resp
     }

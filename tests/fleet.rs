@@ -185,3 +185,159 @@ fn rebalance_migrates_hot_volume_under_live_traffic() {
     // Balanced now: a second pass finds nothing worth moving.
     assert_eq!(fleet.rebalance().unwrap(), None);
 }
+
+/// A forwarded one-shot carries the *caller's* authenticated principal
+/// to the owner, so access checks run against the real user: alice's
+/// misdirected `Readlink` succeeds in a `require_auth` cell (a plain
+/// unauthenticated re-send would die with `AuthenticationFailed`), and
+/// bob cannot launder an ACL check by aiming his call at a non-owner.
+#[test]
+fn forwarded_one_shots_carry_the_callers_principal() {
+    use decorum_dfs::types::{Acl, AclEntry, Principal, Rights};
+    use decorum_dfs::vfs::SetAttrs;
+    use decorum_dfs::Cell;
+
+    let cell = Cell::builder().servers(2).require_auth(true).build().unwrap();
+    cell.add_user(0, 42);
+    cell.add_user(100, 1111);
+    cell.add_user(200, 2222);
+    cell.admin_login(0, 42).unwrap();
+    cell.create_volume(0, VolumeId(1), "a").unwrap();
+    cell.create_volume(1, VolumeId(2), "b").unwrap();
+
+    let admin = cell.new_client();
+    admin.login(0, 42).unwrap();
+    let root = admin.root(VolumeId(1)).unwrap();
+    admin.setattr(root, &SetAttrs { mode: Some(0o777), ..Default::default() }).unwrap();
+
+    let alice = cell.new_client();
+    alice.login(100, 1111).unwrap();
+    let ln = alice.symlink(root, "ln", "the-target").unwrap();
+    // Alice only: every other principal gets no rights at all.
+    let mut acl = Acl::new();
+    acl.push(AclEntry::allow(Principal::User(100), Rights::ALL));
+    alice.set_acl(ln.fid, &acl).unwrap();
+
+    // Aim the one-shot at the server that does NOT host volume 1; it
+    // forwards to the owner rather than redirecting.
+    let wrong = cell.server(1).id();
+    let net = cell.net();
+    let t_alice = net.auth().login(100, 1111).unwrap();
+    let resp = net
+        .call(
+            Addr::Client(ClientId(900)),
+            Addr::Server(wrong),
+            Some(t_alice),
+            CallClass::Normal,
+            Request::Readlink { fid: ln.fid },
+        )
+        .unwrap();
+    assert_eq!(resp, Response::Target("the-target".into()));
+
+    let t_bob = net.auth().login(200, 2222).unwrap();
+    let resp = net
+        .call(
+            Addr::Client(ClientId(901)),
+            Addr::Server(wrong),
+            Some(t_bob),
+            CallClass::Normal,
+            Request::Readlink { fid: ln.fid },
+        )
+        .unwrap();
+    assert_eq!(resp, Response::Err(DfsError::PermissionDenied), "bob must not bypass the ACL");
+    assert!(cell.server(1).stats().forwards >= 2, "both calls went through the proxy");
+}
+
+/// A move target must never serve — let alone accept writes into — the
+/// phase-1 snapshot: the shipped copy stays *staged* (still redirected)
+/// until the token handover promotes it, and an aborted move discards
+/// it so no stale fork of the volume survives.
+#[test]
+fn staged_move_copy_is_invisible_and_discards_on_abort() {
+    let fleet = Fleet::start(2).unwrap();
+    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let cell = fleet.cell();
+    let c = cell.new_client();
+    let root = c.root(VolumeId(1)).unwrap();
+    let f = c.create(root, "f", 0o644).unwrap();
+    c.write(f.fid, 0, b"phase-1 state").unwrap();
+    c.fsync(f.fid).unwrap();
+
+    // Hand-drive a move's phase 1: full dump at the owner, restore at
+    // the would-be target.
+    let admin = Addr::Client(ClientId(999));
+    let owner = cell.server(0).id();
+    let target = cell.server(1).id();
+    let net = cell.net();
+    let dump = match net
+        .call(
+            admin,
+            Addr::Server(owner),
+            None,
+            CallClass::Normal,
+            Request::VolDump { volume: VolumeId(1), since_version: 0 },
+        )
+        .unwrap()
+    {
+        Response::Dump(d) => d,
+        other => panic!("{other:?}"),
+    };
+    net.call(
+        admin,
+        Addr::Server(target),
+        None,
+        CallClass::Normal,
+        Request::VolRestore { dump, read_only: false },
+    )
+    .unwrap()
+    .into_result()
+    .unwrap();
+
+    // The VLDB still names the owner, so a stale-hinted read aimed at
+    // the target is redirected — and a write cannot fork the volume.
+    let resp = net
+        .call(
+            admin,
+            Addr::Server(target),
+            None,
+            CallClass::Normal,
+            Request::FetchData { fid: f.fid, offset: 0, len: 16, want: None },
+        )
+        .unwrap();
+    assert!(
+        matches!(resp, Response::WrongServer { hint, .. } if hint == owner),
+        "staged copy served a read: {resp:?}"
+    );
+    let resp = net
+        .call(
+            admin,
+            Addr::Server(target),
+            None,
+            CallClass::Normal,
+            Request::StoreData { fid: f.fid, offset: 0, data: b"fork!".to_vec() },
+        )
+        .unwrap();
+    assert!(
+        matches!(resp, Response::WrongServer { .. }),
+        "staged copy accepted a write: {resp:?}"
+    );
+
+    // The abort path: discarding deletes the staged copy outright.
+    net.call(admin, Addr::Server(target), None, CallClass::Normal, Request::VolDiscard {
+        volume: VolumeId(1),
+    })
+    .unwrap()
+    .into_result()
+    .unwrap();
+    let resp = net
+        .call(admin, Addr::Server(target), None, CallClass::Normal, Request::VolInfo {
+            volume: VolumeId(1),
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Err(_)), "staged copy still present: {resp:?}");
+
+    // The owner was never disturbed, and a real move still works.
+    assert_eq!(c.read(f.fid, 0, 16).unwrap(), b"phase-1 state");
+    fleet.move_volume(VolumeId(1), 1).unwrap();
+    assert_eq!(c.read(f.fid, 0, 16).unwrap(), b"phase-1 state");
+}
