@@ -72,7 +72,7 @@ fn writeback_run(wb: WritebackConfig, pages: u64) -> WbRun {
     net.register(vldb, VldbReplica::new(), PoolConfig::default());
     let ep = Episode::format(
         SimDisk::new(DiskConfig::with_blocks(32 * 1024)),
-        clock.clone(),
+        clock,
         FormatParams::default(),
     )
     .unwrap();

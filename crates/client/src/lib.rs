@@ -1192,7 +1192,7 @@ impl CacheManager {
         let mut claims: Vec<Token> = Vec::new();
         for vn in &mine {
             let mut lo = vn.lo.lock();
-            claims.extend(lo.tokens.drain(..));
+            claims.append(&mut lo.tokens);
             lo.queued.clear(); // Revocations of dead tokens are moot.
             lo.stamp = SerializationStamp::default();
         }
@@ -1269,6 +1269,11 @@ impl CacheManager {
                         lo.valid.remove(&p);
                         self.data.drop_page(vn.fid, p);
                     }
+                    // dfs-lint: allow(lock-gap) — not a stale write-back: the
+                    // revalidation happens against the *fresh* FetchStatus
+                    // reply (`status.data_version == cached_dv` above), and
+                    // this branch only invalidates cached state; it never
+                    // writes a pre-gap snapshot into the vnode.
                     lo.status = None;
                     self.stats.lock().reval_dropped += 1;
                 }

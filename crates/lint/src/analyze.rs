@@ -1,7 +1,15 @@
 //! Whole-workspace analysis over per-file facts: inter-procedural
 //! lock-order graph construction and rule evaluation.
+//!
+//! Every rule here is evaluated *violation-first*: the analysis decides
+//! that a site would be reported before it consults any suppression.
+//! A suppression that actually fires is recorded as used; the
+//! `unused-allow` pass at the end turns every annotation that never
+//! fired into a diagnostic of its own, so stale `allow(...)` comments
+//! cannot silently mask future regressions.
 
-use crate::{Diagnostic, FileFacts, RankExpr};
+use crate::{lockgap, lockset, Diagnostic, FileFacts, RankExpr};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// A lock identity: `(crate, field name)`. Field names are assumed
@@ -10,9 +18,24 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 /// order) but never hides a real one within either field.
 pub type FieldKey = (String, String);
 
+/// Every rule name the suppression syntax accepts.
+pub const RULES: [&str; 8] = [
+    "lock-order",
+    "guard-across-revoke",
+    "guard-across-rpc",
+    "double-lock",
+    "std-sync",
+    "lockset",
+    "lock-gap",
+    "unused-allow",
+];
+
 struct FieldInfo {
     rank: Option<u16>,
     exempt: HashSet<String>,
+    /// Declaration sites `(file, line)` — where the exempting allows
+    /// live, so their use can be credited.
+    decls: Vec<(usize, u32)>,
 }
 
 struct FnRef {
@@ -24,7 +47,7 @@ struct FnRef {
 struct Edge {
     from: FieldKey,
     to: FieldKey,
-    path: String,
+    file: usize,
     line: u32,
     via: Option<String>,
 }
@@ -37,7 +60,7 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
     }
 
     let mut fields: HashMap<FieldKey, FieldInfo> = HashMap::new();
-    for f in files {
+    for (fi, f) in files.iter().enumerate() {
         for d in &f.fields {
             let key = (f.crate_name.clone(), d.name.clone());
             let rank = match &d.rank {
@@ -46,11 +69,14 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                 None => None,
             };
             let exempt = f.allows.get(&d.line).cloned().unwrap_or_default();
-            let info = fields.entry(key).or_insert(FieldInfo { rank: None, exempt: HashSet::new() });
+            let info = fields
+                .entry(key)
+                .or_insert(FieldInfo { rank: None, exempt: HashSet::new(), decls: Vec::new() });
             if info.rank.is_none() {
                 info.rank = rank;
             }
             info.exempt.extend(exempt);
+            info.decls.push((fi, d.line));
         }
     }
 
@@ -98,7 +124,42 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
         files[fns[i].file].fns[fns[i].func].audited.contains(rule)
     };
 
+    // ---- suppression usage ledger ----
+    // `(file, line, rule)` of every allow annotation that suppressed (or
+    // would have suppressed) a concrete violation. The checks below are
+    // only ever consulted once a violation has been established, so
+    // "consulted and present" is exactly "load-bearing".
+    let used: RefCell<HashSet<(usize, u32, String)>> = RefCell::new(HashSet::new());
+    let suppressed_at = |file: usize, line: u32, rule: &str| -> bool {
+        if files[file].allows.get(&line).map(|r| r.contains(rule)).unwrap_or(false) {
+            used.borrow_mut().insert((file, line, rule.to_string()));
+            true
+        } else {
+            false
+        }
+    };
+    let exempt_field = |k: &FieldKey, rule: &str| -> bool {
+        let Some(info) = fields.get(k) else { return false };
+        if !info.exempt.contains(rule) {
+            return false;
+        }
+        let mut u = used.borrow_mut();
+        for (df, dl) in &info.decls {
+            if files[*df].allows.get(dl).map(|r| r.contains(rule)).unwrap_or(false) {
+                u.insert((*df, *dl, rule.to_string()));
+            }
+        }
+        true
+    };
+    let audit_used = |i: usize, rule: &str| {
+        let r = &fns[i];
+        used.borrow_mut().insert((r.file, files[r.file].fns[r.func].line, rule.to_string()));
+    };
+
     // ---- fixpoint: transitive acquisitions + rpc-sender propagation ----
+    // `sends` stops propagating at audited functions (their callers are
+    // vouched for); `sends_raw` ignores audits and exists only to judge
+    // whether each audit is load-bearing.
     let mut reach: Vec<HashSet<FieldKey>> = Vec::with_capacity(fns.len());
     let mut sends: Vec<bool> = Vec::with_capacity(fns.len());
     for r in &fns {
@@ -111,6 +172,7 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
         let direct = f.fns[r.func].calls.iter().any(|c| c.direct_rpc);
         sends.push(direct);
     }
+    let mut sends_raw = sends.clone();
     let mut changed = true;
     let mut rounds = 0;
     while changed && rounds < 1000 {
@@ -138,19 +200,37 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                         sends[i] = true;
                         changed = true;
                     }
+                    if sends_raw[g] && !sends_raw[i] {
+                        sends_raw[i] = true;
+                        changed = true;
+                    }
                 }
             }
         }
     }
+    // An rpc audit earns its keep iff the function actually sends
+    // (directly or transitively): the annotation is then what keeps the
+    // sender from tainting every caller.
+    for (i, raw) in sends_raw.iter().enumerate() {
+        if *raw && audited(i, "guard-across-rpc") {
+            audit_used(i, "guard-across-rpc");
+        }
+    }
 
-    // ---- edge collection ----
-    let allowed = |file: usize, line: u32, rule: &str| -> bool {
-        files[file].allows.get(&line).map(|r| r.contains(rule)).unwrap_or(false)
-    };
-    let exempt_field = |k: &FieldKey, rule: &str| -> bool {
-        fields.get(k).map(|f| f.exempt.contains(rule)).unwrap_or(false)
-    };
+    // ---- helper tables for the lockset fixpoint ----
+    let fns_pairs: Vec<(usize, usize)> = fns.iter().map(|r| (r.file, r.func)).collect();
+    let resolved: Vec<Vec<Vec<usize>>> = fns
+        .iter()
+        .map(|r| {
+            files[r.file].fns[r.func]
+                .calls
+                .iter()
+                .map(|c| resolve(r.file, &c.callee, &c.receiver))
+                .collect()
+        })
+        .collect();
 
+    // ---- edge collection + per-call rules ----
     let mut edges: Vec<Edge> = Vec::new();
     let mut diags: Vec<Diagnostic> = Vec::new();
 
@@ -163,9 +243,9 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                     if from == to {
                         // Rule (c): double acquisition of one field while
                         // its own guard is still live.
-                        if !allowed(fi, a.line, "double-lock")
-                            && !exempt_field(&to, "double-lock")
-                        {
+                        let line_ok = suppressed_at(fi, a.line, "double-lock");
+                        let field_ok = exempt_field(&to, "double-lock");
+                        if !line_ok && !field_ok {
                             diags.push(Diagnostic {
                                 path: f.path.clone(),
                                 line: a.line,
@@ -182,7 +262,7 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                     edges.push(Edge {
                         from,
                         to: to.clone(),
-                        path: f.path.clone(),
+                        file: fi,
                         line: a.line,
                         via: None,
                     });
@@ -193,63 +273,76 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                     continue;
                 }
                 // Rule (b): guard live across `TokenHost::revoke`.
-                let live: Vec<&(String, u32)> = c
-                    .held
-                    .iter()
-                    .filter(|(h, _)| {
-                        !exempt_field(&(f.crate_name.clone(), h.clone()), "guard-across-revoke")
-                    })
-                    .collect();
-                if c.callee == "revoke"
-                    && !live.is_empty()
-                    && !func.audited.contains("guard-across-revoke")
-                    && !allowed(fi, c.line, "guard-across-revoke")
-                {
-                    diags.push(Diagnostic {
-                        path: f.path.clone(),
-                        line: c.line,
-                        rule: "guard-across-revoke".into(),
-                        message: format!(
-                            "guard on `{}` (line {}) held across TokenHost::revoke; §5.1/§6.4 \
-                             require revocation to be issued with no locks held",
-                            live[0].0, live[0].1
-                        ),
-                    });
+                if c.callee == "revoke" {
+                    let live: Vec<&(String, u32)> = c
+                        .held
+                        .iter()
+                        .filter(|(h, _)| {
+                            !exempt_field(
+                                &(f.crate_name.clone(), h.clone()),
+                                "guard-across-revoke",
+                            )
+                        })
+                        .collect();
+                    if !live.is_empty() {
+                        if func.audited.contains("guard-across-revoke") {
+                            used.borrow_mut().insert((
+                                fi,
+                                func.line,
+                                "guard-across-revoke".to_string(),
+                            ));
+                        } else if !suppressed_at(fi, c.line, "guard-across-revoke") {
+                            diags.push(Diagnostic {
+                                path: f.path.clone(),
+                                line: c.line,
+                                rule: "guard-across-revoke".into(),
+                                message: format!(
+                                    "guard on `{}` (line {}) held across TokenHost::revoke; \
+                                     §5.1/§6.4 require revocation to be issued with no locks held",
+                                    live[0].0, live[0].1
+                                ),
+                            });
+                        }
+                    }
                 }
                 // Rule (b'): guard live across a dfs-rpc send.
-                let live_rpc: Vec<&(String, u32)> = c
-                    .held
-                    .iter()
-                    .filter(|(h, _)| {
-                        !exempt_field(&(f.crate_name.clone(), h.clone()), "guard-across-rpc")
-                    })
-                    .collect();
-                if !live_rpc.is_empty()
-                    && !func.audited.contains("guard-across-rpc")
-                    && !allowed(fi, c.line, "guard-across-rpc")
-                {
-                    let transitively_sends = || {
-                        resolve(fi, &c.callee, &c.receiver)
-                            .into_iter()
-                            .any(|g| sends[g] && !audited(g, "guard-across-rpc"))
-                    };
-                    if c.direct_rpc || transitively_sends() {
-                        diags.push(Diagnostic {
-                            path: f.path.clone(),
-                            line: c.line,
-                            rule: "guard-across-rpc".into(),
-                            message: format!(
-                                "guard on `{}` (line {}) held across {}; the peer's reply can \
-                                 block on a revocation that needs this lock (§5.1/§6.4)",
-                                live_rpc[0].0,
-                                live_rpc[0].1,
-                                if c.direct_rpc {
-                                    "a dfs-rpc send".to_string()
-                                } else {
-                                    format!("`{}`, which sends dfs-rpc", c.callee)
-                                }
-                            ),
-                        });
+                let sends_here = c.direct_rpc
+                    || resolve(fi, &c.callee, &c.receiver)
+                        .into_iter()
+                        .any(|g| sends[g] && !audited(g, "guard-across-rpc"));
+                if sends_here {
+                    let live_rpc: Vec<&(String, u32)> = c
+                        .held
+                        .iter()
+                        .filter(|(h, _)| {
+                            !exempt_field(&(f.crate_name.clone(), h.clone()), "guard-across-rpc")
+                        })
+                        .collect();
+                    if !live_rpc.is_empty() {
+                        if func.audited.contains("guard-across-rpc") {
+                            used.borrow_mut().insert((
+                                fi,
+                                func.line,
+                                "guard-across-rpc".to_string(),
+                            ));
+                        } else if !suppressed_at(fi, c.line, "guard-across-rpc") {
+                            diags.push(Diagnostic {
+                                path: f.path.clone(),
+                                line: c.line,
+                                rule: "guard-across-rpc".into(),
+                                message: format!(
+                                    "guard on `{}` (line {}) held across {}; the peer's reply can \
+                                     block on a revocation that needs this lock (§5.1/§6.4)",
+                                    live_rpc[0].0,
+                                    live_rpc[0].1,
+                                    if c.direct_rpc {
+                                        "a dfs-rpc send".to_string()
+                                    } else {
+                                        format!("`{}`, which sends dfs-rpc", c.callee)
+                                    }
+                                ),
+                            });
+                        }
                     }
                 }
                 // Interprocedural lock-order edges.
@@ -267,7 +360,7 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                             edges.push(Edge {
                                 from,
                                 to: to.clone(),
-                                path: f.path.clone(),
+                                file: fi,
                                 line: c.line,
                                 via: Some(c.callee.clone()),
                             });
@@ -281,18 +374,22 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
     // ---- rule (a): rank inversions on edges ----
     for e in &edges {
         let (Some(fa), Some(fb)) = (fields.get(&e.from), fields.get(&e.to)) else { continue };
-        if fa.exempt.contains("lock-order") || fb.exempt.contains("lock-order") {
+        let (Some(ra), Some(rb)) = (fa.rank, fb.rank) else { continue };
+        if rb > ra {
+            continue; // ascending — the sanctioned direction
+        }
+        // Would-be violation established; consult suppressions (`|` so
+        // both field exemptions get usage credit).
+        if exempt_field(&e.from, "lock-order") | exempt_field(&e.to, "lock-order") {
             continue;
         }
-        let (Some(ra), Some(rb)) = (fa.rank, fb.rank) else { continue };
-        let fi = files.iter().position(|f| f.path == e.path).unwrap_or(0);
-        if allowed(fi, e.line, "lock-order") {
+        if suppressed_at(e.file, e.line, "lock-order") {
             continue;
         }
         let via = e.via.as_ref().map(|v| format!(" via `{v}`")).unwrap_or_default();
         if rb < ra {
             diags.push(Diagnostic {
-                path: e.path.clone(),
+                path: files[e.file].path.clone(),
                 line: e.line,
                 rule: "lock-order".into(),
                 message: format!(
@@ -301,9 +398,9 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                     e.to.1, rb, e.from.1, ra, via
                 ),
             });
-        } else if rb == ra {
+        } else {
             diags.push(Diagnostic {
-                path: e.path.clone(),
+                path: files[e.file].path.clone(),
                 line: e.line,
                 rule: "lock-order".into(),
                 message: format!(
@@ -349,11 +446,6 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
         if ranked(&e.from) && ranked(&e.to) {
             continue;
         }
-        if fields.get(&e.from).map(|f| f.exempt.contains("lock-order")).unwrap_or(false)
-            || fields.get(&e.to).map(|f| f.exempt.contains("lock-order")).unwrap_or(false)
-        {
-            continue;
-        }
         let pair = if e.from <= e.to {
             (e.from.clone(), e.to.clone())
         } else {
@@ -363,14 +455,16 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
             continue;
         }
         if reachable(&e.to, &e.from) {
-            let fi = files.iter().position(|f| f.path == e.path).unwrap_or(0);
-            if allowed(fi, e.line, "lock-order") {
+            if exempt_field(&e.from, "lock-order") | exempt_field(&e.to, "lock-order") {
+                continue;
+            }
+            if suppressed_at(e.file, e.line, "lock-order") {
                 continue;
             }
             reported.insert(pair);
             let via = e.via.as_ref().map(|v| format!(" via `{v}`")).unwrap_or_default();
             diags.push(Diagnostic {
-                path: e.path.clone(),
+                path: files[e.file].path.clone(),
                 line: e.line,
                 rule: "lock-order".into(),
                 message: format!(
@@ -385,7 +479,7 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
     // ---- rule (d): std::sync locks ----
     for (fi, f) in files.iter().enumerate() {
         for (line, ty) in &f.std_sync_sites {
-            if allowed(fi, *line, "std-sync") {
+            if suppressed_at(fi, *line, "std-sync") {
                 continue;
             }
             diags.push(Diagnostic {
@@ -397,6 +491,134 @@ pub fn analyze(files: &[FileFacts]) -> Vec<Diagnostic> {
                      dfs_types::lock::Ordered{ty} so the rank enforcer sees it"
                 ),
             });
+        }
+    }
+
+    // ---- rule (e): lockset coverage ----
+    let fmt_held = |set: &BTreeSet<String>| -> String {
+        if set.is_empty() {
+            "no lock".to_string()
+        } else {
+            set.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+        }
+    };
+    for finding in lockset::analyze(files, &fns_pairs, &resolved) {
+        // A decl-site allow exempts the field everywhere.
+        let mut decl_exempt = false;
+        for (df, dl) in &finding.decl {
+            decl_exempt |= suppressed_at(*df, *dl, "lockset");
+        }
+        if decl_exempt {
+            continue;
+        }
+        // Report at the least-protected write site (the likeliest
+        // culprit) that is not itself suppressed.
+        let mut writes: Vec<&lockset::Site> = finding.sites.iter().filter(|s| s.write).collect();
+        writes.sort_by(|a, b| {
+            (a.held.len(), &files[a.file].path, a.line)
+                .cmp(&(b.held.len(), &files[b.file].path, b.line))
+        });
+        for site in writes {
+            if suppressed_at(site.file, site.line, "lockset") {
+                continue;
+            }
+            let witness = finding
+                .sites
+                .iter()
+                .find(|s| {
+                    (s.file, s.line) != (site.file, site.line)
+                        && s.held.intersection(&site.held).next().is_none()
+                })
+                .or_else(|| {
+                    finding.sites.iter().find(|s| (s.file, s.line) != (site.file, site.line))
+                });
+            let evidence = witness
+                .map(|w| {
+                    format!(
+                        ", but {}:{} holds {}",
+                        files[w.file].path,
+                        w.line,
+                        fmt_held(&w.held)
+                    )
+                })
+                .unwrap_or_default();
+            diags.push(Diagnostic {
+                path: files[site.file].path.clone(),
+                line: site.line,
+                rule: "lockset".into(),
+                message: format!(
+                    "shared field `{}` has an empty candidate lockset across {} access sites: \
+                     this write holds {}{}; no common lock protects the field",
+                    finding.field,
+                    finding.sites.len(),
+                    fmt_held(&site.held),
+                    evidence
+                ),
+            });
+            break;
+        }
+    }
+
+    // ---- rule (f): release/reacquire TOCTOU ----
+    for g in lockgap::analyze(files) {
+        let key = (files[g.file].crate_name.clone(), g.field.clone());
+        if g.fn_audited {
+            used.borrow_mut().insert((g.file, g.fn_line, "lock-gap".to_string()));
+            continue;
+        }
+        if exempt_field(&key, "lock-gap") {
+            continue;
+        }
+        if suppressed_at(g.file, g.line, "lock-gap") {
+            continue;
+        }
+        diags.push(Diagnostic {
+            path: files[g.file].path.clone(),
+            line: g.line,
+            rule: "lock-gap".into(),
+            message: g.message,
+        });
+    }
+
+    // ---- rule (g): stale or unknown suppressions ----
+    // An annotation must either name a real rule and have suppressed a
+    // concrete would-be violation above, or it is itself a diagnostic.
+    // `allow(unused-allow)` on a line opts that line out (kept for
+    // annotations that are load-bearing only on some platforms/configs).
+    {
+        let used = used.borrow();
+        for (fi, f) in files.iter().enumerate() {
+            for (line, rules) in &f.allows {
+                if rules.contains("unused-allow") {
+                    continue;
+                }
+                let mut sorted: Vec<&String> = rules.iter().collect();
+                sorted.sort();
+                for rule in sorted {
+                    if !RULES.contains(&rule.as_str()) {
+                        diags.push(Diagnostic {
+                            path: f.path.clone(),
+                            line: *line,
+                            rule: "unused-allow".into(),
+                            message: format!(
+                                "`dfs-lint: allow({rule})` names an unknown rule; known rules \
+                                 are {}",
+                                RULES.join(", ")
+                            ),
+                        });
+                    } else if !used.contains(&(fi, *line, rule.clone())) {
+                        diags.push(Diagnostic {
+                            path: f.path.clone(),
+                            line: *line,
+                            rule: "unused-allow".into(),
+                            message: format!(
+                                "`dfs-lint: allow({rule})` suppresses nothing here; remove the \
+                                 stale annotation"
+                            ),
+                        });
+                    }
+                }
+            }
         }
     }
 

@@ -31,6 +31,15 @@
 //! - **`std-sync`** — `std::sync::{Mutex, RwLock, Condvar}` in non-test
 //!   code; the workspace standard is `parking_lot` via the `Ordered*`
 //!   wrappers.
+//! - **`lockset`** — Eraser-style coverage inference: every plain field
+//!   of a lock-bearing struct must have a non-empty intersection of
+//!   locks held across its access sites, unless all its writes happen
+//!   under `&mut self` exclusivity (see [`lockset`]).
+//! - **`lock-gap`** — release/reacquire TOCTOU: state read under a
+//!   guard, the guard ends, and the reacquired guard is written without
+//!   revalidation (see [`lockgap`]).
+//! - **`unused-allow`** — a `dfs-lint: allow(...)` that suppressed no
+//!   would-be violation in this run, or names an unknown rule.
 //!
 //! # Precision contract
 //!
@@ -60,6 +69,8 @@
 //! [`OrderedMutex`]: ../dfs_types/lock/index.html
 
 pub mod analyze;
+pub mod lockgap;
+pub mod lockset;
 pub mod scan;
 
 use std::collections::{HashMap, HashSet};
@@ -90,6 +101,50 @@ pub struct Acquisition {
     pub line: u32,
     /// `(field, acquisition line)` of every guard live here.
     pub held: Vec<(String, u32)>,
+    /// Dotted receiver path before the field (`self`, `buf.cell`, …).
+    /// Two acquisitions of one field pair up for the lock-gap rule only
+    /// when their receivers match — `a.state` / `b.state` are different
+    /// objects.
+    pub receiver: String,
+    /// State was observed through this guard (a field read through the
+    /// guard variable, or a value projected out of a temporary guard).
+    pub reads: bool,
+    /// State was written through this guard.
+    pub writes: bool,
+    /// Line of the first write through the guard (valid when `writes`).
+    pub write_line: u32,
+    /// The first write was preceded by a guard-state comparison
+    /// (`g.version == snapshot`) or its RHS re-reads the guard
+    /// (`g.tail.max(local)`) — the revalidate-after-reacquire idiom,
+    /// which the lock-gap rule recognises as the sanctioned fix.
+    pub revalidated: bool,
+}
+
+/// Receiver kind of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelfKind {
+    /// Free function or associated fn without `self`.
+    None,
+    /// `&self` — shared access; the caller may alias this object.
+    Ref,
+    /// `&mut self` — rustc guarantees exclusive access for the call, so
+    /// plain-field accesses cannot race and are exempt from lockset.
+    RefMut,
+    /// `self` / `mut self` by value — also exclusive.
+    Value,
+}
+
+/// One access to a shared data field — a plain (non-lock, non-atomic)
+/// field of a struct that also declares `Ordered*` locks — via
+/// `self.field`.
+#[derive(Debug, Clone)]
+pub struct Access {
+    pub field: String,
+    pub line: u32,
+    /// Assignment (`=`, `+=`, indexed store) or `&mut` borrow.
+    pub write: bool,
+    /// Guards live at the access, as `(lock field, acquisition line)`.
+    pub held: Vec<(String, u32)>,
 }
 
 /// One call made inside a function body.
@@ -110,8 +165,15 @@ pub struct Call {
 pub struct FnFacts {
     pub name: String,
     pub line: u32,
+    pub self_kind: SelfKind,
+    /// Declared with any `pub` visibility. Public fns are lockset roots:
+    /// callers outside the scanned tree (tests, benches) may enter with
+    /// no locks held, so no lock context is inferred for them.
+    pub is_pub: bool,
     pub acquisitions: Vec<Acquisition>,
     pub calls: Vec<Call>,
+    /// Shared-data-field accesses (see [`Access`]).
+    pub accesses: Vec<Access>,
     /// Rules suppressed for the whole function via a `dfs-lint: allow`
     /// annotation on the `fn` line.
     pub audited: HashSet<String>,
@@ -123,6 +185,9 @@ pub struct FileFacts {
     pub crate_name: String,
     pub path: String,
     pub fields: Vec<FieldDecl>,
+    /// Plain sibling data fields of lock-bearing structs declared in
+    /// this file (the lockset rule's subjects). `rank` is always `None`.
+    pub data_fields: Vec<FieldDecl>,
     pub rank_consts: HashMap<String, u16>,
     pub fns: Vec<FnFacts>,
     /// `(line, type name)` of `std::sync::{Mutex,RwLock,Condvar}` uses.
@@ -177,20 +242,75 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             .map(|p| std::fs::read_to_string(p).map(|s| (p.to_string_lossy().into_owned(), s)))
             .collect::<std::io::Result<_>>()?;
         // Acquisition detection needs every lock field of the crate, not
-        // just the ones declared in the file being scanned.
+        // just the ones declared in the file being scanned — and likewise
+        // access detection needs the crate-wide shared-data-field set
+        // (`journal/frame.rs` declares the fields `journal/lib.rs`
+        // accesses).
         let mut crate_fields: HashSet<String> = HashSet::new();
+        let mut crate_data: HashSet<String> = HashSet::new();
         for (_, src) in &texts {
             crate_fields.extend(scan::lock_field_names(src));
+            crate_data.extend(scan::shared_data_field_names(src));
         }
         for (rel, src) in &texts {
-            files.push(scan::scan_file(&crate_name, rel, src, &crate_fields));
+            files.push(scan::scan_file(&crate_name, rel, src, &crate_fields, &crate_data));
         }
     }
     Ok(analyze::analyze(&files))
 }
 
 fn dir_name(p: &Path) -> String {
-    p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_else(|| ".".into())
+    // `.` (scanning the workspace root crate) has no file name; fall
+    // back to the canonical directory name so the crate key is stable.
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .or_else(|| {
+            p.canonicalize()
+                .ok()
+                .and_then(|c| c.file_name().map(|n| n.to_string_lossy().into_owned()))
+        })
+        .unwrap_or_else(|| ".".into())
+}
+
+/// Renders diagnostics as one stable JSON document: diagnostics sorted
+/// by (path, line, rule), plus a total. No external JSON crates — the
+/// escaper covers everything the diagnostic messages can contain.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort();
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&d.path),
+            d.line,
+            esc(&d.rule),
+            esc(&d.message)
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"total\": {}\n}}\n", sorted.len()));
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,0 +1,83 @@
+//! Release/reacquire TOCTOU detection (rule `lock-gap`).
+//!
+//! A function that (1) reads state under a guard, (2) lets the guard
+//! end — explicit `drop(g)`, scope exit, rebinding, or passing the
+//! guard by value into a helper documented to unlock (the journal's
+//! unlock-for-I/O pattern) — and then (3) reacquires the same lock on
+//! the same receiver and writes, is writing back a value derived from
+//! a snapshot another thread may have invalidated during the gap. This
+//! is the dirty-bit bug class from the PR 6 review: the journal's
+//! writeback cleared `dirty` after dropping the frame lock for disk
+//! I/O, losing writes that landed in the window.
+//!
+//! The sanctioned fix is *revalidate after reacquire*, and the scanner
+//! recognises its three spellings as suppression idioms (no annotation
+//! needed):
+//!
+//! - a guard-state comparison before the first write
+//!   (`if st.version == version { st.dirty = false; }`);
+//! - a write whose RHS re-reads the fresh guard
+//!   (`log.tail = log.tail.max(tail)`);
+//! - a compound assignment (`g.n += 1`), which re-reads by
+//!   construction.
+
+use crate::FileFacts;
+
+/// One unrevalidated write-after-gap, anchored at the write line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: usize,
+    pub line: u32,
+    /// Lock field, for decl-site exemption in `analyze`.
+    pub field: String,
+    /// `fn` declaration line, for fn-level `allow(lock-gap)` audits.
+    pub fn_line: u32,
+    pub fn_audited: bool,
+    pub message: String,
+}
+
+/// Scans every function for same-field, same-receiver acquisition
+/// pairs where the first guard read state and ended, and the second
+/// writes without revalidating.
+pub fn analyze(files: &[FileFacts]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for func in &f.fns {
+            let acqs = &func.acquisitions;
+            for (j, a2) in acqs.iter().enumerate() {
+                if !a2.writes || a2.revalidated {
+                    continue;
+                }
+                for a1 in &acqs[..j] {
+                    if a1.field != a2.field || a1.receiver != a2.receiver {
+                        continue;
+                    }
+                    if !a1.reads {
+                        continue;
+                    }
+                    // First guard still live at the reacquire → that is
+                    // double-lock's department, not a gap.
+                    if a2.held.iter().any(|(h, l)| *h == a1.field && *l == a1.line) {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: fi,
+                        line: a2.write_line,
+                        field: a2.field.clone(),
+                        fn_line: func.line,
+                        fn_audited: func.audited.contains("lock-gap"),
+                        message: format!(
+                            "write under `{}` reacquired at line {} uses state read under \
+                             the guard from line {}, which was released in between \
+                             (release/reacquire TOCTOU); revalidate after reacquiring \
+                             (e.g. a version counter) or hold the lock across",
+                            a2.field, a2.line, a1.line
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,168 @@
+//! Eraser-style lockset inference (rule `lockset`).
+//!
+//! For every plain data field that lives beside an `Ordered*` lock in
+//! the same struct, collect every `self.field` access site together
+//! with the set of locks live there, then intersect those sets per
+//! field. A field whose candidate lockset goes empty while at least
+//! one of the sites is a write is shared mutable state with
+//! inconsistent protection — the volume-header-RMW bug class from the
+//! PR 6 review.
+//!
+//! Two refinements over the textbook algorithm keep the false-positive
+//! rate workable on real Rust:
+//!
+//! - **Exclusivity**: accesses inside `&mut self` (or by-value `self`)
+//!   methods are ignored. rustc already guarantees the caller holds the
+//!   only reference for the duration of the call, so no lock is needed
+//!   and none should be charged against the field's lockset.
+//! - **Held-on-entry fixpoint**: the workspace's `*_locked` helper
+//!   pattern splits "take the lock" and "touch the state" across
+//!   functions. A private function's entry lockset is the intersection,
+//!   over every resolved callsite, of (locks held at the call ∪ the
+//!   caller's own entry set). `pub` functions are roots with an empty
+//!   entry set — unscanned callers (tests, benches, other crates) may
+//!   enter them lock-free. A private function no callsite reaches
+//!   contributes nothing (its accesses are unreachable as far as the
+//!   scan can tell, so they must not poison the intersection).
+
+use crate::{FileFacts, SelfKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A lock identity, `(crate, field)` — same keying as `analyze`.
+pub type FieldKey = (String, String);
+
+/// One access site with its effective lockset (site-held ∪ fn entry).
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub file: usize,
+    pub line: u32,
+    pub write: bool,
+    /// Lock field names (within the field's crate), sorted.
+    pub held: BTreeSet<String>,
+}
+
+/// A field whose candidate lockset is empty with ≥ 1 write.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub crate_name: String,
+    pub field: String,
+    /// Declaration sites of the data field, `(file, line)` — an
+    /// `allow(lockset)` on any of them exempts the field everywhere.
+    pub decl: Vec<(usize, u32)>,
+    /// All access sites, sorted by (file path, line).
+    pub sites: Vec<Site>,
+}
+
+/// Runs the inference. `fns` maps a global function index to
+/// `(file, fn)`; `resolved` gives, for each global function and each of
+/// its calls (in order), the resolved global callee indices.
+pub fn analyze(
+    files: &[FileFacts],
+    fns: &[(usize, usize)],
+    resolved: &[Vec<Vec<usize>>],
+) -> Vec<Finding> {
+    let n = fns.len();
+
+    // ---- held-on-entry fixpoint ----
+    // `None` = no known callsite yet (⊤); `Some(set)` = intersection of
+    // lock contexts over every callsite seen so far. Sets only shrink
+    // once `Some`, so the iteration terminates.
+    let mut entry: Vec<Option<BTreeSet<FieldKey>>> = (0..n)
+        .map(|i| {
+            let (fi, gi) = fns[i];
+            if files[fi].fns[gi].is_pub { Some(BTreeSet::new()) } else { None }
+        })
+        .collect();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 1000 {
+        changed = false;
+        rounds += 1;
+        for i in 0..n {
+            let Some(e) = entry[i].clone() else { continue };
+            let (fi, gi) = fns[i];
+            let crate_name = &files[fi].crate_name;
+            for (ci, c) in files[fi].fns[gi].calls.iter().enumerate() {
+                let mut ctx: BTreeSet<FieldKey> = e.clone();
+                ctx.extend(c.held.iter().map(|(h, _)| (crate_name.clone(), h.clone())));
+                for &g in &resolved[i][ci] {
+                    if g == i {
+                        continue;
+                    }
+                    let (gf, gg) = fns[g];
+                    if files[gf].fns[gg].is_pub {
+                        continue; // roots keep their empty entry set
+                    }
+                    let new: BTreeSet<FieldKey> = match &entry[g] {
+                        None => ctx.clone(),
+                        Some(old) => old.intersection(&ctx).cloned().collect(),
+                    };
+                    if entry[g].as_ref() != Some(&new) {
+                        entry[g] = Some(new);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- per-field site collection ----
+    let mut per_field: BTreeMap<FieldKey, Vec<Site>> = BTreeMap::new();
+    for i in 0..n {
+        let (fi, gi) = fns[i];
+        let func = &files[fi].fns[gi];
+        if func.accesses.is_empty() {
+            continue;
+        }
+        // Exclusivity: `&mut self` / by-value receivers cannot race.
+        if matches!(func.self_kind, SelfKind::RefMut | SelfKind::Value) {
+            continue;
+        }
+        // Never-reached private fn: its accesses don't constrain.
+        let Some(e) = &entry[i] else { continue };
+        let crate_name = &files[fi].crate_name;
+        for a in &func.accesses {
+            let mut held: BTreeSet<String> = e
+                .iter()
+                .filter(|(c, _)| c == crate_name)
+                .map(|(_, f)| f.clone())
+                .collect();
+            held.extend(a.held.iter().map(|(h, _)| h.clone()));
+            per_field
+                .entry((crate_name.clone(), a.field.clone()))
+                .or_default()
+                .push(Site { file: fi, line: a.line, write: a.write, held });
+        }
+    }
+
+    // ---- intersect and report ----
+    let mut out = Vec::new();
+    for ((crate_name, field), mut sites) in per_field {
+        if sites.len() < 2 || !sites.iter().any(|s| s.write) {
+            continue;
+        }
+        let mut lockset = sites[0].held.clone();
+        for s in &sites[1..] {
+            lockset = lockset.intersection(&s.held).cloned().collect();
+        }
+        if !lockset.is_empty() {
+            continue;
+        }
+        sites.sort_by(|a, b| {
+            (&files[a.file].path, a.line).cmp(&(&files[b.file].path, b.line))
+        });
+        let decl: Vec<(usize, u32)> = files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.crate_name == crate_name)
+            .flat_map(|(fi, f)| {
+                f.data_fields
+                    .iter()
+                    .filter(|d| d.name == field)
+                    .map(move |d| (fi, d.line))
+            })
+            .collect();
+        out.push(Finding { crate_name, field, decl, sites });
+    }
+    out
+}

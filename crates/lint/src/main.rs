@@ -1,36 +1,50 @@
 //! CLI for `dfs-lint`.
 //!
-//! Usage: `dfs-lint [ROOT]...` — each ROOT is a workspace-style
-//! directory of crates (default `crates`). Prints one `path:line:
-//! [rule] message` diagnostic per violation and exits non-zero if any
-//! were found.
+//! Usage: `dfs-lint [--json] [ROOT]...` — each ROOT is a
+//! workspace-style directory of crates (default `crates`). Prints one
+//! `path:line: [rule] message` diagnostic per violation — or, with
+//! `--json`, a single stable JSON document (diagnostics sorted by
+//! path/line/rule, plus a total) — and exits non-zero if any were
+//! found.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let roots: Vec<String> = if args.is_empty() { vec!["crates".into()] } else { args };
+    let mut json = false;
+    let mut roots: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            "--" => {}
+            _ => roots.push(a),
+        }
+    }
+    if roots.is_empty() {
+        roots.push("crates".into());
+    }
 
-    let mut total = 0usize;
+    let mut all = Vec::new();
     for root in &roots {
         match dfs_lint::run(Path::new(root)) {
-            Ok(diags) => {
-                for d in &diags {
-                    println!("{d}");
-                }
-                total += diags.len();
-            }
+            Ok(diags) => all.extend(diags),
             Err(e) => {
                 eprintln!("dfs-lint: cannot scan {root}: {e}");
                 return ExitCode::from(2);
             }
         }
     }
-    if total > 0 {
-        eprintln!("dfs-lint: {total} violation(s)");
-        ExitCode::FAILURE
+    if json {
+        print!("{}", dfs_lint::render_json(&all));
     } else {
+        for d in &all {
+            println!("{d}");
+        }
+    }
+    if all.is_empty() {
         ExitCode::SUCCESS
+    } else {
+        eprintln!("dfs-lint: {} violation(s)", all.len());
+        ExitCode::FAILURE
     }
 }

@@ -8,7 +8,7 @@
 //! workspace's idiom (see the module doc in `lib.rs` for the precision
 //! contract).
 
-use crate::{Acquisition, Call, FieldDecl, FileFacts, FnFacts, RankExpr};
+use crate::{Access, Acquisition, Call, FieldDecl, FileFacts, FnFacts, RankExpr, SelfKind};
 use std::collections::{HashMap, HashSet};
 
 /// One lexical token with the 1-based source line it started on.
@@ -259,6 +259,12 @@ pub fn collect_allows(src: &str) -> HashMap<u32, HashSet<String>> {
         if pos < comment_pos {
             continue; // "dfs-lint" outside a comment: not an annotation
         }
+        // The marker must open the line's comment: only whitespace between
+        // the first `//` and `dfs-lint`. Doc prose *mentioning* the syntax
+        // (``/// use `// dfs-lint: allow(...)` ``) is not an annotation.
+        if !raw[comment_pos + 2..pos].trim().is_empty() {
+            continue;
+        }
         let rest = &raw[pos + "dfs-lint: allow(".len()..];
         let Some(close) = rest.find(')') else { continue };
         let rules: Vec<String> = rest[..close]
@@ -367,6 +373,122 @@ fn field_decl_at(ts: &[Sp], i: usize) -> Option<FieldDecl> {
     Some(FieldDecl { name: name.to_string(), line: ts[i].line, rank })
 }
 
+/// Fields of one parsed `struct` declaration, split into lock fields
+/// and plain data fields.
+struct StructFields {
+    lock_fields: Vec<FieldDecl>,
+    data_fields: Vec<FieldDecl>,
+}
+
+/// Type heads that are synchronization primitives or otherwise exempt
+/// from shared-data-field tracking: atomics order their own accesses,
+/// condvars carry no data, `PhantomData` is zero-sized.
+fn exempt_data_type(head: &str) -> bool {
+    head.starts_with("Atomic") || head == "Condvar" || head == "PhantomData"
+}
+
+/// Parses every `struct Name { ... }` body in the token stream into its
+/// field lists. Tuple and unit structs are skipped (no named fields to
+/// track). Nested groups inside field types — `OrderedMutex<T,
+/// { rank::X }>`, arrays, fn types — are balanced over, and `<`/`>` are
+/// tracked so commas inside generics don't split a field.
+fn parse_struct_fields(ts: &[Sp], skip: &[(usize, usize)]) -> Vec<StructFields> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < ts.len() {
+        if in_ranges(skip, i) || ident(ts, i) != Some("struct") || ident(ts, i + 1).is_none() {
+            i += 1;
+            continue;
+        }
+        // Find the body brace at angle-depth 0; bail on `;` (unit) or
+        // `(` (tuple).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let body = loop {
+            match ts.get(j).map(|s| &s.tok) {
+                None => break None,
+                Some(Tok::Punct('<')) => angle += 1,
+                Some(Tok::Punct('>')) if j > 0 && !is_punct(ts, j - 1, '-') => angle -= 1,
+                Some(Tok::LBrace) if angle == 0 => break Some(j + 1),
+                Some(Tok::LParen) | Some(Tok::Punct(';')) if angle == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(mut k) = body else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut sf = StructFields { lock_fields: Vec::new(), data_fields: Vec::new() };
+        let mut grp = 0i32; // (), {}, [] depth inside the body
+        angle = 0;
+        let mut field_start = true;
+        while k < ts.len() {
+            match &ts[k].tok {
+                Tok::LBrace | Tok::LParen | Tok::LBracket => grp += 1,
+                Tok::RBrace | Tok::RParen | Tok::RBracket => {
+                    if grp == 0 {
+                        break; // closing brace of the struct body
+                    }
+                    grp -= 1;
+                }
+                Tok::Punct('<') if grp == 0 => angle += 1,
+                Tok::Punct('>') if grp == 0 && !is_punct(ts, k - 1, '-') => angle -= 1,
+                Tok::Punct(',') if grp == 0 && angle == 0 => field_start = true,
+                Tok::Ident(name) if field_start && grp == 0 && angle == 0 => {
+                    if name == "pub" {
+                        // visibility; a following `(crate)` is grp > 0
+                    } else if is_punct(ts, k + 1, ':') && !is_punct(ts, k + 2, ':') {
+                        if let Some(d) = field_decl_at(ts, k) {
+                            sf.lock_fields.push(d);
+                        } else {
+                            // Plain data field: strip the type's leading
+                            // path to its head identifier.
+                            let mut t = k + 2;
+                            while is_punct(ts, t, '&') || ident(ts, t) == Some("mut") {
+                                t += 1;
+                            }
+                            while ident(ts, t).is_some()
+                                && is_punct(ts, t + 1, ':')
+                                && is_punct(ts, t + 2, ':')
+                            {
+                                t += 3;
+                            }
+                            let head = ident(ts, t).unwrap_or("");
+                            if !head.is_empty() && !exempt_data_type(head) {
+                                sf.data_fields.push(FieldDecl {
+                                    name: name.clone(),
+                                    line: ts[k].line,
+                                    rank: None,
+                                });
+                            }
+                        }
+                        field_start = false;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(sf);
+        i = k + 1;
+    }
+    out
+}
+
+/// Pre-pass: the plain data fields of every struct that also declares a
+/// lock field — the lockset rule's subjects. Unioned across a crate by
+/// the caller, like [`lock_field_names`].
+pub fn shared_data_field_names(src: &str) -> HashSet<String> {
+    let ts = lex(src);
+    let skip = cfg_test_ranges(&ts);
+    parse_struct_fields(&ts, &skip)
+        .into_iter()
+        .filter(|sf| !sf.lock_fields.is_empty())
+        .flat_map(|sf| sf.data_fields.into_iter().map(|d| d.name))
+        .collect()
+}
+
 /// Pre-pass: just the lock field *names* declared in `src`. The caller
 /// unions these across a crate so acquisition detection sees fields
 /// declared in sibling files (`journal/frame.rs` declares `state`;
@@ -388,21 +510,41 @@ pub fn lock_field_names(src: &str) -> HashSet<String> {
 
 /// Scans one file into facts. `crate_lock_fields` is the union of lock
 /// field names declared anywhere in the same crate (see
-/// [`lock_field_names`]).
+/// [`lock_field_names`]); `crate_data_fields` likewise for shared data
+/// fields (see [`shared_data_field_names`]).
 pub fn scan_file(
     crate_name: &str,
     rel_path: &str,
     src: &str,
     crate_lock_fields: &HashSet<String>,
+    crate_data_fields: &HashSet<String>,
 ) -> FileFacts {
     let ts = lex(src);
-    let allows = collect_allows(src);
+    let mut allows = collect_allows(src);
     let skip = cfg_test_ranges(&ts);
+    // Annotations inside `#[cfg(test)]` items (including annotation-shaped
+    // text in test string literals) are out of scope, like the code that
+    // carries them — otherwise every one would read as a stale allow.
+    let skip_lines: Vec<(u32, u32)> = skip
+        .iter()
+        .filter_map(|&(a, b)| {
+            let end = b.min(ts.len().saturating_sub(1));
+            ts.get(a).map(|s| (s.line, ts[end].line))
+        })
+        .collect();
+    allows.retain(|line, _| !skip_lines.iter().any(|&(a, b)| *line >= a && *line <= b));
+
+    let data_fields: Vec<FieldDecl> = parse_struct_fields(&ts, &skip)
+        .into_iter()
+        .filter(|sf| !sf.lock_fields.is_empty())
+        .flat_map(|sf| sf.data_fields)
+        .collect();
 
     let mut facts = FileFacts {
         crate_name: crate_name.to_string(),
         path: rel_path.to_string(),
         fields: Vec::new(),
+        data_fields,
         rank_consts: HashMap::new(),
         fns: Vec::new(),
         std_sync_sites: Vec::new(),
@@ -498,7 +640,18 @@ pub fn scan_file(
                     let mut lock_fields: HashSet<&str> =
                         facts.fields.iter().map(|f| f.name.as_str()).collect();
                     lock_fields.extend(crate_lock_fields.iter().map(|s| s.as_str()));
-                    let mut f = analyze_body(name, fn_line, &ts[bs..=be.min(ts.len() - 1)], &lock_fields);
+                    let mut data_fields: HashSet<&str> =
+                        facts.data_fields.iter().map(|f| f.name.as_str()).collect();
+                    data_fields.extend(crate_data_fields.iter().map(|s| s.as_str()));
+                    let mut f = analyze_body(
+                        name,
+                        fn_line,
+                        &ts[i + 2..bs],
+                        &ts[bs..=be.min(ts.len() - 1)],
+                        &lock_fields,
+                        &data_fields,
+                    );
+                    f.is_pub = is_pub_fn(&ts, i);
                     if let Some(rules) = facts.allows.get(&fn_line) {
                         f.audited = rules.clone();
                     }
@@ -559,22 +712,245 @@ fn parse_rank_expr(ts: &[Sp], start: usize) -> Option<RankExpr> {
     None
 }
 
+/// True if the `fn` at `fn_idx` carries any `pub` visibility (looking
+/// back over `pub(crate)` groups and `async`/`unsafe`/`const`/`extern`
+/// qualifiers).
+fn is_pub_fn(ts: &[Sp], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    let mut steps = 0;
+    while k > 0 && steps < 8 {
+        k -= 1;
+        steps += 1;
+        match &ts[k].tok {
+            Tok::Ident(id) if matches!(id.as_str(), "async" | "unsafe" | "const" | "extern") => {}
+            Tok::Ident(id) if id == "pub" => return true,
+            Tok::RParen => {
+                // Walk over a `pub(crate)` / `pub(in path)` group.
+                let mut d = 1;
+                while k > 0 && d > 0 {
+                    k -= 1;
+                    match ts[k].tok {
+                        Tok::RParen => d += 1,
+                        Tok::LParen => d -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Receiver kind from the signature tokens (everything between the fn
+/// name and the body brace). The parameter list is the first `(` at
+/// angle-depth 0 — parens inside generic bounds (`F: Fn() -> T`) sit at
+/// depth ≥ 1.
+fn self_kind_of_sig(sig: &[Sp]) -> SelfKind {
+    let mut angle = 0i32;
+    let mut k = 0;
+    let params = loop {
+        match sig.get(k).map(|s| &s.tok) {
+            None => return SelfKind::None,
+            Some(Tok::Punct('<')) => angle += 1,
+            Some(Tok::Punct('>')) if k > 0 && !is_punct(sig, k - 1, '-') => angle -= 1,
+            Some(Tok::LParen) if angle == 0 => break k + 1,
+            _ => {}
+        }
+        k += 1;
+    };
+    // Lifetimes are stripped by the lexer, so `&'a mut self` shows as
+    // `& mut self`.
+    if is_punct(sig, params, '&') {
+        if ident(sig, params + 1) == Some("mut") && ident(sig, params + 2) == Some("self") {
+            SelfKind::RefMut
+        } else if ident(sig, params + 1) == Some("self") {
+            SelfKind::Ref
+        } else {
+            SelfKind::None
+        }
+    } else if ident(sig, params) == Some("self")
+        || (ident(sig, params) == Some("mut") && ident(sig, params + 1) == Some("self"))
+    {
+        SelfKind::Value
+    } else {
+        SelfKind::None
+    }
+}
+
+/// What a projection starting just after a field (or just after a
+/// temporary guard's `()`) does with the value.
+enum Proj {
+    /// Observed: read, passed to a method, or compared.
+    Read,
+    /// Compared against something (`==`, `!=`, `<`, `>`): the
+    /// revalidate-after-reacquire idiom's check.
+    Compare,
+    /// Assigned (`=`, compound `+=`, indexed store); `eq` is the token
+    /// index of the final `=` so the RHS can be inspected.
+    Write { line: u32, eq: usize },
+}
+
+/// Classifies the projection at `j` (the token after the field name):
+/// walks over index groups (`[..]`) and field chains (`.a.b`), stopping
+/// at a method call (mutation through `&mut` methods is invisible —
+/// counted as a read, an accepted recall loss), an assignment operator,
+/// or a comparison.
+fn classify_after(body: &[Sp], mut j: usize) -> Proj {
+    loop {
+        match body.get(j).map(|s| &s.tok) {
+            Some(Tok::LBracket) => {
+                let mut d = 0i32;
+                while j < body.len() {
+                    match body[j].tok {
+                        Tok::LBracket => d += 1,
+                        Tok::RBracket => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            Some(Tok::Punct('.')) => match body.get(j + 1).map(|s| &s.tok) {
+                Some(Tok::Ident(_)) => {
+                    if matches!(body.get(j + 2).map(|s| &s.tok), Some(Tok::LParen)) {
+                        return Proj::Read;
+                    }
+                    j += 2;
+                }
+                Some(Tok::Num(_)) => j += 2, // tuple index
+                _ => return Proj::Read,
+            },
+            Some(Tok::Punct('=')) => {
+                if matches!(body.get(j + 1).map(|s| &s.tok), Some(Tok::Punct('='))) {
+                    return Proj::Compare;
+                }
+                return Proj::Write { line: body[j].line, eq: j };
+            }
+            Some(Tok::Punct(op))
+                if matches!(op, '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+                    && matches!(body.get(j + 1).map(|s| &s.tok), Some(Tok::Punct('='))) =>
+            {
+                return Proj::Write { line: body[j].line, eq: j + 1 };
+            }
+            Some(Tok::Punct('!'))
+                if matches!(body.get(j + 1).map(|s| &s.tok), Some(Tok::Punct('='))) =>
+            {
+                return Proj::Compare;
+            }
+            Some(Tok::Punct('<')) | Some(Tok::Punct('>')) => return Proj::Compare,
+            _ => return Proj::Read,
+        }
+    }
+}
+
+/// True when the `=` at `eq` is the tail of a compound operator
+/// (`+=`, `|=`, …): the store re-reads the current value, so it can
+/// never write back a stale pre-gap snapshot.
+fn compound_assign(body: &[Sp], eq: usize) -> bool {
+    matches!(
+        body.get(eq.wrapping_sub(1)).map(|s| &s.tok),
+        Some(Tok::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'))
+    )
+}
+
+/// True if the assignment RHS starting after token `eq` mentions
+/// `name.` before the statement ends — the write merges in state
+/// re-read from the fresh guard (`log.tail = log.tail.max(tail)`),
+/// which the lock-gap rule accepts as revalidation.
+fn rhs_mentions(body: &[Sp], eq: usize, name: &str) -> bool {
+    let lim = (eq + 120).min(body.len());
+    for j in eq + 1..lim {
+        match &body[j].tok {
+            Tok::Punct(';') => return false,
+            Tok::Ident(id) if id == name && is_punct(body, j + 1, '.') => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
 /// A guard live in some scope.
 struct Guard {
     name: Option<String>,
     field: String,
     line: u32,
+    /// Index of this guard's entry in `FnFacts::acquisitions`.
+    acq: usize,
+}
+
+/// Dotted identifier path before the token at `idx`: for `a.b.c` with
+/// `idx` at `c`, returns `"a.b"`; empty when there is no receiver.
+fn dotted_receiver(body: &[Sp], idx: usize) -> String {
+    if idx < 1 || !is_punct(body, idx - 1, '.') {
+        return String::new();
+    }
+    let mut k = idx - 1;
+    let mut parts: Vec<String> = Vec::new();
+    while k >= 1 {
+        if let Some(p) = ident(body, k - 1) {
+            if is_punct(body, k, '.') {
+                parts.push(p.to_string());
+                if k < 2 {
+                    break;
+                }
+                k -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// Acquisition index of the innermost live guard named `name`.
+fn guard_acq(scopes: &[Vec<Guard>], name: &str) -> Option<usize> {
+    scopes
+        .iter()
+        .rev()
+        .find_map(|s| s.iter().rev().find(|g| g.name.as_deref() == Some(name)))
+        .map(|g| g.acq)
+}
+
+/// Removes the innermost live guard named `name`, if any.
+fn guard_remove(scopes: &mut [Vec<Guard>], name: &str) {
+    for s in scopes.iter_mut().rev() {
+        if let Some(pos) = s.iter().rposition(|g| g.name.as_deref() == Some(name)) {
+            s.remove(pos);
+            return;
+        }
+    }
 }
 
 /// Walks one fn body tracking guard liveness per lexical scope.
-fn analyze_body(name: &str, fn_line: u32, body: &[Sp], lock_fields: &HashSet<&str>) -> FnFacts {
+fn analyze_body(
+    name: &str,
+    fn_line: u32,
+    sig: &[Sp],
+    body: &[Sp],
+    lock_fields: &HashSet<&str>,
+    data_fields: &HashSet<&str>,
+) -> FnFacts {
     let mut f = FnFacts {
         name: name.to_string(),
         line: fn_line,
+        self_kind: self_kind_of_sig(sig),
+        is_pub: false,
         acquisitions: Vec::new(),
         calls: Vec::new(),
+        accesses: Vec::new(),
         audited: HashSet::new(),
     };
+    // Acquisition indices whose guard state has been compared against
+    // something since the acquisition — a later first write through the
+    // same guard counts as revalidated.
+    let mut compared: HashSet<usize> = HashSet::new();
     let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
     // Per-statement binding state.
     let mut pending_binding: Option<String> = None;
@@ -682,10 +1058,16 @@ fn analyze_body(name: &str, fn_line: u32, body: &[Sp], lock_fields: &HashSet<&st
             {
                 let field = ident(body, i - 2).unwrap().to_string();
                 let line = body[i].line;
+                let acq_idx = f.acquisitions.len();
                 f.acquisitions.push(Acquisition {
                     field: field.clone(),
                     line,
                     held: held_fields(&scopes),
+                    receiver: dotted_receiver(body, i - 2),
+                    reads: false,
+                    writes: false,
+                    write_line: 0,
+                    revalidated: false,
                 });
                 // Guard binding: `let g = x.f.lock();` — the call result
                 // must be the whole RHS (next token `;`) and not deref'd.
@@ -696,9 +1078,103 @@ fn analyze_body(name: &str, fn_line: u32, body: &[Sp], lock_fields: &HashSet<&st
                 if binds {
                     binding_used = true;
                     let gname = pending_binding.clone();
-                    scopes.last_mut().unwrap().push(Guard { name: gname, field, line });
+                    if let Some(n) = gname.as_deref() {
+                        // Rebinding a name ends the guard it previously held.
+                        guard_remove(&mut scopes, n);
+                    }
+                    scopes
+                        .last_mut()
+                        .unwrap()
+                        .push(Guard { name: gname, field, line, acq: acq_idx });
+                } else {
+                    // Statement temporary (`self.f.lock().x += 1`): the guard
+                    // lives only for this expression — classify what it does.
+                    let a = &mut f.acquisitions[acq_idx];
+                    match classify_after(body, i + 3) {
+                        Proj::Write { line: wl, eq } => {
+                            a.writes = true;
+                            a.write_line = wl;
+                            a.revalidated = compound_assign(body, eq);
+                        }
+                        Proj::Read | Proj::Compare => a.reads = true,
+                    }
                 }
                 i += 3;
+                stmt_start = false;
+            }
+            // `g.field …` / `*g = …` — an access through a live named guard:
+            // feeds the guard's acquisition record (reads, writes, and the
+            // revalidate-after-reacquire idiom for lock-gap).
+            Tok::Ident(id)
+                if !is_punct(body, i.wrapping_sub(1), '.')
+                    && (is_punct(body, i + 1, '.') || is_punct(body, i.wrapping_sub(1), '*'))
+                    && guard_acq(&scopes, id).is_some() =>
+            {
+                let acq = guard_acq(&scopes, id).unwrap();
+                match classify_after(body, i + 1) {
+                    Proj::Write { line, eq } => {
+                        // A write is "revalidated" when the guard's state was
+                        // compared since reacquisition (`if st.version == v`)
+                        // or the RHS re-reads the fresh guard
+                        // (`log.tail = log.tail.max(tail)`).
+                        let reval = compared.contains(&acq)
+                            || compound_assign(body, eq)
+                            || rhs_mentions(body, eq, id);
+                        let a = &mut f.acquisitions[acq];
+                        if !a.writes {
+                            a.writes = true;
+                            a.write_line = line;
+                            a.revalidated = reval;
+                        }
+                    }
+                    Proj::Compare => {
+                        compared.insert(acq);
+                        f.acquisitions[acq].reads = true;
+                    }
+                    Proj::Read => f.acquisitions[acq].reads = true,
+                }
+                i += 1;
+                stmt_start = false;
+            }
+            // A bare guard passed by value (`helper(g)`): ownership moves into
+            // the callee, which becomes responsible for unlocking — the guard
+            // is no longer live here (the journal's unlock-for-I/O pattern).
+            Tok::Ident(id)
+                if !is_punct(body, i + 1, '.')
+                    && matches!(
+                        body.get(i.wrapping_sub(1)).map(|s| &s.tok),
+                        Some(Tok::LParen) | Some(Tok::Punct(','))
+                    )
+                    && matches!(
+                        body.get(i + 1).map(|s| &s.tok),
+                        Some(Tok::RParen) | Some(Tok::Punct(','))
+                    )
+                    && guard_acq(&scopes, id).is_some() =>
+            {
+                guard_remove(&mut scopes, id);
+                i += 1;
+                stmt_start = false;
+            }
+            // `self.field` — access to a plain data field that lives beside a
+            // lock field in the same struct (lockset analysis input).
+            Tok::Ident(id)
+                if is_punct(body, i.wrapping_sub(1), '.')
+                    && ident(body, i.wrapping_sub(2)) == Some("self")
+                    && !matches!(body.get(i + 1).map(|s| &s.tok), Some(Tok::LParen))
+                    && data_fields.contains(id.as_str())
+                    && !lock_fields.contains(id.as_str()) =>
+            {
+                let borrowed_mut = ident(body, i.wrapping_sub(3)) == Some("mut")
+                    && is_punct(body, i.wrapping_sub(4), '&');
+                let write =
+                    borrowed_mut || matches!(classify_after(body, i + 1), Proj::Write { .. });
+                f.accesses.push(Access {
+                    field: id.clone(),
+                    line: body[i].line,
+                    write,
+                    held: held_fields(&scopes),
+                });
+                i += 1;
                 stmt_start = false;
             }
             Tok::Ident(callee)
@@ -712,26 +1188,7 @@ fn analyze_body(name: &str, fn_line: u32, body: &[Sp], lock_fields: &HashSet<&st
             {
                 // Method or free-fn call. Build a receiver hint from the
                 // dotted path immediately before the name.
-                let mut recv = String::new();
-                if is_punct(body, i.wrapping_sub(1), '.') {
-                    let mut k = i - 1;
-                    let mut parts: Vec<String> = Vec::new();
-                    while k >= 1 {
-                        if let Some(p) = ident(body, k - 1) {
-                            if is_punct(body, k, '.') {
-                                parts.push(p.to_string());
-                                if k < 2 {
-                                    break;
-                                }
-                                k -= 2;
-                                continue;
-                            }
-                        }
-                        break;
-                    }
-                    parts.reverse();
-                    recv = parts.join(".");
-                }
+                let recv = dotted_receiver(body, i);
                 let direct_rpc = callee == "call" && recv.contains("net");
                 f.calls.push(Call {
                     callee: callee.clone(),
@@ -837,7 +1294,7 @@ impl S {
 }
 ";
         let fields = lock_field_names(src);
-        let facts = scan_file("x", "x/src/lib.rs", src, &fields);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields, &shared_data_field_names(src));
         let f = &facts.fns[0];
         let a = f.acquisitions.iter().find(|a| a.field == "a").unwrap();
         assert!(a.held.is_empty(), "drop(g) must release b: {:?}", a.held);
@@ -856,7 +1313,7 @@ impl S {
 }
 ";
         let fields = lock_field_names(src);
-        let facts = scan_file("x", "x/src/lib.rs", src, &fields);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields, &shared_data_field_names(src));
         let a = facts.fns[0].acquisitions.iter().find(|a| a.field == "a").unwrap();
         assert!(a.held.is_empty(), "temporary must not be held: {:?}", a.held);
     }
@@ -875,7 +1332,111 @@ mod tests {
 }
 ";
         let fields = lock_field_names(src);
-        let facts = scan_file("x", "x/src/lib.rs", src, &fields);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields, &shared_data_field_names(src));
         assert!(facts.fns.is_empty(), "test fns must be skipped: {:?}", facts.fns);
+    }
+
+    #[test]
+    fn sibling_data_fields_exclude_locks_and_atomics() {
+        let src = "
+pub struct S {
+    hdr: parking_lot::Mutex<u32>,
+    len: u32,
+    hits: std::sync::atomic::AtomicU64,
+}
+pub struct NoLocks { plain: u32 }
+";
+        let data = shared_data_field_names(src);
+        assert!(data.contains("len"), "plain sibling is a data field: {data:?}");
+        assert!(!data.contains("hdr"), "lock fields are not data fields");
+        assert!(!data.contains("hits"), "atomics synchronize themselves");
+        assert!(!data.contains("plain"), "lock-free structs are out of scope");
+    }
+
+    #[test]
+    fn accesses_record_write_kind_and_held_guards() {
+        let src = "
+pub struct S { hdr: parking_lot::Mutex<u32>, len: u32 }
+impl S {
+    fn covered(&self) {
+        let g = self.hdr.lock();
+        self.len = self.len + 1;
+        drop(g);
+    }
+    fn bare(&self) -> u32 {
+        self.len
+    }
+    fn exclusive(&mut self) {
+        self.len = 0;
+    }
+}
+";
+        let fields = lock_field_names(src);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields, &shared_data_field_names(src));
+        let covered = facts.fns.iter().find(|f| f.name == "covered").unwrap();
+        let (w, r): (Vec<_>, Vec<_>) = covered.accesses.iter().partition(|a| a.write);
+        assert_eq!((w.len(), r.len()), (1, 1), "one write + one RHS read");
+        assert!(w[0].held.iter().any(|(f, _)| f == "hdr"), "write holds hdr");
+        let bare = facts.fns.iter().find(|f| f.name == "bare").unwrap();
+        assert!(bare.accesses[0].held.is_empty() && !bare.accesses[0].write);
+        let exclusive = facts.fns.iter().find(|f| f.name == "exclusive").unwrap();
+        assert_eq!(exclusive.self_kind, SelfKind::RefMut, "&mut self detected");
+    }
+
+    #[test]
+    fn guard_reads_writes_and_revalidation_are_tracked() {
+        let src = "
+pub struct F { state: parking_lot::Mutex<u32> }
+impl F {
+    fn gap(&self) {
+        let snap = 0;
+        {
+            let st = self.state.lock();
+            let _ = st.data;
+        }
+        let mut st = self.state.lock();
+        st.dirty = false;
+        let _ = snap;
+    }
+    fn fixed(&self, version: u32) {
+        let mut st = self.state.lock();
+        if st.version == version {
+            st.dirty = false;
+        }
+    }
+    fn counter(&self) {
+        let mut st = self.state.lock();
+        st.n += 1;
+    }
+}
+";
+        let fields = lock_field_names(src);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields, &shared_data_field_names(src));
+        let gap = facts.fns.iter().find(|f| f.name == "gap").unwrap();
+        assert!(gap.acquisitions[0].reads && !gap.acquisitions[0].writes);
+        assert!(gap.acquisitions[1].writes && !gap.acquisitions[1].revalidated);
+        let fixed = facts.fns.iter().find(|f| f.name == "fixed").unwrap();
+        assert!(fixed.acquisitions[0].writes && fixed.acquisitions[0].revalidated);
+        let counter = facts.fns.iter().find(|f| f.name == "counter").unwrap();
+        assert!(counter.acquisitions[0].revalidated, "compound assign re-reads");
+    }
+
+    #[test]
+    fn guard_moved_into_helper_ends_liveness() {
+        let src = "
+pub struct F { state: parking_lot::Mutex<u32>, other: parking_lot::Mutex<u32> }
+impl F {
+    fn f(&self) {
+        let g = self.state.lock();
+        unlock_for_io(g);
+        let h = self.other.lock();
+        let _ = h;
+    }
+}
+";
+        let fields = lock_field_names(src);
+        let facts = scan_file("x", "x/src/lib.rs", src, &fields, &shared_data_field_names(src));
+        let a = facts.fns[0].acquisitions.iter().find(|a| a.field == "other").unwrap();
+        assert!(a.held.is_empty(), "moved-out guard must not be held: {:?}", a.held);
     }
 }

@@ -114,14 +114,80 @@ fn fleet_rank_fixture_flags_planning_under_server_guards() {
 }
 
 #[test]
-fn the_workspace_itself_is_clean() {
-    // The real tree: `crates/` relative to the workspace root. Keeping
-    // this green is the point of the tool; a violation here should fail
-    // CI with the same message `cargo run -p dfs-lint` would print.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
-    let diags = dfs_lint::run(&root).expect("workspace scan must succeed");
+fn lockset_fixture_flags_the_volume_header_rmw_race() {
+    // Minimized PR 6 race #1: the vnode-map length is RMW'd under the
+    // header lock on one path and stored back bare on another.
     assert_eq!(
-        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
-        Vec::<String>::new()
+        lint("lockset"),
+        vec![
+            "alpha/src/lib.rs:25: [lockset] shared field `map_len` has an empty candidate \
+             lockset across 3 access sites: this write holds no lock, but \
+             alpha/src/lib.rs:19 holds `hdr`; no common lock protects the field",
+        ]
     );
+}
+
+#[test]
+fn lockgap_fixture_flags_the_dirty_bit_clear_across_release() {
+    // Minimized PR 6 race #2: writeback drops the frame lock for I/O and
+    // clears `dirty` on reacquire without revalidating. The fixed
+    // variant (version-counter check) and the merge variant (RHS
+    // re-reads the fresh guard) stay clean.
+    assert_eq!(
+        lint("lockgap"),
+        vec![
+            "alpha/src/lib.rs:23: [lock-gap] write under `state` reacquired at line 22 uses \
+             state read under the guard from line 18, which was released in between \
+             (release/reacquire TOCTOU); revalidate after reacquiring (e.g. a version \
+             counter) or hold the lock across",
+        ]
+    );
+}
+
+#[test]
+fn unused_allow_fixture_flags_stale_and_unknown_suppressions() {
+    assert_eq!(
+        lint("unused_allow"),
+        vec![
+            "alpha/src/lib.rs:13: [unused-allow] `dfs-lint: allow(double-lock)` suppresses \
+             nothing here; remove the stale annotation",
+            "alpha/src/lib.rs:17: [unused-allow] `dfs-lint: allow(guard-accross-rpc)` names \
+             an unknown rule; known rules are lock-order, guard-across-revoke, \
+             guard-across-rpc, double-lock, std-sync, lockset, lock-gap, unused-allow",
+        ]
+    );
+}
+
+#[test]
+fn json_rendering_is_stable_and_well_formed() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/unused_allow");
+    let diags = dfs_lint::run(&root).expect("fixture scan must succeed");
+    let json = dfs_lint::render_json(&diags);
+    assert!(json.starts_with("{\n  \"diagnostics\": ["));
+    assert!(json.trim_end().ends_with("\"total\": 2\n}"));
+    assert_eq!(json.matches("\"rule\": \"unused-allow\"").count(), 2);
+    // Stable order: line 13 before line 17.
+    assert!(json.find("\"line\": 13").unwrap() < json.find("\"line\": 17").unwrap());
+    // Rendering the empty set is still one well-formed document.
+    assert_eq!(
+        dfs_lint::render_json(&[]),
+        "{\n  \"diagnostics\": [],\n  \"total\": 0\n}\n"
+    );
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The real tree, all three verify.sh roots: `crates/`, `shims/`,
+    // and the workspace root crate. Keeping this green is the point of
+    // the tool; a violation here should fail CI with the same message
+    // `cargo run -p dfs-lint` would print.
+    for rel in ["..", "../../shims", "../.."] {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+        let diags = dfs_lint::run(&root).expect("workspace scan must succeed");
+        assert_eq!(
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+            Vec::<String>::new(),
+            "root {rel} must be clean"
+        );
+    }
 }

@@ -1,0 +1,36 @@
+//! Lockset fixture: the PR 6 volume-header RMW race, minimized. The
+//! vnode map length is read-modify-written under the header lock on the
+//! alloc path but stored back with no lock on the flush path, so its
+//! candidate lockset intersects to the empty set with a write in the
+//! mix — the Eraser condition. `generation` shows the clean shape: every
+//! non-exclusive access holds `hdr`, and `&mut self` access is exempt.
+
+use parking_lot::Mutex;
+
+pub struct Volume {
+    hdr: Mutex<u32>,
+    map_len: u32,
+    generation: u32,
+}
+
+impl Volume {
+    pub fn vnode_alloc(&self) -> u32 {
+        let g = self.hdr.lock();
+        let slot = self.map_len;
+        self.map_len = slot + 1;
+        *g
+    }
+
+    pub fn store_back(&self) {
+        self.map_len = 0;
+    }
+
+    pub fn bump(&self) {
+        let _g = self.hdr.lock();
+        self.generation = self.generation + 1;
+    }
+
+    pub fn reset(&mut self) {
+        self.generation = 0;
+    }
+}

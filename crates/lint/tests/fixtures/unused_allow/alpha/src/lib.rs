@@ -1,0 +1,25 @@
+//! Unused-allow fixture: a stale suppression and a misspelled rule name
+//! are themselves diagnostics, while an allow that suppresses a real
+//! violation stays silent.
+
+use parking_lot::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+}
+
+impl S {
+    pub fn stale(&self) -> u32 {
+        *self.a.lock() // dfs-lint: allow(double-lock) — nothing here to suppress.
+    }
+
+    pub fn typo(&self) -> u32 {
+        *self.a.lock() // dfs-lint: allow(guard-accross-rpc) — misspelled rule name.
+    }
+
+    pub fn load_bearing(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.a.lock(); // dfs-lint: allow(double-lock) — fixture: deliberate re-entry.
+        *g + *h
+    }
+}

@@ -92,6 +92,10 @@ struct ManagerInner {
     stats: TokenStats,
 }
 
+/// Snapshot of a volume's token state for a live move: every grant
+/// with its holding host, plus the per-file serialization counters.
+pub type VolumeExport = (Vec<(HostId, Token)>, Vec<(Fid, SerializationStamp)>);
+
 /// The token manager of one file server.
 ///
 /// The grant table sits at rank [`rank::TOKEN_MANAGER`] in the global
@@ -350,10 +354,7 @@ impl TokenManager {
     /// the clients' cached tokens valid, and a client matches
     /// revocations by token id, so the target has to keep serving the
     /// exact ids the source issued.
-    pub fn export_volume(
-        &self,
-        volume: VolumeId,
-    ) -> (Vec<(HostId, Token)>, Vec<(Fid, SerializationStamp)>) {
+    pub fn export_volume(&self, volume: VolumeId) -> VolumeExport {
         let inner = self.inner.lock();
         let grants = inner
             .grants

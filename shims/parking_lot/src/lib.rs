@@ -18,12 +18,12 @@ use std::sync::PoisonError;
 
 /// A mutual-exclusion primitive (poison-ignoring wrapper over `std::sync::Mutex`).
 pub struct Mutex<T: ?Sized> {
-    inner: std::sync::Mutex<T>,
+    inner: std::sync::Mutex<T>, // dfs-lint: allow(std-sync) — this shim *is* the parking_lot implementation; std::sync is its backing primitive, not a workspace lock.
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex { inner: std::sync::Mutex::new(value) } // dfs-lint: allow(std-sync) — this shim *is* the parking_lot implementation; std::sync is its backing primitive, not a workspace lock.
     }
 
     pub fn into_inner(self) -> T {
@@ -76,12 +76,12 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 /// A condition variable compatible with [`Mutex`].
 pub struct Condvar {
-    inner: std::sync::Condvar,
+    inner: std::sync::Condvar, // dfs-lint: allow(std-sync) — this shim *is* the parking_lot implementation; std::sync is its backing primitive, not a workspace lock.
 }
 
 impl Condvar {
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar { inner: std::sync::Condvar::new() } // dfs-lint: allow(std-sync) — this shim *is* the parking_lot implementation; std::sync is its backing primitive, not a workspace lock.
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
@@ -125,12 +125,12 @@ impl Default for Condvar {
 
 /// A reader-writer lock (poison-ignoring wrapper over `std::sync::RwLock`).
 pub struct RwLock<T: ?Sized> {
-    inner: std::sync::RwLock<T>,
+    inner: std::sync::RwLock<T>, // dfs-lint: allow(std-sync) — this shim *is* the parking_lot implementation; std::sync is its backing primitive, not a workspace lock.
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock { inner: std::sync::RwLock::new(value) } // dfs-lint: allow(std-sync) — this shim *is* the parking_lot implementation; std::sync is its backing primitive, not a workspace lock.
     }
 
     pub fn into_inner(self) -> T {

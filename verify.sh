@@ -3,15 +3,19 @@
 #
 #   1. release build of the whole workspace
 #   2. the test suite (unit + integration + property tests)
-#   3. dfs-lint: workspace-wide lock-order / guard-across-RPC static
-#      analysis over crates/ (see crates/lint and DESIGN.md
+#   3. dfs-lint: workspace-wide concurrency static analysis (lock
+#      order, lockset coverage, lock-gap TOCTOU, stale allows) over
+#      crates/, shims/, and the root crate; the --json rendering is
+#      validated through jsoncheck (see crates/lint and DESIGN.md
 #      "Concurrency discipline")
-#   4. bench smoke: T8 and T1 at tiny parameters in --json mode; fails
+#   4. cargo clippy --workspace with the pinned deny-list
+#      (await_holding_lock, mut_mutex_lock, redundant_clone)
+#   5. bench smoke: T8 and T1 at tiny parameters in --json mode; fails
 #      on a panic (non-zero exit) or malformed JSON (jsoncheck)
-#   5. recovery gate: the crash-restart pipeline tests plus T13 at tiny
+#   6. recovery gate: the crash-restart pipeline tests plus T13 at tiny
 #      parameters (server epoch bump, grace window, token
 #      reestablishment, dirty-burst replay)
-#   6. fleet gate: the fleet-layer tests plus T15 at tiny parameters
+#   7. fleet gate: the fleet-layer tests plus T15 at tiny parameters
 #      (volume sharding, WrongServer routing, live mid-run migration)
 #
 # Run from the repo root:  ./verify.sh
@@ -24,8 +28,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> dfs-lint crates/"
-cargo run -q --release -p dfs-lint -- crates/
+echo "==> dfs-lint crates/ shims/ . (JSON validated)"
+cargo run -q --release -p dfs-lint -- crates shims .
+lint_out=$(cargo run -q --release -p dfs-lint -- --json crates shims .)
+printf '%s' "$lint_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+
+echo "==> cargo clippy --workspace (pinned deny-list)"
+cargo clippy --workspace --quiet
 
 echo "==> bench smoke (t8 + t1, tiny params, JSON validated)"
 # Capture then pipe so a bench panic fails the stage even without
