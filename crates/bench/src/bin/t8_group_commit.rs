@@ -10,6 +10,12 @@
 //! `StoreDataVec`, applied in a single transaction ending in one group
 //! commit).
 //!
+//! The third section (`--clients A,B,...`) is a concurrency sweep: N
+//! clients each write their own file and fsync in parallel, so token
+//! grants and store-backs for distinct fids land on different shards of
+//! the server's token manager and host table. Aggregate throughput per
+//! N is the metric.
+//!
 //! Flags: `--json` emits machine-readable results (validated by
 //! `jsoncheck` in the verify.sh smoke stage); `--ops N` and `--pages N`
 //! shrink the workloads for smoke runs.
@@ -22,6 +28,7 @@ use dfs_rpc::{Addr, Network, PoolConfig};
 use dfs_server::{FileServer, VldbReplica};
 use dfs_types::{ClientId, ServerId, SimClock, VolumeId};
 use dfs_vfs::{Credentials, PhysicalFs};
+use decorum_dfs::Cell;
 use std::sync::Arc;
 
 /// Runs `ops` file creations with a group commit every `batch`
@@ -109,24 +116,110 @@ fn writeback_run(wb: WritebackConfig, pages: u64) -> WbRun {
     }
 }
 
-fn parse_args() -> (bool, u32, u64) {
-    let mut json = false;
-    let mut ops = 2000u32;
-    let mut pages = 64u64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--ops" => ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
-            "--pages" => pages = args.next().and_then(|v| v.parse().ok()).expect("--pages N"),
-            other => panic!("unknown flag {other:?} (supported: --json --ops N --pages N)"),
+/// One point of the concurrency sweep: N clients, each writing its own
+/// `pages`-page file then fsyncing, all in parallel. Distinct fids mean
+/// the grant/store-back path fans out across token and host shards.
+struct ConcPoint {
+    clients: usize,
+    total_pages: u64,
+    wall_s: f64,
+    pages_per_s: f64,
+    /// RPCs issued during the timed region and the simulated network
+    /// time charged to them — deterministic, unlike wall clock on an
+    /// oversubscribed host. Shared-root directory-token churn means
+    /// revocation batching shows up directly in these.
+    rpcs: u64,
+    sim_net_ms: f64,
+    pages_per_sim_net_s: f64,
+    ok: bool,
+}
+
+fn concurrent_writers(clients: usize, pages: u64) -> ConcPoint {
+    // A log sized for the fan-in: 64 writers' store-backs can land
+    // between two group commits, so scale the fixed log with N.
+    let log_blocks = (256 * clients.max(4) as u32).min(16 * 1024);
+    let cell = Cell::builder().servers(1).pools(12, 6).log_blocks(log_blocks).build().unwrap();
+    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cms: Vec<_> = (0..clients).map(|_| cell.new_client()).collect();
+    let root = cms[0].root(VolumeId(1)).unwrap();
+    let net_before = cell.net().stats();
+    let t0 = std::time::Instant::now();
+    let threads: Vec<_> = cms
+        .iter()
+        .enumerate()
+        .map(|(ci, cm)| {
+            let cm = cm.clone();
+            std::thread::spawn(move || {
+                let f = cm.create(root, &format!("w{ci}"), 0o644).unwrap();
+                for p in 0..pages {
+                    cm.write(f.fid, p * PAGE_SIZE as u64, &[ci as u8; PAGE_SIZE]).unwrap();
+                }
+                cm.fsync(f.fid).unwrap();
+                f.fid
+            })
+        })
+        .collect();
+    let fids: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let nd = cell.net().stats().since(&net_before);
+
+    // Durability + visibility: every file has its full length and its
+    // first page is readable (with the right fill) from another client.
+    let mut ok = true;
+    for (ci, fid) in fids.iter().enumerate() {
+        let peer = &cms[(ci + 1) % cms.len()];
+        if peer.getattr(*fid).unwrap().length != pages * PAGE_SIZE as u64 {
+            ok = false;
+        }
+        if peer.read(*fid, 0, 8).unwrap() != vec![ci as u8; 8] {
+            ok = false;
         }
     }
-    (json, ops, pages)
+    let total_pages = clients as u64 * pages;
+    ConcPoint {
+        clients,
+        total_pages,
+        wall_s: wall,
+        pages_per_s: total_pages as f64 / wall,
+        rpcs: nd.calls,
+        sim_net_ms: nd.latency_us as f64 / 1000.0,
+        pages_per_sim_net_s: total_pages as f64 * 1e6 / nd.latency_us.max(1) as f64,
+        ok,
+    }
+}
+
+struct Args {
+    json: bool,
+    ops: u32,
+    pages: u64,
+    clients: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args { json: false, ops: 2000, pages: 64, clients: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => a.json = true,
+            "--ops" => a.ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
+            "--pages" => a.pages = args.next().and_then(|v| v.parse().ok()).expect("--pages N"),
+            "--clients" => {
+                let list = args.next().expect("--clients A,B,...");
+                a.clients = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--clients takes integers"))
+                    .collect();
+            }
+            other => panic!(
+                "unknown flag {other:?} (supported: --json --ops N --pages N --clients A,B,...)"
+            ),
+        }
+    }
+    a
 }
 
 fn main() {
-    let (json, ops, pages) = parse_args();
+    let Args { json, ops, pages, clients } = parse_args();
     let batches = [1u32, 4, 16, 64, 256, 1024];
     let sweep: Vec<(u32, u64, u64, f64)> = batches
         .iter()
@@ -141,6 +234,7 @@ fn main() {
         WritebackConfig { flusher: false, ..WritebackConfig::default() },
         pages,
     );
+    let conc: Vec<_> = clients.iter().map(|&n| concurrent_writers(n, pages)).collect();
 
     if json {
         let rows: Vec<String> = sweep
@@ -159,16 +253,37 @@ fn main() {
                 r.store_rpcs, r.store_vec_rpcs, r.store_bytes, r.jn_syncs, r.jn_txns
             )
         };
+        let conc_rows: Vec<String> = conc
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"clients\": {}, \"pages_per_client\": {pages}, \
+                     \"total_pages\": {}, \"wall_s\": {:.4}, \"pages_per_s\": {:.1}, \
+                     \"rpcs\": {}, \"sim_net_ms\": {:.2}, \"pages_per_sim_net_s\": {:.1}, \
+                     \"ok\": {}}}",
+                    c.clients,
+                    c.total_pages,
+                    c.wall_s,
+                    c.pages_per_s,
+                    c.rpcs,
+                    c.sim_net_ms,
+                    c.pages_per_sim_net_s,
+                    c.ok
+                )
+            })
+            .collect();
         println!(
             "{{\"bench\": \"t8_group_commit\", \"ops\": {ops}, \
              \"group_commit\": [{}], \
              \"writeback\": {{\"pages\": {pages}, \"legacy\": {}, \"pipeline\": {}, \
-             \"rpc_reduction\": {:.2}, \"sync_reduction\": {:.2}}}}}",
+             \"rpc_reduction\": {:.2}, \"sync_reduction\": {:.2}}}, \
+             \"concurrency\": [{}]}}",
             rows.join(", "),
             wb(&legacy),
             wb(&pipeline),
             legacy.rpcs() as f64 / pipeline.rpcs().max(1) as f64,
             legacy.jn_syncs as f64 / pipeline.jn_syncs.max(1) as f64,
+            conc_rows.join(", "),
         );
         return;
     }
@@ -209,4 +324,23 @@ fn main() {
     println!("\nExpected shape: the pipeline coalesces extent-sized runs into one");
     println!("StoreDataVec applied as a single server transaction — RPC count and");
     println!("group commits drop by the coalescing factor while bytes stay put.");
+
+    if !conc.is_empty() {
+        println!("\nConcurrent writers: N clients, one private file each, write+fsync\n");
+        header(&["clients", "total pages", "RPCs", "net ms", "pages/net-s", "pages/s", "ok"]);
+        for c in &conc {
+            row(&[
+                &c.clients,
+                &c.total_pages,
+                &c.rpcs,
+                &f2(c.sim_net_ms),
+                &f2(c.pages_per_sim_net_s),
+                &f2(c.pages_per_s),
+                &c.ok,
+            ]);
+        }
+        println!("\nExpected shape (§5): distinct fids hash to different token/host");
+        println!("shards, so aggregate store-back throughput scales with clients");
+        println!("instead of serializing on one manager-wide mutex.");
+    }
 }

@@ -32,10 +32,10 @@ use dfs_rpc::{
 };
 use dfs_server::VldbHandle;
 use dfs_token::{Token, TokenTypes};
-use dfs_types::lock::{rank, OrderedCondvar, OrderedMutex};
+use dfs_types::lock::{rank, OrderedCondvar, OrderedMutex, OrderedMutexGuard};
 use dfs_types::{
     Acl, ByteRange, ClientId, DfsError, DfsResult, FileStatus, Fid, SerializationStamp, ServerId,
-    VolumeId,
+    SnapshotCell, VolumeId,
 };
 use dfs_vfs::{DirEntry, SetAttrs, WriteExtent};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -143,6 +143,10 @@ impl OpenMode {
 pub struct ClientStats {
     /// Reads served entirely from the cache under a data token.
     pub local_reads: u64,
+    /// Subset of `local_reads` (and trusted `getattr`s) satisfied from
+    /// the published token snapshot without taking any vnode lock
+    /// (§6.1 seqlock fast path).
+    pub lockfree_reads: u64,
     /// Reads that needed a FetchData RPC.
     pub remote_reads: u64,
     /// Writes absorbed locally under a write token (no RPC at all).
@@ -253,6 +257,42 @@ struct VnState {
     opens: Vec<TokenTypes>,
 }
 
+/// Returns true if the union of tokens carrying any of `types` covers
+/// every byte of `range`. Shared by the locked [`VnState`] checks and
+/// the lock-free [`TokenView`] fast path so both judge coverage
+/// identically.
+fn tokens_cover(tokens: &[Token], types: TokenTypes, range: &ByteRange) -> bool {
+    if range.is_empty() {
+        return true;
+    }
+    let mut spans: Vec<ByteRange> = tokens
+        .iter()
+        .filter(|t| t.types.intersects(types))
+        .map(|t| t.range)
+        .collect();
+    spans.sort_by_key(|r| r.start);
+    let mut pos = range.start;
+    for s in spans {
+        if s.start > pos {
+            break;
+        }
+        pos = pos.max(s.end.min(range.end));
+        if pos >= range.end {
+            return true;
+        }
+    }
+    pos >= range.end
+}
+
+/// True if any token carries a status guarantee (read or write) — the
+/// condition under which the cached `FileStatus` may be believed.
+fn tokens_trust_status(tokens: &[Token]) -> bool {
+    tokens.iter().any(|t| {
+        t.types
+            .intersects(TokenTypes(TokenTypes::STATUS_READ.0 | TokenTypes::STATUS_WRITE.0))
+    })
+}
+
 impl VnState {
     fn find_token(&self, types: TokenTypes, range: &ByteRange) -> Option<&Token> {
         self.tokens
@@ -263,27 +303,7 @@ impl VnState {
     /// Returns true if the union of held tokens carrying any of `types`
     /// covers every byte of `range`.
     fn covered(&self, types: TokenTypes, range: &ByteRange) -> bool {
-        if range.is_empty() {
-            return true;
-        }
-        let mut spans: Vec<ByteRange> = self
-            .tokens
-            .iter()
-            .filter(|t| t.types.intersects(types))
-            .map(|t| t.range)
-            .collect();
-        spans.sort_by_key(|r| r.start);
-        let mut pos = range.start;
-        for s in spans {
-            if s.start > pos {
-                break;
-            }
-            pos = pos.max(s.end.min(range.end));
-            if pos >= range.end {
-                return true;
-            }
-        }
-        pos >= range.end
+        tokens_cover(&self.tokens, types, range)
     }
 
     fn has_types(&self, types: TokenTypes) -> bool {
@@ -302,19 +322,35 @@ impl VnState {
     }
 
     fn status_trusted(&self) -> bool {
-        self.status.is_some()
-            && self
-                .tokens
-                .iter()
-                .any(|t| t.types.intersects(TokenTypes(
-                    TokenTypes::STATUS_READ.0 | TokenTypes::STATUS_WRITE.0,
-                )))
+        self.status.is_some() && tokens_trust_status(&self.tokens)
     }
 
     fn dir_trusted(&self) -> bool {
         self.tokens.iter().any(|t| {
             t.types.contains(TokenTypes::STATUS_READ) && t.types.contains(TokenTypes::DATA_READ)
         })
+    }
+}
+
+/// Immutable snapshot of a vnode's token-relevant state, republished
+/// through [`CVnode::published`] every time a `lo` guard that mutated
+/// the state is released. The lock-free fast path (§6.1) reads it to
+/// satisfy cache hits without touching `CLIENT_VNODE_LO`.
+struct TokenView {
+    status: Option<FileStatus>,
+    tokens: Vec<Token>,
+    /// Pages present in the data cache and covered by a token, as of
+    /// the publishing guard's release.
+    valid: BTreeSet<u64>,
+}
+
+impl TokenView {
+    fn of(state: &VnState) -> TokenView {
+        TokenView {
+            status: state.status.clone(),
+            tokens: state.tokens.clone(),
+            valid: state.valid.clone(),
+        }
     }
 }
 
@@ -326,7 +362,69 @@ struct CVnode {
     // dfs-lint: allow(guard-across-rpc)
     hi: OrderedMutex<(), { rank::CLIENT_VNODE_HI }>,
     /// Low-level lock: guards the cached state; released across RPCs.
+    /// Always acquired through [`CVnode::lock_lo`], whose guard
+    /// maintains `lo_seq`/`published` for the lock-free fast path.
     lo: OrderedMutex<VnState, { rank::CLIENT_VNODE_LO }>,
+    /// Seqlock word for the fast path: odd while a `lo` holder may be
+    /// mutating the state, even when `published` is current. Bumped to
+    /// odd on a guard's first mutable access, back to even after the
+    /// guard republishes on release.
+    lo_seq: AtomicU64,
+    /// Latest published [`TokenView`]; empty until the first mutation.
+    published: SnapshotCell<TokenView>,
+}
+
+impl CVnode {
+    /// Acquires the low-level lock through the publishing guard. Every
+    /// `lo` acquisition must go through here: a bare `self.lo.lock()`
+    /// could mutate state without invalidating the published snapshot,
+    /// and the fast path would serve stale hits forever.
+    fn lock_lo(&self) -> LoGuard<'_> {
+        LoGuard { inner: self.lo.lock(), vn: self, mutated: false }
+    }
+}
+
+/// Guard for [`CVnode::lo`] that drives the §6.1 fast-path seqlock:
+/// the first mutable dereference flips `lo_seq` odd (fast-path readers
+/// fall back to the mutex), and dropping a guard that mutated state
+/// republishes the [`TokenView`] and flips the seq even again — both
+/// while the mutex is still held, so a snapshot can never go backwards.
+struct LoGuard<'a> {
+    /// Declared before `vn` for documentation only; the publish happens
+    /// in `Drop::drop`'s body, while `inner` is still alive.
+    inner: OrderedMutexGuard<'a, VnState, { rank::CLIENT_VNODE_LO }>,
+    vn: &'a CVnode,
+    mutated: bool,
+}
+
+impl std::ops::Deref for LoGuard<'_> {
+    type Target = VnState;
+    fn deref(&self) -> &VnState {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for LoGuard<'_> {
+    fn deref_mut(&mut self) -> &mut VnState {
+        if !self.mutated {
+            self.mutated = true;
+            // Odd: mutation in progress, fast path must fall back.
+            self.vn.lo_seq.fetch_add(1, Ordering::SeqCst);
+        }
+        &mut self.inner
+    }
+}
+
+impl Drop for LoGuard<'_> {
+    fn drop(&mut self) {
+        if self.mutated {
+            // Still under the mutex here: `inner` drops after this
+            // body, so the published view matches the state the next
+            // `lo` holder will see and the even seq ratifies it.
+            self.vn.published.store(Arc::new(TokenView::of(&self.inner)));
+            self.vn.lo_seq.fetch_add(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// Wake/stop flags for the background flusher, guarded at rank
@@ -379,6 +477,11 @@ pub struct CacheManager {
     locations: OrderedMutex<LocationCache, { rank::CLIENT_RESOURCE }>,
     roots: OrderedMutex<HashMap<VolumeId, Fid>, { rank::CLIENT_RESOURCE }>,
     stats: OrderedMutex<ClientStats, { rank::STATS }>,
+    /// Whether the §6.1 lock-free read/getattr fast path is enabled.
+    /// `DFS_NO_LOCKFREE=1` disables it (ablation knob for benchmarks);
+    /// the seqlock/publish machinery still runs so the knob isolates
+    /// only the hit path.
+    lockfree: bool,
 }
 
 impl CacheManager {
@@ -422,6 +525,7 @@ impl CacheManager {
             locations: OrderedMutex::new(LocationCache::default()),
             roots: OrderedMutex::new(HashMap::new()),
             stats: OrderedMutex::new(ClientStats::default()),
+            lockfree: std::env::var("DFS_NO_LOCKFREE").map_or(true, |v| v != "1"),
         });
         net.register(
             addr,
@@ -497,7 +601,7 @@ impl CacheManager {
         let targets: Vec<Arc<CVnode>> = self.vnodes.lock().values().cloned().collect();
         let mut first_err = None;
         for vn in targets {
-            if vn.lo.lock().dirty.is_empty() {
+            if vn.lock_lo().dirty.is_empty() {
                 continue;
             }
             if let Err(e) = self.store_back(&vn, None) {
@@ -685,6 +789,8 @@ impl CacheManager {
                     fid,
                     hi: OrderedMutex::new(()),
                     lo: OrderedMutex::new(VnState::default()),
+                    lo_seq: AtomicU64::new(0),
+                    published: SnapshotCell::new(),
                 })
             })
             .clone()
@@ -709,6 +815,17 @@ impl CacheManager {
         }
         let queued = std::mem::take(&mut lo.queued);
         for (token, types, stamp) in queued {
+            // A queued revocation may target a token granted by a reply
+            // that is *still* in flight — e.g. the flusher's store-back
+            // lands (and absorbs) before the FetchData that carries the
+            // token. Applying it now would discard it as "already gone"
+            // and the token would later install unrevoked, serving stale
+            // data forever. Keep it queued until the token shows up or
+            // every in-flight reply has been merged.
+            if lo.in_flight > 0 && !lo.tokens.iter().any(|t| t.id == token.id) {
+                lo.queued.push((token, types, stamp));
+                continue;
+            }
             self.apply_revocation(vn, lo, &token, types, stamp);
         }
     }
@@ -1027,7 +1144,7 @@ impl CacheManager {
     /// (their write_seq no longer matches the snapshot) and go out on a
     /// later round; queued revocations are absorbed after each reply.
     fn store_back(&self, vn: &Arc<CVnode>, range: Option<ByteRange>) -> DfsResult<()> {
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         loop {
             // The EOF as the local writer sees it at snapshot time:
             // extents are clamped against the same status the dirty-set
@@ -1048,7 +1165,7 @@ impl CacheManager {
                 st.storeback_pages += pages.len() as u64;
             }
             let resp = self.file_rpc(vn.fid.volume, req);
-            lo = vn.lo.lock();
+            lo = vn.lock_lo();
             lo.in_flight -= 1;
             // The local length as of *now* — writes during the RPC
             // flight may have extended the file past what this store
@@ -1191,7 +1308,7 @@ impl CacheManager {
         // stamps are accepted.
         let mut claims: Vec<Token> = Vec::new();
         for vn in &mine {
-            let mut lo = vn.lo.lock();
+            let mut lo = vn.lock_lo();
             claims.append(&mut lo.tokens);
             lo.queued.clear(); // Revocations of dead tokens are moot.
             lo.stamp = SerializationStamp::default();
@@ -1216,7 +1333,7 @@ impl CacheManager {
         self.stats.lock().tokens_reestablished += granted.len() as u64;
         for t in granted {
             let vn = self.vnode(t.fid);
-            vn.lo.lock().tokens.push(t);
+            vn.lock_lo().tokens.push(t);
         }
         // Replay files with dirty pages; revalidate the rest. A vnode
         // whose pages were all acked pre-crash may still carry
@@ -1225,7 +1342,7 @@ impl CacheManager {
         // reply to the last store — so it revalidates like a clean one.
         for vn in &mine {
             let (has_dirty, cached_dv) = {
-                let lo = vn.lo.lock();
+                let lo = vn.lock_lo();
                 (!lo.dirty.is_empty(), lo.status.as_ref().map(|s| s.data_version))
             };
             if has_dirty {
@@ -1233,7 +1350,7 @@ impl CacheManager {
                 // server recovered; push it back out. Pages whose
                 // stores were acked pre-crash are clean here and
                 // durable there; everything else is still dirty.
-                let replayed = vn.lo.lock().dirty.len() as u64;
+                let replayed = vn.lock_lo().dirty.len() as u64;
                 if self.store_back(vn, None).is_ok() {
                     self.stats.lock().recovery_replayed_pages += replayed;
                 }
@@ -1243,7 +1360,7 @@ impl CacheManager {
             let resp = self
                 .file_rpc(vn.fid.volume, Request::FetchStatus { fid: vn.fid, want: None })
                 .and_then(|r| r.into_result());
-            let mut lo = vn.lo.lock();
+            let mut lo = vn.lock_lo();
             match resp {
                 Ok(Response::Status { status, tokens, stamp, .. }) => {
                     let keep = status.data_version == cached_dv;
@@ -1299,11 +1416,77 @@ impl CacheManager {
         }
     }
 
+    /// Attempts to satisfy a read entirely from the published
+    /// [`TokenView`] without taking either vnode lock (§6.1 fast path).
+    ///
+    /// Seqlock protocol: sample `lo_seq` (must be even — odd means a
+    /// `lo` holder is mutating), load the snapshot, validate coverage
+    /// and copy the bytes, then re-check that `lo_seq` is unchanged.
+    /// Publishing happens under the `lo` mutex before the seq returns
+    /// to even, so an unchanged even seq proves the snapshot was
+    /// current for the whole copy. Any surprise — missing page, stale
+    /// seq — returns `None` and the caller falls back to the mutex
+    /// path.
+    fn try_lockfree_read(
+        &self,
+        vn: &CVnode,
+        fid: Fid,
+        offset: u64,
+        len: usize,
+    ) -> Option<Vec<u8>> {
+        let s1 = vn.lo_seq.load(Ordering::SeqCst);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let view = vn.published.load()?;
+        if !tokens_trust_status(&view.tokens) {
+            return None;
+        }
+        let st = view.status.as_ref()?;
+        let end = st.length.min(offset + len as u64);
+        let mut out = Vec::new();
+        if offset < end {
+            let want = ByteRange::new(offset, end);
+            let readable = TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::DATA_WRITE.0);
+            if !tokens_cover(&view.tokens, readable, &want) {
+                return None;
+            }
+            let first = offset / PAGE_SIZE as u64;
+            let last = (end - 1) / PAGE_SIZE as u64;
+            if !(first..=last).all(|p| view.valid.contains(&p)) {
+                return None;
+            }
+            out.reserve((end - offset) as usize);
+            for p in first..=last {
+                // Unlike the locked path, eviction here means bail, not
+                // zero-fill: without the lock we cannot tell a racing
+                // evict from a never-written hole.
+                let page = self.data.read_page(fid, p)?;
+                let ps = p * PAGE_SIZE as u64;
+                let s = offset.max(ps) - ps;
+                let e = (end - ps).min(PAGE_SIZE as u64);
+                out.extend_from_slice(&page[s as usize..e as usize]);
+            }
+        }
+        if vn.lo_seq.load(Ordering::SeqCst) != s1 {
+            return None;
+        }
+        let mut stats = self.stats.lock();
+        stats.local_reads += 1;
+        stats.lockfree_reads += 1;
+        Some(out)
+    }
+
     /// Reads up to `len` bytes at `offset`.
     pub fn read(&self, fid: Fid, offset: u64, len: usize) -> DfsResult<Vec<u8>> {
         let vn = self.vnode(fid);
+        if self.lockfree {
+            if let Some(out) = self.try_lockfree_read(&vn, fid, offset, len) {
+                return Ok(out);
+            }
+        }
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         for round in 0..256u32 {
             // Fast path first, while the low-level lock is still held
             // from the previous round's merge: a freshly-granted token
@@ -1341,7 +1524,7 @@ impl CacheManager {
                 // client can finish its handoff, then re-acquire.
                 drop(lo);
                 self.backoff(fid, round);
-                lo = vn.lo.lock();
+                lo = vn.lock_lo();
             }
             // Miss: fetch a chunk with read tokens, releasing the low
             // lock across the RPC (§6.1), then merge and retry.
@@ -1364,7 +1547,7 @@ impl CacheManager {
                     ),
                 },
             );
-            lo = vn.lo.lock();
+            lo = vn.lock_lo();
             lo.in_flight -= 1;
             let (bytes, status, tokens, stamp) = match resp?.into_result()? {
                 Response::Data { bytes, status, tokens, stamp, .. } => {
@@ -1396,7 +1579,7 @@ impl CacheManager {
     pub fn write(&self, fid: Fid, offset: u64, data: &[u8]) -> DfsResult<FileStatus> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         let want = ByteRange::at(offset, data.len() as u64);
         let needed = TokenTypes(TokenTypes::DATA_WRITE.0 | TokenTypes::STATUS_WRITE.0);
 
@@ -1436,7 +1619,7 @@ impl CacheManager {
                             self.data.write_page(fid, p, &bytes)?;
                         }
                     }
-                    lo = vn.lo.lock();
+                    lo = vn.lock_lo();
                     lo.in_flight -= 1;
                     for p in need_fetch2 {
                         lo.valid.insert(p);
@@ -1492,7 +1675,7 @@ impl CacheManager {
             if round > 4 {
                 drop(lo);
                 self.backoff(fid, round);
-                lo = vn.lo.lock();
+                lo = vn.lock_lo();
             }
             // Acquire data and status tokens in one combined grant over
             // a page-aligned hull so nearby writes stay local; typed
@@ -1517,7 +1700,7 @@ impl CacheManager {
                     },
                 },
             );
-            lo = vn.lo.lock();
+            lo = vn.lock_lo();
             lo.in_flight -= 1;
             match resp?.into_result()? {
                 Response::Status { status, tokens, stamp, .. } => {
@@ -1546,12 +1729,12 @@ impl CacheManager {
         };
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight += 1;
         drop(lo);
         let resp = self
             .file_rpc(fid.volume, Request::GetToken { fid, want: TokenRequest { types, range } });
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result()? {
             Response::Status { status, tokens, stamp, .. } => {
@@ -1566,7 +1749,7 @@ impl CacheManager {
     pub fn fsync(&self, fid: Fid) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let had_dirty = !vn.lo.lock().dirty.is_empty();
+        let had_dirty = !vn.lock_lo().dirty.is_empty();
         self.store_back(&vn, None)?;
         if !had_dirty {
             // Nothing shipped, so no store-back forced the server's
@@ -1584,7 +1767,7 @@ impl CacheManager {
     pub fn lookup(&self, dir: Fid, name: &str) -> DfsResult<FileStatus> {
         let vn = self.vnode(dir);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         if lo.dir_trusted() {
             if let Some(st) = lo.names.get(name) {
                 self.stats.lock().lookup_hits += 1;
@@ -1610,7 +1793,7 @@ impl CacheManager {
                 )),
             },
         );
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result() {
             Ok(Response::Status { status, tokens, stamp, .. }) => {
@@ -1619,7 +1802,7 @@ impl CacheManager {
                 drop(lo);
                 // Seed the child vnode's status too.
                 let child = self.vnode(status.fid);
-                let mut clo = child.lo.lock();
+                let mut clo = child.lock_lo();
                 if !clo.merge_status(status.clone(), stamp) {
                     self.stats.lock().stale_status_dropped += 1;
                 }
@@ -1634,7 +1817,7 @@ impl CacheManager {
     pub fn readdir(&self, dir: Fid) -> DfsResult<Vec<DirEntry>> {
         let vn = self.vnode(dir);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         if lo.dir_trusted() {
             if let Some(l) = &lo.listing {
                 self.stats.lock().lookup_hits += 1;
@@ -1644,7 +1827,7 @@ impl CacheManager {
         lo.in_flight += 1;
         drop(lo);
         let resp = self.file_rpc(dir.volume, Request::Readdir { dir });
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result()? {
             Response::Entries(entries) => {
@@ -1660,11 +1843,11 @@ impl CacheManager {
     fn namespace_rpc(&self, dir: Fid, req: Request) -> DfsResult<FileStatus> {
         let vn = self.vnode(dir);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight += 1;
         drop(lo);
         let resp = self.file_rpc(dir.volume, req);
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result() {
             Ok(Response::Status { status, tokens, stamp, .. }) => {
@@ -1675,7 +1858,7 @@ impl CacheManager {
                 lo.listing = None;
                 drop(lo);
                 let child = self.vnode(status.fid);
-                let mut clo = child.lo.lock();
+                let mut clo = child.lock_lo();
                 clo.merge_status(status.clone(), stamp);
                 Ok(status)
             }
@@ -1690,7 +1873,7 @@ impl CacheManager {
         let st =
             self.namespace_rpc(dir, Request::Create { dir, name: name.into(), mode })?;
         let vn = self.vnode(dir);
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.names.insert(name.to_string(), st.clone());
         Ok(st)
     }
@@ -1699,7 +1882,7 @@ impl CacheManager {
     pub fn mkdir(&self, dir: Fid, name: &str, mode: u16) -> DfsResult<FileStatus> {
         let st = self.namespace_rpc(dir, Request::Mkdir { dir, name: name.into(), mode })?;
         let vn = self.vnode(dir);
-        vn.lo.lock().names.insert(name.to_string(), st.clone());
+        vn.lock_lo().names.insert(name.to_string(), st.clone());
         Ok(st)
     }
 
@@ -1728,10 +1911,10 @@ impl CacheManager {
     pub fn remove(&self, dir: Fid, name: &str) -> DfsResult<()> {
         let st = self.namespace_rpc(dir, Request::Remove { dir, name: name.into() })?;
         let vn = self.vnode(dir);
-        vn.lo.lock().names.remove(name);
+        vn.lock_lo().names.remove(name);
         // Invalidate the victim's cached state.
         let victim = self.vnode(st.fid);
-        let mut vlo = victim.lo.lock();
+        let mut vlo = victim.lock_lo();
         vlo.status = None;
         vlo.valid.clear();
         self.clear_dirty(&mut vlo);
@@ -1743,11 +1926,11 @@ impl CacheManager {
     pub fn rmdir(&self, dir: Fid, name: &str) -> DfsResult<()> {
         let vn = self.vnode(dir);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight += 1;
         drop(lo);
         let resp = self.file_rpc(dir.volume, Request::Rmdir { dir, name: name.into() });
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         resp?.into_result()?;
         lo.names.remove(name);
@@ -1775,7 +1958,7 @@ impl CacheManager {
         .into_result()?;
         for (d, n) in [(src_dir, src_name), (dst_dir, dst_name)] {
             let vn = self.vnode(d);
-            let mut lo = vn.lo.lock();
+            let mut lo = vn.lock_lo();
             lo.names.remove(n);
             lo.listing = None;
         }
@@ -1785,8 +1968,28 @@ impl CacheManager {
     /// Returns the file's status, from cache when the token allows.
     pub fn getattr(&self, fid: Fid) -> DfsResult<FileStatus> {
         let vn = self.vnode(fid);
+        if self.lockfree {
+            // Same seqlock dance as `try_lockfree_read`, but only the
+            // status needs validating — no pages to copy.
+            let s1 = vn.lo_seq.load(Ordering::SeqCst);
+            if s1 & 1 == 0 {
+                if let Some(view) = vn.published.load() {
+                    if let Some(st) = view.status.as_ref() {
+                        if tokens_trust_status(&view.tokens)
+                            && vn.lo_seq.load(Ordering::SeqCst) == s1
+                        {
+                            let st = st.clone();
+                            let mut stats = self.stats.lock();
+                            stats.local_reads += 1;
+                            stats.lockfree_reads += 1;
+                            return Ok(st);
+                        }
+                    }
+                }
+            }
+        }
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         if lo.status_trusted() {
             self.stats.lock().local_reads += 1;
             return Ok(lo.status.clone().expect("trusted implies present"));
@@ -1797,7 +2000,7 @@ impl CacheManager {
             fid.volume,
             Request::FetchStatus { fid, want: TokenRequest::whole(TokenTypes::STATUS_READ) },
         );
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result()? {
             Response::Status { status, tokens, stamp, .. } => {
@@ -1814,12 +2017,12 @@ impl CacheManager {
         let _hi = vn.hi.lock();
         // Push dirty data first so truncation happens after our writes.
         self.store_back(&vn, None)?;
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight += 1;
         drop(lo);
         let resp =
             self.file_rpc(fid.volume, Request::StoreStatus { fid, attrs: attrs.clone() });
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result()? {
             Response::Status { status, tokens, stamp, .. } => {
@@ -1860,7 +2063,7 @@ impl CacheManager {
     pub fn open(&self, fid: Fid, mode: OpenMode) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         let tok = mode.token();
         if !lo.has_types(tok) {
             lo.in_flight += 1;
@@ -1872,7 +2075,7 @@ impl CacheManager {
                     want: TokenRequest { types: tok, range: ByteRange::WHOLE },
                 },
             );
-            lo = vn.lo.lock();
+            lo = vn.lock_lo();
             lo.in_flight -= 1;
             match resp?.into_result()? {
                 Response::Status { status, tokens, stamp, .. } => {
@@ -1892,7 +2095,7 @@ impl CacheManager {
         let _hi = vn.hi.lock();
         let tok = mode.token();
         {
-            let mut lo = vn.lo.lock();
+            let mut lo = vn.lock_lo();
             if let Some(i) = lo.opens.iter().position(|t| *t == tok) {
                 lo.opens.remove(i);
             }
@@ -1904,7 +2107,7 @@ impl CacheManager {
     pub fn lock(&self, fid: Fid, range: ByteRange, write: bool) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         let needed = if write { TokenTypes::LOCK_WRITE } else { TokenTypes::LOCK_READ };
         if lo.find_token(needed, &range).is_some() {
             // Local conflict check among our own lockers.
@@ -1917,7 +2120,7 @@ impl CacheManager {
         lo.in_flight += 1;
         drop(lo);
         let resp = self.file_rpc(fid.volume, Request::SetLock { fid, range, write });
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         resp?.into_result()?;
         lo.locks.push(HeldLock { range, write, local: false });
@@ -1929,12 +2132,12 @@ impl CacheManager {
         let types = if write { TokenTypes::LOCK_WRITE } else { TokenTypes::LOCK_READ };
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight += 1;
         drop(lo);
         let resp = self
             .file_rpc(fid.volume, Request::GetToken { fid, want: TokenRequest { types, range } });
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result()? {
             Response::Status { status, tokens, stamp, .. } => {
@@ -1949,7 +2152,7 @@ impl CacheManager {
     pub fn unlock(&self, fid: Fid, range: ByteRange) -> DfsResult<()> {
         let vn = self.vnode(fid);
         let _hi = vn.hi.lock();
-        let mut lo = vn.lo.lock();
+        let mut lo = vn.lock_lo();
         let mut was_remote = false;
         lo.locks.retain(|l| {
             if l.range.overlaps(&range) {
@@ -1963,7 +2166,7 @@ impl CacheManager {
             lo.in_flight += 1;
             drop(lo);
             let resp = self.file_rpc(fid.volume, Request::ReleaseLock { fid, range });
-            let mut lo2 = vn.lo.lock();
+            let mut lo2 = vn.lock_lo();
             lo2.in_flight -= 1;
             resp?.into_result()?;
         }
@@ -1972,12 +2175,12 @@ impl CacheManager {
 
     /// Returns tokens currently held on a fid (diagnostics/tests).
     pub fn held_tokens(&self, fid: Fid) -> Vec<Token> {
-        self.vnode(fid).lo.lock().tokens.clone()
+        self.vnode(fid).lock_lo().tokens.clone()
     }
 
     /// Returns the number of dirty (unstored) pages for a fid.
     pub fn dirty_pages(&self, fid: Fid) -> usize {
-        self.vnode(fid).lo.lock().dirty.len()
+        self.vnode(fid).lock_lo().dirty.len()
     }
 
     /// Client-wide count of dirty (unstored) pages, O(1).
@@ -1987,35 +2190,55 @@ impl CacheManager {
 
 }
 
+impl CacheManager {
+    /// Handles one incoming revocation — shared by the single-token
+    /// `RevokeToken` arm and the batched `RevokeVec` fan-out. Returns
+    /// whether the token was returned.
+    fn handle_revocation(&self, token: Token, types: TokenTypes, stamp: SerializationStamp) -> bool {
+        self.stats.lock().revocations += 1;
+        let vn = {
+            let vnodes = self.vnodes.lock();
+            vnodes.get(&token.fid).cloned()
+        };
+        let Some(vn) = vn else {
+            return true;
+        };
+        // Revocations take ONLY the low-level lock (§6.1): the
+        // high-level lock may be held by one of our own
+        // operations blocked on this very server.
+        let mut lo = vn.lock_lo();
+        let known = lo.tokens.iter().any(|t| t.id == token.id);
+        if !known {
+            if lo.in_flight > 0 {
+                // §6.3: the call that returns this token is still
+                // in flight; queue the revocation for processing
+                // when the reply arrives.
+                lo.queued.push((token, types, stamp));
+                self.stats.lock().queued_revocations += 1;
+            }
+            return true;
+        }
+        self.apply_revocation(&vn, &mut lo, &token, types, stamp)
+    }
+}
+
 impl RpcService for CacheManager {
     fn dispatch(&self, _ctx: CallContext, req: Request) -> Response {
         match req {
             Request::RevokeToken { token, types, stamp } => {
-                self.stats.lock().revocations += 1;
-                let vn = {
-                    let vnodes = self.vnodes.lock();
-                    vnodes.get(&token.fid).cloned()
-                };
-                let Some(vn) = vn else {
-                    return Response::RevokeAck { returned: true };
-                };
-                // Revocations take ONLY the low-level lock (§6.1): the
-                // high-level lock may be held by one of our own
-                // operations blocked on this very server.
-                let mut lo = vn.lo.lock();
-                let known = lo.tokens.iter().any(|t| t.id == token.id);
-                if !known {
-                    if lo.in_flight > 0 {
-                        // §6.3: the call that returns this token is still
-                        // in flight; queue the revocation for processing
-                        // when the reply arrives.
-                        lo.queued.push((token, types, stamp));
-                        self.stats.lock().queued_revocations += 1;
-                    }
-                    return Response::RevokeAck { returned: true };
-                }
-                let returned = self.apply_revocation(&vn, &mut lo, &token, types, stamp);
+                let returned = self.handle_revocation(token, types, stamp);
                 Response::RevokeAck { returned }
+            }
+            Request::RevokeVec { items } => {
+                // Fan a batched revocation out to the per-fid handler;
+                // the single ack answers every item, in order. Each
+                // item takes (and releases) its own vnode's lo lock —
+                // a batch may span many files.
+                let returned = items
+                    .into_iter()
+                    .map(|(token, types, stamp)| self.handle_revocation(token, types, stamp))
+                    .collect();
+                Response::RevokeVecAck { returned }
             }
             Request::Ping => Response::Ok,
             _ => Response::Err(DfsError::InvalidArgument),
@@ -2114,6 +2337,61 @@ mod tests {
         assert!(loc.map.len() <= LOCATION_CACHE_CAP);
         assert!(loc.map.contains_key(&VolumeId(7)), "no stale dup got it evicted early");
         drop(loc);
+        let _ = cm.shutdown();
+    }
+
+    #[test]
+    fn queued_revocation_survives_unrelated_absorb_while_reply_in_flight() {
+        use crate::cache::MemCache;
+        use dfs_types::{ClientId, SimClock};
+
+        let net = Network::new(SimClock::new(), 0);
+        let cm = CacheManager::start(net, ClientId(1), Vec::new(), Arc::new(MemCache::new()));
+        let fid = Fid::new(VolumeId(1), VnodeId(1), 1);
+        let vn = cm.vnode(fid);
+        let t = tok(
+            42,
+            TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::STATUS_READ.0),
+            ByteRange::WHOLE,
+        );
+
+        // A revocation arrives for a token whose granting reply is still
+        // in flight (§6.3): it parks in the queue. Two RPCs are out —
+        // say a FetchData and a flusher store-back.
+        {
+            let mut lo = vn.lock_lo();
+            lo.in_flight = 2;
+            lo.queued.push((t.clone(), t.types, SerializationStamp(7)));
+        }
+        // The unrelated reply (no tokens) merges first: the queued
+        // revocation must survive this drain — its token is airborne.
+        {
+            let mut lo = vn.lock_lo();
+            lo.in_flight -= 1;
+            cm.absorb(&vn, &mut lo, None, Vec::new());
+            assert_eq!(lo.queued.len(), 1, "revocation of an in-flight token must stay queued");
+        }
+        // The granting reply lands: the token installs and the parked
+        // revocation strips it in the same merge.
+        {
+            let mut lo = vn.lock_lo();
+            lo.in_flight -= 1;
+            cm.absorb(&vn, &mut lo, None, vec![t.clone()]);
+            assert!(lo.queued.is_empty());
+            assert!(lo.tokens.is_empty(), "token must not survive its queued revocation");
+        }
+        // A revocation whose token never arrives is dropped once nothing
+        // is in flight any more (returned voluntarily — genuinely moot).
+        {
+            let mut lo = vn.lock_lo();
+            lo.queued.push((
+                tok(43, TokenTypes::DATA_READ, ByteRange::WHOLE),
+                TokenTypes::DATA_READ,
+                SerializationStamp(9),
+            ));
+            cm.absorb(&vn, &mut lo, None, Vec::new());
+            assert!(lo.queued.is_empty(), "moot revocation dropped when nothing is in flight");
+        }
         let _ = cm.shutdown();
     }
 

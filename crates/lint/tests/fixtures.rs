@@ -48,13 +48,31 @@ fn rank_inversion_fixture_reports_descending_acquisition() {
 }
 
 #[test]
-fn guard_across_revoke_fixture_flags_only_the_bad_path() {
+fn guard_across_revoke_fixture_flags_only_the_bad_paths() {
     assert_eq!(
         lint("guard_across_revoke"),
         vec![
             "alpha/src/lib.rs:13: [guard-across-revoke] guard on `inner` (line 12) held \
              across TokenHost::revoke; §5.1/§6.4 require revocation to be issued with no \
              locks held",
+            "alpha/src/lib.rs:28: [guard-across-revoke] guard on `inner` (line 27) held \
+             across TokenHost::revoke_batch; §5.1/§6.4 require revocation to be issued with \
+             no locks held",
+        ]
+    );
+}
+
+#[test]
+fn shard_order_fixture_flags_descending_and_overlapping_shards() {
+    assert_eq!(
+        lint("shard_order"),
+        vec![
+            "alpha/src/lib.rs:15: [shard-order] acquiring shard 0 of `shards` while shard 1 \
+             (line 14) is held; same-field shards must be acquired in strictly ascending \
+             index order",
+            "alpha/src/lib.rs:27: [shard-order] acquiring `shards#0` while `shards#*` \
+             (line 26) holds every shard; a lock_all guard must never overlap another \
+             acquisition of the same sharded lock (self-deadlock)",
         ]
     );
 }
@@ -153,7 +171,8 @@ fn unused_allow_fixture_flags_stale_and_unknown_suppressions() {
              nothing here; remove the stale annotation",
             "alpha/src/lib.rs:17: [unused-allow] `dfs-lint: allow(guard-accross-rpc)` names \
              an unknown rule; known rules are lock-order, guard-across-revoke, \
-             guard-across-rpc, double-lock, std-sync, lockset, lock-gap, unused-allow",
+             guard-across-rpc, double-lock, std-sync, lockset, lock-gap, shard-order, \
+             unused-allow",
         ]
     );
 }

@@ -22,4 +22,19 @@ impl Mgr {
         h.revoke(v);
         v
     }
+
+    pub fn bad_batch(&self, h: &dyn Host) -> u32 {
+        let g = self.inner.lock();
+        h.revoke_batch(*g);
+        *g
+    }
+
+    pub fn good_batch(&self, h: &dyn Host) -> u32 {
+        let v = {
+            let g = self.inner.lock();
+            *g
+        };
+        h.revoke_batch(v);
+        v
+    }
 }

@@ -1,0 +1,36 @@
+//! Shard-order fixture: same-field shard guards must nest in strictly
+//! ascending index order, and a `lock_all` guard may never overlap any
+//! other acquisition of the same sharded lock. Computed indices are the
+//! runtime enforcer's department and stay clean here.
+
+use dfs_types::lock::OrderedShardedMutex;
+
+pub struct S {
+    shards: OrderedShardedMutex<u32, 122>,
+}
+
+impl S {
+    pub fn descending(&self) -> u32 {
+        let g = self.shards.lock(1);
+        let h = self.shards.lock(0);
+        *g + *h
+    }
+
+    pub fn ascending_is_fine(&self) -> u32 {
+        let g = self.shards.lock(0);
+        let h = self.shards.lock(1);
+        *g + *h
+    }
+
+    pub fn all_then_one(&self) -> u32 {
+        let g = self.shards.lock_all();
+        let h = self.shards.lock(0);
+        *h + g.len() as u32
+    }
+
+    pub fn dynamic_is_runtime_checked(&self, lo: usize, hi: usize) -> u32 {
+        let g = self.shards.lock(lo);
+        let h = self.shards.lock(hi);
+        *g + *h
+    }
+}

@@ -187,6 +187,12 @@ pub enum Request {
     /// Revoke the given type bits of a token; the client must store
     /// dirty data/status covered by those bits first.
     RevokeToken { token: Token, types: TokenTypes, stamp: SerializationStamp },
+    /// Revoke several tokens in one callback: every same-host
+    /// revocation produced by one conflict check, batched the way
+    /// `StoreDataVec` batches store-backs. Each item carries the token,
+    /// the type bits to give up, and the revocation's serialization
+    /// stamp; the peer answers each item exactly once, in order.
+    RevokeVec { items: Vec<(Token, TokenTypes, SerializationStamp)> },
     /// Liveness probe.
     Ping,
 }
@@ -237,6 +243,11 @@ pub enum Response {
     Volumes(Vec<VolumeInfo>),
     /// Client's answer to a revocation: true = returned, false = kept.
     RevokeAck { returned: bool },
+    /// Per-token answers to a `RevokeVec`, in request order: true =
+    /// returned, false = kept. A vector shorter than the request leaves
+    /// the tail unacknowledged — the server counts those tokens as
+    /// returned and its retry round re-revokes any that survive.
+    RevokeVecAck { returned: Vec<bool> },
     /// Tokens actually re-granted by a `ReestablishTokens` call (fresh
     /// token ids; same fid/types/range as the claims that survived the
     /// conflict check).
@@ -298,6 +309,7 @@ impl Request {
             Request::ReestablishTokens { .. } => "ReestablishTokens",
             Request::GetEpoch => "GetEpoch",
             Request::RevokeToken { .. } => "RevokeToken",
+            Request::RevokeVec { .. } => "RevokeVec",
             Request::Ping => "Ping",
         }
     }
@@ -330,6 +342,8 @@ impl Request {
             Request::VolInstallTokens { grants, stamps, .. } => {
                 44 * grants.len() as u64 + 24 * stamps.len() as u64
             }
+            // Each batched revocation: token (40) + types (4) + stamp (8).
+            Request::RevokeVec { items } => 52 * items.len() as u64,
             _ => 0,
         }
     }
@@ -354,6 +368,8 @@ impl Response {
             // hint server id + generation.
             Response::WrongServer { .. } => 12,
             Response::Reestablished { tokens, .. } => 40 * tokens.len() as u64,
+            // One answer byte per batched revocation.
+            Response::RevokeVecAck { returned } => returned.len() as u64,
             _ => 0,
         }
     }
@@ -380,6 +396,37 @@ mod tests {
             data: vec![0; 10_000],
         };
         assert!(big.wire_size() > small.wire_size() + 9_000);
+    }
+
+    #[test]
+    fn revoke_vec_wire_size_counts_every_item() {
+        let item = |vnode: u32| {
+            (
+                Token {
+                    id: TokenId(vnode as u64),
+                    fid: Fid::default(),
+                    types: TokenTypes::DATA_WRITE,
+                    range: ByteRange::WHOLE,
+                },
+                TokenTypes::DATA_WRITE,
+                SerializationStamp(1),
+            )
+        };
+        let req = Request::RevokeVec { items: vec![item(1), item(2), item(3)] };
+        // Header (64) + 52 per item (token 40 + types 4 + stamp 8).
+        assert_eq!(req.wire_size(), 64 + 3 * 52);
+        assert_eq!(req.label(), "RevokeVec");
+        // A batch of N costs far less than N single revocations: each
+        // RevokeToken pays the full 64-byte header again.
+        let single = Request::RevokeToken {
+            token: item(1).0,
+            types: TokenTypes::DATA_WRITE,
+            stamp: SerializationStamp(1),
+        };
+        assert!(req.wire_size() < 3 * single.wire_size() + 3 * 52);
+        // Acks answer one byte per token over the response header.
+        let ack = Response::RevokeVecAck { returned: vec![true, false, true] };
+        assert_eq!(ack.wire_size(), 48 + 3);
     }
 
     #[test]

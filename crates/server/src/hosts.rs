@@ -6,8 +6,8 @@
 //! have all been delivered.
 
 use dfs_rpc::{Addr, CallClass, Network, Request, Response};
-use dfs_token::{RevokeResult, Token, TokenHost, TokenTypes};
-use dfs_types::lock::{rank, OrderedMutex};
+use dfs_token::{shards_from_env, RevokeItem, RevokeResult, Token, TokenHost, TokenTypes};
+use dfs_types::lock::{rank, OrderedShardedMutex};
 use dfs_types::{ClientId, HostId, SerializationStamp, Timestamp};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,8 +33,15 @@ pub struct HostRecord {
 pub const DEFAULT_LEASE_US: u64 = 60_000_000;
 
 /// The server's registry of known clients.
+///
+/// Client-id-hash sharded at rank [`rank::HOST_SHARD`], mirroring the
+/// token manager's fid-hash shards: bookkeeping for calls and
+/// revocations on disjoint clients never contends. Per-client
+/// operations touch exactly one shard; registry-wide queries (lease
+/// scans, snapshots) visit the shards one at a time — they are
+/// monitoring reads and need no cross-shard atomicity.
 pub struct HostModel {
-    records: OrderedMutex<HashMap<ClientId, HostRecord>, { rank::HOST_TABLE }>,
+    records: OrderedShardedMutex<HashMap<ClientId, HostRecord>, { rank::HOST_SHARD }>,
     /// A client whose `last_seen` is older than this is lease-expired:
     /// it no longer blocks revocation quiescence or pins a post-restart
     /// grace window.
@@ -54,9 +61,22 @@ impl HostModel {
     }
 
     /// Creates an empty host model with an explicit lease (µs of
-    /// simulated time).
+    /// simulated time) and the environment-selected shard count
+    /// (`DFS_TOKEN_SHARDS` — one knob sizes both sharded tables).
     pub fn with_lease(lease_us: u64) -> HostModel {
-        HostModel { records: OrderedMutex::new(HashMap::new()), lease_us }
+        HostModel {
+            records: OrderedShardedMutex::new(shards_from_env(), HashMap::new),
+            lease_us,
+        }
+    }
+
+    /// The shard holding `client`'s record.
+    fn shard_of(&self, client: ClientId) -> usize {
+        let n = self.records.shard_count();
+        if n <= 1 {
+            return 0;
+        }
+        ((u64::from(client.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % n
     }
 
     /// The configured lease in microseconds.
@@ -67,28 +87,35 @@ impl HostModel {
     /// True if `client` is known and inside its lease at `now`.
     pub fn lease_live(&self, client: ClientId, now: Timestamp) -> bool {
         self.records
-            .lock()
+            .lock(self.shard_of(client))
             .get(&client)
             .is_some_and(|r| now.0.saturating_sub(r.last_seen.0) <= self.lease_us)
     }
 
     /// Known clients still inside their lease at `now`.
     pub fn live_clients(&self, now: Timestamp) -> Vec<ClientId> {
-        self.records
-            .lock()
-            .iter()
-            .filter(|(_, r)| now.0.saturating_sub(r.last_seen.0) <= self.lease_us)
-            .map(|(c, _)| *c)
-            .collect()
+        let mut out = Vec::new();
+        for i in 0..self.records.shard_count() {
+            out.extend(
+                self.records
+                    .lock(i)
+                    .iter()
+                    .filter(|(_, r)| now.0.saturating_sub(r.last_seen.0) <= self.lease_us)
+                    .map(|(c, _)| *c),
+            );
+        }
+        out
     }
 
     /// True if every revocation sent to every *lease-live* client was
     /// acknowledged. A crashed client with outstanding revocations
     /// blocks this only until its lease runs out.
     pub fn revocations_all_acked(&self, now: Timestamp) -> bool {
-        self.records.lock().iter().all(|(_, r)| {
-            r.revocations_sent == r.revocations_acked
-                || now.0.saturating_sub(r.last_seen.0) > self.lease_us
+        (0..self.records.shard_count()).all(|i| {
+            self.records.lock(i).iter().all(|(_, r)| {
+                r.revocations_sent == r.revocations_acked
+                    || now.0.saturating_sub(r.last_seen.0) > self.lease_us
+            })
         })
     }
 
@@ -96,14 +123,18 @@ impl HostModel {
     /// the handoff a restarting server uses as its expected-host set
     /// (standing in for a durably-stored host table).
     pub fn snapshot(&self) -> Vec<(ClientId, Timestamp)> {
-        self.records.lock().iter().map(|(c, r)| (*c, r.last_seen)).collect()
+        let mut out = Vec::new();
+        for i in 0..self.records.shard_count() {
+            out.extend(self.records.lock(i).iter().map(|(c, r)| (*c, r.last_seen)));
+        }
+        out
     }
 
     /// Seeds a record without counting a call — used by a restarting
     /// server to carry the previous instance's last-seen times forward
     /// so lease expiry applies to hosts that never reconnect.
     pub fn seed(&self, client: ClientId, last_seen: Timestamp) {
-        let mut recs = self.records.lock();
+        let mut recs = self.records.lock(self.shard_of(client));
         let r = recs.entry(client).or_default();
         if last_seen > r.last_seen {
             r.last_seen = last_seen;
@@ -112,7 +143,7 @@ impl HostModel {
 
     /// Notes an incoming call from `client`.
     pub fn saw_call(&self, client: ClientId, principal: Option<u32>, now: Timestamp) {
-        let mut recs = self.records.lock();
+        let mut recs = self.records.lock(self.shard_of(client));
         let r = recs.entry(client).or_default();
         r.calls += 1;
         if principal.is_some() {
@@ -123,7 +154,7 @@ impl HostModel {
 
     /// Notes a revocation sent to / acknowledged by `client`.
     pub fn saw_revocation(&self, client: ClientId, acked: bool) {
-        let mut recs = self.records.lock();
+        let mut recs = self.records.lock(self.shard_of(client));
         let r = recs.entry(client).or_default();
         r.revocations_sent += 1;
         if acked {
@@ -133,18 +164,22 @@ impl HostModel {
 
     /// Returns true if every revocation sent to `client` was delivered.
     pub fn revocations_quiesced(&self, client: ClientId) -> bool {
-        let recs = self.records.lock();
+        let recs = self.records.lock(self.shard_of(client));
         recs.get(&client).is_none_or(|r| r.revocations_sent == r.revocations_acked)
     }
 
     /// Returns a snapshot of one client's record.
     pub fn record(&self, client: ClientId) -> Option<HostRecord> {
-        self.records.lock().get(&client).cloned()
+        self.records.lock(self.shard_of(client)).get(&client).cloned()
     }
 
     /// Lists all known clients.
     pub fn clients(&self) -> Vec<ClientId> {
-        self.records.lock().keys().copied().collect()
+        let mut out = Vec::new();
+        for i in 0..self.records.shard_count() {
+            out.extend(self.records.lock(i).keys().copied());
+        }
+        out
     }
 }
 
@@ -157,6 +192,14 @@ pub struct RemoteHost {
     peer: Addr,
     host_id: HostId,
     model: Arc<HostModel>,
+    /// Ship multi-token revocations as one `RevokeVec` RPC. On by
+    /// default; `DFS_NO_REVOKE_BATCH=1` falls back to per-token
+    /// `RevokeToken` round trips (the ablation baseline).
+    batch: bool,
+}
+
+fn batching_enabled() -> bool {
+    std::env::var("DFS_NO_REVOKE_BATCH").map_or(true, |v| v != "1")
 }
 
 impl RemoteHost {
@@ -173,6 +216,7 @@ impl RemoteHost {
             peer: Addr::Client(client),
             host_id: HostId::Client(client),
             model,
+            batch: batching_enabled(),
         })
     }
 
@@ -189,7 +233,15 @@ impl RemoteHost {
             peer: Addr::Server(server),
             host_id: HostId::Replicator(server.0),
             model,
+            batch: batching_enabled(),
         })
+    }
+
+    fn client_id(&self) -> Option<ClientId> {
+        match self.peer {
+            Addr::Client(c) => Some(c),
+            _ => None,
+        }
     }
 }
 
@@ -213,10 +265,7 @@ impl TokenHost for RemoteHost {
             CallClass::Revocation,
             Request::RevokeToken { token: token.clone(), types, stamp },
         );
-        let client = match self.peer {
-            Addr::Client(c) => Some(c),
-            _ => None,
-        };
+        let client = self.client_id();
         match resp {
             Ok(Response::RevokeAck { returned }) => {
                 if let Some(c) = client {
@@ -235,6 +284,70 @@ impl TokenHost for RemoteHost {
                     self.model.saw_revocation(c, false);
                 }
                 RevokeResult::Returned
+            }
+        }
+    }
+
+    fn revoke_batch(&self, items: &[RevokeItem]) -> Vec<RevokeResult> {
+        // A single token needs no vec framing (wire compatibility with
+        // peers that predate `RevokeVec`), and the ablation knob drops
+        // to per-token round trips entirely.
+        if items.len() <= 1 || !self.batch {
+            return items
+                .iter()
+                .map(|i| self.revoke(&i.token, i.types, i.stamp))
+                .collect();
+        }
+        let resp = self.net.call(
+            self.server_addr,
+            self.peer,
+            None,
+            CallClass::Revocation,
+            Request::RevokeVec {
+                items: items
+                    .iter()
+                    .map(|i| (i.token.clone(), i.types, i.stamp))
+                    .collect(),
+            },
+        );
+        let client = self.client_id();
+        match resp {
+            Ok(Response::RevokeVecAck { returned }) => items
+                .iter()
+                .enumerate()
+                .map(|(i, _)| match returned.get(i) {
+                    // Every token in the batch is accounted exactly
+                    // once: answered entries count as acked, entries
+                    // missing from a short ack count as sent-unacked
+                    // and are treated as returned (the retry round
+                    // re-revokes any that actually survive).
+                    Some(&r) => {
+                        if let Some(c) = client {
+                            self.model.saw_revocation(c, true);
+                        }
+                        if r {
+                            RevokeResult::Returned
+                        } else {
+                            RevokeResult::Retained
+                        }
+                    }
+                    None => {
+                        if let Some(c) = client {
+                            self.model.saw_revocation(c, false);
+                        }
+                        RevokeResult::Returned
+                    }
+                })
+                .collect(),
+            _ => {
+                // Unreachable peer: all tokens treated as returned,
+                // each counted as an unacked revocation.
+                if let Some(c) = client {
+                    for _ in items {
+                        self.model.saw_revocation(c, false);
+                    }
+                }
+                vec![RevokeResult::Returned; items.len()]
             }
         }
     }
@@ -298,5 +411,113 @@ mod tests {
         m.saw_call(ClientId(3), Some(7), Timestamp(42));
         let snap = m.snapshot();
         assert_eq!(snap, vec![(ClientId(3), Timestamp(42))]);
+    }
+
+    #[test]
+    fn sharded_model_sees_every_client_across_shards() {
+        let m = HostModel::new();
+        for n in 0..32 {
+            m.saw_call(ClientId(n), None, Timestamp(10 + u64::from(n)));
+        }
+        let mut clients = m.clients();
+        clients.sort_by_key(|c| c.0);
+        assert_eq!(clients.len(), 32, "iteration spans every shard");
+        assert_eq!(m.live_clients(Timestamp(50)).len(), 32);
+        assert_eq!(m.snapshot().len(), 32);
+        for n in 0..32 {
+            assert_eq!(m.record(ClientId(n)).unwrap().last_seen, Timestamp(10 + u64::from(n)));
+        }
+        m.saw_revocation(ClientId(7), false);
+        assert!(!m.revocations_all_acked(Timestamp(50)), "any shard's debt blocks");
+    }
+
+    use dfs_rpc::{CallContext, PoolConfig, RpcService};
+    use dfs_token::TokenId;
+    use dfs_types::{ByteRange, Fid, ServerId, SimClock, VnodeId, VolumeId};
+    use parking_lot::Mutex;
+
+    /// Peer service answering `RevokeVec` with a scripted ack vector,
+    /// recording what arrived.
+    struct ScriptedPeer {
+        acks: Vec<bool>,
+        seen: Mutex<Vec<usize>>,
+    }
+
+    impl RpcService for ScriptedPeer {
+        fn dispatch(&self, _ctx: CallContext, req: Request) -> Response {
+            match req {
+                Request::RevokeVec { items } => {
+                    self.seen.lock().push(items.len());
+                    Response::RevokeVecAck { returned: self.acks.clone() }
+                }
+                Request::RevokeToken { .. } => {
+                    self.seen.lock().push(1);
+                    Response::RevokeAck { returned: true }
+                }
+                _ => Response::Err(dfs_types::DfsError::InvalidArgument),
+            }
+        }
+    }
+
+    fn batch_items(n: u64) -> Vec<RevokeItem> {
+        (1..=n)
+            .map(|i| RevokeItem {
+                token: Token {
+                    id: TokenId(i),
+                    fid: Fid::new(VolumeId(1), VnodeId(i as u32), 1),
+                    types: TokenTypes::DATA_WRITE,
+                    range: ByteRange::WHOLE,
+                },
+                types: TokenTypes::DATA_WRITE,
+                stamp: SerializationStamp(i),
+            })
+            .collect()
+    }
+
+    fn remote_host_with_peer(acks: Vec<bool>) -> (Arc<RemoteHost>, Arc<ScriptedPeer>, Arc<HostModel>) {
+        let net = Network::new(SimClock::new(), 0);
+        let peer = Arc::new(ScriptedPeer { acks, seen: Mutex::new(Vec::new()) });
+        net.register(Addr::Client(ClientId(1)), peer.clone(), PoolConfig::default());
+        let model = Arc::new(HostModel::new());
+        let host = RemoteHost::client(net, Addr::Server(ServerId(1)), ClientId(1), model.clone());
+        (host, peer, model)
+    }
+
+    #[test]
+    fn batched_revoke_acks_every_token_exactly_once_mixed() {
+        let (host, peer, model) = remote_host_with_peer(vec![true, false, true]);
+        let results = host.revoke_batch(&batch_items(3));
+        assert_eq!(
+            results,
+            vec![RevokeResult::Returned, RevokeResult::Retained, RevokeResult::Returned],
+            "per-token answers preserved in order"
+        );
+        assert_eq!(*peer.seen.lock(), vec![3], "one RPC carried the whole batch");
+        let rec = model.record(ClientId(1)).unwrap();
+        assert_eq!(rec.revocations_sent, 3, "each token counted once");
+        assert_eq!(rec.revocations_acked, 3);
+        assert!(model.revocations_quiesced(ClientId(1)));
+    }
+
+    #[test]
+    fn short_ack_counts_tail_as_sent_but_unacked() {
+        let (host, _peer, model) = remote_host_with_peer(vec![true]);
+        let results = host.revoke_batch(&batch_items(3));
+        assert_eq!(results, vec![RevokeResult::Returned; 3], "missing answers treated as returned");
+        let rec = model.record(ClientId(1)).unwrap();
+        assert_eq!(rec.revocations_sent, 3);
+        assert_eq!(rec.revocations_acked, 1, "unanswered tokens stay unacked");
+        assert!(!model.revocations_quiesced(ClientId(1)));
+    }
+
+    #[test]
+    fn single_item_batch_uses_plain_revoke_token() {
+        let (host, peer, model) = remote_host_with_peer(vec![]);
+        let results = host.revoke_batch(&batch_items(1));
+        assert_eq!(results, vec![RevokeResult::Returned]);
+        assert_eq!(*peer.seen.lock(), vec![1], "no vec framing for one token");
+        let rec = model.record(ClientId(1)).unwrap();
+        assert_eq!(rec.revocations_sent, 1);
+        assert_eq!(rec.revocations_acked, 1);
     }
 }

@@ -1146,6 +1146,25 @@ impl FileServer {
                 Ok(P::RevokeAck { returned: true })
             }
 
+            Q::RevokeVec { items } => {
+                // Batched twin of RevokeToken: mark each token's volume
+                // replica dirty and return every token, one answer per
+                // item in request order.
+                let mut jobs = self.repl.lock();
+                let returned = items
+                    .iter()
+                    .map(|(token, _types, _stamp)| {
+                        if let Some(j) =
+                            jobs.iter_mut().find(|j| j.volume == token.fid.volume)
+                        {
+                            j.dirty = true;
+                        }
+                        true
+                    })
+                    .collect();
+                Ok(P::RevokeVecAck { returned })
+            }
+
             Q::Login { .. } | Q::VlLookup { .. } | Q::VlRegister { .. }
             | Q::VlUnregister { .. } | Q::VlList => Err(DfsError::InvalidArgument),
         }

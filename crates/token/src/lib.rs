@@ -7,25 +7,79 @@
 //! Hosts (remote cache managers, the local glue layer, replication
 //! servers) register with a *virtual revoke procedure* (§5.1): when a
 //! new grant conflicts with tokens held by other hosts, the manager
-//! calls each conflicting host's [`TokenHost::revoke`] — outside its own
-//! locks, because a revocation may trigger RPCs that call back into the
-//! server (§6.4) — and waits for the token to be returned.
+//! calls each conflicting host's [`TokenHost::revoke_batch`] — outside
+//! its own locks, because a revocation may trigger RPCs that call back
+//! into the server (§6.4) — and waits for the tokens to be returned.
+//! All of one host's revocations arising from a single conflict check
+//! travel in one batched callback, mirroring the write-behind
+//! `StoreDataVec` pattern in the revoke direction.
 //!
 //! The manager also issues the per-file **serialization stamps** of
 //! §6.2: every reference to a file gets a stamp, strictly increasing in
 //! the server's serialization order, which clients use to merge
 //! concurrently-returned status information correctly.
+//!
+//! # Shard topology
+//!
+//! The grant and stamp tables are split into N fid-hash shards (default
+//! [`DEFAULT_TOKEN_SHARDS`], overridable via `DFS_TOKEN_SHARDS`), each
+//! behind its own mutex at rank [`rank::TOKEN_SHARD`], so grants and
+//! revocations on files that hash to different shards never contend.
+//! A file's grants, its stamps, and its volume's whole-volume (vnode-0)
+//! grants each live in exactly one shard, determined by
+//! [`shard_index`] over `(volume, vnode)` — `uniq` is excluded so every
+//! incarnation of a vnode shares a shard with its grant table entry.
+//!
+//! Single-file operations take at most two shards: the file's own and
+//! the one holding its volume's vnode-0 grants (whole-volume tokens
+//! conflict with every file token, §3.8). Whole-volume operations —
+//! volume-token grants, `export_volume`, `drop_volume` — take every
+//! shard. Whenever more than one shard is held, shards are acquired in
+//! ascending index order; the rank enforcer checks this in debug builds
+//! (same-rank nesting is legal only with strictly increasing shard
+//! indices). The host registry sits below the shards at rank
+//! [`rank::TOKEN_MANAGER`] and is never held across a shard
+//! acquisition or a revocation callback.
 
 pub mod types;
 
 pub use types::{compatible, conflict_bits, open_compatible, render_open_matrix, Token, TokenId, TokenTypes};
 
-use dfs_types::lock::{rank, OrderedMutex};
+use dfs_types::lock::{rank, OrderedMutex, OrderedShardGuard, OrderedShardedMutex};
 use dfs_types::{
     ByteRange, ClientId, DfsError, DfsResult, Fid, HostId, SerializationStamp, VolumeId,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default number of fid-hash shards for the token and host tables.
+pub const DEFAULT_TOKEN_SHARDS: usize = 8;
+
+/// Shard count from the `DFS_TOKEN_SHARDS` environment variable,
+/// clamped to `1..=256`; [`DEFAULT_TOKEN_SHARDS`] if unset or
+/// unparsable. Read once at construction so a live manager's topology
+/// never changes under it.
+pub fn shards_from_env() -> usize {
+    std::env::var("DFS_TOKEN_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.clamp(1, 256))
+        .unwrap_or(DEFAULT_TOKEN_SHARDS)
+}
+
+/// Maps `(volume, vnode)` to a shard index: a multiplicative hash on
+/// each component so consecutive vnodes of one volume spread across
+/// shards. `uniq` is deliberately excluded — grants are keyed by vnode
+/// and all of a file's coherence state must live in one shard.
+pub fn shard_index(volume: VolumeId, vnode: u32, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let h = volume.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(vnode).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    ((h >> 32) as usize) % shards
+}
 
 /// The answer a host gives to a revocation request (§5.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,6 +89,19 @@ pub enum RevokeResult {
     /// The host elected to keep the token — the normal action for lock
     /// and open tokens covering files it still has locked or open.
     Retained,
+}
+
+/// One token's worth of a batched revocation: the token, the type bits
+/// to give up, and the serialization stamp ordering the revocation
+/// against other references to the file (§6.2).
+#[derive(Clone, Debug)]
+pub struct RevokeItem {
+    /// The token being revoked.
+    pub token: Token,
+    /// The conflicting type bits to give up (typed partial revocation).
+    pub types: TokenTypes,
+    /// Serialization stamp of the revocation.
+    pub stamp: SerializationStamp,
 }
 
 /// A consumer of tokens, registered with the token manager (§5.1).
@@ -53,7 +120,23 @@ pub trait TokenHost: Send + Sync {
     /// other references to the file (§6.2).
     fn revoke(&self, token: &Token, types: TokenTypes, stamp: SerializationStamp)
         -> RevokeResult;
+
+    /// Revokes several tokens in one callback, answering each exactly
+    /// once, in order. One conflict check produces at most one batch
+    /// per host; a remote host ships the batch as a single `RevokeVec`
+    /// RPC instead of one round trip per token. The default simply
+    /// loops [`revoke`](Self::revoke).
+    fn revoke_batch(&self, items: &[RevokeItem]) -> Vec<RevokeResult> {
+        items
+            .iter()
+            .map(|i| self.revoke(&i.token, i.types, i.stamp))
+            .collect()
+    }
 }
+
+/// One host's share of a conflict set: the resolved host object plus
+/// the (token, conflicting-bits) pairs it must give up in one batch.
+type RevokeGroup = (Arc<dyn TokenHost>, Vec<(Token, TokenTypes)>);
 
 /// Statistics kept by a [`TokenManager`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -62,7 +145,7 @@ pub struct TokenStats {
     pub grants: u64,
     /// Grants satisfied without revoking anything.
     pub quiet_grants: u64,
-    /// Revocation callbacks issued.
+    /// Revocation callbacks issued (counted per token, not per batch).
     pub revocations: u64,
     /// Revocations where the host retained the token.
     pub retained: u64,
@@ -81,16 +164,19 @@ struct Grant {
     token: Token,
 }
 
-struct ManagerInner {
-    /// All live grants, keyed by volume then vnode (vnode 0 holds
-    /// whole-volume tokens).
+/// One fid-hash shard of the grant and stamp tables. A `(volume,
+/// vnode)` pair's grants and every `uniq` incarnation of its stamps
+/// live wholly inside the shard [`shard_index`] names.
+#[derive(Default)]
+struct TokenShard {
+    /// Live grants in this shard, keyed by volume then vnode (vnode 0
+    /// holds whole-volume tokens).
     grants: HashMap<VolumeId, HashMap<u32, Vec<Grant>>>,
     /// Per-file serialization counters (§6.2).
     stamps: HashMap<Fid, SerializationStamp>,
-    hosts: HashMap<HostId, Arc<dyn TokenHost>>,
-    next_id: u64,
-    stats: TokenStats,
 }
+
+type ShardGuard<'a> = OrderedShardGuard<'a, TokenShard, { rank::TOKEN_SHARD }>;
 
 /// Snapshot of a volume's token state for a live move: every grant
 /// with its holding host, plus the per-file serialization counters.
@@ -98,11 +184,18 @@ pub type VolumeExport = (Vec<(HostId, Token)>, Vec<(Fid, SerializationStamp)>);
 
 /// The token manager of one file server.
 ///
-/// The grant table sits at rank [`rank::TOKEN_MANAGER`] in the global
-/// lock hierarchy; revocation callbacks run with the table unlocked
-/// (§5.1), which the rank enforcer verifies in debug builds.
+/// Grant/stamp state is fid-hash sharded at rank [`rank::TOKEN_SHARD`]
+/// (see the module docs for the topology and cross-shard acquisition
+/// order); the host registry sits at rank [`rank::TOKEN_MANAGER`].
+/// Revocation callbacks run with every manager lock released (§5.1),
+/// which the rank enforcer verifies in debug builds.
 pub struct TokenManager {
-    inner: OrderedMutex<ManagerInner, { rank::TOKEN_MANAGER }>,
+    shards: OrderedShardedMutex<TokenShard, { rank::TOKEN_SHARD }>,
+    hosts: OrderedMutex<HashMap<HostId, Arc<dyn TokenHost>>, { rank::TOKEN_MANAGER }>,
+    /// Token id allocator; atomic so grants on different shards never
+    /// serialize on id allocation.
+    next_id: AtomicU64,
+    stats: OrderedMutex<TokenStats, { rank::STATS }>,
 }
 
 impl Default for TokenManager {
@@ -112,31 +205,74 @@ impl Default for TokenManager {
 }
 
 impl TokenManager {
-    /// Creates an empty token manager.
+    /// Creates an empty token manager with the environment-selected
+    /// shard count ([`shards_from_env`]).
     pub fn new() -> TokenManager {
+        Self::with_shards(shards_from_env())
+    }
+
+    /// Creates an empty token manager with exactly `n` shards
+    /// (`n = 1` reproduces the old single-lock behavior).
+    pub fn with_shards(n: usize) -> TokenManager {
         TokenManager {
-            inner: OrderedMutex::new(ManagerInner {
-                grants: HashMap::new(),
-                stamps: HashMap::new(),
-                hosts: HashMap::new(),
-                next_id: 1,
-                stats: TokenStats::default(),
-            }),
+            shards: OrderedShardedMutex::new(n, TokenShard::default),
+            hosts: OrderedMutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            stats: OrderedMutex::new(TokenStats::default()),
+        }
+    }
+
+    /// Number of fid-hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// The shard holding `fid`'s grants and stamps.
+    pub fn shard_of(&self, fid: Fid) -> usize {
+        shard_index(fid.volume, fid.vnode.0, self.shards.shard_count())
+    }
+
+    fn fresh_id(&self) -> TokenId {
+        TokenId(self.next_id.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Locks every shard the conflict check for a token on `fid` must
+    /// consult, in ascending index order (the cross-shard discipline
+    /// the rank enforcer verifies). File tokens touch at most two
+    /// shards — the file's own and the one holding the volume's
+    /// whole-volume (vnode-0) grants; volume tokens conflict with every
+    /// file of the volume, so they take all shards. Returns the guards
+    /// plus the position among them of `fid`'s own shard.
+    fn lock_covering(&self, fid: Fid, volume_token: bool) -> (Vec<ShardGuard<'_>>, usize) {
+        if volume_token || self.shards.shard_count() == 1 {
+            return (self.shards.lock_all(), self.shard_of(fid));
+        }
+        let s_file = self.shard_of(fid);
+        let s_vol = shard_index(fid.volume, 0, self.shards.shard_count());
+        if s_file == s_vol {
+            (vec![self.shards.lock(s_file)], 0)
+        } else {
+            let lo = s_file.min(s_vol);
+            let hi = s_file.max(s_vol);
+            let guards = vec![self.shards.lock(lo), self.shards.lock(hi)];
+            (guards, if s_file == lo { 0 } else { 1 })
         }
     }
 
     /// Registers a host and its revoke procedure (§5.1).
     pub fn register_host(&self, host: Arc<dyn TokenHost>) {
-        self.inner.lock().hosts.insert(host.host_id(), host);
+        self.hosts.lock().insert(host.host_id(), host);
     }
 
     /// Removes a host, dropping all its grants (client death/eviction).
     pub fn unregister_host(&self, host: HostId) {
-        let mut inner = self.inner.lock();
-        inner.hosts.remove(&host);
-        for by_vnode in inner.grants.values_mut() {
-            for grants in by_vnode.values_mut() {
-                grants.retain(|g| g.host != host);
+        self.hosts.lock().remove(&host);
+        for i in 0..self.shards.shard_count() {
+            let mut shard = self.shards.lock(i);
+            for by_vnode in shard.grants.values_mut() {
+                for grants in by_vnode.values_mut() {
+                    grants.retain(|g| g.host != host);
+                }
             }
         }
     }
@@ -147,15 +283,20 @@ impl TokenManager {
     /// is stamped, and stamps are strictly increasing in serialization
     /// order.
     pub fn stamp(&self, fid: Fid) -> SerializationStamp {
-        let mut inner = self.inner.lock();
-        let s = inner.stamps.entry(fid).or_default();
+        let mut shard = self.shards.lock(self.shard_of(fid));
+        let s = shard.stamps.entry(fid).or_default();
         *s = s.next();
         *s
     }
 
     /// Returns the current (last-issued) stamp for `fid`.
     pub fn current_stamp(&self, fid: Fid) -> SerializationStamp {
-        self.inner.lock().stamps.get(&fid).copied().unwrap_or_default()
+        self.shards
+            .lock(self.shard_of(fid))
+            .stamps
+            .get(&fid)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Grants `types` over `range` of `fid` to `host`, revoking
@@ -177,69 +318,107 @@ impl TokenManager {
         let wanted = Token { id: TokenId(0), fid, types, range };
         let mut quiet = true;
         for _round in 0..64 {
-            // Collect conflicting grants under the lock.
-            let conflicts: Vec<(Arc<dyn TokenHost>, Token, TokenTypes)> = {
-                let mut inner = self.inner.lock();
-                let conflicts = self.conflicting(&inner, host, &wanted);
+            // Conflict-check (and, when clean, grant) under the
+            // covering shard locks.
+            let conflicts: Vec<(HostId, Token, TokenTypes)> = {
+                let (mut guards, fid_pos) = self.lock_covering(fid, wanted.is_volume_token());
+                let conflicts =
+                    Self::conflicting(guards.iter().map(|g| &**g), host, &wanted);
                 if conflicts.is_empty() {
-                    // Grant immediately while still holding the lock.
-                    let id = TokenId(inner.next_id);
-                    inner.next_id += 1;
-                    let token = Token { id, fid, types, range };
-                    inner
+                    // Grant immediately while still holding the shard.
+                    let token = Token { id: self.fresh_id(), fid, types, range };
+                    let shard = &mut *guards[fid_pos];
+                    shard
                         .grants
                         .entry(fid.volume)
                         .or_default()
                         .entry(fid.vnode.0)
                         .or_default()
                         .push(Grant { host, token: token.clone() });
-                    inner.stats.grants += 1;
-                    if quiet {
-                        inner.stats.quiet_grants += 1;
-                    }
-                    let s = inner.stamps.entry(fid).or_default();
+                    let s = shard.stamps.entry(fid).or_default();
                     *s = s.next();
                     let stamp = *s;
+                    drop(guards);
+                    let mut stats = self.stats.lock();
+                    stats.grants += 1;
+                    if quiet {
+                        stats.quiet_grants += 1;
+                    }
                     return Ok((token, stamp));
                 }
                 quiet = false;
                 conflicts
-                    .into_iter()
-                    .filter_map(|(host, token, bits)| {
-                        inner.hosts.get(&host).cloned().map(|h| (h, token, bits))
-                    })
-                    .collect()
             };
-            // Revoke outside the lock: the host's revoke procedure may
-            // call back into the file server (§6.4). Only the
-            // conflicting type bits are revoked.
-            for (h, token, bits) in conflicts {
-                let stamp = self.stamp(token.fid);
-                let result = h.revoke(&token, bits, stamp);
-                let mut inner = self.inner.lock();
-                inner.stats.revocations += 1;
+            // Revoke outside every manager lock: the hosts' revoke
+            // procedures may call back into the file server (§6.4).
+            // Only the conflicting type bits are revoked.
+            self.revoke_conflicts(conflicts)?;
+        }
+        Err(DfsError::Timeout)
+    }
+
+    /// Revokes `conflicts` with every manager lock released, batching
+    /// all of one host's tokens into a single callback. Returns `Err`
+    /// as soon as a host retains a token (lock/open retention refuses
+    /// the triggering grant, §5.3); `Ok` means every token was
+    /// returned and the caller should re-run its conflict check.
+    fn revoke_conflicts(&self, conflicts: Vec<(HostId, Token, TokenTypes)>) -> DfsResult<()> {
+        // Resolve host objects and group per host, preserving
+        // first-conflict order. Unregistered hosts are skipped: their
+        // grants die with them.
+        let groups: Vec<RevokeGroup> = {
+            let hosts = self.hosts.lock();
+            let mut groups: Vec<RevokeGroup> = Vec::new();
+            for (host, token, bits) in conflicts {
+                let Some(h) = hosts.get(&host) else { continue };
+                match groups.iter_mut().find(|(g, _)| g.host_id() == host) {
+                    Some((_, items)) => items.push((token, bits)),
+                    None => groups.push((h.clone(), vec![(token, bits)])),
+                }
+            }
+            groups
+        };
+        for (h, tokens) in groups {
+            let items: Vec<RevokeItem> = tokens
+                .into_iter()
+                .map(|(token, types)| {
+                    let stamp = self.stamp(token.fid);
+                    RevokeItem { token, types, stamp }
+                })
+                .collect();
+            // The batched callback runs with no manager lock held.
+            let results = h.revoke_batch(&items);
+            self.stats.lock().revocations += items.len() as u64;
+            for (i, item) in items.iter().enumerate() {
+                // A short answer vector counts the tail as returned:
+                // the caller re-runs its conflict check anyway, so a
+                // token the host silently kept is simply re-revoked.
+                let result = results.get(i).copied().unwrap_or(RevokeResult::Returned);
                 match result {
                     RevokeResult::Returned => {
-                        Self::downgrade_grant(&mut inner, h.host_id(), token.id, bits);
+                        let mut shard = self.shards.lock(self.shard_of(item.token.fid));
+                        Self::downgrade_in(&mut shard, h.host_id(), item.token.id, item.types);
                     }
                     RevokeResult::Retained => {
-                        inner.stats.retained += 1;
-                        inner.stats.refused += 1;
-                        drop(inner);
+                        {
+                            let mut stats = self.stats.lock();
+                            stats.retained += 1;
+                            stats.refused += 1;
+                        }
                         // Lock/open retention refuses the new request.
-                        let kind = if bits.intersects(
-                            TokenTypes::LOCK_READ | TokenTypes::LOCK_WRITE,
-                        ) {
+                        return Err(if item
+                            .types
+                            .intersects(TokenTypes::LOCK_READ | TokenTypes::LOCK_WRITE)
+                        {
                             DfsError::LockConflict
                         } else {
                             DfsError::OpenConflict
-                        };
-                        return Err(kind);
+                        });
                     }
                 }
             }
         }
-        Err(DfsError::Timeout)
+        Ok(())
     }
 
     /// Re-grants a token `host` claims to have held before this server
@@ -263,59 +442,67 @@ impl TokenManager {
             return None;
         }
         let wanted = Token { id: TokenId(0), fid, types, range };
-        let mut inner = self.inner.lock();
-        if !self.conflicting(&inner, host, &wanted).is_empty() {
-            inner.stats.refused += 1;
+        let (mut guards, fid_pos) = self.lock_covering(fid, wanted.is_volume_token());
+        if !Self::conflicting(guards.iter().map(|g| &**g), host, &wanted).is_empty() {
+            drop(guards);
+            self.stats.lock().refused += 1;
             return None;
         }
-        let id = TokenId(inner.next_id);
-        inner.next_id += 1;
-        let token = Token { id, fid, types, range };
-        inner
+        let token = Token { id: self.fresh_id(), fid, types, range };
+        let shard = &mut *guards[fid_pos];
+        shard
             .grants
             .entry(fid.volume)
             .or_default()
             .entry(fid.vnode.0)
             .or_default()
             .push(Grant { host, token: token.clone() });
-        inner.stats.grants += 1;
-        inner.stats.reestablished += 1;
-        let s = inner.stamps.entry(fid).or_default();
+        let s = shard.stamps.entry(fid).or_default();
         *s = s.next();
-        Some((token, *s))
+        let stamp = *s;
+        drop(guards);
+        let mut stats = self.stats.lock();
+        stats.grants += 1;
+        stats.reestablished += 1;
+        Some((token, stamp))
     }
 
-    fn conflicting(
-        &self,
-        inner: &ManagerInner,
+    /// Scans the locked shard states for grants conflicting with
+    /// `wanted`. Each grant lives in exactly one shard, so iterating
+    /// the covering shards visits every candidate exactly once.
+    fn conflicting<'a>(
+        shards: impl Iterator<Item = &'a TokenShard>,
         host: HostId,
         wanted: &Token,
     ) -> Vec<(HostId, Token, TokenTypes)> {
         let mut out = Vec::new();
-        if let Some(by_vnode) = inner.grants.get(&wanted.fid.volume) {
-            let candidates: Box<dyn Iterator<Item = &Grant>> = if wanted.is_volume_token() {
-                Box::new(by_vnode.values().flatten())
-            } else {
-                let file = by_vnode.get(&wanted.fid.vnode.0).into_iter().flatten();
-                let vol = by_vnode.get(&0).into_iter().flatten();
-                Box::new(file.chain(vol))
-            };
-            for g in candidates {
-                if g.host == host {
-                    continue;
-                }
-                let bits = types::conflict_bits(&g.token, wanted);
-                if !bits.is_empty() {
-                    out.push((g.host, g.token.clone(), bits));
+        for state in shards {
+            if let Some(by_vnode) = state.grants.get(&wanted.fid.volume) {
+                let candidates: Box<dyn Iterator<Item = &Grant>> = if wanted.is_volume_token() {
+                    Box::new(by_vnode.values().flatten())
+                } else {
+                    let file = by_vnode.get(&wanted.fid.vnode.0).into_iter().flatten();
+                    let vol = by_vnode.get(&0).into_iter().flatten();
+                    Box::new(file.chain(vol))
+                };
+                for g in candidates {
+                    if g.host == host {
+                        continue;
+                    }
+                    let bits = types::conflict_bits(&g.token, wanted);
+                    if !bits.is_empty() {
+                        out.push((g.host, g.token.clone(), bits));
+                    }
                 }
             }
         }
         out
     }
 
-    /// Strips `bits` from a grant; removes it entirely when empty.
-    fn downgrade_grant(inner: &mut ManagerInner, host: HostId, id: TokenId, bits: TokenTypes) {
-        for by_vnode in inner.grants.values_mut() {
+    /// Strips `bits` from a grant within one shard; removes it entirely
+    /// when no bits remain.
+    fn downgrade_in(shard: &mut TokenShard, host: HostId, id: TokenId, bits: TokenTypes) {
+        for by_vnode in shard.grants.values_mut() {
             for grants in by_vnode.values_mut() {
                 for g in grants.iter_mut() {
                     if g.host == host && g.token.id == id {
@@ -328,51 +515,61 @@ impl TokenManager {
     }
 
     /// Returns a token voluntarily (client cache eviction, op done).
+    /// The caller identifies the token by id alone, so the shards are
+    /// scanned one at a time until every trace is gone.
     pub fn release(&self, host: HostId, id: TokenId) {
-        let mut inner = self.inner.lock();
-        Self::downgrade_grant(&mut inner, host, id, TokenTypes(u32::MAX));
-        inner.stats.releases += 1;
+        for i in 0..self.shards.shard_count() {
+            let mut shard = self.shards.lock(i);
+            Self::downgrade_in(&mut shard, host, id, TokenTypes(u32::MAX));
+        }
+        self.stats.lock().releases += 1;
     }
 
     /// Returns all of `host`'s tokens on `fid`.
     pub fn release_fid(&self, host: HostId, fid: Fid) {
-        let mut inner = self.inner.lock();
-        if let Some(by_vnode) = inner.grants.get_mut(&fid.volume) {
+        let mut shard = self.shards.lock(self.shard_of(fid));
+        let mut removed = 0u64;
+        if let Some(by_vnode) = shard.grants.get_mut(&fid.volume) {
             if let Some(grants) = by_vnode.get_mut(&fid.vnode.0) {
                 let before = grants.len();
                 grants.retain(|g| g.host != host);
-                let removed = (before - grants.len()) as u64;
-                inner.stats.releases += removed;
+                removed = (before - grants.len()) as u64;
             }
         }
+        drop(shard);
+        self.stats.lock().releases += removed;
     }
 
     /// Snapshots every live grant on `volume` plus the per-file
     /// serialization counters, for shipping to a volume-move target.
+    /// Takes every shard (ascending) so the export is one consistent
+    /// cut of the volume's coherence state.
     ///
     /// The grants keep their token ids: a live move (§2.1) must leave
     /// the clients' cached tokens valid, and a client matches
     /// revocations by token id, so the target has to keep serving the
     /// exact ids the source issued.
     pub fn export_volume(&self, volume: VolumeId) -> VolumeExport {
-        let inner = self.inner.lock();
-        let grants = inner
-            .grants
-            .get(&volume)
-            .map(|by_vnode| {
-                by_vnode
-                    .values()
-                    .flatten()
-                    .map(|g| (g.host, g.token.clone()))
-                    .collect()
-            })
-            .unwrap_or_default();
-        let stamps = inner
-            .stamps
-            .iter()
-            .filter(|(f, _)| f.volume == volume)
-            .map(|(f, s)| (*f, *s))
-            .collect();
+        let guards = self.shards.lock_all();
+        let mut grants: Vec<(HostId, Token)> = Vec::new();
+        let mut stamps: Vec<(Fid, SerializationStamp)> = Vec::new();
+        for shard in &guards {
+            if let Some(by_vnode) = shard.grants.get(&volume) {
+                grants.extend(
+                    by_vnode
+                        .values()
+                        .flatten()
+                        .map(|g| (g.host, g.token.clone())),
+                );
+            }
+            stamps.extend(
+                shard
+                    .stamps
+                    .iter()
+                    .filter(|(f, _)| f.volume == volume)
+                    .map(|(f, s)| (*f, *s)),
+            );
+        }
         (grants, stamps)
     }
 
@@ -380,17 +577,19 @@ impl TokenManager {
     /// a volume-move target. `next_id` is raised past the imported id so
     /// future grants can never collide with a shipped token.
     pub fn install_grant(&self, host: HostId, token: Token) {
-        let mut inner = self.inner.lock();
-        inner.next_id = inner.next_id.max(token.id.0 + 1);
-        inner
+        self.next_id.fetch_max(token.id.0 + 1, Ordering::SeqCst);
+        let mut shard = self.shards.lock(self.shard_of(token.fid));
+        shard
             .grants
             .entry(token.fid.volume)
             .or_default()
             .entry(token.fid.vnode.0)
             .or_default()
             .push(Grant { host, token });
-        inner.stats.grants += 1;
-        inner.stats.imported += 1;
+        drop(shard);
+        let mut stats = self.stats.lock();
+        stats.grants += 1;
+        stats.imported += 1;
     }
 
     /// Raises `fid`'s serialization counter to at least `floor`, so
@@ -398,8 +597,8 @@ impl TokenManager {
     /// (§6.2: clients merge status by stamp and would discard updates
     /// stamped below what they have already seen).
     pub fn raise_stamp_floor(&self, fid: Fid, floor: SerializationStamp) {
-        let mut inner = self.inner.lock();
-        let s = inner.stamps.entry(fid).or_default();
+        let mut shard = self.shards.lock(self.shard_of(fid));
+        let s = shard.stamps.entry(fid).or_default();
         if floor > *s {
             *s = floor;
         }
@@ -409,15 +608,17 @@ impl TokenManager {
     /// of a completed move: the volume is gone, the target now owns the
     /// coherence state).
     pub fn drop_volume(&self, volume: VolumeId) {
-        let mut inner = self.inner.lock();
-        inner.grants.remove(&volume);
-        inner.stamps.retain(|f, _| f.volume != volume);
+        for i in 0..self.shards.shard_count() {
+            let mut shard = self.shards.lock(i);
+            shard.grants.remove(&volume);
+            shard.stamps.retain(|f, _| f.volume != volume);
+        }
     }
 
     /// Lists the tokens currently granted on `fid` (diagnostics).
     pub fn tokens_on(&self, fid: Fid) -> Vec<(HostId, Token)> {
-        let inner = self.inner.lock();
-        inner
+        let shard = self.shards.lock(self.shard_of(fid));
+        shard
             .grants
             .get(&fid.volume)
             .and_then(|m| m.get(&fid.vnode.0))
@@ -431,14 +632,16 @@ impl TokenManager {
     /// waiting for it (e.g. an admin caller that only ever created
     /// volumes) would pin the window until lease expiry.
     pub fn token_holders(&self) -> Vec<ClientId> {
-        let inner = self.inner.lock();
         let mut out: Vec<ClientId> = Vec::new();
-        for by_vnode in inner.grants.values() {
-            for grants in by_vnode.values() {
-                for g in grants {
-                    if let HostId::Client(c) = g.host {
-                        if !out.contains(&c) {
-                            out.push(c);
+        for i in 0..self.shards.shard_count() {
+            let shard = self.shards.lock(i);
+            for by_vnode in shard.grants.values() {
+                for grants in by_vnode.values() {
+                    for g in grants {
+                        if let HostId::Client(c) = g.host {
+                            if !out.contains(&c) {
+                                out.push(c);
+                            }
                         }
                     }
                 }
@@ -449,7 +652,7 @@ impl TokenManager {
 
     /// Returns a snapshot of the statistics.
     pub fn stats(&self) -> TokenStats {
-        self.inner.lock().stats.clone()
+        self.stats.lock().clone()
     }
 }
 
@@ -494,6 +697,60 @@ mod tests {
                 RevokeResult::Retained
             } else {
                 RevokeResult::Returned
+            }
+        }
+    }
+
+    /// Host that answers batches directly, recording every batch, so
+    /// tests can pin "one conflict check → one callback per host" and
+    /// per-token answer ordering (including mixed return/retain).
+    struct BatchHost {
+        id: HostId,
+        /// Token ids of each batch, in callback order.
+        batches: Mutex<Vec<Vec<TokenId>>>,
+        /// Scripted per-call answers (front popped each batch); absent
+        /// entries answer `Returned` for the whole batch.
+        script: Mutex<Vec<Vec<RevokeResult>>>,
+    }
+
+    impl BatchHost {
+        fn new(n: u32) -> Arc<BatchHost> {
+            Arc::new(BatchHost {
+                id: HostId::Client(ClientId(n)),
+                batches: Mutex::new(Vec::new()),
+                script: Mutex::new(Vec::new()),
+            })
+        }
+        fn total_acks(&self) -> usize {
+            self.batches.lock().iter().map(|b| b.len()).sum()
+        }
+    }
+
+    impl TokenHost for BatchHost {
+        fn host_id(&self) -> HostId {
+            self.id
+        }
+        fn revoke(
+            &self,
+            token: &Token,
+            _types: TokenTypes,
+            _stamp: SerializationStamp,
+        ) -> RevokeResult {
+            // Single-token path: treat as a batch of one.
+            self.revoke_batch(&[RevokeItem {
+                token: token.clone(),
+                types: _types,
+                stamp: _stamp,
+            }])[0]
+        }
+        fn revoke_batch(&self, items: &[RevokeItem]) -> Vec<RevokeResult> {
+            self.batches
+                .lock()
+                .push(items.iter().map(|i| i.token.id).collect());
+            let scripted = self.script.lock().pop();
+            match scripted {
+                Some(answers) => answers,
+                None => vec![RevokeResult::Returned; items.len()],
             }
         }
     }
@@ -724,6 +981,166 @@ mod tests {
                             TokenTypes::DATA_WRITE,
                             ByteRange::WHOLE,
                         );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(tm.stats().grants >= 100);
+    }
+
+    #[test]
+    fn one_conflict_check_batches_same_host_revocations() {
+        let tm = TokenManager::with_shards(4);
+        let holder = BatchHost::new(1);
+        let wanter = RecordingHost::new(2, false);
+        tm.register_host(holder.clone());
+        tm.register_host(wanter.clone());
+        // Two disjoint write grants to the same host on one file; a
+        // whole-file reader conflicts with both at once.
+        let (t1, _) = tm.grant(holder.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(0, 100)).unwrap();
+        let (t2, _) = tm.grant(holder.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(100, 200)).unwrap();
+        tm.grant(wanter.id, fid(1), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        let batches = holder.batches.lock().clone();
+        assert_eq!(batches.len(), 1, "one callback for one conflict check");
+        assert_eq!(batches[0], vec![t1.id, t2.id], "both tokens in the batch, in order");
+        assert_eq!(tm.stats().revocations, 2, "revocations count per token");
+        assert_eq!(holder.total_acks(), 2, "every token acked exactly once");
+    }
+
+    #[test]
+    fn batched_revoke_acks_every_token_once_with_mixed_results() {
+        let tm = TokenManager::with_shards(4);
+        let holder = BatchHost::new(1);
+        let wanter = RecordingHost::new(2, false);
+        tm.register_host(holder.clone());
+        tm.register_host(wanter.clone());
+        // Two execute opens (same host, so mutually compatible); both
+        // conflict with a foreign open-for-write (ETXTBSY).
+        let (t1, _) = tm.grant(holder.id, fid(1), TokenTypes::OPEN_EXECUTE, ByteRange::new(0, 10)).unwrap();
+        let (t2, _) = tm.grant(holder.id, fid(1), TokenTypes::OPEN_EXECUTE, ByteRange::new(10, 20)).unwrap();
+        // First token returned, second retained: the grant must fail
+        // (open retention) yet both answers must be consumed exactly
+        // once and the returned token really downgraded.
+        holder
+            .script
+            .lock()
+            .push(vec![RevokeResult::Returned, RevokeResult::Retained]);
+        let err = tm
+            .grant(wanter.id, fid(1), TokenTypes::OPEN_WRITE, ByteRange::WHOLE)
+            .unwrap_err();
+        assert_eq!(err, DfsError::OpenConflict);
+        let batches = holder.batches.lock().clone();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0], vec![t1.id, t2.id]);
+        assert_eq!(holder.total_acks(), 2, "mixed results still ack each token once");
+        let left: Vec<TokenId> = tm.tokens_on(fid(1)).iter().map(|(_, t)| t.id).collect();
+        assert!(!left.contains(&t1.id), "returned token downgraded away");
+        assert!(left.contains(&t2.id), "retained token survives");
+        assert_eq!(tm.stats().retained, 1);
+        assert_eq!(tm.stats().refused, 1);
+    }
+
+    #[test]
+    fn batch_items_carry_fresh_per_file_stamps() {
+        let tm = TokenManager::with_shards(4);
+        let holder = RecordingHost::new(1, false);
+        let wanter = RecordingHost::new(2, false);
+        tm.register_host(holder.clone());
+        tm.register_host(wanter.clone());
+        tm.grant(holder.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        let before = tm.current_stamp(fid(1));
+        tm.grant(wanter.id, fid(1), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        // Revocation stamp, then the grant's own stamp: two advances.
+        assert!(tm.current_stamp(fid(1)) > before.next(), "revoke and grant each stamped");
+    }
+
+    #[test]
+    fn short_batch_answer_counts_as_returned() {
+        let tm = TokenManager::with_shards(2);
+        let holder = BatchHost::new(1);
+        let wanter = RecordingHost::new(2, false);
+        tm.register_host(holder.clone());
+        tm.register_host(wanter.clone());
+        let (t1, _) = tm.grant(holder.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(0, 100)).unwrap();
+        tm.grant(holder.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::new(100, 200)).unwrap();
+        // Host answers only the first token; the manager treats the
+        // missing tail as returned and the retry round cleans it up.
+        holder.script.lock().push(vec![RevokeResult::Returned]);
+        tm.grant(wanter.id, fid(1), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        let left: Vec<TokenId> = tm.tokens_on(fid(1)).iter().map(|(_, t)| t.id).collect();
+        assert!(!left.contains(&t1.id));
+        assert!(tm.stats().grants >= 3);
+    }
+
+    #[test]
+    fn whole_volume_grant_spans_all_shards() {
+        let tm = TokenManager::with_shards(4);
+        let readers: Vec<_> = (1..=8).map(|i| RecordingHost::new(i, false)).collect();
+        let repl = RecordingHost::new(99, false);
+        for h in &readers {
+            tm.register_host(h.clone());
+        }
+        tm.register_host(repl.clone());
+        // Writers on 8 distinct vnodes land in several shards.
+        let mut shards_hit = std::collections::HashSet::new();
+        for (i, h) in readers.iter().enumerate() {
+            let f = fid(i as u32 + 1);
+            shards_hit.insert(tm.shard_of(f));
+            tm.grant(h.id, f, TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        }
+        assert!(shards_hit.len() > 1, "test needs fids spread over shards");
+        // A whole-volume read token must see and revoke every one.
+        let vol_fid = Fid::new(VolumeId(1), VnodeId(0), 0);
+        tm.grant(repl.id, vol_fid, TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        let revoked: usize = readers.iter().map(|h| h.calls.load(Ordering::SeqCst)).sum();
+        assert_eq!(revoked, 8, "every shard's conflicting grant revoked");
+        assert_eq!(tm.tokens_on(vol_fid).len(), 1);
+    }
+
+    #[test]
+    fn shard_count_one_matches_old_single_lock_layout() {
+        let tm = TokenManager::with_shards(1);
+        assert_eq!(tm.shard_count(), 1);
+        let h1 = RecordingHost::new(1, false);
+        let h2 = RecordingHost::new(2, false);
+        tm.register_host(h1.clone());
+        tm.register_host(h2.clone());
+        for i in 0..16 {
+            assert_eq!(tm.shard_of(fid(i)), 0, "everything in the single shard");
+        }
+        tm.grant(h1.id, fid(1), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+        tm.grant(h2.id, fid(1), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+        assert_eq!(h1.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(tm.stats().revocations, 1);
+    }
+
+    #[test]
+    fn cross_shard_concurrent_grants_do_not_deadlock() {
+        let tm = Arc::new(TokenManager::with_shards(4));
+        let hosts: Vec<_> = (0..4).map(|i| RecordingHost::new(i, false)).collect();
+        for h in &hosts {
+            tm.register_host(h.clone());
+        }
+        let vol_fid = Fid::new(VolumeId(1), VnodeId(0), 0);
+        let threads: Vec<_> = hosts
+            .iter()
+            .enumerate()
+            .map(|(n, h)| {
+                let tm = tm.clone();
+                let id = h.id;
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        // Mix file grants (1–2 shards) with volume
+                        // grants (all shards) to exercise the ascending
+                        // acquisition order under contention.
+                        if n == 0 && i % 10 == 0 {
+                            let _ = tm.grant(id, vol_fid, TokenTypes::DATA_READ, ByteRange::WHOLE);
+                        } else {
+                            let _ = tm.grant(id, fid(i % 7 + 1), TokenTypes::DATA_WRITE, ByteRange::WHOLE);
+                        }
                     }
                 })
             })

@@ -156,3 +156,134 @@ fn host_churn_under_load_does_not_deadlock() {
         assert!(h.violations.lock().unwrap().is_empty());
     }
 }
+
+/// A whole-volume (vnode-0) write token conflicts with file tokens in
+/// every shard, so granting it drives the cross-shard lock_all path and
+/// batched per-host revocations while readers keep re-granting. The
+/// manager honors `DFS_TOKEN_SHARDS`, so verify.sh runs this at shard
+/// counts 1 and 4.
+#[test]
+fn whole_volume_revocation_spans_shards_under_load() {
+    let tm = Arc::new(TokenManager::new());
+    let hosts: Vec<Arc<StressHost>> = (0..4).map(StressHost::new).collect();
+    for h in &hosts {
+        tm.register_host(h.clone());
+    }
+    if tm.shard_count() > 1 {
+        let shards_hit: std::collections::BTreeSet<usize> =
+            (1..64).map(|v| tm.shard_of(fid(v))).collect();
+        assert!(shards_hit.len() >= 3, "file fids must spread across shards");
+    }
+
+    let readers: Vec<_> = hosts[1..]
+        .iter()
+        .map(|h| {
+            let tm = tm.clone();
+            let id = h.id;
+            std::thread::spawn(move || {
+                for i in 0..150u32 {
+                    let _ = tm.grant(
+                        id,
+                        fid(1 + i % 48),
+                        TokenTypes::DATA_READ | TokenTypes::STATUS_READ,
+                        ByteRange::WHOLE,
+                    );
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let tm = tm.clone();
+        let id = hosts[0].id;
+        std::thread::spawn(move || {
+            let vol = Fid::new(VolumeId(1), VnodeId(0), 0);
+            for _ in 0..40 {
+                if let Ok((t, _)) = tm.grant(
+                    id,
+                    vol,
+                    TokenTypes::DATA_WRITE | TokenTypes::STATUS_WRITE,
+                    ByteRange::WHOLE,
+                ) {
+                    tm.release(id, t.id);
+                }
+            }
+        })
+    };
+    for t in readers {
+        t.join().expect("reader threads must survive the volume-token storms");
+    }
+    writer.join().expect("volume-token writer must not deadlock across shards");
+
+    for h in &hosts {
+        assert!(
+            h.violations.lock().unwrap().is_empty(),
+            "batched volume revocations must run with no manager locks held"
+        );
+    }
+    let total: usize = hosts.iter().map(|h| h.revocations.load(Ordering::SeqCst)).sum();
+    assert!(total > 0, "whole-volume writes must have revoked file readers");
+
+    // Quiesced: one more volume write grant must strip every
+    // conflicting read bit from the other hosts, in every shard.
+    let vol = Fid::new(VolumeId(1), VnodeId(0), 0);
+    tm.grant(
+        hosts[0].id,
+        vol,
+        TokenTypes::DATA_WRITE | TokenTypes::STATUS_WRITE,
+        ByteRange::WHOLE,
+    )
+    .expect("final volume grant must succeed (all revocations returned)");
+    let readers_mask = TokenTypes(TokenTypes::DATA_READ.0 | TokenTypes::STATUS_READ.0);
+    for v in 1..49 {
+        for (h, t) in tm.tokens_on(fid(v)) {
+            assert!(
+                h == hosts[0].id || !t.types.intersects(readers_mask),
+                "shard {} kept a stale read grant for {h:?}: {t:?}",
+                tm.shard_of(fid(v))
+            );
+        }
+    }
+}
+
+/// Exactly-once revocation whether the conflicting fids collide into
+/// one shard or spread across several: each held token is revoked once,
+/// and the per-fid state ends identical either way.
+#[test]
+fn colliding_and_distinct_fids_revoke_exactly_once() {
+    let tm = TokenManager::with_shards(4);
+    let holder = StressHost::new(1);
+    let writer = StressHost::new(2);
+    tm.register_host(holder.clone());
+    tm.register_host(writer.clone());
+
+    // One pair of fids that hash to the same shard, plus one that
+    // lands elsewhere.
+    let s0 = tm.shard_of(fid(1));
+    let colliding = (2..200)
+        .find(|&v| tm.shard_of(fid(v)) == s0)
+        .expect("some fid must collide with shard of fid(1)");
+    let distinct = (2..200)
+        .find(|&v| tm.shard_of(fid(v)) != s0)
+        .expect("some fid must land on another shard");
+    let files = [1, colliding, distinct];
+
+    for v in files {
+        tm.grant(holder.id, fid(v), TokenTypes::DATA_READ, ByteRange::WHOLE).unwrap();
+    }
+    for v in files {
+        tm.grant(writer.id, fid(v), TokenTypes::DATA_WRITE, ByteRange::WHOLE).unwrap();
+    }
+
+    assert_eq!(
+        holder.revocations.load(Ordering::SeqCst),
+        files.len(),
+        "each read token must be revoked exactly once, colliding or not"
+    );
+    assert_eq!(tm.stats().revocations, files.len() as u64);
+    for v in files {
+        let on = tm.tokens_on(fid(v));
+        assert_eq!(on.len(), 1, "only the writer's token may remain on fid({v})");
+        assert_eq!(on[0].0, writer.id);
+    }
+    assert!(holder.violations.lock().unwrap().is_empty());
+}

@@ -17,6 +17,9 @@
 #      reestablishment, dirty-burst replay)
 #   7. fleet gate: the fleet-layer tests plus T15 at tiny parameters
 #      (volume sharding, WrongServer routing, live mid-run migration)
+#   8. hotpath gate: the token stress suite at shard counts 1 and 4
+#      (DFS_TOKEN_SHARDS) plus T9 with a small --clients sweep and T8
+#      with a --clients concurrency section, both JSON-validated
 #
 # Run from the repo root:  ./verify.sh
 set -eu
@@ -53,5 +56,13 @@ echo "==> fleet gate (fleet tests + t15 smoke)"
 cargo test -q --test fleet
 t15_out=$(cargo run -q --release -p dfs-bench --bin t15_fleet -- --json --servers 2 --files 6)
 printf '%s' "$t15_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+
+echo "==> hotpath gate (token stress at 1 and 4 shards + t9/t8 client sweeps)"
+DFS_TOKEN_SHARDS=1 cargo test -q -p dfs-token --test stress
+DFS_TOKEN_SHARDS=4 cargo test -q -p dfs-token --test stress
+t9_out=$(cargo run -q --release -p dfs-bench --bin t9_revocation_pingpong -- --json --clients 8 --ops 200)
+printf '%s' "$t9_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+t8c_out=$(cargo run -q --release -p dfs-bench --bin t8_group_commit -- --json --ops 64 --pages 16 --clients 4)
+printf '%s' "$t8c_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "verify: OK"
