@@ -109,6 +109,7 @@ impl RpcService for AfsServer {
                     tokens: Vec::new(),
                     stamp: Default::default(),
                     epoch: 1,
+                    stale_us: 0,
                 }),
                 // AFS fetches the whole file and registers a callback.
                 Request::FetchData { fid, .. } => {
@@ -124,6 +125,7 @@ impl RpcService for AfsServer {
                         tokens: Vec::new(),
                         stamp: Default::default(),
                         epoch: 1,
+                        stale_us: 0,
                     })
                 }
                 // Store (at close) replaces file contents and breaks the
@@ -137,6 +139,7 @@ impl RpcService for AfsServer {
                         tokens: Vec::new(),
                         stamp: Default::default(),
                         epoch: 1,
+                        stale_us: 0,
                     })
                 }
                 Request::Lookup { dir, name, .. } => Ok(Response::Status {
@@ -144,6 +147,7 @@ impl RpcService for AfsServer {
                     tokens: Vec::new(),
                     stamp: Default::default(),
                     epoch: 1,
+                    stale_us: 0,
                 }),
                 Request::Create { dir, name, mode } => {
                     let status = self.fs.create(&cred, dir, &name, mode)?;
@@ -153,6 +157,7 @@ impl RpcService for AfsServer {
                         tokens: Vec::new(),
                         stamp: Default::default(),
                         epoch: 1,
+                        stale_us: 0,
                     })
                 }
                 Request::Readdir { dir } => Ok(Response::Entries(self.fs.readdir(&cred, dir)?)),

@@ -48,6 +48,7 @@ impl RpcService for NfsServer {
                     tokens: Vec::new(),
                     stamp: Default::default(),
                     epoch: 1,
+                    stale_us: 0,
                 }),
                 Request::FetchData { fid, offset, len, .. } => {
                     let bytes = self.fs.read(&cred, fid, offset, len as usize)?;
@@ -58,6 +59,7 @@ impl RpcService for NfsServer {
                         tokens: Vec::new(),
                         stamp: Default::default(),
                         epoch: 1,
+                        stale_us: 0,
                     })
                 }
                 Request::StoreData { fid, offset, data } => {
@@ -70,6 +72,7 @@ impl RpcService for NfsServer {
                         tokens: Vec::new(),
                         stamp: Default::default(),
                         epoch: 1,
+                        stale_us: 0,
                     })
                 }
                 Request::Lookup { dir, name, .. } => Ok(Response::Status {
@@ -77,12 +80,14 @@ impl RpcService for NfsServer {
                     tokens: Vec::new(),
                     stamp: Default::default(),
                     epoch: 1,
+                    stale_us: 0,
                 }),
                 Request::Create { dir, name, mode } => Ok(Response::Status {
                     status: self.fs.create(&cred, dir, &name, mode)?,
                     tokens: Vec::new(),
                     stamp: Default::default(),
                     epoch: 1,
+                    stale_us: 0,
                 }),
                 Request::Remove { dir, name } => {
                     let status = self.fs.remove(&cred, dir, &name)?;
@@ -91,6 +96,7 @@ impl RpcService for NfsServer {
                         tokens: Vec::new(),
                         stamp: Default::default(),
                         epoch: 1,
+                        stale_us: 0,
                     })
                 }
                 Request::Readdir { dir } => Ok(Response::Entries(self.fs.readdir(&cred, dir)?)),

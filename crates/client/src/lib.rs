@@ -204,6 +204,18 @@ pub struct ClientStats {
     pub wrong_server_redirects: u64,
     /// Location-cache entries evicted to stay within the size bound.
     pub location_evictions: u64,
+    /// RPCs abandoned with `Unavailable` after the retry budget
+    /// (`DFS_RPC_RETRY_BUDGET`) was exhausted.
+    pub unavailable_giveups: u64,
+    /// Read-class RPCs answered by a §3.8 read-only replica while the
+    /// volume's primary was unreachable.
+    pub replica_failovers: u64,
+    /// Reads served with bounded-stale replica data (never cached as
+    /// token-backed state).
+    pub stale_reads: u64,
+    /// Largest staleness bound (µs) stamped on any replica-served
+    /// response observed by this client.
+    pub max_stale_us: u64,
 }
 
 /// Bounded volume→(server, generation) location cache (§4.1). Installs
@@ -482,6 +494,10 @@ pub struct CacheManager {
     /// the seqlock/publish machinery still runs so the knob isolates
     /// only the hit path.
     lockfree: bool,
+    /// Total attempts `file_rpc` spends (across redirects, busy waits,
+    /// grace waits and transport retries) before giving up with an
+    /// honest `Unavailable`. `DFS_RPC_RETRY_BUDGET` overrides.
+    retry_budget: u32,
 }
 
 impl CacheManager {
@@ -526,6 +542,11 @@ impl CacheManager {
             roots: OrderedMutex::new(HashMap::new()),
             stats: OrderedMutex::new(ClientStats::default()),
             lockfree: std::env::var("DFS_NO_LOCKFREE").map_or(true, |v| v != "1"),
+            retry_budget: std::env::var("DFS_RPC_RETRY_BUDGET")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|b| *b > 0)
+                .unwrap_or(50),
         });
         net.register(
             addr,
@@ -712,8 +733,30 @@ impl CacheManager {
     fn file_rpc(&self, volume: VolumeId, req: Request) -> DfsResult<Response> {
         let ticket = *self.ticket.lock();
         let key = volume.0.wrapping_mul(0x9E37_79B9);
-        for attempt in 0..50u32 {
-            let server = self.server_for(volume)?;
+        // Consecutive attempts on which the primary was unreachable;
+        // read-class requests fail over to a §3.8 replica once this
+        // crosses the threshold (one dropped packet is not an outage).
+        const FAILOVER_AFTER: u32 = 2;
+        let mut down = 0u32;
+        for attempt in 0..self.retry_budget {
+            let server = match self.server_for(volume) {
+                Ok(s) => Some(s),
+                // Even the VLDB cannot place the volume right now. A
+                // replica may still hold it read-only; otherwise keep
+                // burning budget so a recovering VLDB gets retried.
+                Err(DfsError::Unreachable | DfsError::Timeout | DfsError::Crashed) => None,
+                Err(e) => return Err(e),
+            };
+            let Some(server) = server else {
+                down += 1;
+                if down >= FAILOVER_AFTER {
+                    if let Some(resp) = self.replica_fallback(volume, &req, ticket) {
+                        return Ok(resp);
+                    }
+                }
+                self.backoff_keyed(key, attempt + 1);
+                continue;
+            };
             let resp = self.net.call(
                 self.addr,
                 Addr::Server(server),
@@ -726,14 +769,17 @@ impl CacheManager {
                     // The volume moved (§2.1): chase the hint and retry
                     // immediately — with a live hint this costs exactly
                     // one extra hop, no backoff needed.
+                    down = 0;
                     self.follow_redirect(volume, hint, generation);
                 }
                 Ok(Response::Err(DfsError::NoSuchVolume)) => {
                     // Force a fresh VLDB lookup next iteration.
+                    down = 0;
                     self.loc_invalidate(volume);
                     self.backoff_keyed(key, attempt + 1);
                 }
                 Ok(Response::Err(DfsError::VolumeBusy)) => {
+                    down = 0;
                     self.stats.lock().busy_retries += 1;
                     self.backoff_keyed(key, attempt + 1);
                 }
@@ -741,6 +787,7 @@ impl CacheManager {
                     // The server restarted and admits only token
                     // reestablishment: learn its new epoch, recover,
                     // and retry once the grace gate admits us.
+                    down = 0;
                     self.stats.lock().grace_waits += 1;
                     self.probe_epoch(server, ticket);
                     self.backoff_keyed(key, attempt + 1);
@@ -751,6 +798,12 @@ impl CacheManager {
                     // this volume and retry.
                     self.stats.lock().transport_retries += 1;
                     self.loc_invalidate(volume);
+                    down += 1;
+                    if down >= FAILOVER_AFTER {
+                        if let Some(resp) = self.replica_fallback(volume, &req, ticket) {
+                            return Ok(resp);
+                        }
+                    }
                     self.backoff_keyed(key, attempt + 1);
                 }
                 Ok(other) => {
@@ -768,12 +821,64 @@ impl CacheManager {
                     // move or a restarted replacement).
                     self.stats.lock().transport_retries += 1;
                     self.loc_invalidate(volume);
+                    down += 1;
+                    if down >= FAILOVER_AFTER {
+                        if let Some(resp) = self.replica_fallback(volume, &req, ticket) {
+                            return Ok(resp);
+                        }
+                    }
                     self.backoff_keyed(key, attempt + 1);
                 }
                 Err(e) => return Err(e),
             }
         }
-        Err(DfsError::Timeout)
+        // The budget is spent: report honest unavailability rather than
+        // a timeout the caller would be tempted to retry forever.
+        self.stats.lock().unavailable_giveups += 1;
+        Err(DfsError::Unavailable)
+    }
+
+    /// Attempts a bounded-stale read from a §3.8 read-only replica after
+    /// the primary has been unreachable for several attempts. Only
+    /// requests a replica can answer with an explicit staleness stamp
+    /// are eligible, and token wants are stripped: a replica's grants
+    /// mean nothing at the primary and must never install as
+    /// token-backed cache state.
+    fn replica_fallback(
+        &self,
+        volume: VolumeId,
+        req: &Request,
+        ticket: Option<Ticket>,
+    ) -> Option<Response> {
+        let stripped = match req {
+            Request::FetchStatus { fid, .. } => Request::FetchStatus { fid: *fid, want: None },
+            Request::FetchData { fid, offset, len, .. } => {
+                Request::FetchData { fid: *fid, offset: *offset, len: *len, want: None }
+            }
+            _ => return None,
+        };
+        let replicas = self.vldb.replicas_of(volume).ok()?;
+        for r in replicas {
+            let resp =
+                self.net.call(self.addr, Addr::Server(r), ticket, CallClass::Normal, stripped.clone());
+            if let Ok(resp @ (Response::Status { .. } | Response::Data { .. })) = resp {
+                let (Response::Status { stale_us, .. } | Response::Data { stale_us, .. }) = &resp
+                else {
+                    unreachable!()
+                };
+                // A zero stamp means this server is not serving the
+                // volume as a replica after all; only stamped (bounded-
+                // stale) answers may flow back through this path.
+                if *stale_us == 0 {
+                    continue;
+                }
+                let mut st = self.stats.lock();
+                st.replica_failovers += 1;
+                st.max_stale_us = st.max_stale_us.max(*stale_us);
+                return Some(resp);
+            }
+        }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -1362,7 +1467,10 @@ impl CacheManager {
                 .and_then(|r| r.into_result());
             let mut lo = vn.lock_lo();
             match resp {
-                Ok(Response::Status { status, tokens, stamp, .. }) => {
+                // A replica-served (stale-stamped) status cannot
+                // revalidate a cache: only the primary's answer is
+                // authoritative, so stale falls to the distrust arm.
+                Ok(Response::Status { status, tokens, stamp, stale_us: 0, .. }) => {
                     let keep = status.data_version == cached_dv;
                     if !keep {
                         let dropped: Vec<u64> = lo.valid.iter().copied().collect();
@@ -1550,7 +1658,23 @@ impl CacheManager {
             lo = vn.lock_lo();
             lo.in_flight -= 1;
             let (bytes, status, tokens, stamp) = match resp?.into_result()? {
-                Response::Data { bytes, status, tokens, stamp, .. } => {
+                Response::Data { bytes, status, tokens, stamp, stale_us, .. } => {
+                    if stale_us > 0 {
+                        // A §3.8 replica answered while the primary was
+                        // down: hand the bytes straight to the caller.
+                        // Nothing installs — the replica's tokens and
+                        // stamps mean nothing at the primary, and a
+                        // bounded-stale page must never masquerade as
+                        // token-backed cache state.
+                        self.stats.lock().stale_reads += 1;
+                        let end = status.length.min(offset + len as u64);
+                        if offset >= end {
+                            return Ok(Vec::new());
+                        }
+                        let s = (offset - fetch_off) as usize;
+                        let e = ((end - fetch_off) as usize).min(bytes.len());
+                        return Ok(bytes.get(s..e).unwrap_or(&[]).to_vec());
+                    }
                     (bytes, status, tokens, stamp)
                 }
                 _ => return Err(DfsError::Internal("bad FetchData response")),
@@ -1615,7 +1739,11 @@ impl CacheManager {
                                 want: None,
                             },
                         );
-                        if let Ok(Response::Data { bytes, .. }) = resp {
+                        // `stale_us: 0`: a replica's bounded-stale page
+                        // must never be merged under a write token — the
+                        // unmodified part of the page would store back
+                        // stale bytes (a lost update).
+                        if let Ok(Response::Data { bytes, stale_us: 0, .. }) = resp {
                             self.data.write_page(fid, p, &bytes)?;
                         }
                     }
@@ -2003,7 +2131,15 @@ impl CacheManager {
         let mut lo = vn.lock_lo();
         lo.in_flight -= 1;
         match resp?.into_result()? {
-            Response::Status { status, tokens, stamp, .. } => {
+            Response::Status { status, tokens, stamp, stale_us, .. } => {
+                if stale_us > 0 {
+                    // Replica-served while the primary is down: report
+                    // the bounded-stale status without absorbing it —
+                    // the replica's stamp must not poison the vnode's
+                    // stamp ordering for when the primary returns.
+                    self.stats.lock().stale_reads += 1;
+                    return Ok(status);
+                }
                 self.absorb(&vn, &mut lo, Some((status.clone(), stamp)), tokens);
                 Ok(lo.status.clone().unwrap_or(status))
             }

@@ -93,7 +93,9 @@ fn repeated_reads_are_local_after_first_fetch() {
 #[test]
 fn writes_are_absorbed_locally_under_write_token() {
     let cell = cell(1);
-    let cm = client(&cell, 1);
+    // No flusher: the test asserts an exact-zero RPC delta, which the
+    // 2 ms background flush would otherwise race.
+    let cm = client_no_flusher(&cell, 1);
     let root = cm.root(VolumeId(1)).unwrap();
     let f = cm.create(root, "f", 0o644).unwrap();
     cm.write(f.fid, 0, b"first").unwrap(); // Acquires the token.

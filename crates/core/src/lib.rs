@@ -128,10 +128,17 @@ impl CellBuilder {
                     aggregate: AggregateId(i),
                     log_blocks: self.log_blocks,
                     anodes: 8192,
+                    ..FormatParams::default()
                 },
             )?;
-            let server =
-                FileServer::start(net.clone(), ServerId(i), ep, vldb_addrs.clone(), pool)?;
+            let server = FileServer::start_journaled(
+                net.clone(),
+                ServerId(i),
+                ep.clone(),
+                ep.host_log().cloned(),
+                vldb_addrs.clone(),
+                pool,
+            )?;
             servers.push(Mutex::new(ServerSlot { disk, server }));
         }
         Ok(Cell {
@@ -207,34 +214,28 @@ impl Cell {
 
     /// Restarts a crashed server on the same storage: powers the disk
     /// back on, replays the Episode journal (`Episode::open`), and
-    /// starts a fresh [`FileServer`] instance at the next epoch with a
-    /// `grace_us`-long token-reestablishment window seeded from the
-    /// previous instance's host model. Returns the journal replay
-    /// report.
+    /// starts a fresh [`FileServer`] instance with a `grace_us`-long
+    /// token-reestablishment window. The next epoch and the expected
+    /// host set come from the aggregate's durable host journal — the
+    /// dying instance's memory is never consulted, so this path models
+    /// losing the whole machine, not just the process. Returns the
+    /// journal replay report.
     pub fn restart_server(&self, index: usize, grace_us: u64) -> DfsResult<RecoveryReport> {
         let mut slot = self.servers[index].lock();
         let old = slot.server.clone();
+        let id = old.id();
         old.stop();
+        drop(old);
         slot.disk.power_on();
         let (ep, report) = Episode::open(slot.disk.clone(), self.clock.clone())?;
-        // Wait only for hosts that actually held tokens at crash time:
-        // a caller with nothing to reestablish (e.g. the admin client
-        // behind create_volume) must not pin the grace window open.
-        let holders = old.token_manager().token_holders();
-        let expected: Vec<_> = old
-            .host_model()
-            .snapshot()
-            .into_iter()
-            .filter(|(c, _)| holders.contains(c))
-            .collect();
         slot.server = FileServer::restart(
             self.net.clone(),
-            old.id(),
-            ep,
+            id,
+            ep.clone(),
+            ep.host_log().cloned(),
+            ep.host_replay(),
             self.vldb_addrs.clone(),
             self.pool,
-            old.epoch(),
-            expected,
             grace_us,
         )?;
         Ok(report)

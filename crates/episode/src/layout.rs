@@ -214,6 +214,10 @@ pub struct SuperBlock {
     pub anode_table_start: u32,
     /// Blocks in the anode table.
     pub anode_table_blocks: u32,
+    /// Blocks of the host journal ring (just after the anode table);
+    /// zero on aggregates formatted before the ring existed, which
+    /// decodes as "no host journal" and leaves the layout unchanged.
+    pub host_log_blocks: u32,
 }
 
 impl SuperBlock {
@@ -222,9 +226,14 @@ impl SuperBlock {
         self.anode_table_blocks * ANODES_PER_BLOCK as u32
     }
 
+    /// First block of the host journal ring (zero-sized when absent).
+    pub fn host_log_start(&self) -> u32 {
+        self.anode_table_start + self.anode_table_blocks
+    }
+
     /// First block of the data region.
     pub fn data_start(&self) -> u32 {
-        self.anode_table_start + self.anode_table_blocks
+        self.host_log_start() + self.host_log_blocks
     }
 
     /// Returns (block, byte offset) of anode `idx` in the table.
@@ -244,6 +253,7 @@ impl SuperBlock {
         b[16..20].copy_from_slice(&self.log_blocks.to_le_bytes());
         b[20..24].copy_from_slice(&self.anode_table_start.to_le_bytes());
         b[24..28].copy_from_slice(&self.anode_table_blocks.to_le_bytes());
+        b[28..32].copy_from_slice(&self.host_log_blocks.to_le_bytes());
         b
     }
 
@@ -260,6 +270,7 @@ impl SuperBlock {
             log_blocks: u32::from_le_bytes(b[16..20].try_into().unwrap()),
             anode_table_start: u32::from_le_bytes(b[20..24].try_into().unwrap()),
             anode_table_blocks: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+            host_log_blocks: u32::from_le_bytes(b[28..32].try_into().unwrap()),
         })
     }
 }
@@ -333,11 +344,32 @@ mod tests {
             log_blocks: 256,
             anode_table_start: 257,
             anode_table_blocks: 100,
+            host_log_blocks: 64,
         };
         let enc = sb.encode();
         assert_eq!(SuperBlock::decode(&enc).unwrap(), sb);
         assert_eq!(sb.anode_count(), 3200);
-        assert_eq!(sb.data_start(), 357);
+        assert_eq!(sb.host_log_start(), 357);
+        assert_eq!(sb.data_start(), 421);
+    }
+
+    #[test]
+    fn superblock_without_host_log_keeps_the_old_layout() {
+        // A pre-host-journal superblock has zeros at bytes 28..32; it
+        // must decode to host_log_blocks == 0 and an unshifted data
+        // region.
+        let sb = SuperBlock {
+            aggregate: 3,
+            total_blocks: 100_000,
+            log_first: 1,
+            log_blocks: 256,
+            anode_table_start: 257,
+            anode_table_blocks: 100,
+            host_log_blocks: 0,
+        };
+        let dec = SuperBlock::decode(&sb.encode()).unwrap();
+        assert_eq!(dec.host_log_blocks, 0);
+        assert_eq!(dec.data_start(), 357);
     }
 
     #[test]
@@ -355,6 +387,7 @@ mod tests {
             log_blocks: 10,
             anode_table_start: 11,
             anode_table_blocks: 4,
+            host_log_blocks: 0,
         };
         assert_eq!(sb.anode_location(0), (11, 0));
         assert_eq!(sb.anode_location(31), (11, 31 * 128));

@@ -32,7 +32,7 @@ pub use layout::{Anode, AnodeKind, SuperBlock};
 pub use vfs_impl::EpisodeVolume;
 
 use dfs_disk::{SimDisk, BLOCK_SIZE};
-use dfs_journal::{Journal, LogRegion};
+use dfs_journal::{HostLog, HostLogRegion, HostLogReplay, Journal, LogRegion};
 use dfs_types::{AggregateId, DfsError, DfsResult, SimClock};
 use layout::{ANODES_PER_BLOCK, REFCOUNT_ANODE, VOLTABLE_ANODE};
 use parking_lot::{Mutex, RwLock};
@@ -49,11 +49,19 @@ pub struct FormatParams {
     pub log_blocks: u32,
     /// Number of anode slots to provision.
     pub anodes: u32,
+    /// Blocks reserved for the host journal ring (durable host/lease
+    /// state for §3.5 recovery); fixed at initialization.
+    pub host_log_blocks: u32,
 }
 
 impl Default for FormatParams {
     fn default() -> Self {
-        FormatParams { aggregate: AggregateId(0), log_blocks: 256, anodes: 4096 }
+        FormatParams {
+            aggregate: AggregateId(0),
+            log_blocks: 256,
+            anodes: 4096,
+            host_log_blocks: 32,
+        }
     }
 }
 
@@ -80,6 +88,10 @@ pub struct Episode {
     pub(crate) anode_locks: Mutex<HashMap<u32, Arc<RwLock<()>>>>,
     /// Serializes volume-table operations (create/delete/clone/mount).
     pub(crate) vol_lock: Mutex<()>,
+    /// The host journal ring, when the aggregate reserves one.
+    host_log: Option<Arc<HostLog>>,
+    /// What host-log replay recovered at open time.
+    host_replay: HostLogReplay,
     /// Weak self-reference so `&self` methods can hand out `Arc<Episode>`.
     me: Mutex<std::sync::Weak<Episode>>,
 }
@@ -105,6 +117,7 @@ impl Episode {
             log_blocks: params.log_blocks,
             anode_table_start: 1 + params.log_blocks,
             anode_table_blocks,
+            host_log_blocks: params.host_log_blocks,
         };
         let data_start = sb.data_start();
         if data_start + 16 > total {
@@ -179,7 +192,8 @@ impl Episode {
             disk.clone(),
             LogRegion { first_block: sb.log_first, blocks: sb.log_blocks },
         )?;
-        Ok(Episode::assemble(disk, jn, sb, clock))
+        let (host_log, host_replay) = Self::open_host_log(&disk, &sb)?;
+        Ok(Episode::assemble(disk, jn, sb, clock, host_log, host_replay))
     }
 
     /// Opens an existing aggregate, running log recovery if required.
@@ -194,10 +208,34 @@ impl Episode {
             disk.clone(),
             LogRegion { first_block: sb.log_first, blocks: sb.log_blocks },
         )?;
-        Ok((Episode::assemble(disk, jn, sb, clock), report))
+        let (host_log, host_replay) = Self::open_host_log(&disk, &sb)?;
+        Ok((Episode::assemble(disk, jn, sb, clock, host_log, host_replay), report))
     }
 
-    fn assemble(disk: SimDisk, jn: Arc<Journal>, sb: SuperBlock, clock: SimClock) -> Arc<Episode> {
+    /// Opens (and replays) the host journal ring, when the superblock
+    /// reserves one. Aggregates formatted before the ring existed have
+    /// `host_log_blocks == 0` and simply have no host journal.
+    fn open_host_log(
+        disk: &SimDisk,
+        sb: &SuperBlock,
+    ) -> DfsResult<(Option<Arc<HostLog>>, HostLogReplay)> {
+        if sb.host_log_blocks == 0 {
+            return Ok((None, HostLogReplay::default()));
+        }
+        let region =
+            HostLogRegion { first_block: sb.host_log_start(), blocks: sb.host_log_blocks };
+        let (log, replay) = HostLog::open(disk.clone(), region)?;
+        Ok((Some(Arc::new(log)), replay))
+    }
+
+    fn assemble(
+        disk: SimDisk,
+        jn: Arc<Journal>,
+        sb: SuperBlock,
+        clock: SimClock,
+        host_log: Option<Arc<HostLog>>,
+        host_replay: HostLogReplay,
+    ) -> Arc<Episode> {
         let ep = Arc::new(Episode {
             disk,
             jn,
@@ -208,6 +246,8 @@ impl Episode {
             }),
             anode_locks: Mutex::new(HashMap::new()),
             vol_lock: Mutex::new(()),
+            host_log,
+            host_replay,
             me: Mutex::new(std::sync::Weak::new()),
             sb,
         });
@@ -238,6 +278,17 @@ impl Episode {
     /// Returns the journal, for statistics and explicit sync control.
     pub fn journal(&self) -> &Arc<Journal> {
         &self.jn
+    }
+
+    /// Returns the host journal ring, when the aggregate has one.
+    pub fn host_log(&self) -> Option<&Arc<HostLog>> {
+        self.host_log.as_ref()
+    }
+
+    /// What host-log replay recovered when this aggregate was opened:
+    /// the durable host/lease facts and the last journaled epoch.
+    pub fn host_replay(&self) -> &HostLogReplay {
+        &self.host_replay
     }
 
     /// Returns the underlying disk, for statistics and crash injection.

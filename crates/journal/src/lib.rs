@@ -19,10 +19,12 @@
 //! the disk directly, and only metadata flows through the journal.
 
 pub mod frame;
+pub mod hostlog;
 pub mod logfmt;
 pub mod stats;
 
 pub use frame::BufHandle;
+pub use hostlog::{HostLog, HostLogRegion, HostLogReplay};
 pub use logfmt::{Lsn, Record};
 pub use stats::{JournalStats, RecoveryReport};
 
@@ -240,7 +242,14 @@ impl Journal {
                         Record::Commit { txids } => {
                             committed.extend(txids);
                         }
-                        Record::Pad { .. } | Record::Checkpoint { .. } => {}
+                        // Host-journal records never appear in the
+                        // episode log (they live in their own region);
+                        // skip them if one ever does.
+                        Record::Pad { .. }
+                        | Record::Checkpoint { .. }
+                        | Record::HostLease { .. }
+                        | Record::HostBarrier
+                        | Record::ServerEpoch { .. } => {}
                     }
                     pos = next;
                     parsed_end = next;

@@ -52,6 +52,17 @@ pub enum Record {
     Pad { len: u32 },
     /// A checkpoint marker recording the tail at the time it was written.
     Checkpoint { tail: Lsn },
+    /// Host-journal entry (§3.5 HA): a client's lease state as the
+    /// server last knew it — `last_seen` in simulated microseconds and
+    /// whether the client held any token at that time. Replay folds
+    /// these by sequence so the newest entry per client wins.
+    HostLease { client: u32, last_seen: u64, holding: bool },
+    /// Host-journal compaction barrier: entries logged before it are
+    /// superseded by the full snapshot written just after it.
+    HostBarrier,
+    /// Host-journal entry stamping the server's restart epoch, so the
+    /// epoch survives whole-machine (process + memory) loss.
+    ServerEpoch { epoch: u64 },
 }
 
 const TAG_BYTE_SKIP: u8 = 0;
@@ -59,6 +70,9 @@ const TAG_UPDATE: u8 = 1;
 const TAG_COMMIT: u8 = 2;
 const TAG_PAD: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
+const TAG_HOST_LEASE: u8 = 5;
+const TAG_HOST_BARRIER: u8 = 6;
+const TAG_SERVER_EPOCH: u8 = 7;
 
 impl Record {
     /// Serializes the record, appending to `out`.
@@ -99,6 +113,19 @@ impl Record {
                 out.push(TAG_CHECKPOINT);
                 out.extend_from_slice(&tail.0.to_le_bytes());
             }
+            Record::HostLease { client, last_seen, holding } => {
+                out.push(TAG_HOST_LEASE);
+                out.extend_from_slice(&client.to_le_bytes());
+                out.extend_from_slice(&last_seen.to_le_bytes());
+                out.push(u8::from(*holding));
+            }
+            Record::HostBarrier => {
+                out.push(TAG_HOST_BARRIER);
+            }
+            Record::ServerEpoch { epoch } => {
+                out.push(TAG_SERVER_EPOCH);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
         }
     }
 
@@ -109,6 +136,9 @@ impl Record {
             Record::Commit { txids } => 1 + 2 + 8 * txids.len(),
             Record::Pad { len } => *len as usize,
             Record::Checkpoint { .. } => 1 + 8,
+            Record::HostLease { .. } => 1 + 4 + 8 + 1,
+            Record::HostBarrier => 1,
+            Record::ServerEpoch { .. } => 1 + 8,
         }
     }
 
@@ -152,6 +182,17 @@ impl Record {
             TAG_CHECKPOINT => {
                 let tail = u64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap());
                 Some((Record::Checkpoint { tail: Lsn(tail) }, p))
+            }
+            TAG_HOST_LEASE => {
+                let client = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap());
+                let last_seen = u64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap());
+                let holding = *take(&mut p, 1)?.first()? != 0;
+                Some((Record::HostLease { client, last_seen, holding }, p))
+            }
+            TAG_HOST_BARRIER => Some((Record::HostBarrier, p)),
+            TAG_SERVER_EPOCH => {
+                let epoch = u64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap());
+                Some((Record::ServerEpoch { epoch }, p))
             }
             _ => None,
         }

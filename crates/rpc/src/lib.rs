@@ -16,9 +16,11 @@
 //!   tickets, and every authenticated RPC is verified before dispatch.
 
 pub mod auth;
+pub mod faults;
 pub mod proto;
 
 pub use auth::{AuthRegistry, KdcService};
+pub use faults::{FaultAction, FaultRule, FaultSchedule};
 pub use proto::{Request, Response, Ticket, TokenRequest};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -182,6 +184,12 @@ pub struct Network {
     // Microseconds, atomic so tests can tighten the timeout on a network
     // that is already Arc-shared with registered services.
     call_timeout_us: Arc<AtomicU64>,
+    /// The fault-injection plane; `None` when no schedule is armed
+    /// (the common case pays one lock + one `is_none`).
+    faults: Arc<Mutex<Option<faults::FaultState>>>,
+    /// Faults injected since the schedule was armed, readable without
+    /// the fault lock.
+    faults_injected: Arc<AtomicU64>,
 }
 
 impl Network {
@@ -193,7 +201,27 @@ impl Network {
             clock,
             latency_us,
             call_timeout_us: Arc::new(AtomicU64::new(5_000_000)),
+            faults: Arc::new(Mutex::new(None)),
+            faults_injected: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Arms a [`FaultSchedule`]: every subsequent call is matched
+    /// against its rules. Replaces any schedule already armed and
+    /// resets the injected-fault counter.
+    pub fn set_fault_schedule(&self, schedule: FaultSchedule) {
+        *self.faults.lock() = Some(faults::FaultState::new(schedule));
+        self.faults_injected.store(0, Ordering::Relaxed);
+    }
+
+    /// Disarms the fault plane.
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = None;
+    }
+
+    /// Faults injected since the current schedule was armed.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
     }
 
     /// Returns the authentication registry shared by KDC and services.
@@ -311,24 +339,73 @@ impl Network {
         let label = req.label();
         let req_bytes = req.wire_size();
 
+        // Fault plane: an armed schedule may drop, delay, duplicate,
+        // crash, or eat the reply of this call (see [`faults`]).
+        let fault = {
+            let mut guard = self.faults.lock();
+            guard.as_mut().and_then(|st| {
+                let f = st.decide(from, to, class, label);
+                if f.is_some() {
+                    self.faults_injected.store(st.injected, Ordering::Relaxed);
+                }
+                f
+            })
+        };
+        match fault {
+            Some(FaultAction::Drop) => {
+                // Lost in flight: surface the timeout immediately
+                // instead of burning the real-time timeout budget.
+                self.inner.lock().stats.timeouts += 1;
+                return Err(DfsError::Timeout);
+            }
+            Some(FaultAction::CrashNode) => {
+                self.set_crashed(to, true);
+                return Err(DfsError::Unreachable);
+            }
+            Some(FaultAction::Delay(us)) => {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+            _ => {}
+        }
+
         if node.require_auth && principal.is_none() {
             // Account the rejected call too; it did cross the network.
             self.charge(label, req_bytes + 48);
             return Ok(Response::Err(DfsError::AuthenticationFailed));
         }
 
-        let (reply_tx, reply_rx) = bounded::<Response>(1);
+        // Capacity 2: a duplicated delivery's second reply must never
+        // block a pool worker on the send.
+        let (reply_tx, reply_rx) = bounded::<Response>(2);
         let service = node.service.clone();
         let ctx = CallContext { caller: from, principal, class };
-        let job: Job = Box::new(move || {
-            let resp = service.dispatch(ctx, req);
-            let _ = reply_tx.send(resp);
-        });
         let pool = match class {
             CallClass::Revocation => node.revocation.as_ref().unwrap_or(&node.normal),
             CallClass::Normal => &node.normal,
         };
+        if fault == Some(FaultAction::Duplicate) {
+            let (service, ctx, req, reply_tx) =
+                (service.clone(), ctx.clone(), req.clone(), reply_tx.clone());
+            let dup: Job = Box::new(move || {
+                let resp = service.dispatch(ctx, req);
+                let _ = reply_tx.send(resp);
+            });
+            pool.tx.send(dup).map_err(|_| DfsError::Unreachable)?;
+        }
+        let job: Job = Box::new(move || {
+            let resp = service.dispatch(ctx, req);
+            let _ = reply_tx.send(resp);
+        });
         pool.tx.send(job).map_err(|_| DfsError::Unreachable)?;
+
+        if fault == Some(FaultAction::DropReply) {
+            // The request executes (its side effects land) but the
+            // reply is lost; dropping the receiver is safe because the
+            // worker's send ignores a disconnected channel.
+            drop(reply_rx);
+            self.inner.lock().stats.timeouts += 1;
+            return Err(DfsError::Timeout);
+        }
 
         match reply_rx.recv_timeout(self.call_timeout()) {
             Ok(resp) => {
@@ -551,6 +628,97 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(net.stats().calls, 200);
+    }
+
+    /// Counts dispatches, so duplicate delivery and executed-but-
+    /// unanswered calls are observable.
+    struct Counting {
+        hits: Arc<AtomicUsize>,
+    }
+    impl RpcService for Counting {
+        fn dispatch(&self, _ctx: CallContext, _req: Request) -> Response {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            Response::Ok
+        }
+    }
+
+    #[test]
+    fn drop_fault_surfaces_as_timeout_without_delivery() {
+        let net = Network::new(SimClock::new(), 0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        net.register(server(1), Arc::new(Counting { hits: hits.clone() }), PoolConfig::default());
+        net.set_fault_schedule(
+            FaultSchedule::seeded(7).rule(FaultRule::on(FaultAction::Drop).to(server(1)).limit(1)),
+        );
+        let r = net.call(client(1), server(1), None, CallClass::Normal, Request::Ping);
+        assert_eq!(r.unwrap_err(), DfsError::Timeout);
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "a dropped request never dispatches");
+        assert_eq!(net.faults_injected(), 1);
+        // The rule's budget is spent; the retry goes through.
+        assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+    }
+
+    #[test]
+    fn duplicate_fault_dispatches_twice_but_answers_once() {
+        let net = Network::new(SimClock::new(), 0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        net.register(server(1), Arc::new(Counting { hits: hits.clone() }), PoolConfig::default());
+        net.set_fault_schedule(
+            FaultSchedule::seeded(7).rule(FaultRule::on(FaultAction::Duplicate).limit(1)),
+        );
+        let r = net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap();
+        assert_eq!(r, Response::Ok);
+        // Both deliveries run on the pool; wait for the duplicate too.
+        for _ in 0..200 {
+            if hits.load(Ordering::SeqCst) == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "duplicate delivery executes twice");
+    }
+
+    #[test]
+    fn drop_reply_fault_executes_the_side_effect() {
+        let net = Network::new(SimClock::new(), 0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        net.register(server(1), Arc::new(Counting { hits: hits.clone() }), PoolConfig::default());
+        net.set_fault_schedule(
+            FaultSchedule::seeded(7).rule(FaultRule::on(FaultAction::DropReply).limit(1)),
+        );
+        let r = net.call(client(1), server(1), None, CallClass::Normal, Request::Ping);
+        assert_eq!(r.unwrap_err(), DfsError::Timeout);
+        for _ in 0..200 {
+            if hits.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "the call executed; only the reply was lost");
+    }
+
+    #[test]
+    fn crash_on_nth_call_downs_the_node() {
+        let net = Network::new(SimClock::new(), 0);
+        net.register(server(1), Arc::new(Echo), PoolConfig::default());
+        net.set_fault_schedule(
+            FaultSchedule::seeded(7)
+                .rule(FaultRule::on(FaultAction::CrashNode).to(server(1)).after(2).limit(1)),
+        );
+        for _ in 0..2 {
+            assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+        }
+        // The third call trips the crash and fails; so does everything after.
+        assert_eq!(
+            net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap_err(),
+            DfsError::Unreachable
+        );
+        assert_eq!(
+            net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap_err(),
+            DfsError::Unreachable
+        );
+        net.set_crashed(server(1), false);
+        assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub enum Request {
     VlUnregister { volume: VolumeId },
     /// Enumerate all known volumes.
     VlList,
+    /// Register `server` as a §3.8 read-only replica of `volume` —
+    /// the location clients fail over to when the primary is down.
+    VlAddReplica { volume: VolumeId, server: ServerId },
+    /// The read-only replicas registered for `volume`.
+    VlReplicas { volume: VolumeId },
 
     // ---- Protocol exporter: file access (§3.5, §5) ----
     /// Fid of a volume's root directory.
@@ -213,6 +218,9 @@ pub enum Response {
     Location { server: ServerId, generation: u64 },
     /// All volume locations with their generations.
     Locations(Vec<(VolumeId, ServerId, u64)>),
+    /// The read-only replica servers registered for a volume (answer to
+    /// `VlReplicas`; empty when the volume has no replicas).
+    Replicas(Vec<ServerId>),
     /// A fid (root lookups).
     FidIs(Fid),
     /// Status plus any granted tokens and the serialization stamp of
@@ -220,14 +228,26 @@ pub enum Response {
     /// parameters from calls that read or write status information").
     /// `epoch` is the serving instance's restart epoch — clients compare
     /// it against the last epoch they saw to detect a crash-restart.
-    Status { status: FileStatus, tokens: Vec<Token>, stamp: SerializationStamp, epoch: u64 },
-    /// Data plus status, tokens, stamp, and server epoch.
+    /// `stale_us` is 0 when the volume's primary served this response;
+    /// a §3.8 read-only replica stamps its bounded staleness (µs since
+    /// its last refresh, always ≥ 1) so callers can account honestly
+    /// for how old the answer may be.
+    Status {
+        status: FileStatus,
+        tokens: Vec<Token>,
+        stamp: SerializationStamp,
+        epoch: u64,
+        stale_us: u64,
+    },
+    /// Data plus status, tokens, stamp, server epoch, and the same
+    /// staleness bound as `Status`.
     Data {
         bytes: Vec<u8>,
         status: FileStatus,
         tokens: Vec<Token>,
         stamp: SerializationStamp,
         epoch: u64,
+        stale_us: u64,
     },
     /// Directory listing.
     Entries(Vec<DirEntry>),
@@ -271,6 +291,8 @@ impl Request {
             Request::VlRegister { .. } => "VlRegister",
             Request::VlUnregister { .. } => "VlUnregister",
             Request::VlList => "VlList",
+            Request::VlAddReplica { .. } => "VlAddReplica",
+            Request::VlReplicas { .. } => "VlReplicas",
             Request::GetRoot { .. } => "GetRoot",
             Request::FetchStatus { .. } => "FetchStatus",
             Request::FetchData { .. } => "FetchData",
@@ -354,8 +376,8 @@ impl Response {
     pub fn wire_size(&self) -> u64 {
         const HDR: u64 = 48;
         HDR + match self {
-            Response::Data { bytes, .. } => bytes.len() as u64 + 96,
-            Response::Status { .. } => 96,
+            Response::Data { bytes, .. } => bytes.len() as u64 + 104,
+            Response::Status { .. } => 104,
             Response::Entries(es) => {
                 es.iter().map(|e| e.name.len() as u64 + 20).sum::<u64>()
             }
@@ -365,6 +387,8 @@ impl Response {
             Response::Target(t) => t.len() as u64,
             // volume id + server id + generation per entry.
             Response::Locations(ls) => 20 * ls.len() as u64,
+            // One server id per replica.
+            Response::Replicas(rs) => 8 * rs.len() as u64,
             // hint server id + generation.
             Response::WrongServer { .. } => 12,
             Response::Reestablished { tokens, .. } => 40 * tokens.len() as u64,

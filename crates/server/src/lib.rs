@@ -23,10 +23,11 @@ pub mod locks;
 pub mod vldb;
 
 pub use glue::{Glue, LocalHost};
-pub use hosts::{HostModel, HostRecord, RemoteHost};
+pub use hosts::{HostModel, HostRecord, RemoteHost, DEFAULT_LEASE_US};
 pub use locks::LockTable;
 pub use vldb::{VldbHandle, VldbReplica};
 
+use dfs_journal::{HostLog, HostLogReplay};
 use dfs_rpc::{
     Addr, CallClass, CallContext, Network, PoolConfig, Request, Response, RpcService,
     TokenRequest,
@@ -135,6 +136,13 @@ pub struct FileServer {
     repl: OrderedMutex<Vec<ReplJob>, { rank::VOLUME_REGISTRY }>,
     known_hosts: OrderedMutex<HashSet<HostId>, { rank::SERVER_HOSTS }>,
     recovery: OrderedMutex<RecoveryState, { rank::SERVER_HOSTS }>,
+    /// Durable host/lease journal (the Episode aggregate's host-log
+    /// ring). When present, the server records which clients hold
+    /// tokens and when they were last heard from, so a restart can
+    /// rebuild its expected-host set from disk even if the previous
+    /// instance's memory is gone with the machine. `None` for physical
+    /// file systems without a host-log region (the FFS baseline).
+    host_log: Option<Arc<HostLog>>,
     stats: OrderedMutex<ServerStats, { rank::STATS }>,
 }
 
@@ -149,57 +157,111 @@ impl FileServer {
         vldb_replicas: Vec<Addr>,
         pool: PoolConfig,
     ) -> DfsResult<Arc<FileServer>> {
-        Self::start_instance(net, id, physical, vldb_replicas, pool, 1, RecoveryState::default())
+        Self::start_instance(
+            net,
+            id,
+            physical,
+            None,
+            vldb_replicas,
+            pool,
+            1,
+            RecoveryState::default(),
+        )
+    }
+
+    /// Like [`FileServer::start`], but with a durable host journal: the
+    /// server records token-holder/lease facts into `host_log` as it
+    /// runs, so a later [`FileServer::restart`] can rebuild recovery
+    /// state from disk alone.
+    pub fn start_journaled(
+        net: Network,
+        id: ServerId,
+        physical: Arc<dyn PhysicalFs>,
+        host_log: Option<Arc<HostLog>>,
+        vldb_replicas: Vec<Addr>,
+        pool: PoolConfig,
+    ) -> DfsResult<Arc<FileServer>> {
+        Self::start_instance(
+            net,
+            id,
+            physical,
+            host_log,
+            vldb_replicas,
+            pool,
+            1,
+            RecoveryState::default(),
+        )
     }
 
     /// Restarts a server after a crash, on the same (journal-recovered)
-    /// `physical`. The new instance runs at `prev_epoch + 1` and opens a
-    /// `grace_us`-long recovery window during which the `expected` hosts
-    /// — the previous instance's host-model snapshot, standing in for a
-    /// durably stored host table — may reestablish their tokens. Grace
-    /// ends early once every still-lease-live expected host has checked
-    /// in; lease-expired hosts never pin the window.
+    /// `physical`. Recovery state comes from the *durable* host journal
+    /// replay, never from the dying instance's memory: the previous
+    /// epoch is the highest epoch ever journaled, and the expected-host
+    /// set is every journaled client that held tokens and was still
+    /// inside its lease — so recovery survives losing the whole machine,
+    /// not just the process. The new instance runs at `prev_epoch + 1`
+    /// and opens a `grace_us`-long recovery window during which the
+    /// expected hosts may reestablish their tokens. Grace ends early
+    /// once every still-lease-live expected host has checked in;
+    /// lease-expired hosts never pin the window.
     ///
     /// Binding the address replaces the crashed node on the network, so
     /// the restarted server is immediately reachable.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // A restart is a whole-machine rebuild; the args are the machine.
     pub fn restart(
         net: Network,
         id: ServerId,
         physical: Arc<dyn PhysicalFs>,
+        host_log: Option<Arc<HostLog>>,
+        replay: &HostLogReplay,
         vldb_replicas: Vec<Addr>,
         pool: PoolConfig,
-        prev_epoch: u64,
-        expected: Vec<(ClientId, Timestamp)>,
         grace_us: u64,
     ) -> DfsResult<Arc<FileServer>> {
         let now = net.clock().now();
+        // Wait only for hosts that actually held tokens at their last
+        // journaling and are still lease-live: a caller with nothing to
+        // reestablish (or one long dead) must not pin the grace window.
+        let expected: HashSet<ClientId> = replay
+            .hosts
+            .iter()
+            .filter(|(_, (seen, holding))| {
+                *holding && now.0.saturating_sub(*seen) <= DEFAULT_LEASE_US
+            })
+            .map(|(c, _)| ClientId(*c))
+            .collect();
         let recovery = RecoveryState {
             grace_until: Some(Timestamp(now.0 + grace_us)),
-            expected: expected.iter().map(|(c, _)| *c).collect(),
+            expected,
             checked_in: HashSet::new(),
         };
+        // A replay that never saw a `ServerEpoch` (pre-host-log
+        // aggregate) still restarts above the floor epoch of 1.
+        let prev_epoch = replay.epoch.max(1);
         let srv = Self::start_instance(
             net,
             id,
             physical,
+            host_log,
             vldb_replicas,
             pool,
             prev_epoch + 1,
             recovery,
         )?;
-        // Seed the host model with pre-crash last-seen times so lease
+        // Seed the host model with journaled last-seen times so lease
         // expiry applies to hosts that never come back.
-        for (c, last_seen) in expected {
-            srv.hosts.seed(c, last_seen);
+        for (c, (last_seen, _)) in &replay.hosts {
+            srv.hosts.seed(ClientId(*c), Timestamp(*last_seen));
         }
         Ok(srv)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_instance(
         net: Network,
         id: ServerId,
         physical: Arc<dyn PhysicalFs>,
+        host_log: Option<Arc<HostLog>>,
         vldb_replicas: Vec<Addr>,
         pool: PoolConfig,
         epoch: u64,
@@ -227,8 +289,15 @@ impl FileServer {
             repl: OrderedMutex::new(Vec::new()),
             known_hosts: OrderedMutex::new(HashSet::new()),
             recovery: OrderedMutex::new(recovery),
+            host_log: host_log.clone(),
             stats: OrderedMutex::new(ServerStats::default()),
         });
+        // Journal this instance's epoch before serving anything: a
+        // crash from here on must restart at `epoch + 1` even if no
+        // other host fact was ever recorded.
+        if let Some(hl) = &host_log {
+            hl.record_epoch(epoch)?;
+        }
         srv.tm.register_host(srv.local_host.clone());
         for vol in srv.physical.list_volumes()? {
             srv.hosted.lock().insert(vol.id);
@@ -363,6 +432,41 @@ impl FileServer {
         }
     }
 
+    /// Durable lease refresh: re-journal `client`'s last-seen time (and
+    /// current token-holder status) once the on-disk fact has gone stale
+    /// by a quarter of the lease. Coarse on purpose — one synchronous
+    /// ring write per client per lease/4, not per RPC — and always an
+    /// over-approximation in between: a restart reading a slightly old
+    /// `last_seen` only shortens how long a dead client is waited for,
+    /// never forgets a live one (the client's reestablishment doesn't
+    /// depend on the journal being fresh).
+    fn journal_lease_refresh(&self, client: ClientId, now: Timestamp) {
+        let Some(hl) = &self.host_log else { return };
+        let quarter = self.hosts.lease_us() / 4;
+        let stale = hl
+            .lease_of(client.0)
+            .is_none_or(|(seen, _)| now.0.saturating_sub(seen) >= quarter);
+        if stale {
+            let holding = self.tm.token_holders().contains(&client);
+            let _ = hl.record_lease(client.0, now.0, holding);
+        }
+    }
+
+    /// Durably marks `host` as a token holder the moment it first keeps
+    /// a grant. Eager (unlike the lease refresh) because this is the
+    /// fact a restart's grace window is built from: a client that
+    /// crashed the server one RPC after taking its first write token
+    /// must already be in the journal. The holding flag is only cleared
+    /// by a later lease refresh observing no tokens — over-inclusion
+    /// merely extends grace, which is safe.
+    fn journal_holding(&self, host: HostId) {
+        let HostId::Client(c) = host else { return };
+        let Some(hl) = &self.host_log else { return };
+        if hl.lease_of(c.0).map(|(_, h)| h) != Some(true) {
+            let _ = hl.record_lease(c.0, self.net.clock().now().0, true);
+        }
+    }
+
     /// Grants `base ∪ want` to `host` on `fid`, runs `f`, and either
     /// hands the token to the caller (if `want` was given) or releases
     /// it. Returns `f`'s result, the tokens to ship, and the stamp.
@@ -384,6 +488,8 @@ impl FileServer {
         let keep = want.is_some() && result.is_ok();
         if !keep {
             self.tm.release(host, token.id);
+        } else {
+            self.journal_holding(host);
         }
         match result {
             Ok(r) => Ok((r, if keep { vec![token] } else { Vec::new() }, stamp)),
@@ -414,7 +520,7 @@ impl FileServer {
         if ctx.class == CallClass::Revocation {
             let status = fs.write_vec(cred, fid, &extents)?;
             let stamp = self.tm.stamp(fid);
-            return Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch });
+            return Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 });
         }
         // One grant covering the hull of all extents.
         let mut range = ByteRange::at(extents[0].offset, extents[0].data.len() as u64);
@@ -429,7 +535,7 @@ impl FileServer {
             None,
             || fs.write_vec(cred, fid, &extents),
         )?;
-        Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
+        Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 })
     }
 
     // ------------------------------------------------------------------
@@ -647,7 +753,37 @@ impl FileServer {
             base_version: base,
             dirty: false,
         });
+        // Advertise this replica in the VLDB so clients can find it
+        // when the primary is down (§3.8 promotion). Best effort: a
+        // replica that fails to advertise still serves direct readers.
+        let _ = self.vldb.add_replica(volume, self.id);
         Ok(())
+    }
+
+    /// Stamps the replica staleness bound into a file response when the
+    /// answering volume is a §3.8 replica: the age of its last refresh,
+    /// clamped to ≥ 1 µs so even a just-refreshed replica is
+    /// distinguishable from the primary (clients must not treat replica
+    /// bytes as token-backed cacheable data). Primary-served volumes
+    /// (no replication job) pass through with `stale_us` = 0.
+    fn stamp_staleness(&self, volume: Option<VolumeId>, resp: Response) -> Response {
+        let Some(v) = volume else { return resp };
+        let age = {
+            let jobs = self.repl.lock();
+            jobs.iter()
+                .find(|j| j.volume == v)
+                .map(|j| self.net.clock().now().micros_since(j.last_refresh).max(1))
+        };
+        let Some(age) = age else { return resp };
+        match resp {
+            Response::Status { status, tokens, stamp, epoch, .. } => {
+                Response::Status { status, tokens, stamp, epoch, stale_us: age }
+            }
+            Response::Data { bytes, status, tokens, stamp, epoch, .. } => {
+                Response::Data { bytes, status, tokens, stamp, epoch, stale_us: age }
+            }
+            other => other,
+        }
     }
 
     /// One replication pass: refreshes any replica past its staleness
@@ -740,7 +876,7 @@ impl FileServer {
                     want,
                     || fs.getattr(&cred, fid),
                 )?;
-                Ok(P::Status { status, tokens, stamp, epoch: self.epoch })
+                Ok(P::Status { status, tokens, stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::FetchData { fid, offset, len, want } => {
@@ -759,7 +895,7 @@ impl FileServer {
                         Ok((bytes, status))
                     },
                 )?;
-                Ok(P::Data { bytes, status, tokens, stamp, epoch: self.epoch })
+                Ok(P::Data { bytes, status, tokens, stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::StoreData { fid, offset, data } => {
@@ -785,7 +921,7 @@ impl FileServer {
                     // (the storing client holds the status-write token).
                     let status = fs.setattr(&cred, fid, &attrs)?;
                     let stamp = self.tm.stamp(fid);
-                    return Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch });
+                    return Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 });
                 }
                 let types = if attrs.length.is_some() { DIR_WRITE } else { TokenTypes::STATUS_WRITE };
                 let (status, _t, stamp) = self.with_grant(
@@ -796,7 +932,7 @@ impl FileServer {
                     None,
                     || fs.setattr(&cred, fid, &attrs),
                 )?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
+                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::Fsync { fid } => {
@@ -810,11 +946,13 @@ impl FileServer {
                 // Whole-volume tokens (vnode 0) have no status to fetch.
                 if fid.vnode.0 == 0 {
                     let (token, stamp) = self.tm.grant(host, fid, want.types, want.range)?;
+                    self.journal_holding(host);
                     return Ok(P::Status {
                         status: dfs_types::FileStatus { fid, stamp, ..Default::default() },
                         tokens: vec![token],
                         stamp,
                         epoch: self.epoch,
+                        stale_us: 0,
                     });
                 }
                 let fs = self.volume_of(fid)?;
@@ -826,7 +964,7 @@ impl FileServer {
                     Some(want),
                     || fs.getattr(&cred, fid),
                 )?;
-                Ok(P::Status { status, tokens, stamp, epoch: self.epoch })
+                Ok(P::Status { status, tokens, stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::ReturnToken { fid, token } => {
@@ -848,7 +986,7 @@ impl FileServer {
                     || fs.lookup(&cred, dir, &name),
                 )?;
                 let stamp = self.tm.stamp(status.fid);
-                Ok(P::Status { status, tokens, stamp, epoch: self.epoch })
+                Ok(P::Status { status, tokens, stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::Create { dir, name, mode } => self.namespace_op(ctx, dir, |fs| {
@@ -870,7 +1008,7 @@ impl FileServer {
                 });
                 self.tm.release(host, t2.id);
                 let (status, _t, stamp) = result?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
+                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::Remove { dir, name } => {
@@ -894,7 +1032,7 @@ impl FileServer {
                 });
                 self.tm.release(host, vt.id);
                 let (status, _t, stamp) = result?;
-                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
+                Ok(P::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 })
             }
 
             Q::Rmdir { dir, name } => {
@@ -1051,8 +1189,11 @@ impl FileServer {
                     }
                     let host = self.host_for(Addr::Client(client))?;
                     // Count the shipped client as seen, so a later
-                    // restart of *this* server expects it to recover.
+                    // restart of *this* server expects it to recover —
+                    // durably: the move's handover is exactly the kind
+                    // of state a crashed target must not forget.
                     self.hosts.seed(client, now);
+                    self.journal_holding(host);
                     self.tm.install_grant(host, token);
                 }
                 for (fid, stamp) in stamps {
@@ -1127,6 +1268,11 @@ impl FileServer {
                         }
                     }
                 }
+                if !granted.is_empty() {
+                    // The re-grants make this client a holder under the
+                    // *new* instance; journal that for the next crash.
+                    self.journal_holding(host);
+                }
                 if expected {
                     let mut rec = self.recovery.lock();
                     rec.checked_in.insert(client);
@@ -1166,7 +1312,8 @@ impl FileServer {
             }
 
             Q::Login { .. } | Q::VlLookup { .. } | Q::VlRegister { .. }
-            | Q::VlUnregister { .. } | Q::VlList => Err(DfsError::InvalidArgument),
+            | Q::VlUnregister { .. } | Q::VlList | Q::VlAddReplica { .. }
+            | Q::VlReplicas { .. } => Err(DfsError::InvalidArgument),
         }
     }
 
@@ -1181,7 +1328,7 @@ impl FileServer {
         let (status, _t, _s) =
             self.with_grant(host, dir, DIR_WRITE, ByteRange::WHOLE, None, || f(&fs))?;
         let stamp = self.tm.stamp(status.fid);
-        Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch })
+        Ok(Response::Status { status, tokens: Vec::new(), stamp, epoch: self.epoch, stale_us: 0 })
     }
 
     /// The volume a file RPC is about, if any. Admin traffic (volume
@@ -1285,7 +1432,9 @@ impl FileServer {
 impl RpcService for FileServer {
     fn dispatch(&self, ctx: CallContext, req: Request) -> Response {
         if let Addr::Client(c) = ctx.caller {
-            self.hosts.saw_call(c, ctx.principal, self.net.clock().now());
+            let now = self.net.clock().now();
+            self.hosts.saw_call(c, ctx.principal, now);
+            self.journal_lease_refresh(c, now);
         }
         // Routing gate: a file call for a volume this server does not
         // host is forwarded or redirected before any recovery or busy
@@ -1352,6 +1501,7 @@ impl RpcService for FileServer {
             Ok(resp) => resp,
             Err(e) => Response::Err(e),
         };
+        let resp = self.stamp_staleness(volume, resp);
         if let Some(v) = volume {
             self.inflight_dec(v);
         }

@@ -22,12 +22,19 @@ use std::sync::Arc;
 /// One replica of the volume location database.
 pub struct VldbReplica {
     map: OrderedMutex<HashMap<VolumeId, (ServerId, u64)>, { rank::VOLUME_REGISTRY }>,
+    /// Read-only replica servers per volume (§3.8): where clients fail
+    /// over when the primary is down. Kept separate from the location
+    /// map so primary moves never disturb the replica set.
+    replicas: OrderedMutex<HashMap<VolumeId, Vec<ServerId>>, { rank::SERVER_ROUTES }>,
 }
 
 impl VldbReplica {
     /// Creates an empty replica.
     pub fn new() -> Arc<VldbReplica> {
-        Arc::new(VldbReplica { map: OrderedMutex::new(HashMap::new()) })
+        Arc::new(VldbReplica {
+            map: OrderedMutex::new(HashMap::new()),
+            replicas: OrderedMutex::new(HashMap::new()),
+        })
     }
 
     /// Number of entries (diagnostics).
@@ -64,7 +71,19 @@ impl RpcService for VldbReplica {
             }
             Request::VlUnregister { volume } => {
                 self.map.lock().remove(&volume);
+                self.replicas.lock().remove(&volume);
                 Response::Ok
+            }
+            Request::VlAddReplica { volume, server } => {
+                let mut reps = self.replicas.lock();
+                let list = reps.entry(volume).or_default();
+                if !list.contains(&server) {
+                    list.push(server);
+                }
+                Response::Ok
+            }
+            Request::VlReplicas { volume } => {
+                Response::Replicas(self.replicas.lock().get(&volume).cloned().unwrap_or_default())
             }
             Request::VlList => {
                 let entries =
@@ -130,6 +149,48 @@ impl VldbHandle {
         } else {
             Err(DfsError::Unreachable)
         }
+    }
+
+    /// Registers `server` as a read-only replica of `volume` on every
+    /// reachable VLDB replica.
+    pub fn add_replica(&self, volume: VolumeId, server: ServerId) -> DfsResult<()> {
+        let mut any = false;
+        for &r in &self.replicas {
+            if self
+                .net
+                .call(
+                    self.from,
+                    r,
+                    None,
+                    CallClass::Normal,
+                    Request::VlAddReplica { volume, server },
+                )
+                .is_ok()
+            {
+                any = true;
+            }
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(DfsError::Unreachable)
+        }
+    }
+
+    /// The read-only replica servers of `volume`, from the first
+    /// reachable VLDB replica (empty when the volume has none).
+    pub fn replicas_of(&self, volume: VolumeId) -> DfsResult<Vec<ServerId>> {
+        let mut last = DfsError::Unreachable;
+        for &r in &self.replicas {
+            match self.net.call(self.from, r, None, CallClass::Normal, Request::VlReplicas { volume })
+            {
+                Ok(Response::Replicas(list)) => return Ok(list),
+                Ok(Response::Err(e)) => return Err(e),
+                Ok(_) => return Err(DfsError::Internal("bad VLDB response")),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     /// Removes `volume` from every replica.

@@ -52,6 +52,10 @@ pub enum DfsError {
     Timeout,
     /// The remote host refused or cannot be reached.
     Unreachable,
+    /// The service stayed unreachable past the client's whole retry
+    /// budget and no replica could serve the request: the honest
+    /// give-up, reported instead of retrying forever.
+    Unavailable,
     /// The server is inside its post-restart recovery grace period and
     /// admits only token reestablishment from known hosts; new work must
     /// wait until the grace window closes.
@@ -106,6 +110,7 @@ impl fmt::Display for DfsError {
             DfsError::Crashed => write!(f, "node has crashed"),
             DfsError::Timeout => write!(f, "rpc timeout"),
             DfsError::Unreachable => write!(f, "host unreachable"),
+            DfsError::Unavailable => write!(f, "service unavailable (retry budget exhausted)"),
             DfsError::GraceWait => write!(f, "server in recovery grace period"),
             DfsError::AuthenticationFailed => write!(f, "authentication failed"),
             DfsError::TokenRevoked => write!(f, "token revoked"),
@@ -128,6 +133,7 @@ mod tests {
         assert!(DfsError::GraceWait.is_retryable());
         assert!(!DfsError::PermissionDenied.is_retryable());
         assert!(!DfsError::NotFound.is_retryable());
+        assert!(!DfsError::Unavailable.is_retryable(), "the give-up error is final");
     }
 
     #[test]

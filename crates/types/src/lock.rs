@@ -81,6 +81,10 @@ pub mod rank {
     /// locks so writers may kick the flusher while holding `lo`; the
     /// flusher itself drops this lock before touching any vnode.
     pub const CLIENT_FLUSHER: u16 = 60;
+    /// Fleet rebalance-daemon control block (stop/kick/pause flags).
+    /// Ranked below `FLEET_REGISTRY`: the daemon drops this lock before
+    /// planning, but a planner may signal the daemon mid-plan.
+    pub const FLEET_DAEMON: u16 = 85;
     /// Fleet-wide server registry and volume placement plan. Ranked
     /// below every server-side lock: the fleet layer inspects servers
     /// (which take VOLUME_REGISTRY and above) while planning a move.

@@ -70,10 +70,13 @@ fn new_client_held_off_until_grace_expires() {
     assert!(cell.server(0).in_grace());
 
     // A brand-new host gets GraceWait until the window closes; its retry
-    // loop gives up long before the 60 s (simulated) deadline.
+    // budget runs out long before the 60 s (simulated) deadline and the
+    // client reports honest unavailability rather than a retryable
+    // timeout.
     let b = cell.new_client();
-    assert_eq!(b.root(VolumeId(1)).unwrap_err(), DfsError::Timeout);
+    assert_eq!(b.root(VolumeId(1)).unwrap_err(), DfsError::Unavailable);
     assert!(b.stats().grace_waits > 0, "B was refused by the recovery gate");
+    assert!(b.stats().unavailable_giveups >= 1, "the retry budget was spent");
 
     // Deadline passes (and A's lease expires with it): grace closes even
     // though A never checked in, and B is admitted.
@@ -84,14 +87,17 @@ fn new_client_held_off_until_grace_expires() {
     assert_eq!(b.read(got.fid, 0, 16).unwrap(), b"pre-crash");
 }
 
-/// Satellite: VLDB failover where the *file server* address (not just a
-/// VLDB replica) is crashed. The client's cached volume location goes
-/// stale, the first VLDB replica is down too, and the retry loop must
-/// re-resolve through a surviving replica until the restarted server
-/// answers.
+/// Satellite: §3.8 replica promotion. The volume has a read-only
+/// replica on a second server; when the primary (and the first VLDB
+/// replica) crash, a fresh reader fails over through a surviving VLDB
+/// replica to the read-only copy and is served *bounded-stale* reads —
+/// every such response carries a nonzero staleness stamp, and the bytes
+/// never masquerade as token-backed cache. Writes stay honestly
+/// unavailable. When the primary returns, the same client reconciles:
+/// reads come back primary-served (stale stamp zero) and writes work.
 #[test]
 fn location_failover_when_file_server_crashes() {
-    let cell = Cell::builder().servers(1).vldb_replicas(2).build().unwrap();
+    let cell = Cell::builder().servers(2).vldb_replicas(2).build().unwrap();
     cell.create_volume(0, VolumeId(1), "v").unwrap();
     let c = cell.new_client();
     let root = c.root(VolumeId(1)).unwrap();
@@ -99,33 +105,58 @@ fn location_failover_when_file_server_crashes() {
     c.write(f.fid, 0, b"beyond the crash").unwrap();
     c.fsync(f.fid).unwrap();
 
-    // Both the file server AND the first VLDB replica go down: location
-    // re-resolution itself has to fail over to replica 1.
+    // Replicate the volume onto server 1 (5 s staleness bound); the
+    // replica advertises itself in the VLDB.
+    cell.replicate_volume(0, 1, VolumeId(1), 5_000_000).unwrap();
+
+    // The primary AND the first VLDB replica go down: both the replica
+    // discovery and the location re-resolution must fail over to the
+    // surviving VLDB replica.
     cell.net().set_crashed(decorum_dfs::rpc::Addr::Vldb(0), true);
     cell.crash_server(0);
+    cell.clock().advance_secs(1);
 
-    // A fresh reader (nothing cached) starts while the server is still
-    // dead; each retry drops the stale location and re-resolves it
-    // through the surviving VLDB replica.
+    // A fresh reader knows only the fid (no root/lookup RPC needed).
+    // Its FetchData gives up on the primary after a couple of attempts
+    // and is served by the replica, stale-stamped.
     let b = cell.new_client();
-    let reader = {
-        let b = b.clone();
-        std::thread::spawn(move || {
-            let root = b.root(VolumeId(1))?;
-            let got = b.lookup(root, "survivor")?;
-            b.read(got.fid, 0, 32)
-        })
-    };
-    std::thread::sleep(std::time::Duration::from_millis(5));
-    cell.restart_server(0, 0).unwrap();
+    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"beyond the crash");
+    let st = b.stats();
+    assert!(st.replica_failovers >= 1, "the read failed over to the replica");
+    assert!(st.stale_reads >= 1, "the read was served bounded-stale");
+    assert!(
+        st.max_stale_us >= 1_000_000,
+        "staleness stamp reflects the replica's age, got {}",
+        st.max_stale_us
+    );
+    assert!(
+        st.max_stale_us <= 5_000_000,
+        "staleness stays within the replication bound, got {}",
+        st.max_stale_us
+    );
 
-    assert_eq!(reader.join().unwrap().unwrap(), b"beyond the crash");
-    assert!(b.stats().transport_retries > 0, "B observed the crash and retried through it");
+    // Stale bytes were served, not cached: nothing in B's cache claims
+    // token backing for this file.
+    assert_eq!(b.dirty_pages(f.fid), 0);
+
+    // Writes cannot be served by a read-only replica: the retry budget
+    // runs out and the client reports honest unavailability.
+    assert!(b.write(f.fid, 0, b"rejected").is_err());
+    assert!(b.stats().unavailable_giveups >= 1, "the write spent its retry budget");
+
+    // The primary returns; B reconciles: its next read is
+    // primary-served (and authoritative), and writes flow again.
+    cell.restart_server(0, 0).unwrap();
+    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"beyond the crash");
+    b.write(f.fid, 0, b"after the return").unwrap();
+    b.fsync(f.fid).unwrap();
+    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"after the return");
 
     // The pre-crash client reconnects too: its next server round-trip
     // runs the recovery pipeline against the new epoch.
     c.create(root, "after", 0o644).unwrap();
     assert_eq!(c.stats().recoveries, 1, "reconnection ran the recovery pipeline");
+    assert_eq!(c.read(f.fid, 0, 32).unwrap(), b"after the return");
 }
 
 /// §2.2: restart cost tracks the *active log*, not the file-system

@@ -20,6 +20,11 @@
 #   8. hotpath gate: the token stress suite at shard counts 1 and 4
 #      (DFS_TOKEN_SHARDS) plus T9 with a small --clients sweep and T8
 #      with a --clients concurrency section, both JSON-validated
+#   9. availability gate: the fault-matrix tests (drop/delay/duplicate/
+#      partition over flush, revocation, migration) plus T14 at tiny
+#      parameters (§3.8 replica promotion: bounded-stale reads during a
+#      primary partition, honest Unavailable without a replica, zero
+#      lost updates after reconciliation)
 #
 # Run from the repo root:  ./verify.sh
 set -eu
@@ -64,5 +69,10 @@ t9_out=$(cargo run -q --release -p dfs-bench --bin t9_revocation_pingpong -- --j
 printf '%s' "$t9_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 t8c_out=$(cargo run -q --release -p dfs-bench --bin t8_group_commit -- --json --ops 64 --pages 16 --clients 4)
 printf '%s' "$t8c_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+
+echo "==> availability gate (fault-matrix tests + t14 smoke)"
+cargo test -q --test faults
+t14_out=$(cargo run -q --release -p dfs-bench --bin t14_availability -- --json --files 6)
+printf '%s' "$t14_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "verify: OK"
