@@ -1,9 +1,14 @@
 //! F1 — Figure 1: server-side structure, rendered from a live cell.
+//!
+//! `--json` emits the live component counters machine-readably (the
+//! ASCII rendering is inherently human output).
 
+use dfs_bench::emit::Obj;
 use decorum_dfs::types::VolumeId;
 use decorum_dfs::Cell;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let cell = Cell::builder().servers(1).build().expect("cell");
     cell.create_volume(0, VolumeId(1), "root.cell").expect("volume");
     // Touch the server from both sides so every component has state.
@@ -15,11 +20,26 @@ fn main() {
     use decorum_dfs::vfs::{Credentials, Vfs};
     local.read(&Credentials::system(), f.fid, 0, 2).unwrap();
 
-    println!("{}", cell.render_server_structure());
     let tm = cell.server(0).token_manager().stats();
+    let hm = cell.server(0).host_model().clone();
+    let ops = cell.server(0).stats().ops;
+
+    if json {
+        let out = Obj::new()
+            .field("bench", "fig1_server_structure")
+            .field("token_grants", tm.grants)
+            .field("token_revocations", tm.revocations)
+            .field("token_releases", tm.releases)
+            .field_arr("host_model_clients", hm.clients().iter().map(|c| c.0))
+            .field("server_ops", ops)
+            .render();
+        println!("{out}");
+        return;
+    }
+
+    println!("{}", cell.render_server_structure());
     println!("live token manager: {} grants, {} revocations, {} releases",
         tm.grants, tm.revocations, tm.releases);
-    let hm = cell.server(0).host_model().clone();
     println!("host model knows clients: {:?}", hm.clients());
-    println!("server ops served: {}", cell.server(0).stats().ops);
+    println!("server ops served: {ops}");
 }

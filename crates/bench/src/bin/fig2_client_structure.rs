@@ -1,9 +1,14 @@
 //! F2 — Figure 2: client-side structure, annotated from a live client.
+//!
+//! `--json` emits the live layer counters machine-readably (the ASCII
+//! rendering is inherently human output).
 
+use dfs_bench::emit::Obj;
 use decorum_dfs::types::VolumeId;
 use decorum_dfs::Cell;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let cell = Cell::builder().servers(1).build().expect("cell");
     cell.create_volume(0, VolumeId(1), "v").expect("volume");
     let c = cell.new_client();
@@ -14,6 +19,22 @@ fn main() {
     c.lookup(root, "file").unwrap();
     c.lookup(root, "file").unwrap();
     let s = c.stats();
+
+    if json {
+        let out = Obj::new()
+            .field("bench", "fig2_client_structure")
+            .field("lookup_hits", s.lookup_hits)
+            .field("lookup_misses", s.lookup_misses)
+            .field("local_reads", s.local_reads)
+            .field("remote_reads", s.remote_reads)
+            .field("local_writes", s.local_writes)
+            .field("write_token_fetches", s.write_token_fetches)
+            .field("revocations", s.revocations)
+            .field("queued_revocations", s.queued_revocations)
+            .render();
+        println!("{out}");
+        return;
+    }
 
     println!("Figure 2: DEcorum client structure (live layers)");
     println!();

@@ -8,6 +8,7 @@
 //! Ablation: run a revocation-heavy workload with and without dedicated
 //! revocation threads, with a deliberately tiny normal pool.
 
+use dfs_bench::emit::{arr, Obj};
 use dfs_bench::{header, row};
 use dfs_types::VolumeId;
 use decorum_dfs::Cell;
@@ -41,10 +42,29 @@ fn run(revocation_workers: usize) -> (u64, u64, bool) {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let sweep: Vec<(usize, (u64, u64, bool))> =
+        [2usize, 1, 0].iter().map(|&rw| (rw, run(rw))).collect();
+
+    if json {
+        let rows = arr(sweep.iter().map(|&(rw, (ok, failed, clean))| {
+            Obj::new()
+                .field("revocation_workers", rw)
+                .field("handoffs_ok", ok)
+                .field("failed", failed)
+                .field("no_timeouts", clean)
+        }));
+        let out = Obj::new()
+            .field("bench", "t10_thread_pool_ablation")
+            .field_raw("sweep", &rows)
+            .render();
+        println!("{out}");
+        return;
+    }
+
     println!("T10: dedicated revocation threads (§6.4 ablation; 1 normal worker)\n");
     header(&["rev workers", "handoffs ok", "failed", "no timeouts"]);
-    for rw in [2usize, 1, 0] {
-        let (ok, failed, clean) = run(rw);
+    for &(rw, (ok, failed, clean)) in &sweep {
         row(&[&rw, &ok, &failed, &clean]);
     }
     println!("\nExpected shape (paper §6.4): with dedicated workers every handoff");

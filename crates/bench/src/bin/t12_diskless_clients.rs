@@ -6,6 +6,7 @@
 //! way); the disk-backed client additionally pays local disk traffic,
 //! which this harness surfaces.
 
+use dfs_bench::emit::{arr, Obj};
 use dfs_bench::{header, row};
 use dfs_client::DiskCache;
 use dfs_disk::{DiskConfig, SimDisk};
@@ -41,31 +42,57 @@ fn workload(cell: &Cell, cm: &Arc<dfs_client::CacheManager>) -> (u64, u64) {
 }
 
 fn main() {
-    println!("T12 (extension): diskless vs disk-cached clients (§4.2)");
-    println!(
-        "    {FILES} files x {} KiB written + fsynced, then read x{READ_PASSES}\n",
-        FILE_BYTES / 1024
-    );
-    header(&["client", "RPCs", "net bytes", "local disk IOs"]);
+    let json = std::env::args().any(|a| a == "--json");
 
     // Diskless (in-memory cache).
-    {
+    let diskless = {
         let cell = Cell::builder().servers(1).disk_blocks(64 * 1024).build().unwrap();
         cell.create_volume(0, VolumeId(1), "v").unwrap();
         let cm = cell.new_client();
         let (rpcs, bytes) = workload(&cell, &cm);
-        row(&[&"diskless (mem)", &rpcs, &bytes, &0u64]);
-    }
+        ("diskless (mem)", rpcs, bytes, 0u64)
+    };
 
     // Disk-backed cache.
-    {
+    let disk_cached = {
         let cell = Cell::builder().servers(1).disk_blocks(64 * 1024).build().unwrap();
         cell.create_volume(0, VolumeId(1), "v").unwrap();
         let local_disk = SimDisk::new(DiskConfig::with_blocks(8 * 1024));
         let cm = cell.new_client_with(Arc::new(DiskCache::new(local_disk.clone())));
         let (rpcs, bytes) = workload(&cell, &cm);
         let s = local_disk.stats();
-        row(&[&"disk-cached", &rpcs, &bytes, &(s.reads + s.writes)]);
+        ("disk-cached", rpcs, bytes, s.reads + s.writes)
+    };
+    let variants = [diskless, disk_cached];
+
+    if json {
+        let rows = arr(variants.iter().map(|&(name, rpcs, bytes, ios)| {
+            Obj::new()
+                .field("client", name)
+                .field("rpcs", rpcs)
+                .field("net_bytes", bytes)
+                .field("local_disk_ios", ios)
+        }));
+        let out = Obj::new()
+            .field("bench", "t12_diskless_clients")
+            .field("files", FILES)
+            .field("file_bytes", FILE_BYTES)
+            .field("read_passes", READ_PASSES)
+            .field("identical_network", diskless.1 == disk_cached.1)
+            .field_raw("variants", &rows)
+            .render();
+        println!("{out}");
+        return;
+    }
+
+    println!("T12 (extension): diskless vs disk-cached clients (§4.2)");
+    println!(
+        "    {FILES} files x {} KiB written + fsynced, then read x{READ_PASSES}\n",
+        FILE_BYTES / 1024
+    );
+    header(&["client", "RPCs", "net bytes", "local disk IOs"]);
+    for &(name, rpcs, bytes, ios) in &variants {
+        row(&[&name, &rpcs, &bytes, &ios]);
     }
 
     println!("\nExpected shape: identical network behaviour for both variants");

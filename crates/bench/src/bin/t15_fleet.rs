@@ -2,32 +2,62 @@
 //! volume-sharded cell as the server count grows, with a live volume
 //! migration in the middle of the run.
 //!
-//! A fixed workload (8 volumes, one client per volume, `--files` small
-//! files each) is spread round-robin over 1/2/4/8 servers. Halfway
-//! through, volume 1 is live-migrated to another server while its
-//! client keeps issuing operations — the stale location cache is
-//! resolved by `WrongServer` hints, and every operation must succeed.
+//! The sweep is a scenario definition over [`dfs_bench::scenario`]: a
+//! fixed fsync-heavy write workload plus metadata churn spread over 8
+//! volumes (round-robin across 1/2/4/8 servers), with a mid-run
+//! [`Event::MoveVolume`] armed at the halfway op count so the
+//! migration happens under live traffic from every client. The shared
+//! driver owns seeding, the invariant checks (zero lost updates,
+//! cross-client agreement), and the stats plumbing; this binary is
+//! just the spec and the report shaping.
 //!
 //! Throughput is operations per simulated second of *critical-path*
 //! disk time: disks are the per-server bottleneck resource and servers
 //! run in parallel, so the fleet's makespan is the busiest disk's time.
-//! Content verification through a fresh client at the end makes "zero
-//! lost updates" a measured property, not an assumption.
 //!
 //! Flags: `--json` emits machine-readable results (validated by
-//! `jsoncheck` in the verify.sh smoke stage); `--files N` sets files
-//! per volume; `--servers N` restricts the sweep to one fleet size.
+//! `jsoncheck` in the verify.sh smoke stage); `--ops N` sets ops per
+//! client; `--servers N` restricts the sweep to one fleet size.
 
+use dfs_bench::emit::{arr, Obj};
+use dfs_bench::scenario::{ClassSpec, Event, OpClass, Phase, Scenario, Topology};
 use dfs_bench::{f2, header, row};
-use decorum_dfs::types::VolumeId;
-use decorum_dfs::{Cell, Fleet};
 
 const VOLUMES: u64 = 8;
+const CLIENTS: u32 = 8;
+
+/// The fixed workload over `servers` servers: private files, every
+/// write fsync'd in pairs (the create/write/fsync cadence of the old
+/// hand-rolled loop), a metadata-churn seasoning, and — when there is
+/// somewhere to move to — volume 1 live-migrated at the halfway point.
+fn scenario(servers: u32, ops_per_client: u64) -> Scenario {
+    let total = u64::from(CLIENTS) * ops_per_client;
+    let mut sc = Scenario::new(
+        "t15_fleet",
+        15,
+        Topology::new(servers, CLIENTS, VOLUMES),
+        vec![Phase::new(
+            "load",
+            ops_per_client,
+            vec![
+                ClassSpec::new(OpClass::Write, 3, 6).fsync_every(2),
+                ClassSpec::new(OpClass::MetadataChurn, 1, 4),
+            ],
+        )],
+    );
+    if servers > 1 {
+        // Volume 1 starts on slot 0 (round-robin placement); move it
+        // to the next slot while the clients' location caches still
+        // point at the old owner.
+        sc = sc.at(total / 2, Event::MoveVolume { volume: 1, dst_slot: 1 });
+    }
+    sc
+}
 
 struct Point {
     servers: u32,
     total_ops: u64,
-    max_busy_ms: f64,
+    busy_ms: f64,
     ops_per_sec: f64,
     move_completed: bool,
     redirects: u64,
@@ -35,152 +65,73 @@ struct Point {
     all_ops_ok: bool,
 }
 
-fn payload(vol: u64, file: u32) -> Vec<u8> {
-    vec![(vol as u8).wrapping_mul(31).wrapping_add(file as u8); 4096]
-}
-
-/// Runs the fixed workload over a fleet of `servers` servers.
-fn run(servers: u32, files: u32) -> Point {
-    let cell = Cell::builder().servers(servers).build().expect("cell");
-    let fleet = Fleet::new(cell);
-    for v in 1..=VOLUMES {
-        fleet.create_volume(VolumeId(v), &format!("vol{v}")).expect("volume");
-    }
-    let clients: Vec<_> = (0..VOLUMES).map(|_| fleet.cell().new_client()).collect();
-    let roots: Vec<_> = (0..VOLUMES)
-        .map(|v| clients[v as usize].root(VolumeId(v + 1)).expect("root"))
-        .collect();
-
-    let mut ops = 0u64;
-    let mut failures = 0u64;
-    // Interleave clients file-by-file so every server is active across
-    // the whole run (and the mid-run move happens under live traffic
-    // from all of them).
-    let mut do_phase = |range: std::ops::Range<u32>| {
-        for i in range {
-            for v in 0..VOLUMES {
-                let c = &clients[v as usize];
-                let ok = (|| {
-                    let f = c.create(roots[v as usize], &format!("f{i}"), 0o644)?;
-                    c.write(f.fid, 0, &payload(v + 1, i))?;
-                    c.fsync(f.fid)
-                })()
-                .is_ok();
-                ops += 3;
-                if !ok {
-                    failures += 1;
-                }
-            }
-        }
-    };
-
-    do_phase(0..files / 2);
-    // The mid-run live migration: volume 1 moves to the next slot while
-    // its client's location cache still points at the old owner.
-    let move_completed = if servers > 1 {
-        let src = fleet.server_of(VolumeId(1)).expect("owner");
-        fleet.move_volume(VolumeId(1), (src + 1) % servers as usize).is_ok()
-    } else {
-        true // nowhere to move in a 1-server fleet; not a failure
-    };
-    do_phase(files / 2..files);
-
-    // Zero-lost-updates check: a fresh client (empty caches, straight
-    // VLDB resolution) re-reads every byte ever written.
-    let fresh = fleet.cell().new_client();
-    let mut lost_updates = 0u64;
-    for v in 1..=VOLUMES {
-        let root = fresh.root(VolumeId(v)).expect("root");
-        for i in 0..files {
-            let good = fresh
-                .lookup(root, &format!("f{i}"))
-                .and_then(|f| fresh.read(f.fid, 0, 4096))
-                .map(|d| d == payload(v, i))
-                .unwrap_or(false);
-            if !good {
-                lost_updates += 1;
-            }
-        }
-    }
-
-    let mut max_busy_us = 0u64;
-    let mut redirects = 0u64;
-    let mut moves = 0u64;
-    for s in 0..fleet.server_count() {
-        max_busy_us = max_busy_us.max(fleet.cell().server_disk_stats(s).busy_us);
-        let st = fleet.cell().server(s).stats();
-        redirects += st.wrong_server_redirects;
-        moves += st.moves;
-    }
+fn run(servers: u32, ops_per_client: u64) -> Point {
+    let r = scenario(servers, ops_per_client).run();
     Point {
         servers,
-        total_ops: ops,
-        max_busy_ms: max_busy_us as f64 / 1000.0,
-        ops_per_sec: ops as f64 * 1e6 / (max_busy_us.max(1) as f64),
-        move_completed: move_completed && (servers == 1 || moves == 1),
-        redirects,
-        lost_updates,
-        all_ops_ok: failures == 0,
+        total_ops: r.total_ops,
+        busy_ms: r.disk_busy_us as f64 / 1000.0,
+        ops_per_sec: r.ops_per_disk_sec(),
+        // In a 1-server fleet there is nowhere to move — not a failure.
+        move_completed: servers == 1 || (r.server_moves >= 1 && r.events.iter().all(|e| e.ok)),
+        redirects: r.server_redirects + r.client_stats.wrong_server_redirects,
+        lost_updates: r.lost_updates,
+        all_ops_ok: r.failed_ops == 0 && r.clean(),
     }
 }
 
-fn parse_args() -> (bool, u32, Option<u32>) {
+fn parse_args() -> (bool, u64, Option<u32>) {
     let mut json = false;
-    let mut files = 12u32;
+    let mut ops = 36u64;
     let mut servers = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
-            "--files" => files = args.next().and_then(|v| v.parse().ok()).expect("--files N"),
+            "--ops" => ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
             "--servers" => {
                 servers = Some(args.next().and_then(|v| v.parse().ok()).expect("--servers N"))
             }
-            other => panic!("unknown flag {other:?} (supported: --json --files N --servers N)"),
+            other => panic!("unknown flag {other:?} (supported: --json --ops N --servers N)"),
         }
     }
-    (json, files, servers)
+    (json, ops, servers)
 }
 
 fn main() {
-    let (json, files, only) = parse_args();
+    let (json, ops, only) = parse_args();
     let sizes: Vec<u32> = match only {
         Some(n) => vec![n],
         None => vec![1, 2, 4, 8],
     };
-    let sweep: Vec<Point> = sizes.iter().map(|&n| run(n, files)).collect();
+    let sweep: Vec<Point> = sizes.iter().map(|&n| run(n, ops)).collect();
     let base = sweep[0].ops_per_sec;
 
     if json {
-        let rows: Vec<String> = sweep
-            .iter()
-            .map(|p| {
-                format!(
-                    "{{\"servers\": {}, \"total_ops\": {}, \"max_disk_busy_ms\": {:.2}, \
-                     \"agg_ops_per_sec\": {:.1}, \"speedup\": {:.2}, \
-                     \"move_completed\": {}, \"redirects\": {}, \
-                     \"lost_updates\": {}, \"all_ops_ok\": {}}}",
-                    p.servers,
-                    p.total_ops,
-                    p.max_busy_ms,
-                    p.ops_per_sec,
-                    p.ops_per_sec / base,
-                    p.move_completed,
-                    p.redirects,
-                    p.lost_updates,
-                    p.all_ops_ok
-                )
-            })
-            .collect();
-        println!(
-            "{{\"bench\": \"t15_fleet\", \"volumes\": {VOLUMES}, \"files_per_volume\": {files}, \
-             \"sweep\": [{}]}}",
-            rows.join(", ")
-        );
+        let rows = arr(sweep.iter().map(|p| {
+            Obj::new()
+                .field("servers", p.servers)
+                .field("total_ops", p.total_ops)
+                .field("max_disk_busy_ms", p.busy_ms)
+                .field("agg_ops_per_sec", p.ops_per_sec)
+                .field("speedup", p.ops_per_sec / base)
+                .field("move_completed", p.move_completed)
+                .field("redirects", p.redirects)
+                .field("lost_updates", p.lost_updates)
+                .field("all_ops_ok", p.all_ops_ok)
+        }));
+        let out = Obj::new()
+            .field("bench", "t15_fleet")
+            .field("volumes", VOLUMES)
+            .field("clients", CLIENTS)
+            .field("ops_per_client", ops)
+            .field_raw("sweep", &rows)
+            .render();
+        println!("{out}");
         return;
     }
 
-    println!("T15: fleet scaling — {VOLUMES} volumes, {files} files each, mid-run move\n");
+    println!("T15: fleet scaling — {VOLUMES} volumes, {CLIENTS} clients, mid-run move\n");
     header(&[
         "servers",
         "total ops",
@@ -196,7 +147,7 @@ fn main() {
         row(&[
             &p.servers,
             &p.total_ops,
-            &f2(p.max_busy_ms),
+            &f2(p.busy_ms),
             &f2(p.ops_per_sec),
             &format!("{:.2}x", p.ops_per_sec / base),
             &p.move_completed,

@@ -6,6 +6,7 @@
 //! is held constant; Episode restart cost should stay flat while FFS
 //! fsck cost grows with the disk.
 
+use dfs_bench::emit::{arr, Obj};
 use dfs_bench::{f2, header, row};
 use dfs_disk::{DiskConfig, SimDisk};
 use dfs_episode::{Episode, FormatParams};
@@ -67,6 +68,31 @@ fn ffs_case(blocks: u32) -> (u64, u64) {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let sweep: Vec<(u32, (u64, u64), (u64, u64))> =
+        [16 * 1024u32, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024]
+            .iter()
+            .map(|&blocks| (blocks, episode_case(blocks), ffs_case(blocks)))
+            .collect();
+
+    if json {
+        let rows = arr(sweep.iter().map(|&(blocks, (eb, eus), (fb, fus))| {
+            Obj::new()
+                .field("disk_mib", blocks / 256)
+                .field("episode_blocks", eb)
+                .field("episode_busy_us", eus)
+                .field("fsck_blocks", fb)
+                .field("fsck_busy_us", fus)
+                .field("fsck_over_episode", fus as f64 / eus.max(1) as f64)
+        }));
+        let out = Obj::new()
+            .field("bench", "t2_recovery_scaling")
+            .field_raw("sweep", &rows)
+            .render();
+        println!("{out}");
+        return;
+    }
+
     println!("T2: restart cost vs file-system size (fixed in-flight work at crash)");
     println!("    Episode replays the active log; FFS runs a full fsck.\n");
     header(&[
@@ -77,9 +103,7 @@ fn main() {
         "fsck ms",
         "fsck/episode",
     ]);
-    for blocks in [16 * 1024u32, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024] {
-        let (eb, eus) = episode_case(blocks);
-        let (fb, fus) = ffs_case(blocks);
+    for &(blocks, (eb, eus), (fb, fus)) in &sweep {
         row(&[
             &(blocks / 256),
             &eb,

@@ -2,6 +2,7 @@
 //! than a fixed amount of time"; replica readers always see consistent
 //! snapshots and never see data regress.
 
+use dfs_bench::emit::{arr, Obj};
 use dfs_bench::{f2, header, row};
 use dfs_types::VolumeId;
 use decorum_dfs::Cell;
@@ -59,10 +60,30 @@ fn run(bound_secs: u64) -> (f64, u64, bool) {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let sweep: Vec<(u64, (f64, u64, bool))> =
+        [2u64, 10, 60, 600].iter().map(|&b| (b, run(b))).collect();
+
+    if json {
+        let rows = arr(sweep.iter().map(|&(bound, (stale, refreshes, monotone))| {
+            Obj::new()
+                .field("bound_s", bound)
+                .field("max_staleness_s", stale)
+                .field("refreshes", refreshes)
+                .field("monotone", monotone)
+                .field("within_bound", stale <= bound as f64)
+        }));
+        let out = Obj::new()
+            .field("bench", "t6_lazy_replication")
+            .field_raw("sweep", &rows)
+            .render();
+        println!("{out}");
+        return;
+    }
+
     println!("T6: lazy replication staleness (writer @1/s; replication tick @1/s)\n");
     header(&["bound s", "max staleness s", "refreshes", "monotone"]);
-    for bound in [2u64, 10, 60, 600] {
-        let (stale, refreshes, monotone) = run(bound);
+    for &(bound, (stale, refreshes, monotone)) in &sweep {
         row(&[&bound, &f2(stale), &refreshes, &monotone]);
     }
     println!("\nExpected shape (paper): observed staleness stays at or under the");

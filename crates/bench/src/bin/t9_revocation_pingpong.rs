@@ -2,39 +2,25 @@
 //! RPCs per handoff and verifying single-system semantics: a write is
 //! visible to the other client as soon as the write call returns.
 //!
-//! `--clients A,B,...` adds a token hot-path sweep: N clients share one
-//! file under a read-dominated mix with periodic writes, so every write
+//! `--clients A,B,...` adds a token hot-path sweep, now a scenario
+//! definition over [`dfs_bench::scenario`]: N clients share one file
+//! under a read-dominated mix with periodic writes, so every write
 //! storms the token manager with revocations while the reads between
-//! storms ride the client's lock-free snapshot path. Per-N throughput
-//! and mean op latency come out on stdout (or as JSON with `--json`).
+//! storms ride the client's lock-free snapshot path. The shared driver
+//! owns the threads, seeding, and the cross-client agreement check;
+//! this binary keeps only the two-client handoff microbench (which
+//! needs per-handoff RPC accounting no aggregate driver provides).
 
+use dfs_bench::emit::{arr, Obj};
+use dfs_bench::scenario::{ClassSpec, OpClass, Phase, RunReport, Scenario, Topology};
 use dfs_bench::{f2, header, row};
-use dfs_types::{DfsError, DfsResult, VolumeId};
+use dfs_types::VolumeId;
 use decorum_dfs::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// Retries an op that lost the token-grant race too many times in a
-/// row (`grant` gives up with `Timeout` after 64 revocation rounds —
-/// at 64 clients on one file that is contention, not a hang).
-fn with_retry<T>(mut f: impl FnMut() -> DfsResult<T>) -> T {
-    let mut tries = 0;
-    loop {
-        match f() {
-            Ok(v) => return v,
-            Err(DfsError::Timeout) if tries < 32 => {
-                tries += 1;
-                std::thread::yield_now();
-            }
-            Err(e) => panic!("hot-path op failed: {e:?}"),
-        }
-    }
-}
 
 struct Args {
     json: bool,
     ops: u64,
-    clients: Vec<usize>,
+    clients: Vec<u32>,
 }
 
 fn parse_args() -> Args {
@@ -99,174 +85,60 @@ fn pingpong() -> Pingpong {
     }
 }
 
-struct SweepPoint {
-    clients: usize,
-    total_ops: u64,
-    wall_s: f64,
-    ops_per_s: f64,
-    mean_latency_us: f64,
-    /// RPCs issued during the timed region, and the simulated network
-    /// time they were charged (latency × calls) — the deterministic
-    /// cost currency; wall clock on an oversubscribed host is noise.
-    rpcs: u64,
-    sim_net_ms: f64,
-    ops_per_sim_net_s: f64,
-    lockfree_reads: u64,
-    local_reads: u64,
-    ok: bool,
-}
-
-/// N clients on one shared file: read-dominated with a write every 64th
-/// op per client, so token grants, revocation storms, and snapshot-path
-/// reads all land on the hot path under real thread contention.
-fn hotpath(clients: usize, ops_per_client: u64) -> SweepPoint {
-    let cell = Cell::builder().servers(1).pools(12, 6).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
-    let cms: Vec<_> = (0..clients).map(|_| cell.new_client()).collect();
-    let root = cms[0].root(VolumeId(1)).unwrap();
-    let f = cms[0].create(root, "hot", 0o666).unwrap();
-    cms[0].write(f.fid, 0, &vec![7u8; 4096]).unwrap();
-    cms[0].fsync(f.fid).unwrap();
-
-    let completed = Arc::new(AtomicU64::new(0));
-    let net_before = cell.net().stats();
-    let t0 = std::time::Instant::now();
-    let threads: Vec<_> = cms
-        .iter()
-        .enumerate()
-        .map(|(ci, cm)| {
-            let cm = cm.clone();
-            let fid = f.fid;
-            let completed = completed.clone();
-            std::thread::spawn(move || {
-                for op in 0..ops_per_client {
-                    if op % 64 == 63 {
-                        with_retry(|| cm.write(fid, (op % 8) * 128, &[ci as u8; 64]));
-                    } else if op % 3 == 0 {
-                        with_retry(|| cm.getattr(fid));
-                    } else {
-                        with_retry(|| cm.read(fid, (op % 8) * 128, 64));
-                    }
-                    completed.fetch_add(1, Ordering::Relaxed);
-                }
-            })
-        })
-        .collect();
-
-    // Watchdog: if total progress stalls for 10 s of wall time, flag it.
-    let total_ops = clients as u64 * ops_per_client;
-    let mut stalled = false;
-    let mut last = 0u64;
-    let mut last_change = std::time::Instant::now();
-    loop {
-        let now = completed.load(Ordering::Relaxed);
-        if now >= total_ops {
-            break;
-        }
-        if now != last {
-            last = now;
-            last_change = std::time::Instant::now();
-        } else if last_change.elapsed().as_secs() > 10 {
-            stalled = true;
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
-    for t in threads {
-        t.join().unwrap();
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    let nd = cell.net().stats().since(&net_before);
-
-    let mut agree = true;
-    let reference = cms[0].read(f.fid, 0, 1024).unwrap();
-    for (i, cm) in cms.iter().enumerate().skip(1) {
-        let got = cm.read(f.fid, 0, 1024).unwrap();
-        if got != reference {
-            agree = false;
-            // Diagnostics on stderr (stdout stays clean for --json):
-            // where the views differ and whether the staleness is
-            // sticky (a lost revocation) or a transient race.
-            let d = got.iter().zip(&reference).position(|(a, b)| a != b).unwrap_or(0);
-            let again = cm.read(f.fid, 0, 1024).unwrap();
-            let s = cm.stats();
-            eprintln!(
-                "t9: client {i} disagrees at byte {d}: got {} want {} \
-                 (reread disagrees: {}, dirty={}, lockfree={}, local={}, remote={})",
-                got[d],
-                reference[d],
-                again != reference,
-                cm.dirty_pages(f.fid),
-                s.lockfree_reads,
-                s.local_reads,
-                s.remote_reads,
-            );
-        }
-    }
-    let (mut lockfree, mut local) = (0u64, 0u64);
-    for cm in &cms {
-        let s = cm.stats();
-        lockfree += s.lockfree_reads;
-        local += s.local_reads;
-    }
-    SweepPoint {
-        clients,
-        total_ops,
-        wall_s: wall,
-        ops_per_s: total_ops as f64 / wall,
-        // Each client issues its ops serially, so the mean per-op
-        // latency is wall time over ops-per-client, not total ops.
-        mean_latency_us: wall * 1e6 / ops_per_client as f64,
-        rpcs: nd.calls,
-        sim_net_ms: nd.latency_us as f64 / 1000.0,
-        ops_per_sim_net_s: total_ops as f64 * 1e6 / nd.latency_us.max(1) as f64,
-        lockfree_reads: lockfree,
-        local_reads: local,
-        ok: !stalled && agree,
-    }
+/// N clients on one shared file: read-dominated with a write roughly
+/// every 64th draw, so token grants, revocation storms, and
+/// snapshot-path reads all land on the hot path under real thread
+/// contention. The Read class pulls half its draws from the shared
+/// write set, so readers keep colliding with the writers' tokens.
+fn hotpath(clients: u32, ops_per_client: u64) -> RunReport {
+    Scenario::new(
+        "t9_hotpath",
+        9,
+        Topology::new(1, clients, 1).latency_us(20),
+        vec![Phase::new(
+            "hot",
+            ops_per_client,
+            vec![
+                ClassSpec::new(OpClass::Write, 1, 1).sharing(clients).fsync_every(16),
+                ClassSpec::new(OpClass::Read, 63, 1).sharing(clients),
+            ],
+        )],
+    )
+    .run()
 }
 
 fn main() {
     let args = parse_args();
     let p = pingpong();
-    let sweep: Vec<_> = args.clients.iter().map(|&n| hotpath(n, args.ops)).collect();
+    let sweep: Vec<RunReport> = args.clients.iter().map(|&n| hotpath(n, args.ops)).collect();
 
     if args.json {
-        let mut points = String::new();
-        for (i, s) in sweep.iter().enumerate() {
-            if i > 0 {
-                points.push_str(", ");
-            }
-            points.push_str(&format!(
-                "{{\"clients\": {}, \"total_ops\": {}, \"wall_s\": {:.4}, \
-                 \"ops_per_s\": {:.1}, \"mean_latency_us\": {:.2}, \
-                 \"rpcs\": {}, \"sim_net_ms\": {:.2}, \"ops_per_sim_net_s\": {:.1}, \
-                 \"lockfree_reads\": {}, \"local_reads\": {}, \"ok\": {}}}",
-                s.clients,
-                s.total_ops,
-                s.wall_s,
-                s.ops_per_s,
-                s.mean_latency_us,
-                s.rpcs,
-                s.sim_net_ms,
-                s.ops_per_sim_net_s,
-                s.lockfree_reads,
-                s.local_reads,
-                s.ok
-            ));
-        }
-        println!(
-            "{{\"bench\": \"t9_revocation_pingpong\", \"handoffs\": {}, \"rpcs\": {}, \
-             \"rpcs_per_handoff\": {:.2}, \"sim_net_ms\": {:.2}, \
-             \"net_us_per_handoff\": {:.1}, \"stale_reads\": {}, \"sweep\": [{}]}}",
-            p.handoffs,
-            p.rpcs,
-            p.rpcs as f64 / p.handoffs as f64,
-            p.sim_net_ms,
-            p.sim_net_ms * 1000.0 / p.handoffs as f64,
-            p.stale,
-            points
-        );
+        let points = arr(sweep.iter().map(|r| {
+            Obj::new()
+                .field("clients", r.clients)
+                .field("total_ops", r.total_ops)
+                .field("rpcs", r.net_calls)
+                .field("sim_net_ms", r.net_latency_us as f64 / 1000.0)
+                .field(
+                    "ops_per_sim_net_s",
+                    r.total_ops as f64 * 1e6 / r.net_latency_us.max(1) as f64,
+                )
+                .field("lockfree_reads", r.client_stats.lockfree_reads)
+                .field("local_reads", r.client_stats.local_reads)
+                .field("revocations", r.client_stats.revocations)
+                .field("ok", r.clean())
+        }));
+        let out = Obj::new()
+            .field("bench", "t9_revocation_pingpong")
+            .field("handoffs", p.handoffs)
+            .field("rpcs", p.rpcs)
+            .field("rpcs_per_handoff", p.rpcs as f64 / p.handoffs as f64)
+            .field("sim_net_ms", p.sim_net_ms)
+            .field("net_us_per_handoff", p.sim_net_ms * 1000.0 / p.handoffs as f64)
+            .field("stale_reads", p.stale)
+            .field_raw("sweep", &points)
+            .render();
+        println!("{out}");
         return;
     }
 
@@ -285,18 +157,27 @@ fn main() {
         println!("  {label:>14}: {count}");
     }
 
-    println!("\nToken hot-path sweep (shared file, read-dominated, write every 64th op):\n");
-    header(&["clients", "total ops", "RPCs", "net ms", "ops/net-s", "mean us/op", "lock-free", "ok"]);
-    for s in &sweep {
+    println!("\nToken hot-path sweep (shared file, read-dominated, write every ~64th op):\n");
+    header(&[
+        "clients",
+        "total ops",
+        "RPCs",
+        "net ms",
+        "ops/net-s",
+        "lock-free",
+        "revocations",
+        "ok",
+    ]);
+    for r in &sweep {
         row(&[
-            &s.clients,
-            &s.total_ops,
-            &s.rpcs,
-            &f2(s.sim_net_ms),
-            &f2(s.ops_per_sim_net_s),
-            &f2(s.mean_latency_us),
-            &s.lockfree_reads,
-            &s.ok,
+            &r.clients,
+            &r.total_ops,
+            &r.net_calls,
+            &f2(r.net_latency_us as f64 / 1000.0),
+            &f2(r.total_ops as f64 * 1e6 / r.net_latency_us.max(1) as f64),
+            &r.client_stats.lockfree_reads,
+            &r.client_stats.revocations,
+            &r.clean(),
         ]);
     }
     println!("\nExpected shape (paper §5.5, §6.1): a constant small number of RPCs");

@@ -1,0 +1,232 @@
+//! Uniform JSON emitter for the harness binaries.
+//!
+//! Every bench's `--json` mode routes through this module so all
+//! machine-readable output shares one escaping/formatting discipline
+//! (and one set of bugs). The builder renders eagerly into a string —
+//! no value tree, no allocator games — and the result is guaranteed to
+//! satisfy [`crate::json::validate`], which `verify.sh` runs over every
+//! binary's output.
+//!
+//! ```
+//! use dfs_bench::emit::Obj;
+//! let s = Obj::new()
+//!     .field("bench", "t0_example")
+//!     .field("ops", 128u64)
+//!     .field("ratio", 1.5f64)
+//!     .field_arr("sweep", [1u64, 2, 4].iter())
+//!     .render();
+//! assert!(dfs_bench::json::validate(&s).is_ok());
+//! ```
+
+use std::fmt::Write as _;
+
+/// Renders one value as JSON. Implemented for the primitive types the
+/// benches actually report; nested objects go through [`Obj`].
+pub trait ToJson {
+    /// Appends this value's JSON rendering to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for f64 {
+    /// Finite floats render with Rust's shortest-roundtrip `Display`
+    /// (always valid JSON); NaN and infinities become `null`, which is
+    /// the only honest JSON spelling for "not a number".
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            let _ = write!(out, "{self}");
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for &str {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl ToJson for Obj {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.buf);
+        out.push('}');
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON object under construction. Keys render in insertion order;
+/// the builder never re-escapes or reorders, so the same field sequence
+/// always produces byte-identical output — the property the scenario
+/// replay check (`EXPERIMENTS.md` T17) leans on.
+#[derive(Clone, Debug)]
+pub struct Obj {
+    /// Rendered content so far, starting with `{`; `render` closes it.
+    buf: String,
+    first: bool,
+}
+
+impl Default for Obj {
+    fn default() -> Obj {
+        Obj::new()
+    }
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
+        Obj { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push_str(", ");
+        }
+        self.first = false;
+        write_str(&mut self.buf, key);
+        self.buf.push_str(": ");
+    }
+
+    /// Appends `key: value`.
+    pub fn field(mut self, key: &str, value: impl ToJson) -> Self {
+        self.key(key);
+        value.write_json(&mut self.buf);
+        self
+    }
+
+    /// Appends `key: [values…]` from an iterator.
+    pub fn field_arr<T: ToJson>(mut self, key: &str, values: impl Iterator<Item = T>) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            v.write_json(&mut self.buf);
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Appends `key` with pre-rendered JSON (caller guarantees validity
+    /// — escape hatch for hand-assembled fragments).
+    pub fn field_raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn render(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+/// Renders a standalone JSON array from an iterator (top-level sweeps).
+pub fn arr<T: ToJson>(values: impl Iterator<Item = T>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        v.write_json(&mut out);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_valid_json_in_field_order() {
+        let s = Obj::new()
+            .field("bench", "demo")
+            .field("n", 42u64)
+            .field("neg", -3i64)
+            .field("ok", true)
+            .field("x", 1.5f64)
+            .field("nan", f64::NAN)
+            .field("none", Option::<u64>::None)
+            .field("nested", Obj::new().field("k", "v"))
+            .field_arr("seq", [1u64, 2, 3].iter())
+            .render();
+        crate::json::validate(&s).expect("emitter output must parse");
+        assert_eq!(
+            s,
+            "{\"bench\": \"demo\", \"n\": 42, \"neg\": -3, \"ok\": true, \"x\": 1.5, \
+             \"nan\": null, \"none\": null, \"nested\": {\"k\": \"v\"}, \"seq\": [1, 2, 3]}"
+        );
+    }
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_controls() {
+        let s = Obj::new().field("k", "a\"b\\c\nd\u{1}").render();
+        crate::json::validate(&s).expect("escaped output must parse");
+        assert_eq!(s, "{\"k\": \"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+
+    #[test]
+    fn arrays_of_objects_compose() {
+        let rows = arr((0..2u64).map(|i| Obj::new().field("i", i)));
+        assert_eq!(rows, "[{\"i\": 0}, {\"i\": 1}]");
+        crate::json::validate(&rows).unwrap();
+    }
+}

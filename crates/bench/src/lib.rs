@@ -4,6 +4,9 @@
 //! paper's evaluation (see `DESIGN.md` §3 for the index and
 //! `EXPERIMENTS.md` for paper-vs-measured records).
 
+pub mod emit;
+pub mod scenario;
+
 use std::fmt::Display;
 
 /// Prints a table header row.

@@ -218,6 +218,87 @@ pub struct ClientStats {
     pub max_stale_us: u64,
 }
 
+impl ClientStats {
+    /// Returns `self - earlier` counter-by-counter, for time-series
+    /// sampling (the scenario driver snapshots per interval). The one
+    /// non-counter, `max_stale_us`, is a high-water mark and carries
+    /// the current watermark through unchanged.
+    pub fn since(&self, earlier: &ClientStats) -> ClientStats {
+        ClientStats {
+            local_reads: self.local_reads - earlier.local_reads,
+            lockfree_reads: self.lockfree_reads - earlier.lockfree_reads,
+            remote_reads: self.remote_reads - earlier.remote_reads,
+            local_writes: self.local_writes - earlier.local_writes,
+            write_token_fetches: self.write_token_fetches - earlier.write_token_fetches,
+            lookup_hits: self.lookup_hits - earlier.lookup_hits,
+            lookup_misses: self.lookup_misses - earlier.lookup_misses,
+            revocations: self.revocations - earlier.revocations,
+            retained: self.retained - earlier.retained,
+            queued_revocations: self.queued_revocations - earlier.queued_revocations,
+            revocation_stores: self.revocation_stores - earlier.revocation_stores,
+            stale_status_dropped: self.stale_status_dropped - earlier.stale_status_dropped,
+            busy_retries: self.busy_retries - earlier.busy_retries,
+            backoff_rounds: self.backoff_rounds - earlier.backoff_rounds,
+            storeback_rpcs: self.storeback_rpcs - earlier.storeback_rpcs,
+            storeback_extents: self.storeback_extents - earlier.storeback_extents,
+            storeback_pages: self.storeback_pages - earlier.storeback_pages,
+            flusher_passes: self.flusher_passes - earlier.flusher_passes,
+            backpressure_flushes: self.backpressure_flushes - earlier.backpressure_flushes,
+            transport_retries: self.transport_retries - earlier.transport_retries,
+            grace_waits: self.grace_waits - earlier.grace_waits,
+            recoveries: self.recoveries - earlier.recoveries,
+            tokens_reestablished: self.tokens_reestablished - earlier.tokens_reestablished,
+            reval_kept: self.reval_kept - earlier.reval_kept,
+            reval_dropped: self.reval_dropped - earlier.reval_dropped,
+            recovery_replayed_pages: self.recovery_replayed_pages
+                - earlier.recovery_replayed_pages,
+            wrong_server_redirects: self.wrong_server_redirects - earlier.wrong_server_redirects,
+            location_evictions: self.location_evictions - earlier.location_evictions,
+            unavailable_giveups: self.unavailable_giveups - earlier.unavailable_giveups,
+            replica_failovers: self.replica_failovers - earlier.replica_failovers,
+            stale_reads: self.stale_reads - earlier.stale_reads,
+            max_stale_us: self.max_stale_us,
+        }
+    }
+
+    /// Adds `other`'s counters into `self`, for fleet-wide aggregation.
+    /// `max_stale_us` folds as a max.
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.local_reads += other.local_reads;
+        self.lockfree_reads += other.lockfree_reads;
+        self.remote_reads += other.remote_reads;
+        self.local_writes += other.local_writes;
+        self.write_token_fetches += other.write_token_fetches;
+        self.lookup_hits += other.lookup_hits;
+        self.lookup_misses += other.lookup_misses;
+        self.revocations += other.revocations;
+        self.retained += other.retained;
+        self.queued_revocations += other.queued_revocations;
+        self.revocation_stores += other.revocation_stores;
+        self.stale_status_dropped += other.stale_status_dropped;
+        self.busy_retries += other.busy_retries;
+        self.backoff_rounds += other.backoff_rounds;
+        self.storeback_rpcs += other.storeback_rpcs;
+        self.storeback_extents += other.storeback_extents;
+        self.storeback_pages += other.storeback_pages;
+        self.flusher_passes += other.flusher_passes;
+        self.backpressure_flushes += other.backpressure_flushes;
+        self.transport_retries += other.transport_retries;
+        self.grace_waits += other.grace_waits;
+        self.recoveries += other.recoveries;
+        self.tokens_reestablished += other.tokens_reestablished;
+        self.reval_kept += other.reval_kept;
+        self.reval_dropped += other.reval_dropped;
+        self.recovery_replayed_pages += other.recovery_replayed_pages;
+        self.wrong_server_redirects += other.wrong_server_redirects;
+        self.location_evictions += other.location_evictions;
+        self.unavailable_giveups += other.unavailable_giveups;
+        self.replica_failovers += other.replica_failovers;
+        self.stale_reads += other.stale_reads;
+        self.max_stale_us = self.max_stale_us.max(other.max_stale_us);
+    }
+}
+
 /// Bounded volume→(server, generation) location cache (§4.1). Installs
 /// are generation-monotone: a stale `WrongServer` hint arriving after a
 /// fresh VLDB lookup can never roll an entry back to the old owner.

@@ -192,6 +192,28 @@ impl Fleet {
         self.plan.lock().moves
     }
 
+    /// Fleet-wide server statistics: every live slot's counters summed
+    /// (`volume_ops` merged per key). Crashed slots still answer — the
+    /// stats handle is process-local — so nothing is silently dropped.
+    pub fn aggregate_server_stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for i in 0..self.cell.server_count() {
+            total.merge(&self.cell.server(i).stats());
+        }
+        total
+    }
+
+    /// The fleet's disk critical path: the largest simulated busy time
+    /// (µs) across the per-server disks. Disks are the per-server
+    /// bottleneck resource, so aggregate throughput experiments divide
+    /// work done by this number (see EXPERIMENTS.md T15).
+    pub fn disk_critical_path_us(&self) -> u64 {
+        (0..self.cell.server_count())
+            .map(|i| self.cell.server_disk_stats(i).busy_us)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Maps a server id to its cell slot index.
     fn slot_of(&self, id: ServerId) -> DfsResult<usize> {
         for i in 0..self.cell.server_count() {

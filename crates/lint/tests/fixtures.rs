@@ -78,6 +78,18 @@ fn shard_order_fixture_flags_descending_and_overlapping_shards() {
 }
 
 #[test]
+fn lock_shard_fixture_flags_descending_lock_table_shards() {
+    assert_eq!(
+        lint("lock_shard"),
+        vec![
+            "alpha/src/lib.rs:16: [shard-order] acquiring shard 1 of `shards` while shard 3 \
+             (line 15) is held; same-field shards must be acquired in strictly ascending \
+             index order",
+        ]
+    );
+}
+
+#[test]
 fn guard_across_rpc_fixture_flags_direct_and_transitive_sends() {
     assert_eq!(
         lint("guard_across_rpc"),

@@ -192,6 +192,14 @@ impl FaultState {
         }
     }
 
+    /// Appends freshly-armed rules behind the existing ones. Existing
+    /// rules keep their counters and the RNG stream advances only on
+    /// armed matches, exactly as before the append — mid-run arming
+    /// never perturbs decisions already scheduled.
+    pub(crate) fn append(&mut self, rules: Vec<FaultRule>) {
+        self.rules.extend(rules.into_iter().map(|rule| RuleState { rule, seen: 0, hits: 0 }));
+    }
+
     /// Decides the fate of one call. First matching armed rule wins.
     pub(crate) fn decide(
         &mut self,

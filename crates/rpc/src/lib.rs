@@ -214,6 +214,23 @@ impl Network {
         self.faults_injected.store(0, Ordering::Relaxed);
     }
 
+    /// Appends `schedule`'s rules to the live fault plane *without*
+    /// disturbing rules already armed: their `seen`/`hits` counters and
+    /// the probabilistic RNG stream are untouched, so a scenario
+    /// timeline can arm new rules mid-run (at an op-count offset) while
+    /// earlier rules keep replaying deterministically. When no schedule
+    /// is armed, this arms one exactly like [`Self::set_fault_schedule`].
+    pub fn add_fault_rules(&self, schedule: FaultSchedule) {
+        let mut guard = self.faults.lock();
+        match guard.as_mut() {
+            Some(state) => state.append(schedule.rules),
+            None => {
+                *guard = Some(faults::FaultState::new(schedule));
+                self.faults_injected.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Disarms the fault plane.
     pub fn clear_faults(&self) {
         *self.faults.lock() = None;
@@ -656,6 +673,38 @@ mod tests {
         assert_eq!(net.faults_injected(), 1);
         // The rule's budget is spent; the retry goes through.
         assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+    }
+
+    #[test]
+    fn add_fault_rules_appends_without_resetting_armed_rules() {
+        let net = Network::new(SimClock::new(), 0);
+        net.register(server(1), Arc::new(Echo), PoolConfig::default());
+        // Arm a drop-the-3rd-Ping rule and burn one matching call.
+        net.set_fault_schedule(
+            FaultSchedule::seeded(7)
+                .rule(FaultRule::on(FaultAction::Drop).to(server(1)).after(2).limit(1)),
+        );
+        assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+        // Mid-run append: a second rule arrives; the first keeps its count.
+        net.add_fault_rules(
+            FaultSchedule::seeded(0)
+                .rule(FaultRule::on(FaultAction::Drop).to(server(1)).after(1).limit(1)),
+        );
+        assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+        // Call #3 trips the original rule (seen=1 survived the append;
+        // first match wins, so the appended rule never sees this call) …
+        assert_eq!(
+            net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap_err(),
+            DfsError::Timeout
+        );
+        // … and call #4 trips the appended rule (its own counter started
+        // at zero on append: armed after one post-append unclaimed match).
+        assert_eq!(
+            net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).unwrap_err(),
+            DfsError::Timeout
+        );
+        assert!(net.call(client(1), server(1), None, CallClass::Normal, Request::Ping).is_ok());
+        assert_eq!(net.faults_injected(), 2);
     }
 
     #[test]

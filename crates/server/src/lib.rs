@@ -76,6 +76,23 @@ pub struct ServerStats {
     pub volume_ops: HashMap<VolumeId, u64>,
 }
 
+impl ServerStats {
+    /// Adds `other`'s counters into `self` (`volume_ops` merged per
+    /// key) — fleet-wide aggregation for the scenario driver.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.ops += other.ops;
+        self.busy_rejections += other.busy_rejections;
+        self.grace_rejections += other.grace_rejections;
+        self.moves += other.moves;
+        self.replica_refreshes += other.replica_refreshes;
+        self.wrong_server_redirects += other.wrong_server_redirects;
+        self.forwards += other.forwards;
+        for (vol, n) in &other.volume_ops {
+            *self.volume_ops.entry(*vol).or_default() += n;
+        }
+    }
+}
+
 struct ReplJob {
     volume: VolumeId,
     source: ServerId,

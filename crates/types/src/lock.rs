@@ -32,7 +32,8 @@
 //! | `TOKEN_SHARD`          | 122   | one fid-hash shard of the token manager's grant/stamp tables (§5); same-rank nesting allowed only in ascending shard-index order |
 //! | `HOST_TABLE`           | 130   | host model records, local-host activity (§3.2) |
 //! | `HOST_SHARD`           | 132   | one client-hash shard of the host model's records; same index rule as `TOKEN_SHARD` |
-//! | `LOCK_TABLE`           | 140   | server byte-range lock table (§3.6) |
+//! | `LOCK_TABLE`           | 140   | server byte-range lock table (§3.6; the held-lock map itself is sharded at `LOCK_SHARD`) |
+//! | `LOCK_SHARD`           | 142   | one fid-hash shard of the server lock table; same index rule as `TOKEN_SHARD` |
 //! | `JOURNAL_TXNS`         | 150   | journal transaction table (§2.2) |
 //! | `JOURNAL_CACHE`        | 160   | journal buffer-cache map |
 //! | `JOURNAL_FRAME`        | 170   | individual buffer-frame latches |
@@ -114,8 +115,15 @@ pub mod rank {
     /// One client-hash shard of the host model's records. Same
     /// ascending-index rule as `TOKEN_SHARD`.
     pub const HOST_SHARD: u16 = 132;
-    /// Server byte-range lock table (§3.6).
+    /// Server byte-range lock table (§3.6). Since the held-lock map
+    /// was sharded (`LOCK_SHARD`), this rank survives only for tests
+    /// and fixtures pinning the hierarchy's shape.
     pub const LOCK_TABLE: u16 = 140;
+    /// One fid-hash shard of the server lock table (§3.6). Same-rank
+    /// nesting is allowed **only in strictly ascending shard-index
+    /// order**, as for `TOKEN_SHARD`; `release_owner` walks the shards
+    /// one at a time and never nests them.
+    pub const LOCK_SHARD: u16 = 142;
     /// Journal transaction table (§2.2).
     pub const JOURNAL_TXNS: u16 = 150;
     /// Journal buffer-cache map.
@@ -149,6 +157,7 @@ pub mod rank {
             HOST_TABLE => "HOST_TABLE",
             HOST_SHARD => "HOST_SHARD",
             LOCK_TABLE => "LOCK_TABLE",
+            LOCK_SHARD => "LOCK_SHARD",
             JOURNAL_TXNS => "JOURNAL_TXNS",
             JOURNAL_CACHE => "JOURNAL_CACHE",
             JOURNAL_FRAME => "JOURNAL_FRAME",

@@ -1,0 +1,50 @@
+//! Shared setup for the integration suites: the cell/fleet/client
+//! boilerplate every `tests/*.rs` file used to hand-roll. Each suite
+//! pulls this in with `mod common;` and uses the subset it needs.
+
+#![allow(dead_code)] // each suite uses a different subset
+
+use std::sync::Arc;
+
+use decorum_dfs::client::{CacheManager, WritebackConfig};
+use decorum_dfs::types::{Fid, VolumeId};
+use decorum_dfs::{Cell, Fleet};
+
+/// The volume every helper provisions: id 1, name "v", on slot 0.
+pub const VOL: VolumeId = VolumeId(1);
+
+/// An `n`-server cell with [`VOL`] created on server 0.
+pub fn cell(n: u32) -> Cell {
+    let cell = Cell::builder().servers(n).build().unwrap();
+    cell.create_volume(0, VOL, "v").unwrap();
+    cell
+}
+
+/// A single-server cell with [`VOL`] — the most common fixture.
+pub fn one_server_cell() -> Cell {
+    cell(1)
+}
+
+/// An `n`-server fleet with [`VOL`] created (lands on slot 0).
+pub fn fleet(n: u32) -> Fleet {
+    let fleet = Fleet::start(n).unwrap();
+    fleet.create_volume(VOL, "v").unwrap();
+    fleet
+}
+
+/// A client with the background flusher disabled, so every store-back
+/// happens exactly where the test triggers it — the deterministic
+/// choice for fault schedules and dirty-page scenarios.
+pub fn no_flush_client(cell: &Cell) -> Arc<CacheManager> {
+    cell.new_client_writeback(WritebackConfig { flusher: false, ..Default::default() })
+}
+
+/// Creates `name` under [`VOL`]'s root, writes `data` at offset 0, and
+/// fsyncs it to durability. Returns the new file's fid.
+pub fn durable_file(client: &CacheManager, name: &str, data: &[u8]) -> Fid {
+    let root = client.root(VOL).unwrap();
+    let f = client.create(root, name, 0o644).unwrap();
+    client.write(f.fid, 0, data).unwrap();
+    client.fsync(f.fid).unwrap();
+    f.fid
+}

@@ -6,10 +6,10 @@
 //! write is readable afterwards) and **exactly-once effect** (retries
 //! and duplicate deliveries never double-apply).
 
-use decorum_dfs::client::WritebackConfig;
 use decorum_dfs::rpc::{Addr, FaultAction, FaultRule, FaultSchedule};
 use decorum_dfs::types::VolumeId;
-use decorum_dfs::Cell;
+
+mod common;
 
 /// Write-behind flush vs. lossy transport: store-back requests are
 /// dropped, their replies are dropped (the at-least-once hazard: the
@@ -18,11 +18,10 @@ use decorum_dfs::Cell;
 /// reply-less store that is retried must land idempotently.
 #[test]
 fn writeback_flush_survives_drop_delay_and_lost_replies() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     // No background flusher: the test triggers the flush itself, so the
     // RPC sequence the schedule sees is deterministic.
-    let a = cell.new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+    let a = common::no_flush_client(&cell);
     let root = a.root(VolumeId(1)).unwrap();
     let mut files = Vec::new();
     for i in 0..8u32 {
@@ -70,9 +69,8 @@ fn writeback_flush_survives_drop_delay_and_lost_replies() {
 /// once, and the second delivery finds nothing to do.
 #[test]
 fn revocation_is_exactly_once_under_duplicate_delivery() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
-    let a = cell.new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+    let cell = common::one_server_cell();
+    let a = common::no_flush_client(&cell);
     let b = cell.new_client();
     let root = a.root(VolumeId(1)).unwrap();
     let f = a.create(root, "contested", 0o644).unwrap();
@@ -93,6 +91,14 @@ fn revocation_is_exactly_once_under_duplicate_delivery() {
     assert!(cell.net().faults_injected() >= 1, "a revocation was duplicated");
     cell.net().clear_faults();
 
+    // Both deliveries run on the pool; the first reply wins the race
+    // back to B's read, so wait for the duplicate to land too.
+    for _ in 0..200 {
+        if a.stats().revocations >= 2 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
     let st = a.stats();
     assert!(st.revocations >= 2, "both deliveries arrived, got {}", st.revocations);
     assert_eq!(st.revocation_stores, 1, "the dirty page was stored exactly once");
@@ -111,7 +117,7 @@ fn revocation_is_exactly_once_under_duplicate_delivery() {
 /// home, and no acknowledged write is lost.
 #[test]
 fn live_migration_survives_client_partition() {
-    let cell = Cell::builder().servers(2).build().unwrap();
+    let cell = common::cell(2);
     cell.create_volume(0, VolumeId(7), "mv").unwrap();
     let c = cell.new_client();
     let root = c.root(VolumeId(7)).unwrap();
@@ -157,9 +163,8 @@ fn live_migration_survives_client_partition() {
 #[test]
 fn same_seed_replays_the_same_fault_sequence() {
     let run = |seed: u64| -> (u64, u64) {
-        let cell = Cell::builder().servers(1).build().unwrap();
-        cell.create_volume(0, VolumeId(1), "v").unwrap();
-        let a = cell.new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+        let cell = common::one_server_cell();
+        let a = common::no_flush_client(&cell);
         let root = a.root(VolumeId(1)).unwrap();
         let mut files = Vec::new();
         for i in 0..8u32 {

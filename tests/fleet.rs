@@ -2,18 +2,18 @@
 //! request routing (`WrongServer` hints + forwarding), and live volume
 //! migration (ISSUE 6; §2.1/§3.4 of the paper).
 
-use decorum_dfs::client::WritebackConfig;
 use decorum_dfs::rpc::{Addr, CallClass, Request, Response};
 use decorum_dfs::types::{ClientId, DfsError, VolumeId};
 use decorum_dfs::Fleet;
+
+mod common;
 
 /// (a) A client keeps reading and writing through a redirect: after the
 /// volume moves, its cached location is stale, the old owner answers
 /// `WrongServer`, and the client chases the hint transparently.
 #[test]
 fn read_write_through_a_redirect() {
-    let fleet = Fleet::start(2).unwrap();
-    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let fleet = common::fleet(2); // the volume lands on slot 0
     let c = fleet.cell().new_client();
     let root = c.root(VolumeId(1)).unwrap();
     let f = c.create(root, "f", 0o644).unwrap();
@@ -44,8 +44,7 @@ fn read_write_through_a_redirect() {
 /// no second redirect, no VLDB storm, no error surfaced to the caller.
 #[test]
 fn stale_cache_resolves_in_one_retry() {
-    let fleet = Fleet::start(3).unwrap();
-    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let fleet = common::fleet(3); // the volume lands on slot 0
     let c = fleet.cell().new_client();
     let root = c.root(VolumeId(1)).unwrap();
     let f = c.create(root, "f", 0o644).unwrap();
@@ -74,13 +73,10 @@ fn stale_cache_resolves_in_one_retry() {
 /// ids intact, and no recovery pipeline runs.
 #[test]
 fn tokens_survive_live_move_with_zero_lost_updates() {
-    let fleet = Fleet::start(2).unwrap();
-    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let fleet = common::fleet(2); // the volume lands on slot 0
     // No background flusher: the second write is deterministically still
     // dirty in the client when the move begins.
-    let a = fleet
-        .cell()
-        .new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+    let a = common::no_flush_client(fleet.cell());
     let root = a.root(VolumeId(1)).unwrap();
     let f = a.create(root, "f", 0o644).unwrap();
     a.write(f.fid, 0, b"acked and durable").unwrap();
@@ -254,8 +250,7 @@ fn forwarded_one_shots_carry_the_callers_principal() {
 /// it so no stale fork of the volume survives.
 #[test]
 fn staged_move_copy_is_invisible_and_discards_on_abort() {
-    let fleet = Fleet::start(2).unwrap();
-    fleet.create_volume(VolumeId(1), "v").unwrap(); // slot 0
+    let fleet = common::fleet(2); // the volume lands on slot 0
     let cell = fleet.cell();
     let c = cell.new_client();
     let root = c.root(VolumeId(1)).unwrap();

@@ -5,6 +5,8 @@ use decorum_dfs::types::{ByteRange, DfsError, SimClock, VolumeId};
 use decorum_dfs::vfs::SetAttrs;
 use decorum_dfs::{Cell, OpenMode};
 
+mod common;
+
 #[test]
 fn multi_server_cell_with_many_clients() {
     let cell = Cell::builder().servers(3).build().unwrap();
@@ -69,8 +71,7 @@ fn server_crash_and_restart_preserves_committed_state() {
     use decorum_dfs::rpc::PoolConfig;
     use decorum_dfs::FileServer;
 
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     let c = cell.new_client();
     let root = c.root(VolumeId(1)).unwrap();
     let f = c.create(root, "durable", 0o644).unwrap();
@@ -145,8 +146,7 @@ fn server_crash_and_restart_preserves_committed_state() {
 
 #[test]
 fn open_modes_and_locks_across_the_cell() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     let a = cell.new_client();
     let b = cell.new_client();
     let root = a.root(VolumeId(1)).unwrap();
@@ -170,8 +170,7 @@ fn open_modes_and_locks_across_the_cell() {
 
 #[test]
 fn diskless_and_disk_clients_interoperate() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     let diskless = cell.new_client();
     let disky = cell.new_disk_client(1024);
     let root = diskless.root(VolumeId(1)).unwrap();
@@ -212,8 +211,7 @@ fn delete_refused_while_remotely_open() {
     // §5.4: "a virtual file system can assure itself that a file about
     // to be deleted has no remote users, by requesting an open token for
     // exclusive writing on the file."
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     let a = cell.new_client();
     let b = cell.new_client();
     let root = a.root(VolumeId(1)).unwrap();
@@ -234,14 +232,10 @@ fn token_handoff_under_simulated_network_partition() {
     // If the holder of a write token is unreachable, the server treats
     // its tokens as returned (host death handling) and the survivor can
     // proceed — availability over a dead client's cache.
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     // No background flusher on A: its dirty page must still be unstored
     // when it dies (otherwise the test races the 2 ms flush interval).
-    let a = cell.new_client_writeback(decorum_dfs::client::WritebackConfig {
-        flusher: false,
-        ..Default::default()
-    });
+    let a = common::no_flush_client(&cell);
     let b = cell.new_client();
     let root = a.root(VolumeId(1)).unwrap();
     let f = a.create(root, "orphaned", 0o666).unwrap();

@@ -3,9 +3,10 @@
 //! failover (ISSUE 5; §2.2 of the paper for the restart-cost claim,
 //! Lustre-style epoch reconnection for the token recovery protocol).
 
-use decorum_dfs::client::WritebackConfig;
 use decorum_dfs::types::{DfsError, VolumeId};
 use decorum_dfs::Cell;
+
+mod common;
 
 /// The headline scenario: a write-behind client has dirty pages when the
 /// server crashes. After the restart the client must detect the new
@@ -13,18 +14,15 @@ use decorum_dfs::Cell;
 /// dirty pages — no lost update.
 #[test]
 fn crash_mid_writeback_replays_dirty_pages() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     // No background flusher: the dirty page must still be unstored at
     // crash time, so the replay is deterministically the client's job.
-    let a = cell.new_client_writeback(WritebackConfig { flusher: false, ..Default::default() });
+    let a = common::no_flush_client(&cell);
     let root = a.root(VolumeId(1)).unwrap();
-    let f = a.create(root, "inflight", 0o644).unwrap();
-    a.write(f.fid, 0, b"acked and durable").unwrap();
-    a.fsync(f.fid).unwrap();
+    let fid = common::durable_file(&a, "inflight", b"acked and durable");
     // This update exists only in A's cache when the server dies.
-    a.write(f.fid, 0, b"still dirty in A!").unwrap();
-    assert!(a.dirty_pages(f.fid) > 0, "update must be write-behind");
+    a.write(fid, 0, b"still dirty in A!").unwrap();
+    assert!(a.dirty_pages(fid) > 0, "update must be write-behind");
 
     cell.crash_server(0);
     let report = cell.restart_server(0, 10_000_000).unwrap();
@@ -46,8 +44,8 @@ fn crash_mid_writeback_replays_dirty_pages() {
 
     // Zero lost updates: a fresh client reads the replayed bytes.
     let b = cell.new_client();
-    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"still dirty in A!");
-    assert_eq!(a.read(f.fid, 0, 32).unwrap(), b"still dirty in A!");
+    assert_eq!(b.read(fid, 0, 32).unwrap(), b"still dirty in A!");
+    assert_eq!(a.read(fid, 0, 32).unwrap(), b"still dirty in A!");
 }
 
 /// A client that never reconnects must not pin the cell: the grace
@@ -55,15 +53,11 @@ fn crash_mid_writeback_replays_dirty_pages() {
 /// *new* host arriving during grace is held off (`GraceWait`).
 #[test]
 fn new_client_held_off_until_grace_expires() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     // A touches the server so it lands in the host model (and therefore
     // in the restart's expected set) — then never reconnects.
     let a = cell.new_client();
-    let root = a.root(VolumeId(1)).unwrap();
-    let f = a.create(root, "f", 0o644).unwrap();
-    a.write(f.fid, 0, b"pre-crash").unwrap();
-    a.fsync(f.fid).unwrap();
+    common::durable_file(&a, "f", b"pre-crash");
 
     cell.crash_server(0);
     cell.restart_server(0, 60_000_000).unwrap();
@@ -101,9 +95,7 @@ fn location_failover_when_file_server_crashes() {
     cell.create_volume(0, VolumeId(1), "v").unwrap();
     let c = cell.new_client();
     let root = c.root(VolumeId(1)).unwrap();
-    let f = c.create(root, "survivor", 0o644).unwrap();
-    c.write(f.fid, 0, b"beyond the crash").unwrap();
-    c.fsync(f.fid).unwrap();
+    let fid = common::durable_file(&c, "survivor", b"beyond the crash");
 
     // Replicate the volume onto server 1 (5 s staleness bound); the
     // replica advertises itself in the VLDB.
@@ -120,7 +112,7 @@ fn location_failover_when_file_server_crashes() {
     // Its FetchData gives up on the primary after a couple of attempts
     // and is served by the replica, stale-stamped.
     let b = cell.new_client();
-    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"beyond the crash");
+    assert_eq!(b.read(fid, 0, 32).unwrap(), b"beyond the crash");
     let st = b.stats();
     assert!(st.replica_failovers >= 1, "the read failed over to the replica");
     assert!(st.stale_reads >= 1, "the read was served bounded-stale");
@@ -137,26 +129,26 @@ fn location_failover_when_file_server_crashes() {
 
     // Stale bytes were served, not cached: nothing in B's cache claims
     // token backing for this file.
-    assert_eq!(b.dirty_pages(f.fid), 0);
+    assert_eq!(b.dirty_pages(fid), 0);
 
     // Writes cannot be served by a read-only replica: the retry budget
     // runs out and the client reports honest unavailability.
-    assert!(b.write(f.fid, 0, b"rejected").is_err());
+    assert!(b.write(fid, 0, b"rejected").is_err());
     assert!(b.stats().unavailable_giveups >= 1, "the write spent its retry budget");
 
     // The primary returns; B reconciles: its next read is
     // primary-served (and authoritative), and writes flow again.
     cell.restart_server(0, 0).unwrap();
-    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"beyond the crash");
-    b.write(f.fid, 0, b"after the return").unwrap();
-    b.fsync(f.fid).unwrap();
-    assert_eq!(b.read(f.fid, 0, 32).unwrap(), b"after the return");
+    assert_eq!(b.read(fid, 0, 32).unwrap(), b"beyond the crash");
+    b.write(fid, 0, b"after the return").unwrap();
+    b.fsync(fid).unwrap();
+    assert_eq!(b.read(fid, 0, 32).unwrap(), b"after the return");
 
     // The pre-crash client reconnects too: its next server round-trip
     // runs the recovery pipeline against the new epoch.
     c.create(root, "after", 0o644).unwrap();
     assert_eq!(c.stats().recoveries, 1, "reconnection ran the recovery pipeline");
-    assert_eq!(c.read(f.fid, 0, 32).unwrap(), b"after the return");
+    assert_eq!(c.read(fid, 0, 32).unwrap(), b"after the return");
 }
 
 /// §2.2: restart cost tracks the *active log*, not the file-system
@@ -166,7 +158,7 @@ fn location_failover_when_file_server_crashes() {
 #[test]
 fn recovery_scan_tracks_active_log_not_fs_size() {
     let cell = Cell::builder().servers(1).disk_blocks(32 * 1024).log_blocks(512).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    cell.create_volume(0, common::VOL, "v").unwrap();
     let c = cell.new_client();
     let root = c.root(VolumeId(1)).unwrap();
 
@@ -216,19 +208,17 @@ fn recovery_scan_tracks_active_log_not_fs_size() {
 /// data-version check keeps its cache.
 #[test]
 fn reestablishment_preserves_cached_data_when_version_matches() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
-    let a = cell.new_client();
+    // No background flusher: after the fsync below nothing is dirty and
+    // nothing is in flight, so the crash deterministically finds a clean
+    // cache and recovery takes the revalidation path (a flusher mid-pass
+    // could re-dirty pages when the crash cuts its store-back short).
+    let cell = common::one_server_cell();
+    let a = common::no_flush_client(&cell);
     let root = a.root(VolumeId(1)).unwrap();
-    let f = a.create(root, "stable", 0o644).unwrap();
-    a.write(f.fid, 0, &vec![7u8; 8192]).unwrap();
-    a.fsync(f.fid).unwrap();
-    // Warm A's cache and let the flusher go idle: nothing dirty at
-    // crash time, so recovery takes the revalidation path.
-    assert_eq!(a.read(f.fid, 0, 8192).unwrap(), vec![7u8; 8192]);
-    while a.dirty_pages(f.fid) > 0 {
-        std::thread::sleep(std::time::Duration::from_millis(1));
-    }
+    let fid = common::durable_file(&a, "stable", &vec![7u8; 8192]);
+    // Warm A's cache: valid pages + cached DataVersion to revalidate.
+    assert_eq!(a.read(fid, 0, 8192).unwrap(), vec![7u8; 8192]);
+    assert_eq!(a.dirty_pages(fid), 0, "fsync left nothing dirty");
 
     cell.crash_server(0);
     cell.restart_server(0, 10_000_000).unwrap();
@@ -238,7 +228,7 @@ fn reestablishment_preserves_cached_data_when_version_matches() {
     // DataVersion still matches, so the pages must come from cache, not
     // a refetch.
     a.create(root, "poke", 0o644).unwrap();
-    assert_eq!(a.read(f.fid, 0, 8192).unwrap(), vec![7u8; 8192]);
+    assert_eq!(a.read(fid, 0, 8192).unwrap(), vec![7u8; 8192]);
     let st = a.stats();
     assert!(st.reval_kept > 0, "matching DataVersion keeps the cache");
     let fetched = cell.net().stats().since(&before).by_label.get("FetchData").copied();
@@ -251,8 +241,7 @@ fn reestablishment_preserves_cached_data_when_version_matches() {
 /// has to ask the server explicitly.
 #[test]
 fn fsync_of_empty_file_survives_crash() {
-    let cell = Cell::builder().servers(1).build().unwrap();
-    cell.create_volume(0, VolumeId(1), "v").unwrap();
+    let cell = common::one_server_cell();
     let a = cell.new_client();
     let root = a.root(VolumeId(1)).unwrap();
     let f = a.create(root, "empty", 0o644).unwrap();

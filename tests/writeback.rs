@@ -4,6 +4,8 @@
 use dfs_client::{WritebackConfig, STORE_EXTENT_PAGES};
 use dfs_core::Cell;
 use dfs_types::VolumeId;
+
+mod common;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,10 +34,7 @@ fn sequential_write_coalesces_into_few_rpcs() {
     let cell = cell();
     // No flusher: the fsync must do all the store-back work, making the
     // RPC counts deterministic.
-    let c = cell.new_client_writeback(WritebackConfig {
-        flusher: false,
-        ..WritebackConfig::default()
-    });
+    let c = common::no_flush_client(&cell);
     let root = c.root(VolumeId(1)).unwrap();
     let f = c.create(root, "seq", 0o644).unwrap();
     for p in 0..64u64 {
@@ -62,10 +61,7 @@ fn sequential_write_coalesces_into_few_rpcs() {
 #[test]
 fn sparse_dirty_set_ships_one_extent_per_run() {
     let cell = cell();
-    let c = cell.new_client_writeback(WritebackConfig {
-        flusher: false,
-        ..WritebackConfig::default()
-    });
+    let c = common::no_flush_client(&cell);
     let root = c.root(VolumeId(1)).unwrap();
     let f = c.create(root, "sparse", 0o644).unwrap();
     // Three discontiguous runs: {0,1,2}, {10}, {20,21}.
@@ -89,10 +85,7 @@ fn sparse_dirty_set_ships_one_extent_per_run() {
 #[test]
 fn extent_straddling_eof_stores_partial_last_page() {
     let cell = cell();
-    let c = cell.new_client_writeback(WritebackConfig {
-        flusher: false,
-        ..WritebackConfig::default()
-    });
+    let c = common::no_flush_client(&cell);
     let root = c.root(VolumeId(1)).unwrap();
     let f = c.create(root, "tail", 0o644).unwrap();
     // One full page plus 100 bytes: the second page is dirty but only

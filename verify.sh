@@ -25,6 +25,13 @@
 #      parameters (§3.8 replica promotion: bounded-stale reads during a
 #      primary partition, honest Unavailable without a replica, zero
 #      lost updates after reconciliation)
+#  10. scenario gate: the scenario-engine tests (seed determinism,
+#      invariant counters, fault-timeline arming) plus T17 at tiny
+#      parameters — a crash + restart + live volume move mid-run, run
+#      twice; the smoke fails unless the JSON reports ok (coherent,
+#      replay-identical, all events fired)
+#  11. bench JSON smoke: every remaining --json-capable binary runs
+#      once and its output is validated through jsoncheck
 #
 # Run from the repo root:  ./verify.sh
 set -eu
@@ -59,7 +66,7 @@ printf '%s' "$t13_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "==> fleet gate (fleet tests + t15 smoke)"
 cargo test -q --test fleet
-t15_out=$(cargo run -q --release -p dfs-bench --bin t15_fleet -- --json --servers 2 --files 6)
+t15_out=$(cargo run -q --release -p dfs-bench --bin t15_fleet -- --json --servers 2 --ops 12)
 printf '%s' "$t15_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
 
 echo "==> hotpath gate (token stress at 1 and 4 shards + t9/t8 client sweeps)"
@@ -74,5 +81,24 @@ echo "==> availability gate (fault-matrix tests + t14 smoke)"
 cargo test -q --test faults
 t14_out=$(cargo run -q --release -p dfs-bench --bin t14_availability -- --json --files 6)
 printf '%s' "$t14_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+
+echo "==> scenario gate (engine tests + tiny t17 crash/restart/move smoke)"
+cargo test -q --test scenario
+t17_out=$(cargo run -q --release -p dfs-bench --bin t17_scenario -- --json --clients 8 --servers 2 --ops 12)
+printf '%s' "$t17_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+case "$t17_out" in
+  *'"ok": true'*) ;;
+  *) echo "t17 smoke: invariants, events, or seed replay failed"; exit 1 ;;
+esac
+
+echo "==> bench JSON smoke (every remaining --json binary validated)"
+for b in fig1_server_structure fig2_client_structure fig3_open_token_matrix \
+         t2_recovery_scaling t3_consistency_spectrum t4_byte_range_sharing \
+         t5_volume_ops t6_lazy_replication t7_deadlock_storm \
+         t10_thread_pool_ablation t11_andrew_style_workload \
+         t12_diskless_clients; do
+  b_out=$(cargo run -q --release -p dfs-bench --bin "$b" -- --json)
+  printf '%s' "$b_out" | cargo run -q --release -p dfs-bench --bin jsoncheck
+done
 
 echo "verify: OK"
